@@ -1,0 +1,159 @@
+// Command dashserve hosts the full Dash demo in one process: the target web
+// application serving db-pages, and the Dash search endpoint suggesting
+// db-page URLs for keyword queries.
+//
+//	dashserve -addr :8080 -dataset fooddb
+//
+// Then:
+//
+//	curl 'http://localhost:8080/app?c=American&l=10&u=15'   # a db-page
+//	curl 'http://localhost:8080/search?q=burger&k=2&s=20'   # Dash results
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/crawl"
+	"repro/internal/harness"
+	"repro/internal/relation"
+	"repro/internal/search"
+	"repro/internal/tpch"
+	"repro/internal/webapp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dashserve:", err)
+		os.Exit(1)
+	}
+}
+
+var resultsTemplate = template.Must(template.New("results").Parse(`<!DOCTYPE html>
+<html><head><title>Dash results for {{.Query}}</title></head><body>
+<h1>Dash: db-pages for “{{.Query}}”</h1>
+<ol>
+{{range .Results}}<li><a href="{{.Href}}">{{.Label}}</a> — score {{printf "%.6f" .Score}}, {{.Size}} keywords</li>
+{{end}}</ol>
+<p>{{.Elapsed}} over {{.Fragments}} fragments</p>
+</body></html>
+`))
+
+type resultRow struct {
+	Href  string
+	Label string
+	Score float64
+	Size  int64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dashserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dataset := fs.String("dataset", "fooddb", "fooddb | small | medium | large")
+	query := fs.String("query", "Q2", "application query for TPC-H datasets")
+	seed := fs.Int64("seed", 42, "dataset generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db, app, err := setup(*dataset, *query, *seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("crawling %s…", db.Name)
+	out, _, err := harness.RunCrawl(context.Background(), db, app,
+		crawl.AlgIntegrated, crawl.Options{}, *dataset)
+	if err != nil {
+		return err
+	}
+	bound, err := app.Bound()
+	if err != nil {
+		return err
+	}
+	idx, _, err := harness.BuildGraph(out, bound, app.Name)
+	if err != nil {
+		return err
+	}
+	engine := search.New(idx, app)
+	log.Printf("index ready: %d fragments, %d keywords", idx.NumFragments(), idx.NumKeywords())
+
+	mux := http.NewServeMux()
+	mux.Handle("/app", app.Handler())
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		k := intParam(r, "k", 5)
+		s := intParam(r, "s", 100)
+		start := time.Now()
+		results, err := engine.Search(search.Request{
+			Keywords: strings.Fields(q), K: k, SizeThreshold: s,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rows := make([]resultRow, 0, len(results))
+		for _, res := range results {
+			rows = append(rows, resultRow{
+				// Rewrite the application's base URL onto this server
+				// so links work in the demo.
+				Href:  "/app?" + res.QueryString,
+				Label: res.URL,
+				Score: res.Score,
+				Size:  res.Size,
+			})
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		err = resultsTemplate.Execute(w, map[string]any{
+			"Query":     q,
+			"Results":   rows,
+			"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
+			"Fragments": idx.NumFragments(),
+		})
+		if err != nil {
+			log.Printf("render: %v", err)
+		}
+	})
+
+	log.Printf("serving on %s (web app at /app, search at /search?q=…)", *addr)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return server.ListenAndServe()
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func setup(dataset, query string, seed int64) (*relation.Database, *webapp.Application, error) {
+	if dataset == "fooddb" {
+		return harness.Fooddb()
+	}
+	scale, err := tpch.ScaleByName(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	return harness.Workload{Scale: scale, Seed: seed, Query: query}.Setup()
+}

@@ -1,0 +1,187 @@
+// Package dash is a search engine for database-generated dynamic web pages
+// (db-pages), reproducing "Dash: A Novel Search Engine for Database-
+// Generated Dynamic Web Pages" (Lee, Bankar, Zheng, Chow, Wang — ICDCS
+// 2012).
+//
+// Db-pages are created on the fly by a web application from a backend
+// database in response to query strings, so conventional crawlers never see
+// them. Dash instead reverse-engineers the application: Analyze extracts
+// its parameterized project-select-join query from servlet-style source;
+// Build crawls the database with MapReduce-based algorithms, deriving
+// disjoint db-page fragments and a fragment index (inverted fragment index
+// + fragment graph); and Engine.Search assembles fragments into the k most
+// relevant db-pages, returning the URLs that regenerate them.
+//
+// Quickstart:
+//
+//	app, _ := dash.Analyze(servletSource, "http://example.com/Search")
+//	_ = app.Bind(db)
+//	idx, stats, _ := dash.Build(ctx, db, app, dash.BuildOptions{})
+//	engine := dash.NewEngine(idx, app)
+//	results, _ := engine.Search(dash.Request{
+//	    Keywords: []string{"burger"}, K: 2, SizeThreshold: 20,
+//	})
+//	for _, r := range results {
+//	    fmt.Println(r.URL) // e.g. http://example.com/Search?c=American&l=10&u=12
+//	}
+package dash
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/crawl"
+	"repro/internal/fragindex"
+	"repro/internal/relation"
+	"repro/internal/search"
+	"repro/internal/webapp"
+)
+
+// Re-exported types: the facade is intentionally thin so downstream code
+// can also import the internal packages' documentation vocabulary.
+type (
+	// Application is an analyzed web application: its parameterized PSJ
+	// query plus bidirectional query-string logic.
+	Application = webapp.Application
+	// Binding maps an HTTP query-string field to a query parameter.
+	Binding = webapp.Binding
+	// Index is the fragment index (inverted fragment index + fragment
+	// graph).
+	Index = fragindex.Index
+	// Engine answers top-k db-page searches.
+	Engine = search.Engine
+	// MultiEngine federates search across applications sharing a
+	// database.
+	MultiEngine = search.MultiEngine
+	// Request parameterizes one search: keywords W, result count k, and
+	// db-page size threshold s.
+	Request = search.Request
+	// Result is one suggested db-page with its URL and relevance score.
+	Result = search.Result
+	// FragRef identifies a fragment within an Index.
+	FragRef = fragindex.FragRef
+)
+
+// Algorithm selects the crawling/indexing strategy.
+type Algorithm string
+
+// Available crawl algorithms. AlgReference crawls without MapReduce using
+// the in-process relational evaluator — the right choice for small embedded
+// deployments; the MR algorithms reproduce the paper's §V and scale with
+// cores.
+const (
+	AlgStepwise   Algorithm = Algorithm(crawl.AlgStepwise)
+	AlgIntegrated Algorithm = Algorithm(crawl.AlgIntegrated)
+	AlgReference  Algorithm = "reference"
+)
+
+// Database is the relational substrate Dash crawls; construct one with the
+// relation package or a generator like internal/tpch.
+type Database = relation.Database
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// Algorithm defaults to AlgIntegrated (the paper's fastest).
+	Algorithm Algorithm
+	// Parallelism, MapTasks, and ReduceTasks tune the MapReduce engine;
+	// zero values default to GOMAXPROCS.
+	Parallelism int
+	MapTasks    int
+	ReduceTasks int
+}
+
+// BuildStats reports what Build produced and what it cost.
+type BuildStats struct {
+	Algorithm Algorithm
+	// Phases carries per-phase MapReduce metrics (empty for
+	// AlgReference): SW-Jn/SW-Grp/SW-Idx or INT-Jn/INT-Ext/INT-Cnsd.
+	Phases     []crawl.Phase
+	Fragments  int
+	Keywords   int
+	GraphEdges int
+	// CrawlTime covers database crawling and fragment derivation;
+	// IndexTime covers fragment-index (graph) construction.
+	CrawlTime time.Duration
+	IndexTime time.Duration
+}
+
+// Analyze reverse-engineers a servlet-style web application source into an
+// Application (paper §III). Call Application.Bind with the database before
+// Build.
+func Analyze(src, baseURL string) (*Application, error) {
+	return webapp.Analyze(src, baseURL)
+}
+
+// Build crawls the database and constructs the application's fragment
+// index (paper §V). The application must be bound to db.
+func Build(ctx context.Context, db *Database, app *Application, opts BuildOptions) (*Index, *BuildStats, error) {
+	bound, err := app.Bound()
+	if err != nil {
+		return nil, nil, err
+	}
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = AlgIntegrated
+	}
+	copts := crawl.Options{
+		Parallelism: opts.Parallelism,
+		MapTasks:    opts.MapTasks,
+		ReduceTasks: opts.ReduceTasks,
+	}
+	crawlStart := time.Now()
+	var out *crawl.Output
+	switch alg {
+	case AlgStepwise:
+		out, err = crawl.Stepwise(ctx, db, bound, copts)
+	case AlgIntegrated:
+		out, err = crawl.Integrated(ctx, db, bound, copts)
+	case AlgReference:
+		out, err = crawl.Reference(db, bound)
+	default:
+		return nil, nil, fmt.Errorf("dash: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	crawlTime := time.Since(crawlStart)
+
+	spec, err := fragindex.SpecFromBound(bound)
+	if err != nil {
+		return nil, nil, err
+	}
+	idxStart := time.Now()
+	idx, err := fragindex.Build(out, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &BuildStats{
+		Algorithm:  alg,
+		Phases:     out.Phases,
+		Fragments:  idx.NumFragments(),
+		Keywords:   idx.NumKeywords(),
+		GraphEdges: idx.NumEdges(),
+		CrawlTime:  crawlTime,
+		IndexTime:  time.Since(idxStart),
+	}
+	return idx, stats, nil
+}
+
+// NewEngine creates a search engine over a built index. app may be nil when
+// URL formulation is not needed.
+func NewEngine(idx *Index, app *Application) *Engine {
+	return search.New(idx, app)
+}
+
+// NewMultiEngine federates several engines (applications sharing a
+// database) with duplicate-content elimination.
+func NewMultiEngine(engines ...*Engine) *MultiEngine {
+	return search.NewMulti(engines...)
+}
+
+// SaveIndex serializes an index (gob encoding).
+func SaveIndex(idx *Index, w io.Writer) error { return idx.Save(w) }
+
+// LoadIndex deserializes an index written by SaveIndex.
+func LoadIndex(r io.Reader) (*Index, error) { return fragindex.Load(r) }

@@ -1,0 +1,127 @@
+package dash
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/fooddb"
+)
+
+// TestFacadeEndToEnd runs the package-doc quickstart for every algorithm:
+// analyze the Search servlet, build the index, search "burger", and check
+// Example 7's URLs come back.
+func TestFacadeEndToEnd(t *testing.T) {
+	for _, alg := range []Algorithm{AlgReference, AlgStepwise, AlgIntegrated, ""} {
+		db := fooddb.New()
+		app, err := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+		if err != nil {
+			t.Fatalf("%s: Analyze: %v", alg, err)
+		}
+		if err := app.Bind(db); err != nil {
+			t.Fatalf("%s: Bind: %v", alg, err)
+		}
+		idx, stats, err := Build(context.Background(), db, app, BuildOptions{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: Build: %v", alg, err)
+		}
+		if stats.Fragments != 5 || stats.GraphEdges != 3 {
+			t.Errorf("%s: stats = %+v, want 5 fragments 3 edges", alg, stats)
+		}
+		if stats.Keywords == 0 || stats.CrawlTime <= 0 {
+			t.Errorf("%s: stats missing detail: %+v", alg, stats)
+		}
+		switch alg {
+		case AlgStepwise, AlgIntegrated:
+			if len(stats.Phases) != 3 {
+				t.Errorf("%s: phases = %v", alg, stats.Phases)
+			}
+		case AlgReference:
+			if len(stats.Phases) != 0 {
+				t.Errorf("%s: phases = %v, want none", alg, stats.Phases)
+			}
+		}
+
+		engine := NewEngine(idx, app)
+		results, err := engine.Search(Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
+		if err != nil {
+			t.Fatalf("%s: Search: %v", alg, err)
+		}
+		if len(results) != 2 {
+			t.Fatalf("%s: results = %d, want 2", alg, len(results))
+		}
+		if results[0].URL != "http://www.example.com/Search?c=American&l=10&u=12" {
+			t.Errorf("%s: top URL = %s", alg, results[0].URL)
+		}
+	}
+}
+
+func TestFacadeUnknownAlgorithm(t *testing.T) {
+	db := fooddb.New()
+	app, _ := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Build(context.Background(), db, app, BuildOptions{Algorithm: "quantum"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestFacadeUnboundApplication(t *testing.T) {
+	db := fooddb.New()
+	app, _ := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if _, _, err := Build(context.Background(), db, app, BuildOptions{}); err == nil {
+		t.Error("unbound application should fail")
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	db := fooddb.New()
+	app, _ := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(context.Background(), db, app, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveIndex(idx, &buf); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	engine := NewEngine(loaded, app)
+	results, err := engine.Search(Request{Keywords: []string{"coffee"}, K: 1, SizeThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].QueryString != "c=American&l=9&u=9" {
+		t.Errorf("results over loaded index = %+v", results)
+	}
+}
+
+func TestFacadeMultiEngine(t *testing.T) {
+	db := fooddb.New()
+	app, _ := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(context.Background(), db, app, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMultiEngine(NewEngine(idx, app))
+	results, err := m.Search(Request{Keywords: []string{"burger"}, K: 3, SizeThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Errorf("multi results = %d, want 3", len(results))
+	}
+	if results[0].AppName != "Search" {
+		t.Errorf("app name = %q", results[0].AppName)
+	}
+}

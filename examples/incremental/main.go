@@ -1,0 +1,122 @@
+// Incremental demonstrates fragment-index maintenance under database
+// updates — the paper's first future-work item (§VIII): "some efficient
+// update mechanisms that can efficiently update (affected portions of) a
+// fragment index are desirable".
+//
+// A new customer comment is inserted into fooddb. Instead of re-crawling
+// everything, Dash recomputes only the affected fragment (by executing the
+// application query for that fragment's selection values) and patches the
+// index in place: postings, node weight, and graph edges all stay
+// consistent, and searches immediately see the new content.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	dash "repro"
+	"repro/internal/fooddb"
+	"repro/internal/fragment"
+	"repro/internal/relation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db := fooddb.New()
+	app, err := dash.Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err != nil {
+		return err
+	}
+	if err := app.Bind(db); err != nil {
+		return err
+	}
+	idx, stats, err := dash.Build(context.Background(), db, app, dash.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("initial index: %d fragments, %d keywords\n", stats.Fragments, stats.Keywords)
+
+	engine := dash.NewEngine(idx, app)
+	before, err := engine.Search(dash.Request{Keywords: []string{"froyo"}, K: 5, SizeThreshold: 5})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search \"froyo\" before update: %d results\n", len(before))
+
+	// A customer posts a new comment on Bond's Cafe (rid 7, an American
+	// restaurant with budget 9).
+	comments, err := db.Table("comment")
+	if err != nil {
+		return err
+	}
+	err = comments.Append(relation.Row{
+		relation.Int(207), relation.Int(7), relation.Int(120),
+		relation.String("Great froyo dessert"), relation.String("03/12"),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ninserted comment 207: \"Great froyo dessert\" on Bond's Cafe")
+
+	// Only the (American, 9) fragment is affected. Recompute it by
+	// executing the application query pinned to the fragment's selection
+	// values, and patch the index.
+	affected := fragment.ID{relation.String("American"), relation.Int(9)}
+	bound, err := app.Bound()
+	if err != nil {
+		return err
+	}
+	rows, err := bound.Execute(db, map[string]relation.Value{
+		"cuisine": relation.String("American"),
+		"min":     relation.Int(9),
+		"max":     relation.Int(9),
+	})
+	if err != nil {
+		return err
+	}
+	counts := make(map[string]int64)
+	var total int64
+	for _, row := range rows.Rows {
+		perRow := make(map[string]int)
+		for _, v := range row {
+			total += int64(fragment.CountTokens(v, perRow))
+		}
+		for kw, c := range perRow {
+			counts[kw] += int64(c)
+		}
+	}
+	if err := idx.UpdateFragment(affected, counts, total); err != nil {
+		return err
+	}
+	fmt.Printf("patched fragment %s: now %d keywords (was 8)\n", affected, total)
+	fmt.Printf("index still has %d fragments, %d graph edges — only one fragment touched\n",
+		idx.NumFragments(), idx.NumEdges())
+
+	// The new content is searchable instantly.
+	after, err := engine.Search(dash.Request{Keywords: []string{"froyo"}, K: 5, SizeThreshold: 5})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsearch \"froyo\" after update: %d result(s)\n", len(after))
+	for _, r := range after {
+		fmt.Printf("  %s (score %.4f)\n", r.URL, r.Score)
+	}
+
+	// And the suggested URL serves the fresh comment.
+	page, err := app.Execute(after[0].QueryString)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndb-page %s now renders %d rows, including the new comment:\n",
+		after[0].QueryString, page.Len())
+	for _, row := range page.Rows {
+		fmt.Printf("  %v\n", row)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/crawl"
+	"repro/internal/fooddb"
+	"repro/internal/fragindex"
+	"repro/internal/psj"
+)
+
+func fooddbCrawl(t *testing.T) (*crawl.Output, fragindex.Spec) {
+	t.Helper()
+	db := fooddb.New()
+	b, err := psj.Bind(psj.MustParse(fooddb.SearchSQL), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := crawl.Reference(db, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := fragindex.SpecFromBound(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, spec
+}
+
+// TestNaivePageEnumeration: fooddb has the American group with 4 range
+// values (4·5/2 = 10 pages) and Thai with 1 (1 page): 11 pages total.
+func TestNaivePageEnumeration(t *testing.T) {
+	out, spec := fooddbCrawl(t)
+	n, err := BuildNaive(out, spec, NaiveOptions{})
+	if err != nil {
+		t.Fatalf("BuildNaive: %v", err)
+	}
+	st := n.Stats()
+	if st.Pages != 11 {
+		t.Errorf("pages = %d, want 11", st.Pages)
+	}
+	// Overlap blow-up: indexed terms far exceed the 51 distinct fragment
+	// terms (each overlap is re-indexed).
+	if st.IndexedTerms <= 51 {
+		t.Errorf("indexed terms = %d, want > 51 (overlap cost)", st.IndexedTerms)
+	}
+	if st.Postings == 0 || st.BuildTime <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNaiveMaxPagesCap(t *testing.T) {
+	out, spec := fooddbCrawl(t)
+	_, err := BuildNaive(out, spec, NaiveOptions{MaxPages: 5})
+	if !errors.Is(err, ErrTooManyPages) {
+		t.Errorf("cap err = %v", err)
+	}
+}
+
+// TestNaiveSearchReturnsRedundantPages reproduces the §I motivation: for
+// "burger", P1-style and P2-style pages both score and the top-k is full of
+// overlapping results (positive Jaccard redundancy).
+func TestNaiveSearchReturnsRedundantPages(t *testing.T) {
+	out, spec := fooddbCrawl(t)
+	n, err := BuildNaive(out, spec, NaiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := n.Search([]string{"burger"}, 5)
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want 5", len(results))
+	}
+	if r := Redundancy(results); r <= 0 {
+		t.Errorf("redundancy = %v, want > 0 (overlapping pages in top-k)", r)
+	}
+	// Scores descending.
+	for i := 1; i < len(results); i++ {
+		if results[i].Score > results[i-1].Score {
+			t.Errorf("scores not sorted at %d", i)
+		}
+	}
+	// Unknown keyword yields nothing.
+	if got := n.Search([]string{"zanzibar"}, 3); len(got) != 0 {
+		t.Errorf("unknown keyword results = %v", got)
+	}
+}
+
+func TestRedundancyEdgeCases(t *testing.T) {
+	if got := Redundancy(nil); got != 0 {
+		t.Errorf("Redundancy(nil) = %v", got)
+	}
+	one := []PageResult{{Page: Page{Fragments: []fragindex.FragRef{1}}}}
+	if got := Redundancy(one); got != 0 {
+		t.Errorf("Redundancy(single) = %v", got)
+	}
+	two := []PageResult{
+		{Page: Page{Fragments: []fragindex.FragRef{1, 2}}},
+		{Page: Page{Fragments: []fragindex.FragRef{1, 2}}},
+	}
+	if got := Redundancy(two); got != 1 {
+		t.Errorf("Redundancy(identical) = %v, want 1", got)
+	}
+}
+
+// TestRelationalKeywordSearchSectionII reproduces the §II example: keyword
+// "burger" over fooddb yields exactly three results — restaurant 001 joined
+// with comment 201, and comments 202 and 205 standing alone without any
+// restaurant context (the related work's defect).
+func TestRelationalKeywordSearchSectionII(t *testing.T) {
+	db := fooddb.New()
+	results, err := RelationalKeywordSearch(db, []string{"burger"})
+	if err != nil {
+		t.Fatalf("RelationalKeywordSearch: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3: %+v", len(results), results)
+	}
+	var joined, standalone []JoinedResult
+	for _, r := range results {
+		if len(r.Relations) == 2 {
+			joined = append(joined, r)
+		} else {
+			standalone = append(standalone, r)
+		}
+	}
+	if len(joined) != 1 || len(standalone) != 2 {
+		t.Fatalf("joined = %d standalone = %d, want 1 and 2", len(joined), len(standalone))
+	}
+	// The joined result is Burger Queen ⋈ "Burger experts".
+	if joined[0].Relations[0] != "restaurant" || joined[0].Relations[1] != "comment" {
+		t.Errorf("joined relations = %v", joined[0].Relations)
+	}
+	if got := joined[0].Rows[0][1].AsString(); got != "Burger Queen" {
+		t.Errorf("joined restaurant = %q", got)
+	}
+	// The standalone results are the comment records 202 and 205 — with
+	// no restaurant name anywhere (the §II defect).
+	var cids []int64
+	for _, r := range standalone {
+		if r.Relations[0] != "comment" {
+			t.Errorf("standalone from %s, want comment", r.Relations[0])
+			continue
+		}
+		cids = append(cids, r.Rows[0][0].AsInt())
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	if len(cids) != 2 || cids[0] != 202 || cids[1] != 205 {
+		t.Errorf("standalone comment ids = %v, want [202 205]", cids)
+	}
+}
+
+func TestRelationalKeywordSearchMultipleKeywords(t *testing.T) {
+	db := fooddb.New()
+	results, err := RelationalKeywordSearch(db, []string{"coffee", "james"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// comment 206 ("Nice coffee") matches; customer 171 (James) matches;
+	// they join through the uid FK. Restaurant 007 does not contain
+	// either keyword, so no restaurant context appears.
+	foundJoin := false
+	for _, r := range results {
+		if len(r.Relations) == 2 {
+			foundJoin = true
+			rels := strings.Join(r.Relations, "+")
+			if rels != "customer+comment" {
+				t.Errorf("join = %s, want customer+comment", rels)
+			}
+		}
+		for _, rel := range r.Relations {
+			if rel == "restaurant" {
+				t.Error("restaurant matched but contains neither keyword")
+			}
+		}
+	}
+	if !foundJoin {
+		t.Error("expected comment⋈customer join")
+	}
+}
+
+func TestRelationalKeywordSearchNoMatches(t *testing.T) {
+	db := fooddb.New()
+	results, err := RelationalKeywordSearch(db, []string{"zanzibar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("results = %v, want none", results)
+	}
+}

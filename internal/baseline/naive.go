@@ -1,0 +1,243 @@
+// Package baseline implements the approaches Dash is compared against.
+//
+// NaivePageIndex is the "intuitive approach" of paper §IV: materialize
+// every db-page a web application can generate and index whole pages in a
+// conventional inverted file. It works, but page contents overlap heavily —
+// the page count is quadratic in the number of range values per equality
+// group — which is exactly the storage and redundancy cost db-page
+// fragments avoid.
+//
+// RelationalKeywordSearch is the DISCOVER-style related work of §II:
+// keyword matches on individual records joined through foreign keys. Its
+// §II defects (missing context, uninterpretable partial tuples) are
+// observable in its results.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/crawl"
+	"repro/internal/fragindex"
+	"repro/internal/fragment"
+)
+
+// ErrTooManyPages is returned when page enumeration exceeds the configured
+// cap (naive materialization explodes on real datasets — that is the point).
+var ErrTooManyPages = errors.New("baseline: page enumeration exceeds MaxPages")
+
+// Page is one materialized db-page: a contiguous fragment interval.
+type Page struct {
+	Fragments []fragindex.FragRef
+	Terms     int64
+}
+
+// NaiveOptions bounds page enumeration.
+type NaiveOptions struct {
+	// MaxPages caps the number of materialized pages (0 = unlimited).
+	// Exceeding it returns ErrTooManyPages, demonstrating infeasibility.
+	MaxPages int
+}
+
+// NaiveStats reports what materialization cost.
+type NaiveStats struct {
+	Pages        int
+	Postings     int   // inverted-file entries (page, keyword) pairs
+	IndexedTerms int64 // Σ page sizes: every overlap re-indexed
+	BuildTime    time.Duration
+}
+
+// NaivePageIndex is a conventional inverted file over whole db-pages.
+type NaivePageIndex struct {
+	idx      *fragindex.Index // fragment metadata source
+	pages    []Page
+	inverted map[string][]pagePosting
+	stats    NaiveStats
+}
+
+type pagePosting struct {
+	page int
+	tf   int64
+}
+
+// BuildNaive materializes every db-page derivable from the fragment set:
+// for each equality group, every contiguous range interval [lo,hi] is one
+// page (the query strings a user could submit, up to range-value
+// granularity). Page term statistics are accumulated from the crawl output.
+func BuildNaive(out *crawl.Output, spec fragindex.Spec, opts NaiveOptions) (*NaivePageIndex, error) {
+	start := time.Now()
+	idx, err := fragindex.Build(out, spec)
+	if err != nil {
+		return nil, err
+	}
+	n := &NaivePageIndex{idx: idx, inverted: make(map[string][]pagePosting)}
+
+	// Per-fragment term counts, rebuilt from the inverted lists.
+	counts := make(map[fragindex.FragRef]map[string]int64)
+	for kw, ps := range out.Inverted {
+		for _, p := range ps {
+			id, err := fragment.ParseID(p.FragKey)
+			if err != nil {
+				return nil, err
+			}
+			ref, ok := idx.Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("baseline: posting for unknown fragment %s", id)
+			}
+			m, ok := counts[ref]
+			if !ok {
+				m = make(map[string]int64)
+				counts[ref] = m
+			}
+			m[kw] += p.TF
+		}
+	}
+
+	// Enumerate pages group by group.
+	seenGroup := make(map[fragindex.FragRef]bool)
+	var refs []fragindex.FragRef
+	for i := 0; i < len(out.FragmentTerms); i++ {
+		refs = append(refs, fragindex.FragRef(i))
+	}
+	for _, ref := range refs {
+		if seenGroup[ref] {
+			continue
+		}
+		members, _, err := idx.GroupMembers(ref)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			seenGroup[m] = true
+		}
+		for lo := 0; lo < len(members); lo++ {
+			pageTerms := make(map[string]int64)
+			var size int64
+			for hi := lo; hi < len(members); hi++ {
+				meta, err := idx.Meta(members[hi])
+				if err != nil {
+					return nil, err
+				}
+				size += meta.Terms
+				for kw, c := range counts[members[hi]] {
+					pageTerms[kw] += c
+				}
+				if opts.MaxPages > 0 && len(n.pages) >= opts.MaxPages {
+					return nil, fmt.Errorf("%w: %d", ErrTooManyPages, opts.MaxPages)
+				}
+				page := Page{Terms: size}
+				page.Fragments = append([]fragindex.FragRef(nil), members[lo:hi+1]...)
+				pid := len(n.pages)
+				n.pages = append(n.pages, page)
+				for kw, c := range pageTerms {
+					n.inverted[kw] = append(n.inverted[kw], pagePosting{page: pid, tf: c})
+					n.stats.Postings++
+				}
+				n.stats.IndexedTerms += size
+			}
+		}
+	}
+	// Sort each list by TF descending, as a conventional inverted file.
+	for kw := range n.inverted {
+		list := n.inverted[kw]
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].tf != list[j].tf {
+				return list[i].tf > list[j].tf
+			}
+			return list[i].page < list[j].page
+		})
+	}
+	n.stats.Pages = len(n.pages)
+	n.stats.BuildTime = time.Since(start)
+	return n, nil
+}
+
+// Stats returns materialization statistics.
+func (n *NaivePageIndex) Stats() NaiveStats { return n.stats }
+
+// Index returns the underlying fragment index (for metadata lookups).
+func (n *NaivePageIndex) Index() *fragindex.Index { return n.idx }
+
+// PageResult is one naive search hit.
+type PageResult struct {
+	Page  Page
+	Score float64
+}
+
+// Search returns the top-k pages by TF/IDF, conventional-style: pages are
+// independent documents, IDF = 1/(pages containing w). Because overlapping
+// pages index the same underlying records, near-duplicates flood the top-k
+// — the §IV quality problem Dash's fragments remove.
+func (n *NaivePageIndex) Search(keywords []string, k int) []PageResult {
+	type agg struct {
+		score float64
+	}
+	scores := make(map[int]*agg)
+	for _, w := range keywords {
+		list := n.inverted[w]
+		if len(list) == 0 {
+			continue
+		}
+		idf := 1 / float64(len(list))
+		for _, p := range list {
+			a, ok := scores[p.page]
+			if !ok {
+				a = &agg{}
+				scores[p.page] = a
+			}
+			if n.pages[p.page].Terms > 0 {
+				a.score += float64(p.tf) / float64(n.pages[p.page].Terms) * idf
+			}
+		}
+	}
+	out := make([]PageResult, 0, len(scores))
+	for pid, a := range scores {
+		out = append(out, PageResult{Page: n.pages[pid], Score: a.score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return len(out[i].Page.Fragments) < len(out[j].Page.Fragments)
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Redundancy measures content overlap among results: the average Jaccard
+// similarity of fragment sets over all result pairs (0 = disjoint results,
+// 1 = identical). Dash's overlap-excluding top-k scores 0 by construction.
+func Redundancy(results []PageResult) float64 {
+	if len(results) < 2 {
+		return 0
+	}
+	sets := make([]map[fragindex.FragRef]bool, len(results))
+	for i, r := range results {
+		sets[i] = make(map[fragindex.FragRef]bool, len(r.Page.Fragments))
+		for _, f := range r.Page.Fragments {
+			sets[i][f] = true
+		}
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			inter := 0
+			for f := range sets[i] {
+				if sets[j][f] {
+					inter++
+				}
+			}
+			union := len(sets[i]) + len(sets[j]) - inter
+			if union > 0 {
+				sum += float64(inter) / float64(union)
+			}
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

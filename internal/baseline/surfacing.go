@@ -1,0 +1,295 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fragment"
+	"repro/internal/psj"
+	"repro/internal/relation"
+	"repro/internal/webapp"
+)
+
+// This file implements the two db-page collection approaches existing
+// search engines use (paper §I), as coverage baselines against Dash's
+// database crawling:
+//
+//   - ProbeCrawl: submit trial query strings to the web application
+//     ("surfacing", Madhavan et al.) — it must invoke the application for
+//     every probe, generates many valueless pages, and still cannot
+//     guarantee completeness;
+//   - CacheCrawl: harvest pages cached by proxies/servers for organic user
+//     queries — coverage is limited to what users happened to request.
+//
+// Both return CollectionStats so experiments can quantify the §I claims:
+// application invocations consumed, duplicate/empty pages generated, and
+// fragment coverage achieved versus Dash's complete derivation.
+
+// ErrNoRange is returned when the application's query lacks the range
+// attribute structure the probing strategies assume.
+var ErrNoRange = errors.New("baseline: application query has no range attribute")
+
+// CollectedPage is one db-page obtained by invoking the web application.
+type CollectedPage struct {
+	QueryString string
+	Rows        int
+	// Terms holds the page's keyword counts (used to index the page).
+	Terms map[string]int
+}
+
+// CollectionStats quantifies a collection run.
+type CollectionStats struct {
+	Invocations    int // web application executions consumed
+	Pages          int // distinct non-empty pages collected
+	EmptyResults   int // invocations that produced empty pages
+	DuplicatePages int // invocations that produced an already-seen page
+	// CoveredFragments counts distinct db-page fragments touched by at
+	// least one collected page — the completeness measure relative to
+	// Dash, which by construction covers all of them.
+	CoveredFragments int
+}
+
+// Collector drives a web application to gather db-pages. It evaluates
+// queries through the bound application (equivalent to invoking the HTTP
+// handler, minus rendering).
+type Collector struct {
+	app   *webapp.Application
+	db    *relation.Database
+	bound *psj.Bound
+
+	eqAttr, rangeAttr string
+	eqVals, rangeVals []relation.Value
+
+	seen  map[string]bool // content signature -> seen
+	stats CollectionStats
+	pages []CollectedPage
+}
+
+// NewCollector prepares a collector for a bound application whose query has
+// exactly one equality attribute and one range attribute (the paper's
+// workload shape).
+func NewCollector(db *relation.Database, app *webapp.Application) (*Collector, error) {
+	bound, err := app.Bound()
+	if err != nil {
+		return nil, err
+	}
+	eq := bound.EqAttrCols()
+	rng := bound.RangeAttrCols()
+	if len(eq) != 1 || len(rng) != 1 {
+		return nil, fmt.Errorf("%w: eq=%v range=%v", ErrNoRange, eq, rng)
+	}
+	c := &Collector{
+		app:       app,
+		db:        db,
+		bound:     bound,
+		eqAttr:    eq[0],
+		rangeAttr: rng[0],
+		seen:      make(map[string]bool),
+	}
+	// Domain discovery: a prober can realistically learn plausible
+	// values from visible pages or dictionaries; we give it the true
+	// value domains, which only makes the baseline stronger.
+	if c.eqVals, err = domainOf(db, bound, eq[0]); err != nil {
+		return nil, err
+	}
+	if c.rangeVals, err = domainOf(db, bound, rng[0]); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// domainOf returns the sorted distinct values of a selection attribute from
+// its owning relation.
+func domainOf(db *relation.Database, bound *psj.Bound, col string) ([]relation.Value, error) {
+	for _, li := range bound.Leaves {
+		t, err := db.Table(li.Relation)
+		if err != nil {
+			return nil, err
+		}
+		if t.Schema.HasColumn(col) {
+			return t.DistinctValues(col)
+		}
+	}
+	return nil, fmt.Errorf("baseline: attribute %s not found", col)
+}
+
+// invoke executes one trial query string and records the outcome.
+func (c *Collector) invoke(eq, lo, hi relation.Value) error {
+	c.stats.Invocations++
+	params, err := c.app.PageParams(map[string]relation.Value{c.eqAttr: eq}, lo, hi)
+	if err != nil {
+		return err
+	}
+	result, err := c.bound.Execute(c.db, params)
+	if err != nil {
+		return err
+	}
+	if result.Len() == 0 {
+		c.stats.EmptyResults++
+		return nil
+	}
+	// Content signature: the rows themselves (a real crawler hashes the
+	// HTML; equal rows render equal pages).
+	sig := pageContentSignature(result)
+	if c.seen[sig] {
+		c.stats.DuplicatePages++
+		return nil
+	}
+	c.seen[sig] = true
+
+	qs, err := c.app.FormatQueryString(params)
+	if err != nil {
+		return err
+	}
+	page := CollectedPage{QueryString: qs, Rows: result.Len(), Terms: make(map[string]int)}
+	for _, row := range result.Rows {
+		for _, v := range row {
+			fragment.CountTokens(v, page.Terms)
+		}
+	}
+	c.pages = append(c.pages, page)
+	c.stats.Pages++
+	return nil
+}
+
+func pageContentSignature(t *relation.Table) string {
+	var sig []byte
+	for _, row := range t.Rows {
+		sig = relation.AppendRow(sig, row)
+	}
+	return string(sig)
+}
+
+// ProbeCrawl submits `budget` random trial query strings (random equality
+// value, random range interval) — the surfacing approach of §I. It stops
+// early only when the budget is exhausted; completeness is not guaranteed
+// at any budget.
+func (c *Collector) ProbeCrawl(seed int64, budget int) (CollectionStats, error) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < budget; i++ {
+		eq := c.eqVals[r.Intn(len(c.eqVals))]
+		a, b := r.Intn(len(c.rangeVals)), r.Intn(len(c.rangeVals))
+		if a > b {
+			a, b = b, a
+		}
+		if err := c.invoke(eq, c.rangeVals[a], c.rangeVals[b]); err != nil {
+			return CollectionStats{}, err
+		}
+	}
+	return c.finish()
+}
+
+// CacheCrawl simulates harvesting a proxy/server cache populated by
+// `users` organic queries: users favour popular equality values (Zipf) and
+// narrow ranges, so the cache covers a biased, incomplete slice of pages.
+func (c *Collector) CacheCrawl(seed int64, users int) (CollectionStats, error) {
+	r := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(r, 1.3, 1.0, uint64(len(c.eqVals)-1))
+	for i := 0; i < users; i++ {
+		eq := c.eqVals[int(zipf.Uint64())]
+		a := r.Intn(len(c.rangeVals))
+		width := r.Intn(3) // users ask narrow ranges
+		b := a + width
+		if b >= len(c.rangeVals) {
+			b = len(c.rangeVals) - 1
+		}
+		if err := c.invoke(eq, c.rangeVals[a], c.rangeVals[b]); err != nil {
+			return CollectionStats{}, err
+		}
+	}
+	return c.finish()
+}
+
+// finish computes fragment coverage over the collected pages.
+func (c *Collector) finish() (CollectionStats, error) {
+	covered := make(map[string]bool)
+	for _, p := range c.pages {
+		params, err := c.app.ParseQueryString(p.QueryString)
+		if err != nil {
+			return CollectionStats{}, err
+		}
+		lo, hi, eq, err := c.pageBox(params)
+		if err != nil {
+			return CollectionStats{}, err
+		}
+		for _, rv := range c.rangeVals {
+			if rv.Compare(lo) >= 0 && rv.Compare(hi) <= 0 {
+				covered[relation.Key([]relation.Value{eq, rv})] = true
+			}
+		}
+	}
+	// Only count fragments that actually exist (non-empty).
+	existing, err := c.existingFragments()
+	if err != nil {
+		return CollectionStats{}, err
+	}
+	n := 0
+	for key := range covered {
+		if existing[key] {
+			n++
+		}
+	}
+	c.stats.CoveredFragments = n
+	return c.stats, nil
+}
+
+// pageBox extracts the (eq, lo, hi) box of a collected page.
+func (c *Collector) pageBox(params map[string]relation.Value) (lo, hi, eq relation.Value, err error) {
+	for _, cond := range c.bound.Conds {
+		v := params[cond.Param]
+		switch {
+		case cond.Op == psj.OpEQ:
+			eq = v
+		case cond.Op == psj.OpGE:
+			lo = v
+		case cond.Op == psj.OpLE:
+			hi = v
+		}
+	}
+	if eq.IsNull() && lo.IsNull() {
+		return lo, hi, eq, fmt.Errorf("baseline: page box incomplete")
+	}
+	return lo, hi, eq, nil
+}
+
+// existingFragments enumerates the true fragment identifiers, i.e. the
+// ground truth Dash derives completely.
+func (c *Collector) existingFragments() (map[string]bool, error) {
+	joined, err := c.bound.JoinAll(c.db)
+	if err != nil {
+		return nil, err
+	}
+	ei := joined.Schema.ColumnIndex(c.eqAttr)
+	ri := joined.Schema.ColumnIndex(c.rangeAttr)
+	if ei < 0 || ri < 0 {
+		return nil, fmt.Errorf("baseline: selection attributes missing from join")
+	}
+	out := make(map[string]bool)
+	for _, row := range joined.Rows {
+		if row[ei].IsNull() || row[ri].IsNull() {
+			continue
+		}
+		out[relation.Key([]relation.Value{row[ei], row[ri]})] = true
+	}
+	return out, nil
+}
+
+// TotalFragments returns the ground-truth fragment count, for computing
+// coverage ratios.
+func (c *Collector) TotalFragments() (int, error) {
+	existing, err := c.existingFragments()
+	if err != nil {
+		return 0, err
+	}
+	return len(existing), nil
+}
+
+// Pages returns the collected pages sorted by query string (stable output
+// for tests and reports).
+func (c *Collector) Pages() []CollectedPage {
+	out := append([]CollectedPage(nil), c.pages...)
+	sort.Slice(out, func(i, j int) bool { return out[i].QueryString < out[j].QueryString })
+	return out
+}

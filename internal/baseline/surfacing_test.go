@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fooddb"
+	"repro/internal/tpch"
+	"repro/internal/webapp"
+)
+
+func fooddbCollector(t *testing.T) *Collector {
+	t.Helper()
+	db := fooddb.New()
+	app, err := webapp.Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(db, app)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	return c
+}
+
+func TestCollectorDomains(t *testing.T) {
+	c := fooddbCollector(t)
+	if len(c.eqVals) != 2 { // American, Thai
+		t.Errorf("eq domain = %v", c.eqVals)
+	}
+	if len(c.rangeVals) != 4 { // 9, 10, 12, 18
+		t.Errorf("range domain = %v", c.rangeVals)
+	}
+	total, err := c.TotalFragments()
+	if err != nil || total != 5 {
+		t.Errorf("TotalFragments = %d, %v; want 5", total, err)
+	}
+}
+
+func TestProbeCrawlWastesInvocations(t *testing.T) {
+	c := fooddbCollector(t)
+	stats, err := c.ProbeCrawl(1, 200)
+	if err != nil {
+		t.Fatalf("ProbeCrawl: %v", err)
+	}
+	if stats.Invocations != 200 {
+		t.Errorf("invocations = %d", stats.Invocations)
+	}
+	// §I: probing generates many valueless pages — duplicates and empties
+	// dominate the budget.
+	if stats.DuplicatePages+stats.EmptyResults < stats.Pages {
+		t.Errorf("expected waste to dominate: %+v", stats)
+	}
+	// fooddb only admits 2×10 = 20 possible (eq, interval) probes; 200
+	// invocations certainly re-generate pages.
+	if stats.DuplicatePages == 0 {
+		t.Errorf("no duplicates after 200 probes: %+v", stats)
+	}
+	// With this much budget on a tiny domain, coverage is complete —
+	// probing *can* cover small sites, at absurd invocation cost.
+	if stats.CoveredFragments != 5 {
+		t.Errorf("covered = %d, want 5", stats.CoveredFragments)
+	}
+}
+
+func TestProbeCrawlSmallBudgetIncomplete(t *testing.T) {
+	// On a larger domain (TPC-H Q1: 5 regions × ~hundreds of balances), a
+	// small probe budget cannot cover all fragments — §I's completeness
+	// argument.
+	db := tpch.Generate(tpch.Scale{Name: "t", Customers: 300, OrdersPerCust: 2, LinesPerOrder: 2, Parts: 50}, 3)
+	app, err := tpch.App("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(db, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := c.TotalFragments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.ProbeCrawl(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CoveredFragments >= total {
+		t.Errorf("40 probes covered all %d fragments — domain too small for the test", total)
+	}
+	t.Logf("probe coverage: %d/%d fragments with %d invocations",
+		stats.CoveredFragments, total, stats.Invocations)
+}
+
+func TestCacheCrawlBiasedCoverage(t *testing.T) {
+	db := tpch.Generate(tpch.Scale{Name: "t", Customers: 300, OrdersPerCust: 2, LinesPerOrder: 2, Parts: 50}, 3)
+	app, err := tpch.App("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(db, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.CacheCrawl(11, 100)
+	if err != nil {
+		t.Fatalf("CacheCrawl: %v", err)
+	}
+	total, err := c.TotalFragments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CoveredFragments == 0 {
+		t.Error("cache crawl covered nothing")
+	}
+	if stats.CoveredFragments >= total {
+		t.Errorf("cache of 100 user queries covered all %d fragments — bias missing", total)
+	}
+	if stats.Pages == 0 || len(c.Pages()) != stats.Pages {
+		t.Errorf("pages = %d, stats = %+v", len(c.Pages()), stats)
+	}
+}
+
+func TestCollectorRejectsNoRangeQuery(t *testing.T) {
+	db := fooddb.New()
+	src := `class Eq extends HttpServlet {
+		String c = q.getParameter("c");
+		Query = "SELECT name FROM restaurant WHERE cuisine = '" + c + "'";
+	}`
+	app, err := webapp.Analyze(src, "http://x/Eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCollector(db, app); !errors.Is(err, ErrNoRange) {
+		t.Errorf("err = %v, want ErrNoRange", err)
+	}
+}
+
+func TestCollectedPagesCarryTerms(t *testing.T) {
+	c := fooddbCollector(t)
+	if _, err := c.ProbeCrawl(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	pages := c.Pages()
+	if len(pages) == 0 {
+		t.Fatal("no pages collected")
+	}
+	for _, p := range pages {
+		if p.Rows == 0 || len(p.Terms) == 0 {
+			t.Errorf("page %s: rows=%d terms=%d", p.QueryString, p.Rows, len(p.Terms))
+		}
+	}
+}

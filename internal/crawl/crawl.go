@@ -1,0 +1,170 @@
+// Package crawl implements Dash's database crawling and fragment indexing
+// (paper §V): deriving every db-page fragment of a parameterized PSJ query
+// from the underlying database and indexing fragment contents, as MapReduce
+// workflows.
+//
+// Two algorithms are provided. Stepwise (§V-A) joins the operand relations
+// with one MR job per join-tree node — carrying the (bulky) projection
+// attributes through every join — then groups joined records into fragments
+// and indexes them. Integrated (§V-B) first computes per-relation aggregates
+// (selection attributes, join attributes, record count θ), joins only those
+// narrow aggregates to learn each fragment's composition, then extracts
+// keywords directly from base relations with multiplicities
+// Θi = (Πθx)/θi, and finally consolidates per-keyword counts. Both produce
+// identical output; the difference is how many bytes move between phases,
+// which the per-phase metrics expose (Fig. 10).
+package crawl
+
+import (
+	"sort"
+
+	"repro/internal/fragment"
+	"repro/internal/mapreduce"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+// Algorithm names the crawling strategy.
+type Algorithm string
+
+// The two crawling/indexing algorithms of §V.
+const (
+	AlgStepwise   Algorithm = "stepwise"
+	AlgIntegrated Algorithm = "integrated"
+)
+
+// Options configures a crawl run.
+type Options struct {
+	// Parallelism bounds concurrent tasks per phase (default GOMAXPROCS).
+	Parallelism int
+	// MapTasks and ReduceTasks per MR job (default Parallelism). The
+	// paper's cluster-size sensitivity experiment varies ReduceTasks.
+	MapTasks    int
+	ReduceTasks int
+}
+
+func (o Options) apply(job *mapreduce.Job) {
+	job.Parallelism = o.Parallelism
+	job.MapTasks = o.MapTasks
+	job.ReduceTasks = o.ReduceTasks
+}
+
+// Posting is one inverted-list entry: a fragment and the keyword's
+// occurrence count in it.
+type Posting struct {
+	FragKey string
+	TF      int64
+}
+
+// Phase is one named stage of a crawl with its aggregated MR metrics —
+// the stacked bars of Fig. 10 (SW-Jn/SW-Grp/SW-Idx, INT-Jn/INT-Ext/INT-Cnsd).
+type Phase struct {
+	Name    string
+	Metrics mapreduce.Metrics
+}
+
+// Output is the crawl result: fragment sizes and the inverted fragment
+// index content, plus phase metrics. It is the input to fragindex.Build.
+type Output struct {
+	Algorithm Algorithm
+	// SelAttrs are the selection attribute column names, in WHERE order;
+	// fragment keys encode value tuples in this order.
+	SelAttrs []string
+	// FragmentTerms maps fragment key -> total keyword count (the node
+	// weights of the fragment graph, Fig. 9).
+	FragmentTerms map[string]int64
+	// Inverted maps keyword -> postings sorted by TF descending
+	// (ties broken by fragment key ascending), as in Fig. 6.
+	Inverted map[string][]Posting
+	Phases   []Phase
+}
+
+// Fragments returns the fragment identifiers sorted by identifier order.
+func (o *Output) Fragments() ([]fragment.ID, error) {
+	ids := make([]fragment.ID, 0, len(o.FragmentTerms))
+	for k := range o.FragmentTerms {
+		id, err := fragment.ParseID(k)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	return ids, nil
+}
+
+// TotalWall sums the wall time of all phases.
+func (o *Output) TotalWall() (total int64) {
+	for _, p := range o.Phases {
+		total += int64(p.Metrics.Wall)
+	}
+	return total
+}
+
+// Reference derives the same output without MapReduce: evaluate the crawl
+// query with the relational engine and fragment.Derive. It is the oracle
+// the MR algorithms are tested against, and the natural choice for small
+// embedded deployments.
+func Reference(db *relation.Database, b *psj.Bound) (*Output, error) {
+	joined, err := b.JoinAll(db)
+	if err != nil {
+		return nil, err
+	}
+	crawlCols := b.CrawlProjection()
+	proj, err := joined.Project(crawlCols)
+	if err != nil {
+		return nil, err
+	}
+	projIdx, selIdx := fragment.Indices(proj.Schema, b.Projections, b.SelAttrs)
+	// A NULL selection attribute satisfies no comparison, so such records
+	// appear in no db-page and belong to no fragment.
+	rows := proj.Select(func(r relation.Row) bool {
+		for _, j := range selIdx {
+			if r[j].IsNull() {
+				return false
+			}
+		}
+		return true
+	}).Rows
+	frags := fragment.Derive(rows, projIdx, selIdx)
+
+	out := &Output{
+		Algorithm:     "reference",
+		SelAttrs:      append([]string(nil), b.SelAttrs...),
+		FragmentTerms: make(map[string]int64, len(frags)),
+		Inverted:      make(map[string][]Posting),
+	}
+	for _, f := range frags {
+		key := f.ID.Key()
+		out.FragmentTerms[key] = int64(f.TotalTerms)
+		for kw, n := range f.TermCounts {
+			out.Inverted[kw] = append(out.Inverted[kw], Posting{FragKey: key, TF: int64(n)})
+		}
+	}
+	for kw := range out.Inverted {
+		sortPostings(out.Inverted[kw])
+	}
+	return out, nil
+}
+
+// sortPostings orders postings by TF descending, breaking ties by fragment
+// identifier order (the semantic ordering fragindex uses, not raw key
+// bytes — varint length prefixes would invert it).
+func sortPostings(ps []Posting) {
+	ids := make(map[string]fragment.ID, len(ps))
+	for _, p := range ps {
+		if _, ok := ids[p.FragKey]; !ok {
+			id, err := fragment.ParseID(p.FragKey)
+			if err != nil {
+				id = nil // corrupt keys sort first; callers surface the error later
+			}
+			ids[p.FragKey] = id
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].TF != ps[j].TF {
+			return ps[i].TF > ps[j].TF
+		}
+		return ids[ps[i].FragKey].Compare(ids[ps[j].FragKey]) < 0
+	})
+}

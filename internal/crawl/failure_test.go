@@ -1,0 +1,201 @@
+package crawl
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fooddb"
+	"repro/internal/fragment"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+// TestEmptyOperandRelations: inner joins over an empty relation yield an
+// empty (but valid) index; left-outer keeps the left side.
+func TestEmptyOperandRelations(t *testing.T) {
+	db := relation.NewDatabase("empty")
+	left := relation.NewTable(relation.MustSchema("l",
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "g", Kind: relation.KindString},
+		relation.Column{Name: "n", Kind: relation.KindInt},
+		relation.Column{Name: "txt", Kind: relation.KindString}))
+	_ = left.Append(relation.Row{
+		relation.Int(1), relation.String("a"), relation.Int(2), relation.String("hello world"),
+	})
+	right := relation.NewTable(relation.MustSchema("r",
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "rtxt", Kind: relation.KindString}))
+	db.AddTable(left)
+	db.AddTable(right)
+
+	for _, sql := range []string{
+		"SELECT txt, rtxt FROM l JOIN r WHERE g = $g AND n BETWEEN $lo AND $hi",
+		"SELECT txt, rtxt FROM l LEFT JOIN r WHERE g = $g AND n BETWEEN $lo AND $hi",
+	} {
+		b, err := psj.Bind(psj.MustParse(sql), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Reference(db, b)
+		if err != nil {
+			t.Fatalf("Reference: %v", err)
+		}
+		sw, err := Stepwise(context.Background(), db, b, Options{})
+		if err != nil {
+			t.Fatalf("Stepwise(%s): %v", sql, err)
+		}
+		in, err := Integrated(context.Background(), db, b, Options{})
+		if err != nil {
+			t.Fatalf("Integrated(%s): %v", sql, err)
+		}
+		if err := equalOutputs(ref, sw); err != nil {
+			t.Errorf("%s: ref vs sw: %v", sql, err)
+		}
+		if err := equalOutputs(ref, in); err != nil {
+			t.Errorf("%s: ref vs int: %v", sql, err)
+		}
+	}
+}
+
+// TestAllNullProjections: rows whose projected values are all NULL still
+// form fragments (with zero keywords) consistently across algorithms.
+func TestAllNullProjections(t *testing.T) {
+	db := relation.NewDatabase("nulls")
+	tbl := relation.NewTable(relation.MustSchema("t",
+		relation.Column{Name: "g", Kind: relation.KindString},
+		relation.Column{Name: "n", Kind: relation.KindInt},
+		relation.Column{Name: "txt", Kind: relation.KindString}))
+	_ = tbl.Append(
+		relation.Row{relation.String("a"), relation.Int(1), relation.Null()},
+		relation.Row{relation.String("a"), relation.Int(2), relation.String("words here")},
+	)
+	db.AddTable(tbl)
+	b, err := psj.Bind(psj.MustParse("SELECT txt FROM t WHERE g = $g AND n BETWEEN $lo AND $hi"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(db, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Stepwise(context.Background(), db, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Integrated(context.Background(), db, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equalOutputs(ref, sw); err != nil {
+		t.Errorf("ref vs sw: %v", err)
+	}
+	if err := equalOutputs(ref, in); err != nil {
+		t.Errorf("ref vs int: %v", err)
+	}
+	if len(ref.FragmentTerms) != 2 {
+		t.Errorf("fragments = %d, want 2 (one empty)", len(ref.FragmentTerms))
+	}
+}
+
+// TestSingleTaskConfiguration: everything works with parallelism and task
+// counts pinned to 1 (fully sequential MR).
+func TestSingleTaskConfiguration(t *testing.T) {
+	db, b := fooddbBound(t)
+	opts := Options{Parallelism: 1, MapTasks: 1, ReduceTasks: 1}
+	sw, err := Stepwise(context.Background(), db, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Integrated(context.Background(), db, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFooddbOutput(t, sw)
+	checkFooddbOutput(t, in)
+}
+
+// TestDeadlinePropagation: an already-expired deadline aborts the crawl
+// quickly instead of completing.
+func TestDeadlinePropagation(t *testing.T) {
+	db, b := fooddbBound(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	if _, err := Integrated(ctx, db, b, Options{}); err == nil {
+		t.Error("expired deadline should abort")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("abort took %v", elapsed)
+	}
+}
+
+// TestOutputTotalWallPositive: phase accounting produces positive wall
+// times that sum into TotalWall.
+func TestOutputTotalWallPositive(t *testing.T) {
+	db, b := fooddbBound(t)
+	out, err := Stepwise(context.Background(), db, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalWall() <= 0 {
+		t.Errorf("TotalWall = %d", out.TotalWall())
+	}
+	var sum int64
+	for _, p := range out.Phases {
+		if p.Metrics.Wall <= 0 {
+			t.Errorf("phase %s wall = %v", p.Name, p.Metrics.Wall)
+		}
+		sum += int64(p.Metrics.Wall)
+	}
+	if sum != out.TotalWall() {
+		t.Errorf("TotalWall %d != phase sum %d", out.TotalWall(), sum)
+	}
+}
+
+// TestDuplicateTextAcrossRelations: the same keyword appearing in several
+// operand relations consolidates into a single posting per fragment.
+func TestDuplicateTextAcrossRelations(t *testing.T) {
+	db := fooddb.New()
+	// "burger" appears in restaurant.name (Burger Queen) and in comments.
+	b, err := psj.Bind(psj.MustParse(fooddb.SearchSQL), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []func() (*Output, error){
+		func() (*Output, error) { return Reference(db, b) },
+		func() (*Output, error) { return Stepwise(context.Background(), db, b, Options{}) },
+		func() (*Output, error) { return Integrated(context.Background(), db, b, Options{}) },
+	} {
+		out, err := alg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (American,10) has burger ×2: once from name, once from comment —
+		// exactly one posting with TF 2.
+		count := 0
+		for _, p := range out.Inverted["burger"] {
+			id, err := decodeFragName(p.FragKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id == "(American,10)" {
+				count++
+				if p.TF != 2 {
+					t.Errorf("%s: TF = %d, want 2", out.Algorithm, p.TF)
+				}
+			}
+		}
+		if count != 1 {
+			t.Errorf("%s: postings for (American,10) = %d, want 1", out.Algorithm, count)
+		}
+	}
+}
+
+func decodeFragName(key string) (string, error) {
+	id, err := fragment.ParseID(key)
+	if err != nil {
+		return "", err
+	}
+	return id.String(), nil
+}

@@ -1,0 +1,106 @@
+// Package fooddb provides the paper's running example: the fooddb database
+// (Fig. 2) and the Search web application (Example 1, Fig. 3). It is both a
+// demo dataset and the ground truth for unit tests — the expected fragments
+// (Fig. 5), inverted fragment index (Fig. 6), fragment graph (Fig. 9), and
+// top-k walk-through (Example 7) are all derived from it.
+package fooddb
+
+import (
+	"repro/internal/relation"
+)
+
+// New builds the fooddb database exactly as printed in Fig. 2.
+func New() *relation.Database {
+	db := relation.NewDatabase("fooddb")
+
+	restaurant := relation.NewTable(relation.MustSchema("restaurant",
+		relation.Column{Name: "rid", Kind: relation.KindInt},
+		relation.Column{Name: "name", Kind: relation.KindString},
+		relation.Column{Name: "cuisine", Kind: relation.KindString},
+		relation.Column{Name: "budget", Kind: relation.KindInt},
+		relation.Column{Name: "rate", Kind: relation.KindFloat},
+	))
+	mustAppend(restaurant,
+		relation.Row{relation.Int(1), relation.String("Burger Queen"), relation.String("American"), relation.Int(10), relation.Float(4.3)},
+		relation.Row{relation.Int(2), relation.String("McRonald's"), relation.String("American"), relation.Int(18), relation.Float(2.2)},
+		relation.Row{relation.Int(3), relation.String("Wandy's"), relation.String("American"), relation.Int(12), relation.Float(4.1)},
+		relation.Row{relation.Int(4), relation.String("Wandy's"), relation.String("American"), relation.Int(12), relation.Float(4.2)},
+		relation.Row{relation.Int(5), relation.String("Thaifood"), relation.String("Thai"), relation.Int(10), relation.Float(4.8)},
+		relation.Row{relation.Int(6), relation.String("Bangkok"), relation.String("Thai"), relation.Int(10), relation.Float(3.9)},
+		relation.Row{relation.Int(7), relation.String("Bond's Cafe"), relation.String("American"), relation.Int(9), relation.Float(4.3)},
+	)
+
+	comment := relation.NewTable(relation.MustSchema("comment",
+		relation.Column{Name: "cid", Kind: relation.KindInt},
+		relation.Column{Name: "rid", Kind: relation.KindInt},
+		relation.Column{Name: "uid", Kind: relation.KindInt},
+		relation.Column{Name: "comment", Kind: relation.KindString},
+		relation.Column{Name: "date", Kind: relation.KindString},
+	))
+	mustAppend(comment,
+		relation.Row{relation.Int(201), relation.Int(1), relation.Int(109), relation.String("Burger experts"), relation.String("06/10")},
+		relation.Row{relation.Int(202), relation.Int(4), relation.Int(132), relation.String("Unique burger"), relation.String("05/10")},
+		relation.Row{relation.Int(203), relation.Int(4), relation.Int(132), relation.String("Bad fries"), relation.String("06/10")},
+		relation.Row{relation.Int(204), relation.Int(2), relation.Int(109), relation.String("Regret taking it"), relation.String("06/10")},
+		relation.Row{relation.Int(205), relation.Int(6), relation.Int(180), relation.String("Thai burger"), relation.String("08/11")},
+		relation.Row{relation.Int(206), relation.Int(7), relation.Int(171), relation.String("Nice coffee"), relation.String("01/11")},
+	)
+
+	customer := relation.NewTable(relation.MustSchema("customer",
+		relation.Column{Name: "uid", Kind: relation.KindInt},
+		relation.Column{Name: "uname", Kind: relation.KindString},
+	))
+	mustAppend(customer,
+		relation.Row{relation.Int(109), relation.String("David")},
+		relation.Row{relation.Int(120), relation.String("Ben")},
+		relation.Row{relation.Int(132), relation.String("Bill")},
+		relation.Row{relation.Int(171), relation.String("James")},
+		relation.Row{relation.Int(180), relation.String("Alan")},
+	)
+
+	db.AddTable(restaurant)
+	db.AddTable(comment)
+	db.AddTable(customer)
+	db.AddForeignKey(relation.ForeignKey{FromTable: "comment", FromCol: "rid", ToTable: "restaurant", ToCol: "rid"})
+	db.AddForeignKey(relation.ForeignKey{FromTable: "comment", FromCol: "uid", ToTable: "customer", ToCol: "uid"})
+	return db
+}
+
+// SearchSQL is the application query of the Search servlet (Fig. 3).
+//
+// Note one deliberate deviation from the figure: the paper's SQL joins
+// customer with an inner JOIN, but its own Fig. 1/Fig. 5 contents keep
+// restaurants that have no comments (and hence no customer match), which
+// requires the second join to be outer as well. We use LEFT JOIN so the
+// derived fragments match Fig. 5 exactly.
+const SearchSQL = `SELECT name, budget, rate, comment, uname, date ` +
+	`FROM (restaurant LEFT JOIN comment) LEFT JOIN customer ` +
+	`WHERE (cuisine = "$cuisine") AND (budget BETWEEN $min AND $max)`
+
+// ServletSource is the Search web application as servlet-style source code
+// (Fig. 3). Dash's web-application analyzer reverse-engineers this text into
+// a parameterized PSJ query plus query-string bindings.
+const ServletSource = `
+public class Search extends HttpServlet {
+  public void doGet(HttpServletRequest q, HttpServletResponse p) {
+    String cuisine = q.getParameter("c");
+    String min = q.getParameter("l");
+    String max = q.getParameter("u");
+    Connection cn = DB.connect();
+    Query = "SELECT name, budget, rate, comment, uname, date " +
+        "FROM (restaurant LEFT JOIN comment) LEFT JOIN customer " +
+        "WHERE (cuisine = '" + cuisine + "') AND (budget BETWEEN " + min + " AND " + max + ")";
+    ResultSet r = cn.createStatement().executeQuery(Query);
+    output(p, r);
+  }
+}
+`
+
+// BaseURL is the URI the Search application is served under (Example 1).
+const BaseURL = "http://www.example.com/Search"
+
+func mustAppend(t *relation.Table, rows ...relation.Row) {
+	if err := t.Append(rows...); err != nil {
+		panic(err)
+	}
+}

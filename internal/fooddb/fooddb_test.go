@@ -1,0 +1,85 @@
+package fooddb
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestFig2Contents pins the running-example database to the paper's Fig. 2.
+func TestFig2Contents(t *testing.T) {
+	db := New()
+	want := map[string]int{"restaurant": 7, "comment": 6, "customer": 5}
+	for name, rows := range want {
+		tbl, err := db.Table(name)
+		if err != nil {
+			t.Fatalf("Table(%s): %v", name, err)
+		}
+		if tbl.Len() != rows {
+			t.Errorf("%s rows = %d, want %d", name, tbl.Len(), rows)
+		}
+	}
+	if got := len(db.ForeignKeys()); got != 2 {
+		t.Errorf("foreign keys = %d, want 2", got)
+	}
+}
+
+// TestReferentialIntegrity: every comment's rid/uid references an existing
+// restaurant/customer (Fig. 2 is consistent).
+func TestReferentialIntegrity(t *testing.T) {
+	db := New()
+	for _, fk := range db.ForeignKeys() {
+		from, err := db.Table(fk.FromTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		to, err := db.Table(fk.ToTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi := from.Schema.ColumnIndex(fk.FromCol)
+		ti := to.Schema.ColumnIndex(fk.ToCol)
+		if fi < 0 || ti < 0 {
+			t.Fatalf("fk %v references missing columns", fk)
+		}
+		keys := make(map[string]bool, to.Len())
+		for _, row := range to.Rows {
+			keys[relation.Key([]relation.Value{row[ti]})] = true
+		}
+		for _, row := range from.Rows {
+			if !keys[relation.Key([]relation.Value{row[fi]})] {
+				t.Errorf("%s.%s value %v dangles", fk.FromTable, fk.FromCol, row[fi])
+			}
+		}
+	}
+}
+
+// TestFreshInstances: New returns independent databases.
+func TestFreshInstances(t *testing.T) {
+	a, b := New(), New()
+	ta, _ := a.Table("restaurant")
+	tb, _ := b.Table("restaurant")
+	ta.Rows[0][1] = relation.String("Mutated")
+	if tb.Rows[0][1].AsString() == "Mutated" {
+		t.Error("New() shares row storage between instances")
+	}
+}
+
+// TestServletSourceParses: the embedded Fig. 3 source mentions every
+// query-string field the paper's URLs use.
+func TestServletSourceParses(t *testing.T) {
+	for _, needle := range []string{`getParameter("c")`, `getParameter("l")`, `getParameter("u")`, "SELECT"} {
+		if !contains(ServletSource, needle) {
+			t.Errorf("ServletSource missing %q", needle)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

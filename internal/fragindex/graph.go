@@ -1,0 +1,206 @@
+package fragindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fragment"
+)
+
+// Neighbors returns the fragment-graph neighbours of a live fragment: the
+// adjacent members of its equality group in range order. A fragment has at
+// most two neighbours (the graph is a union of paths, as in Fig. 9).
+func (idx *Index) Neighbors(ref FragRef) ([]FragRef, error) {
+	m, err := idx.Meta(ref)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Alive {
+		return nil, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
+	}
+	g := idx.groupFor(m.ID, false)
+	pos := idx.memberAt[ref]
+	var out []FragRef
+	if pos > 0 {
+		out = append(out, g.members[pos-1])
+	}
+	if pos+1 < len(g.members) {
+		out = append(out, g.members[pos+1])
+	}
+	return out, nil
+}
+
+// GroupMembers returns the full equality group of a fragment in range
+// order. The slice must not be modified.
+func (idx *Index) GroupMembers(ref FragRef) ([]FragRef, int, error) {
+	m, err := idx.Meta(ref)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !m.Alive {
+		return nil, 0, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
+	}
+	g := idx.groupFor(m.ID, false)
+	return g.members, idx.memberAt[ref], nil
+}
+
+// Edges enumerates all fragment-graph edges as (smaller, larger) ref pairs,
+// sorted. Mostly useful for tests and stats.
+func (idx *Index) Edges() [][2]FragRef {
+	var out [][2]FragRef
+	for _, g := range idx.groups {
+		for i := 1; i < len(g.members); i++ {
+			a, b := g.members[i-1], g.members[i]
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, [2]FragRef{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumEdges returns the number of fragment-graph edges.
+func (idx *Index) NumEdges() int {
+	n := 0
+	for _, g := range idx.groups {
+		if len(g.members) > 1 {
+			n += len(g.members) - 1
+		}
+	}
+	return n
+}
+
+// InsertFragment adds a fragment incrementally (§VI-A): the node joins its
+// equality group at its range position; if it lands between two previously
+// adjacent fragments their edge is split into two. This is both the
+// incremental construction path and the insert half of index maintenance.
+func (idx *Index) InsertFragment(id fragment.ID, termCounts map[string]int64, totalTerms int64) (FragRef, error) {
+	if len(id) != len(idx.spec.SelAttrs) {
+		return 0, fmt.Errorf("%w: id %v has %d values, want %d",
+			ErrBadIDArity, id, len(id), len(idx.spec.SelAttrs))
+	}
+	key := id.Key()
+	if old, ok := idx.byKey[key]; ok && idx.frags[old].Alive {
+		return 0, fmt.Errorf("%w: %s", ErrDupFragment, id)
+	}
+	ref := FragRef(len(idx.frags))
+	idx.frags = append(idx.frags, Meta{ID: id, Terms: totalTerms, Alive: true})
+	idx.memberAt = append(idx.memberAt, -1)
+	idx.byKey[key] = ref
+
+	// Splice into the group at the range position.
+	g := idx.groupFor(id, true)
+	rv := idx.rangeValOf(ref)
+	pos := sort.Search(len(g.members), func(i int) bool {
+		return idx.rangeValOf(g.members[i]).Compare(rv) >= 0
+	})
+	g.members = append(g.members, 0)
+	copy(g.members[pos+1:], g.members[pos:])
+	g.members[pos] = ref
+	for i := pos; i < len(g.members); i++ {
+		idx.memberAt[g.members[i]] = i
+	}
+
+	// Posting lists: insert keeping TF-descending order.
+	for kw, tf := range termCounts {
+		idx.insertPosting(kw, Posting{Frag: ref, TF: tf})
+	}
+	return ref, nil
+}
+
+// insertPosting places p into kw's list preserving (TF desc, ref asc) order.
+func (idx *Index) insertPosting(kw string, p Posting) {
+	list := idx.inverted[kw]
+	pos := sort.Search(len(list), func(i int) bool {
+		if list[i].TF != p.TF {
+			return list[i].TF < p.TF
+		}
+		return idx.frags[list[i].Frag].ID.Compare(idx.frags[p.Frag].ID) >= 0
+	})
+	list = append(list, Posting{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = p
+	idx.inverted[kw] = list
+}
+
+// RemoveFragment deletes a fragment: its group edge pair collapses back into
+// one edge (the reverse of the §VI-A split), and its postings become
+// tombstones that Postings filters and Compact reclaims.
+func (idx *Index) RemoveFragment(id fragment.ID) error {
+	key := id.Key()
+	ref, ok := idx.byKey[key]
+	if !ok || !idx.frags[ref].Alive {
+		return fmt.Errorf("%w: %s", ErrNoFragment, id)
+	}
+	g := idx.groupFor(id, false)
+	pos := idx.memberAt[ref]
+	g.members = append(g.members[:pos], g.members[pos+1:]...)
+	for i := pos; i < len(g.members); i++ {
+		idx.memberAt[g.members[i]] = i
+	}
+	idx.frags[ref].Alive = false
+	idx.memberAt[ref] = -1
+	delete(idx.byKey, key)
+	return nil
+}
+
+// UpdateFragment replaces a fragment's contents after the underlying
+// database changed: remove then re-insert with fresh statistics. This is
+// the efficient partial-update mechanism the paper's future work calls for —
+// only the touched fragment's postings change, not the whole index.
+func (idx *Index) UpdateFragment(id fragment.ID, termCounts map[string]int64, totalTerms int64) error {
+	if err := idx.RemoveFragment(id); err != nil {
+		return err
+	}
+	_, err := idx.InsertFragment(id, termCounts, totalTerms)
+	return err
+}
+
+// Compact rebuilds the index without tombstones, reclaiming posting slots
+// and renumbering refs. It returns the compacted index; the receiver is
+// left untouched.
+func (idx *Index) Compact() (*Index, error) {
+	out, err := New(idx.spec)
+	if err != nil {
+		return nil, err
+	}
+	// Re-insert live fragments in identifier order; gather term counts
+	// from the inverted lists.
+	counts := make(map[FragRef]map[string]int64)
+	for kw, ps := range idx.inverted {
+		for _, p := range ps {
+			if !idx.frags[p.Frag].Alive {
+				continue
+			}
+			m, ok := counts[p.Frag]
+			if !ok {
+				m = make(map[string]int64)
+				counts[p.Frag] = m
+			}
+			m[kw] += p.TF
+		}
+	}
+	order := make([]FragRef, 0, len(idx.frags))
+	for ref := range idx.frags {
+		if idx.frags[ref].Alive {
+			order = append(order, FragRef(ref))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return idx.frags[order[i]].ID.Compare(idx.frags[order[j]].ID) < 0
+	})
+	for _, ref := range order {
+		m := idx.frags[ref]
+		if _, err := out.InsertFragment(m.ID, counts[ref], m.Terms); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

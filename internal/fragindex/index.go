@@ -1,0 +1,332 @@
+// Package fragindex implements Dash's fragment index (paper §V–§VI): the
+// inverted fragment index, which maps keywords to the fragments containing
+// them sorted by term frequency, and the fragment graph, whose nodes are
+// fragments weighted by their total keyword counts and whose edges connect
+// fragments that can combine into a db-page with nothing in between
+// (Fig. 9).
+//
+// Fragments whose equality attributes agree form a group; within a group
+// fragments are ordered by their range-attribute value, and the graph
+// connects consecutive members. The graph supports the paper's incremental
+// construction (§VI-A) — inserting a fragment between two connected nodes
+// splits their edge — as well as removal and replacement, which is the
+// update mechanism the paper lists as future work.
+package fragindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/crawl"
+	"repro/internal/fragment"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+// Errors returned by index construction and maintenance.
+var (
+	ErrMultiRange   = errors.New("fragindex: queries with more than one range attribute are not supported")
+	ErrUnknownAttr  = errors.New("fragindex: selection attribute mismatch")
+	ErrDupFragment  = errors.New("fragindex: fragment already present")
+	ErrNoFragment   = errors.New("fragindex: no such fragment")
+	ErrBadIDArity   = errors.New("fragindex: fragment identifier arity mismatch")
+	ErrCorruptIndex = errors.New("fragindex: corrupt serialized index")
+)
+
+// FragRef identifies a fragment within one Index. Refs are stable for the
+// index's lifetime; removed fragments leave tombstones until Compact.
+type FragRef int32
+
+// Posting is one inverted-list entry.
+type Posting struct {
+	Frag FragRef
+	TF   int64
+}
+
+// Meta is a fragment's indexed summary: its identifier and total keyword
+// count (the node weight in the fragment graph).
+type Meta struct {
+	ID    fragment.ID
+	Terms int64
+	Alive bool
+}
+
+// Spec describes the selection-attribute structure the index is built over:
+// which identifier components are equality attributes and which one (if
+// any) is the range attribute.
+type Spec struct {
+	SelAttrs  []string
+	EqAttrs   []string
+	RangeAttr string // "" when the query has no range attribute
+}
+
+// SpecFromBound derives a Spec from a bound query. Dash's fragment graph
+// assumes at most one range attribute (all the paper's application queries
+// have exactly one); more are rejected.
+func SpecFromBound(b *psj.Bound) (Spec, error) {
+	ranges := b.RangeAttrCols()
+	if len(ranges) > 1 {
+		return Spec{}, fmt.Errorf("%w: %v", ErrMultiRange, ranges)
+	}
+	s := Spec{
+		SelAttrs: append([]string(nil), b.SelAttrs...),
+		EqAttrs:  append([]string(nil), b.EqAttrCols()...),
+	}
+	if len(ranges) == 1 {
+		s.RangeAttr = ranges[0]
+	}
+	return s, nil
+}
+
+// eqIdx and rangeIdx locate attribute positions within fragment IDs.
+func (s Spec) indices() (eqIdx []int, rangeIdx int, err error) {
+	rangeIdx = -1
+	pos := make(map[string]int, len(s.SelAttrs))
+	for i, a := range s.SelAttrs {
+		pos[a] = i
+	}
+	for _, a := range s.EqAttrs {
+		i, ok := pos[a]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: equality attribute %s", ErrUnknownAttr, a)
+		}
+		eqIdx = append(eqIdx, i)
+	}
+	if s.RangeAttr != "" {
+		i, ok := pos[s.RangeAttr]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: range attribute %s", ErrUnknownAttr, s.RangeAttr)
+		}
+		rangeIdx = i
+	}
+	return eqIdx, rangeIdx, nil
+}
+
+// group is one equality-value class: its members sorted by range value form
+// a path in the fragment graph.
+type group struct {
+	eqVals  []relation.Value
+	members []FragRef // sorted ascending by range value
+}
+
+// Index is the fragment index: inverted fragment index + fragment graph.
+type Index struct {
+	spec     Spec
+	eqIdx    []int
+	rangeIdx int
+
+	frags    []Meta
+	byKey    map[string]FragRef
+	inverted map[string][]Posting
+
+	groups   map[string]*group
+	memberAt []int // per FragRef: position within its group (-1 when dead)
+}
+
+// New creates an empty index for incremental construction.
+func New(spec Spec) (*Index, error) {
+	eqIdx, rangeIdx, err := spec.indices()
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		spec:     spec,
+		eqIdx:    eqIdx,
+		rangeIdx: rangeIdx,
+		byKey:    make(map[string]FragRef),
+		inverted: make(map[string][]Posting),
+		groups:   make(map[string]*group),
+	}, nil
+}
+
+// Build constructs the index from a crawl output in one pass: fragments are
+// pre-sorted by identifier (the paper's §VI-A optimization), grouped, and
+// the crawl's already-sorted posting lists are adopted directly.
+func Build(out *crawl.Output, spec Spec) (*Index, error) {
+	if len(spec.SelAttrs) != len(out.SelAttrs) {
+		return nil, fmt.Errorf("%w: spec has %v, crawl output has %v",
+			ErrUnknownAttr, spec.SelAttrs, out.SelAttrs)
+	}
+	idx, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := out.Fragments() // sorted by identifier
+	if err != nil {
+		return nil, err
+	}
+	idx.frags = make([]Meta, 0, len(ids))
+	idx.memberAt = make([]int, 0, len(ids))
+	for _, id := range ids {
+		key := id.Key()
+		ref := FragRef(len(idx.frags))
+		idx.frags = append(idx.frags, Meta{ID: id, Terms: out.FragmentTerms[key], Alive: true})
+		idx.byKey[key] = ref
+		idx.memberAt = append(idx.memberAt, 0)
+	}
+	// Identifier order sorts by equality values first, then range value,
+	// so each group's members arrive already ordered.
+	for ref := range idx.frags {
+		g := idx.groupFor(idx.frags[ref].ID, true)
+		idx.memberAt[ref] = len(g.members)
+		g.members = append(g.members, FragRef(ref))
+	}
+	for kw, ps := range out.Inverted {
+		list := make([]Posting, 0, len(ps))
+		for _, p := range ps {
+			ref, ok := idx.byKey[p.FragKey]
+			if !ok {
+				return nil, fmt.Errorf("%w: posting for unknown fragment", ErrNoFragment)
+			}
+			list = append(list, Posting{Frag: ref, TF: p.TF})
+		}
+		idx.inverted[kw] = list
+	}
+	return idx, nil
+}
+
+// groupFor locates (optionally creating) the group of an identifier.
+func (idx *Index) groupFor(id fragment.ID, create bool) *group {
+	eq := make([]relation.Value, len(idx.eqIdx))
+	for i, j := range idx.eqIdx {
+		eq[i] = id[j]
+	}
+	key := relation.Key(eq)
+	g, ok := idx.groups[key]
+	if !ok && create {
+		g = &group{eqVals: eq}
+		idx.groups[key] = g
+	}
+	return g
+}
+
+// Spec returns the index's selection-attribute structure.
+func (idx *Index) Spec() Spec { return idx.spec }
+
+// NumFragments returns the number of live fragments.
+func (idx *Index) NumFragments() int {
+	n := 0
+	for _, m := range idx.frags {
+		if m.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// NumKeywords returns the number of distinct indexed keywords (live lists).
+func (idx *Index) NumKeywords() int {
+	n := 0
+	for kw := range idx.inverted {
+		if idx.DF(kw) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgTermsPerFragment reports the average keyword count over live fragments
+// (Table IV's third column).
+func (idx *Index) AvgTermsPerFragment() float64 {
+	var sum int64
+	n := 0
+	for _, m := range idx.frags {
+		if m.Alive {
+			sum += m.Terms
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Meta returns a fragment's summary.
+func (idx *Index) Meta(ref FragRef) (Meta, error) {
+	if int(ref) < 0 || int(ref) >= len(idx.frags) {
+		return Meta{}, fmt.Errorf("%w: ref %d", ErrNoFragment, ref)
+	}
+	return idx.frags[ref], nil
+}
+
+// Lookup resolves a fragment identifier to its ref.
+func (idx *Index) Lookup(id fragment.ID) (FragRef, bool) {
+	ref, ok := idx.byKey[id.Key()]
+	return ref, ok
+}
+
+// Postings returns the live postings of a keyword, sorted by TF descending.
+// The returned slice must not be modified.
+func (idx *Index) Postings(keyword string) []Posting {
+	ps := idx.inverted[keyword]
+	clean := true
+	for _, p := range ps {
+		if !idx.frags[p.Frag].Alive {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return ps
+	}
+	out := make([]Posting, 0, len(ps))
+	for _, p := range ps {
+		if idx.frags[p.Frag].Alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DF returns the document frequency of a keyword: the number of live
+// fragments containing it. Dash approximates IDF as 1/DF (§VI).
+func (idx *Index) DF(keyword string) int { return len(idx.Postings(keyword)) }
+
+// Keywords returns all keywords with at least one live posting, sorted; the
+// benchmark harness uses it to pick hot/warm/cold terms.
+func (idx *Index) Keywords() []string {
+	out := make([]string, 0, len(idx.inverted))
+	for kw := range idx.inverted {
+		if idx.DF(kw) > 0 {
+			out = append(out, kw)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EqValues returns a fragment's equality-attribute values keyed by column.
+func (idx *Index) EqValues(ref FragRef) (map[string]relation.Value, error) {
+	m, err := idx.Meta(ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]relation.Value, len(idx.eqIdx))
+	for i, j := range idx.eqIdx {
+		out[idx.spec.EqAttrs[i]] = m.ID[j]
+	}
+	return out, nil
+}
+
+// RangeValue returns a fragment's range-attribute value (NULL when the
+// query has no range attribute).
+func (idx *Index) RangeValue(ref FragRef) (relation.Value, error) {
+	m, err := idx.Meta(ref)
+	if err != nil {
+		return relation.Value{}, err
+	}
+	if idx.rangeIdx < 0 {
+		return relation.Null(), nil
+	}
+	return m.ID[idx.rangeIdx], nil
+}
+
+// rangeValOf is RangeValue without bounds checks, for internal use.
+func (idx *Index) rangeValOf(ref FragRef) relation.Value {
+	if idx.rangeIdx < 0 {
+		return relation.Null()
+	}
+	return idx.frags[ref].ID[idx.rangeIdx]
+}

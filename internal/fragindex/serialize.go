@@ -1,0 +1,126 @@
+package fragindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/fragment"
+)
+
+// indexWire is the gob-serialized form of an Index. Only live fragments are
+// written; groups are rebuilt on load.
+type indexWire struct {
+	SelAttrs  []string
+	EqAttrs   []string
+	RangeAttr string
+	FragKeys  []string
+	Terms     []int64
+	Inverted  map[string][]wirePosting
+}
+
+type wirePosting struct {
+	Frag int32
+	TF   int64
+}
+
+// Save serializes the index. Tombstoned fragments are compacted away.
+func (idx *Index) Save(w io.Writer) error {
+	src := idx
+	if idx.NumFragments() != len(idx.frags) {
+		compacted, err := idx.Compact()
+		if err != nil {
+			return err
+		}
+		src = compacted
+	}
+	wire := indexWire{
+		SelAttrs:  src.spec.SelAttrs,
+		EqAttrs:   src.spec.EqAttrs,
+		RangeAttr: src.spec.RangeAttr,
+		FragKeys:  make([]string, len(src.frags)),
+		Terms:     make([]int64, len(src.frags)),
+		Inverted:  make(map[string][]wirePosting, len(src.inverted)),
+	}
+	for i, m := range src.frags {
+		wire.FragKeys[i] = m.ID.Key()
+		wire.Terms[i] = m.Terms
+	}
+	for kw, ps := range src.inverted {
+		wps := make([]wirePosting, len(ps))
+		for i, p := range ps {
+			wps[i] = wirePosting{Frag: int32(p.Frag), TF: p.TF}
+		}
+		wire.Inverted[kw] = wps
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Load deserializes an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	var wire indexWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
+	}
+	if len(wire.FragKeys) != len(wire.Terms) {
+		return nil, fmt.Errorf("%w: fragment arrays disagree", ErrCorruptIndex)
+	}
+	idx, err := New(Spec{
+		SelAttrs:  wire.SelAttrs,
+		EqAttrs:   wire.EqAttrs,
+		RangeAttr: wire.RangeAttr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx.frags = make([]Meta, len(wire.FragKeys))
+	idx.memberAt = make([]int, len(wire.FragKeys))
+	for i, key := range wire.FragKeys {
+		id, err := fragment.ParseID(key)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad fragment key: %v", ErrCorruptIndex, err)
+		}
+		if len(id) != len(wire.SelAttrs) {
+			return nil, fmt.Errorf("%w: fragment arity", ErrCorruptIndex)
+		}
+		idx.frags[i] = Meta{ID: id, Terms: wire.Terms[i], Alive: true}
+		idx.byKey[key] = FragRef(i)
+	}
+	// Rebuild groups: identifier-sorted insertion keeps members ordered.
+	order := make([]FragRef, len(idx.frags))
+	for i := range order {
+		order[i] = FragRef(i)
+	}
+	for i := 1; i < len(order); i++ {
+		// Saved indexes are identifier-sorted by construction; tolerate
+		// arbitrary order anyway by sorting.
+		if idx.frags[order[i-1]].ID.Compare(idx.frags[order[i]].ID) > 0 {
+			sortRefsByID(idx, order)
+			break
+		}
+	}
+	for _, ref := range order {
+		g := idx.groupFor(idx.frags[ref].ID, true)
+		idx.memberAt[ref] = len(g.members)
+		g.members = append(g.members, ref)
+	}
+	for kw, wps := range wire.Inverted {
+		ps := make([]Posting, len(wps))
+		for i, p := range wps {
+			if int(p.Frag) < 0 || int(p.Frag) >= len(idx.frags) {
+				return nil, fmt.Errorf("%w: posting ref out of range", ErrCorruptIndex)
+			}
+			ps[i] = Posting{Frag: FragRef(p.Frag), TF: p.TF}
+		}
+		idx.inverted[kw] = ps
+	}
+	return idx, nil
+}
+
+func sortRefsByID(idx *Index, refs []FragRef) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && idx.frags[refs[j-1]].ID.Compare(idx.frags[refs[j]].ID) > 0; j-- {
+			refs[j-1], refs[j] = refs[j], refs[j-1]
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package fragment models db-page fragments (paper Definition 2): for a
+// parameterized PSJ query, the fragment identified by ⟨v1,…,vm⟩ is
+//
+//	π a1,…,al σ c1=v1 ∧ … ∧ cm=vm (R1 ⨝ … ⨝ Rn)
+//
+// — the joined, projected records whose selection attributes all equal the
+// identifier values. Fragments are disjoint and every db-page is a union of
+// fragments, which is what lets Dash index fragments instead of pages.
+//
+// The package also owns keyword extraction. Following the paper's counting
+// (Example 6: fragment (American,9) holds the eight keywords Bond's, Cafe,
+// 9, 4.3, Nice, Coffee, James, 01/11), a keyword is a whitespace-separated
+// token of a projected attribute's text rendering, compared
+// case-insensitively.
+package fragment
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Tokenize splits one attribute value's text into lower-cased keywords.
+// NULL values contribute nothing.
+func Tokenize(v relation.Value) []string {
+	if v.IsNull() {
+		return nil
+	}
+	fields := strings.Fields(v.Text())
+	if len(fields) == 0 {
+		return nil
+	}
+	for i, f := range fields {
+		fields[i] = strings.ToLower(f)
+	}
+	return fields
+}
+
+// CountTokens adds the keywords of v into counts and returns the number of
+// tokens added.
+func CountTokens(v relation.Value, counts map[string]int) int {
+	if v.IsNull() {
+		return 0
+	}
+	n := 0
+	for _, f := range strings.Fields(v.Text()) {
+		counts[strings.ToLower(f)]++
+		n++
+	}
+	return n
+}
+
+// ID is a db-page fragment identifier: the selection-attribute value tuple
+// ⟨v1,…,vm⟩.
+type ID []relation.Value
+
+// Key returns the canonical string form of the identifier, usable as a map
+// or shuffle key.
+func (id ID) Key() string { return relation.Key(id) }
+
+// ParseID decodes a key produced by ID.Key.
+func ParseID(key string) (ID, error) {
+	vals, err := relation.DecodeKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return ID(vals), nil
+}
+
+// String renders the identifier like the paper: (American,10).
+func (id ID) String() string {
+	parts := make([]string, len(id))
+	for i, v := range id {
+		parts[i] = v.Text()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Compare orders identifiers lexicographically.
+func (id ID) Compare(other ID) int {
+	return relation.CompareRows(relation.Row(id), relation.Row(other))
+}
+
+// Stats holds the index-relevant content summary of one fragment: its term
+// frequencies and total keyword count. TotalTerms is the node weight in the
+// fragment graph (Fig. 9).
+type Stats struct {
+	ID         ID
+	TermCounts map[string]int
+	TotalTerms int
+}
+
+// Fragment is a fully materialized fragment: stats plus the projected rows.
+// The MR crawlers only produce Stats; Fragment is used by the reference
+// derivation, tests, and the naive baseline.
+type Fragment struct {
+	Stats
+	Rows []relation.Row
+}
+
+// Derive computes all fragments of a crawl-query result. projIdx and selIdx
+// give the positions of the projection attributes and selection attributes
+// within each row (an attribute may appear in both — budget in the paper's
+// running example is projected and a selection attribute). Derive is the
+// straightforward single-machine reference the MR algorithms are tested
+// against; output is sorted by fragment identifier.
+func Derive(rows []relation.Row, projIdx, selIdx []int) []*Fragment {
+	byKey := make(map[string]*Fragment)
+	for _, r := range rows {
+		id := make(ID, len(selIdx))
+		for i, j := range selIdx {
+			id[i] = r[j]
+		}
+		k := id.Key()
+		f, ok := byKey[k]
+		if !ok {
+			f = &Fragment{Stats: Stats{ID: id, TermCounts: make(map[string]int)}}
+			byKey[k] = f
+		}
+		projected := make(relation.Row, len(projIdx))
+		for i, j := range projIdx {
+			projected[i] = r[j]
+		}
+		f.Rows = append(f.Rows, projected)
+		for _, v := range projected {
+			f.TotalTerms += CountTokens(v, f.TermCounts)
+		}
+	}
+	out := make([]*Fragment, 0, len(byKey))
+	for _, f := range byKey {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Compare(out[j].ID) < 0 })
+	return out
+}
+
+// Indices resolves projection and selection column positions within a
+// crawl-result schema, the layout Derive expects.
+func Indices(schema *relation.Schema, projCols, selCols []string) (projIdx, selIdx []int) {
+	projIdx = make([]int, len(projCols))
+	for i, c := range projCols {
+		projIdx[i] = schema.ColumnIndex(c)
+	}
+	selIdx = make([]int, len(selCols))
+	for i, c := range selCols {
+		selIdx[i] = schema.ColumnIndex(c)
+	}
+	return projIdx, selIdx
+}

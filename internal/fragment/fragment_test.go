@@ -1,0 +1,204 @@
+package fragment
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/fooddb"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		v    relation.Value
+		want []string
+	}{
+		{relation.String("Burger experts"), []string{"burger", "experts"}},
+		{relation.String("Bond's Cafe"), []string{"bond's", "cafe"}},
+		{relation.Float(4.3), []string{"4.3"}},
+		{relation.Int(10), []string{"10"}},
+		{relation.String("01/11"), []string{"01/11"}},
+		{relation.String("  spaced   out "), []string{"spaced", "out"}},
+		{relation.String(""), nil},
+		{relation.String("   "), nil},
+		{relation.Null(), nil},
+	}
+	for _, tc := range tests {
+		if got := Tokenize(tc.v); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	counts := make(map[string]int)
+	n := CountTokens(relation.String("Burger experts"), counts)
+	n += CountTokens(relation.String("Unique burger"), counts)
+	n += CountTokens(relation.Null(), counts)
+	if n != 4 {
+		t.Errorf("total tokens = %d, want 4", n)
+	}
+	if counts["burger"] != 2 || counts["experts"] != 1 || counts["unique"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestIDKeyRoundTrip(t *testing.T) {
+	id := ID{relation.String("American"), relation.Int(10)}
+	parsed, err := ParseID(id.Key())
+	if err != nil {
+		t.Fatalf("ParseID: %v", err)
+	}
+	if id.Compare(parsed) != 0 {
+		t.Errorf("round trip = %v, want %v", parsed, id)
+	}
+	if got := id.String(); got != "(American,10)" {
+		t.Errorf("String = %q", got)
+	}
+	if _, err := ParseID(string([]byte{255})); err == nil {
+		t.Error("ParseID should fail on garbage")
+	}
+}
+
+func TestIDCompare(t *testing.T) {
+	a := ID{relation.String("American"), relation.Int(10)}
+	b := ID{relation.String("American"), relation.Int(12)}
+	c := ID{relation.String("Thai"), relation.Int(10)}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("numeric component ordering wrong")
+	}
+	if b.Compare(c) != -1 {
+		t.Error("string component ordering wrong")
+	}
+}
+
+// crawlRows evaluates the fooddb crawl query and returns its rows plus the
+// projection and selection column positions.
+func crawlRows(t *testing.T) (rows []relation.Row, projIdx, selIdx []int) {
+	t.Helper()
+	db := fooddb.New()
+	b, err := psj.Bind(psj.MustParse(fooddb.SearchSQL), db)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	joined, err := b.JoinAll(db)
+	if err != nil {
+		t.Fatalf("JoinAll: %v", err)
+	}
+	proj, err := joined.Project(b.CrawlProjection())
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	projIdx, selIdx = Indices(proj.Schema, b.Projections, b.SelAttrs)
+	return proj.Rows, projIdx, selIdx
+}
+
+// TestDeriveFooddbMatchesFig5 asserts the five fragments of Fig. 5 with the
+// exact keyword totals of Fig. 9 (8, 8, 17, 8, 10).
+func TestDeriveFooddbMatchesFig5(t *testing.T) {
+	rows, projIdx, selIdx := crawlRows(t)
+	frags := Derive(rows, projIdx, selIdx)
+	if len(frags) != 5 {
+		t.Fatalf("fragments = %d, want 5", len(frags))
+	}
+	want := map[string]struct {
+		rows  int
+		terms int
+	}{
+		"(American,9)":  {1, 8},
+		"(American,10)": {1, 8},
+		"(American,12)": {3, 17},
+		"(American,18)": {1, 8},
+		"(Thai,10)":     {2, 10},
+	}
+	for _, f := range frags {
+		w, ok := want[f.ID.String()]
+		if !ok {
+			t.Errorf("unexpected fragment %s", f.ID)
+			continue
+		}
+		if len(f.Rows) != w.rows {
+			t.Errorf("%s rows = %d, want %d", f.ID, len(f.Rows), w.rows)
+		}
+		if f.TotalTerms != w.terms {
+			t.Errorf("%s total terms = %d, want %d", f.ID, f.TotalTerms, w.terms)
+		}
+	}
+}
+
+// TestDeriveFooddbMatchesFig6 asserts the inverted-file sample of Fig. 6:
+// burger -> (American,10):2, (American,12):1, (Thai,10):1; coffee ->
+// (American,9):1; fries -> (American,12):1.
+func TestDeriveFooddbMatchesFig6(t *testing.T) {
+	rows, projIdx, selIdx := crawlRows(t)
+	frags := Derive(rows, projIdx, selIdx)
+	occ := func(keyword, id string) int {
+		for _, f := range frags {
+			if f.ID.String() == id {
+				return f.TermCounts[keyword]
+			}
+		}
+		return -1
+	}
+	checks := []struct {
+		kw, id string
+		want   int
+	}{
+		{"burger", "(American,10)", 2},
+		{"burger", "(American,12)", 1},
+		{"burger", "(Thai,10)", 1},
+		{"burger", "(American,9)", 0},
+		{"coffee", "(American,9)", 1},
+		{"fries", "(American,12)", 1},
+	}
+	for _, c := range checks {
+		if got := occ(c.kw, c.id); got != c.want {
+			t.Errorf("occurrences(%q, %s) = %d, want %d", c.kw, c.id, got, c.want)
+		}
+	}
+}
+
+// TestDeriveDisjointAndComplete property: fragments partition the crawl
+// result — every row lands in exactly one fragment and totals add up.
+func TestDeriveDisjointAndComplete(t *testing.T) {
+	rows, projIdx, selIdx := crawlRows(t)
+	frags := Derive(rows, projIdx, selIdx)
+	totalRows := 0
+	seen := make(map[string]bool)
+	for _, f := range frags {
+		if seen[f.ID.Key()] {
+			t.Fatalf("duplicate fragment %s", f.ID)
+		}
+		seen[f.ID.Key()] = true
+		totalRows += len(f.Rows)
+		// Stats totals match the sum of term counts.
+		sum := 0
+		for _, c := range f.TermCounts {
+			sum += c
+		}
+		if sum != f.TotalTerms {
+			t.Errorf("%s: term count sum %d != TotalTerms %d", f.ID, sum, f.TotalTerms)
+		}
+	}
+	if totalRows != len(rows) {
+		t.Errorf("fragment rows = %d, want %d", totalRows, len(rows))
+	}
+}
+
+func TestDeriveSorted(t *testing.T) {
+	rows, projIdx, selIdx := crawlRows(t)
+	frags := Derive(rows, projIdx, selIdx)
+	if !sort.SliceIsSorted(frags, func(i, j int) bool {
+		return frags[i].ID.Compare(frags[j].ID) < 0
+	}) {
+		t.Error("Derive output not sorted by ID")
+	}
+}
+
+func TestDeriveEmpty(t *testing.T) {
+	if got := Derive(nil, []int{0, 1}, []int{2}); len(got) != 0 {
+		t.Errorf("Derive(nil) = %v", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package harness drives the paper's performance evaluation (§VII): it sets
+// up the Table I–III workloads, times database crawling and fragment
+// indexing per phase (Fig. 10), measures fragment-graph construction
+// (Table IV), and sweeps the top-k search parameter grid (Fig. 11). Both
+// the repository's testing.B benchmarks and cmd/dashbench print through it.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/crawl"
+	"repro/internal/fooddb"
+	"repro/internal/fragindex"
+	"repro/internal/psj"
+	"repro/internal/relation"
+	"repro/internal/search"
+	"repro/internal/tpch"
+	"repro/internal/webapp"
+)
+
+// Workload identifies one dataset+query cell of the experiment grid.
+type Workload struct {
+	Scale tpch.Scale
+	Seed  int64
+	Query string // Q1, Q2, Q3
+}
+
+// Setup generates the dataset and analyzes/binds the query's application.
+func (w Workload) Setup() (*relation.Database, *webapp.Application, error) {
+	db := tpch.Generate(w.Scale, w.Seed)
+	app, err := tpch.App(w.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := app.Bind(db); err != nil {
+		return nil, nil, err
+	}
+	return db, app, nil
+}
+
+// Fooddb sets up the running example as a workload (used by examples and
+// smoke benchmarks).
+func Fooddb() (*relation.Database, *webapp.Application, error) {
+	db := fooddb.New()
+	app, err := webapp.Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := app.Bind(db); err != nil {
+		return nil, nil, err
+	}
+	return db, app, nil
+}
+
+// CrawlRow is one bar of Fig. 10: a (dataset, query, algorithm) cell with
+// its per-phase breakdown.
+type CrawlRow struct {
+	Dataset   string
+	Query     string
+	Algorithm string
+	Phases    []crawl.Phase
+	Total     time.Duration
+	// ShuffledBytes sums intermediate bytes over all phases — the
+	// quantity that separates SW from INT.
+	ShuffledBytes int64
+}
+
+// RunCrawl executes one crawl and times it.
+func RunCrawl(ctx context.Context, db *relation.Database, app *webapp.Application,
+	alg crawl.Algorithm, opts crawl.Options, dataset string) (*crawl.Output, CrawlRow, error) {
+
+	bound, err := app.Bound()
+	if err != nil {
+		return nil, CrawlRow{}, err
+	}
+	start := time.Now()
+	var out *crawl.Output
+	switch alg {
+	case crawl.AlgStepwise:
+		out, err = crawl.Stepwise(ctx, db, bound, opts)
+	case crawl.AlgIntegrated:
+		out, err = crawl.Integrated(ctx, db, bound, opts)
+	default:
+		return nil, CrawlRow{}, fmt.Errorf("harness: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, CrawlRow{}, err
+	}
+	row := CrawlRow{
+		Dataset:   dataset,
+		Query:     app.Name,
+		Algorithm: string(alg),
+		Phases:    out.Phases,
+		Total:     time.Since(start),
+	}
+	for _, p := range out.Phases {
+		row.ShuffledBytes += p.Metrics.IntermediateBytes
+	}
+	return out, row, nil
+}
+
+// GraphRow is one line of Table IV.
+type GraphRow struct {
+	Query       string
+	BuildTime   time.Duration
+	Fragments   int
+	AvgKeywords float64
+}
+
+// BuildGraph constructs the fragment index from a crawl output, timing it
+// (Table IV's "building time" covers fragment-graph construction).
+func BuildGraph(out *crawl.Output, bound *psj.Bound, query string) (*fragindex.Index, GraphRow, error) {
+	spec, err := fragindex.SpecFromBound(bound)
+	if err != nil {
+		return nil, GraphRow{}, err
+	}
+	start := time.Now()
+	idx, err := fragindex.Build(out, spec)
+	if err != nil {
+		return nil, GraphRow{}, err
+	}
+	row := GraphRow{
+		Query:       query,
+		BuildTime:   time.Since(start),
+		Fragments:   idx.NumFragments(),
+		AvgKeywords: idx.AvgTermsPerFragment(),
+	}
+	return idx, row, nil
+}
+
+// Bands holds the §VII-B keyword selections: 30 keywords each from the top,
+// middle, and bottom 10% of keywords ordered by document frequency.
+type Bands struct {
+	Hot, Warm, Cold []string
+}
+
+// KeywordBands orders all indexed keywords by DF and samples n from each
+// band deterministically.
+func KeywordBands(idx *fragindex.Index, n int) Bands {
+	type kwDF struct {
+		kw string
+		df int
+	}
+	kws := idx.Keywords()
+	all := make([]kwDF, 0, len(kws))
+	for _, kw := range kws {
+		all = append(all, kwDF{kw: kw, df: idx.DF(kw)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].df != all[j].df {
+			return all[i].df > all[j].df
+		}
+		return all[i].kw < all[j].kw
+	})
+	pick := func(lo, hi int) []string {
+		if hi > len(all) {
+			hi = len(all)
+		}
+		if lo >= hi {
+			return nil
+		}
+		seg := all[lo:hi]
+		out := make([]string, 0, n)
+		step := len(seg) / n
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(seg) && len(out) < n; i += step {
+			out = append(out, seg[i].kw)
+		}
+		return out
+	}
+	tenth := len(all) / 10
+	if tenth == 0 {
+		tenth = 1
+	}
+	mid := len(all) / 2
+	return Bands{
+		Hot:  pick(0, tenth),
+		Warm: pick(mid-tenth/2, mid-tenth/2+tenth),
+		Cold: pick(len(all)-tenth, len(all)),
+	}
+}
+
+// SearchPoint is one bar of Fig. 11: average search latency for a keyword
+// band at fixed k and s.
+type SearchPoint struct {
+	Band     string
+	K, S     int
+	Searches int
+	Avg      time.Duration
+}
+
+// Fig11Grid returns the paper's parameter grid (Table I): k ∈ {1,5,10,20},
+// s ∈ {100,200,500,1000}.
+func Fig11Grid() (ks, ss []int) {
+	return []int{1, 5, 10, 20}, []int{100, 200, 500, 1000}
+}
+
+// RunSearchSweep measures average top-k latency for every (band, k, s)
+// combination.
+func RunSearchSweep(engine *search.Engine, bands Bands, ks, ss []int) ([]SearchPoint, error) {
+	var out []SearchPoint
+	named := []struct {
+		name string
+		kws  []string
+	}{
+		{"cold", bands.Cold},
+		{"warm", bands.Warm},
+		{"hot", bands.Hot},
+	}
+	for _, band := range named {
+		if len(band.kws) == 0 {
+			continue
+		}
+		for _, s := range ss {
+			for _, k := range ks {
+				var total time.Duration
+				for _, kw := range band.kws {
+					start := time.Now()
+					if _, err := engine.Search(search.Request{
+						Keywords: []string{kw}, K: k, SizeThreshold: s,
+					}); err != nil {
+						return nil, fmt.Errorf("harness: search %q: %w", kw, err)
+					}
+					total += time.Since(start)
+				}
+				out = append(out, SearchPoint{
+					Band:     band.name,
+					K:        k,
+					S:        s,
+					Searches: len(band.kws),
+					Avg:      total / time.Duration(len(band.kws)),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrepareEngine runs the full pipeline for a workload and returns the
+// search engine plus the intermediate artifacts benchmarks reuse.
+func PrepareEngine(ctx context.Context, w Workload, opts crawl.Options) (*search.Engine, *crawl.Output, GraphRow, error) {
+	db, app, err := w.Setup()
+	if err != nil {
+		return nil, nil, GraphRow{}, err
+	}
+	out, _, err := RunCrawl(ctx, db, app, crawl.AlgIntegrated, opts, w.Scale.Name)
+	if err != nil {
+		return nil, nil, GraphRow{}, err
+	}
+	bound, err := app.Bound()
+	if err != nil {
+		return nil, nil, GraphRow{}, err
+	}
+	idx, row, err := BuildGraph(out, bound, w.Query)
+	if err != nil {
+		return nil, nil, GraphRow{}, err
+	}
+	return search.New(idx, app), out, row, nil
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/crawl"
+	"repro/internal/tpch"
+)
+
+var tiny = tpch.Scale{Name: "tiny", Customers: 50, OrdersPerCust: 2, LinesPerOrder: 2, Parts: 30}
+
+func TestWorkloadSetup(t *testing.T) {
+	w := Workload{Scale: tiny, Seed: 1, Query: "Q2"}
+	db, app, err := w.Setup()
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if db.TotalRows() == 0 || app.Name != "Q2" {
+		t.Errorf("setup = %v rows, app %s", db.TotalRows(), app.Name)
+	}
+	if _, _, err := (Workload{Scale: tiny, Query: "Q9"}).Setup(); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+func TestRunCrawlBothAlgorithms(t *testing.T) {
+	w := Workload{Scale: tiny, Seed: 2, Query: "Q1"}
+	db, app, err := w.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []crawl.Algorithm{crawl.AlgStepwise, crawl.AlgIntegrated} {
+		out, row, err := RunCrawl(context.Background(), db, app, alg, crawl.Options{}, "tiny")
+		if err != nil {
+			t.Fatalf("RunCrawl(%s): %v", alg, err)
+		}
+		if len(out.FragmentTerms) == 0 {
+			t.Errorf("%s: no fragments", alg)
+		}
+		if row.Total <= 0 || len(row.Phases) != 3 || row.ShuffledBytes <= 0 {
+			t.Errorf("%s: row = %+v", alg, row)
+		}
+	}
+	if _, _, err := RunCrawl(context.Background(), db, app, "nope", crawl.Options{}, "tiny"); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestKeywordBandsOrdering(t *testing.T) {
+	w := Workload{Scale: tiny, Seed: 3, Query: "Q2"}
+	engine, _, _, err := PrepareEngine(context.Background(), w, crawl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := KeywordBands(engine.Index(), 10)
+	if len(bands.Hot) == 0 || len(bands.Warm) == 0 || len(bands.Cold) == 0 {
+		t.Fatalf("bands = %+v", bands)
+	}
+	idx := engine.Index()
+	// Hot keywords live in more fragments than cold keywords.
+	hotMin := idx.DF(bands.Hot[0])
+	for _, kw := range bands.Hot {
+		if df := idx.DF(kw); df < hotMin {
+			hotMin = df
+		}
+	}
+	coldMax := 0
+	for _, kw := range bands.Cold {
+		if df := idx.DF(kw); df > coldMax {
+			coldMax = df
+		}
+	}
+	if hotMin < coldMax {
+		t.Errorf("band inversion: hot min DF %d < cold max DF %d", hotMin, coldMax)
+	}
+}
+
+func TestRunSearchSweep(t *testing.T) {
+	w := Workload{Scale: tiny, Seed: 4, Query: "Q2"}
+	engine, _, graphRow, err := PrepareEngine(context.Background(), w, crawl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphRow.Fragments == 0 || graphRow.AvgKeywords <= 0 {
+		t.Errorf("graph row = %+v", graphRow)
+	}
+	bands := KeywordBands(engine.Index(), 3)
+	points, err := RunSearchSweep(engine, bands, []int{1, 5}, []int{100, 500})
+	if err != nil {
+		t.Fatalf("RunSearchSweep: %v", err)
+	}
+	if len(points) != 3*2*2 {
+		t.Fatalf("points = %d, want 12", len(points))
+	}
+	for _, p := range points {
+		if p.Searches != 3 || p.Avg < 0 {
+			t.Errorf("point = %+v", p)
+		}
+	}
+}
+
+func TestFooddbWorkload(t *testing.T) {
+	db, app, err := Fooddb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Name != "fooddb" || app.Name != "Search" {
+		t.Errorf("fooddb setup = %s/%s", db.Name, app.Name)
+	}
+}
+
+func TestFig11Grid(t *testing.T) {
+	ks, ss := Fig11Grid()
+	if len(ks) != 4 || len(ss) != 4 || ks[3] != 20 || ss[3] != 1000 {
+		t.Errorf("grid = %v %v", ks, ss)
+	}
+}

@@ -1,0 +1,300 @@
+package psj
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// LeafInfo describes how one base relation participates in a bound query.
+// The integrated crawl algorithm (paper §V-B) is driven by exactly this
+// partition: per relation, its selection attributes cᵢ, join attributes jᵢ,
+// and the projection attributes whose text it contributes.
+type LeafInfo struct {
+	Relation  string
+	SelAttrs  []string // selection attributes owned by this relation
+	JoinAttrs []string // columns this relation is joined on
+	ProjAttrs []string // projection attributes this relation contributes
+}
+
+// BoundCond is a condition resolved against a concrete schema.
+type BoundCond struct {
+	Condition
+	Relation string        // owning base relation
+	Kind     relation.Kind // column type, for parameter parsing
+}
+
+// Bound is a query validated against a database: every column reference is
+// resolved, join columns are computed per tree node, and attribute ownership
+// is assigned.
+type Bound struct {
+	Query  *Query
+	Output *relation.Schema // schema of the full join result
+	// Projections lists resolved projection column names (Star expanded)
+	// in output order.
+	Projections []string
+	// SelAttrs lists resolved selection attribute column names in WHERE
+	// order. Their value tuples identify db-page fragments.
+	SelAttrs []string
+	Conds    []BoundCond
+	Leaves   []LeafInfo
+	// nodeOn records the resolved join columns of each internal node;
+	// used by the MR crawlers to drive shuffle keys.
+	nodeOn map[*JoinExpr][]string
+	// nodeSchema records the output schema of every tree node (leaves
+	// included), so MR crawlers can locate columns in intermediate rows.
+	nodeSchema map[*JoinExpr]*relation.Schema
+}
+
+// Bind resolves the query against db. It checks that every relation exists,
+// every column reference resolves to exactly one relation, every join has
+// join columns, and every selection attribute is typed.
+func Bind(q *Query, db *relation.Database) (*Bound, error) {
+	b := &Bound{
+		Query:      q,
+		nodeOn:     make(map[*JoinExpr][]string),
+		nodeSchema: make(map[*JoinExpr]*relation.Schema),
+	}
+
+	// Resolve the join tree bottom-up, computing output schemas.
+	schema, err := b.bindJoin(q.From, db)
+	if err != nil {
+		return nil, err
+	}
+	b.Output = schema
+
+	// Leaf bookkeeping.
+	leafIdx := make(map[string]int)
+	for _, name := range q.From.Leaves() {
+		if _, dup := leafIdx[name]; dup {
+			return nil, fmt.Errorf("%w: relation %s appears twice in FROM", ErrUnbound, name)
+		}
+		leafIdx[name] = len(b.Leaves)
+		b.Leaves = append(b.Leaves, LeafInfo{Relation: name})
+	}
+
+	// Join attributes per leaf: every node's ON columns attach to the
+	// leaves (within that node's subtree) whose schema contains them.
+	for node, on := range b.nodeOn {
+		for _, col := range on {
+			for _, side := range []*JoinExpr{node.Left, node.Right} {
+				for _, leaf := range side.Leaves() {
+					t, err := db.Table(leaf)
+					if err != nil {
+						return nil, err
+					}
+					if t.Schema.HasColumn(col) {
+						li := &b.Leaves[leafIdx[leaf]]
+						li.JoinAttrs = appendUnique(li.JoinAttrs, col)
+					}
+				}
+			}
+		}
+	}
+
+	// resolve maps a ColRef to its owning leaf relation. Unqualified
+	// references that appear in several relations are owned by the first
+	// (in FROM order) — join columns hold equal values on all sides, so
+	// any owner yields the same result; determinism is what matters.
+	resolve := func(ref ColRef) (string, relation.Kind, error) {
+		if ref.Table != "" {
+			i, ok := leafIdx[ref.Table]
+			if !ok {
+				return "", 0, fmt.Errorf("%w: %s references unknown relation %s", ErrUnbound, ref, ref.Table)
+			}
+			t, err := db.Table(b.Leaves[i].Relation)
+			if err != nil {
+				return "", 0, err
+			}
+			k, err := t.Schema.ColumnKind(ref.Col)
+			if err != nil {
+				return "", 0, fmt.Errorf("%w: %v", ErrUnbound, err)
+			}
+			return ref.Table, k, nil
+		}
+		owner := ""
+		var kind relation.Kind
+		for _, li := range b.Leaves {
+			t, err := db.Table(li.Relation)
+			if err != nil {
+				return "", 0, err
+			}
+			if t.Schema.HasColumn(ref.Col) {
+				if owner != "" {
+					// Shared join columns are equal-valued on all
+					// sides; first owner wins. Non-join duplicates
+					// cannot occur (schema names are unique).
+					break
+				}
+				owner = li.Relation
+				kind, _ = t.Schema.ColumnKind(ref.Col)
+			}
+		}
+		if owner == "" {
+			return "", 0, fmt.Errorf("%w: column %s not found in any FROM relation", ErrUnbound, ref)
+		}
+		return owner, kind, nil
+	}
+
+	// Projections.
+	if q.Star {
+		b.Projections = schema.ColumnNames()
+	} else {
+		for _, ref := range q.Projections {
+			if !schema.HasColumn(ref.Col) {
+				return nil, fmt.Errorf("%w: projection %s not in join result", ErrUnbound, ref)
+			}
+			b.Projections = append(b.Projections, ref.Col)
+		}
+	}
+	// Assign each projection to the first leaf containing it, so keyword
+	// extraction counts each projected value exactly once.
+	for _, col := range b.Projections {
+		for i := range b.Leaves {
+			t, err := db.Table(b.Leaves[i].Relation)
+			if err != nil {
+				return nil, err
+			}
+			if t.Schema.HasColumn(col) {
+				b.Leaves[i].ProjAttrs = append(b.Leaves[i].ProjAttrs, col)
+				break
+			}
+		}
+	}
+
+	// Conditions and selection attributes.
+	seenSel := make(map[string]bool)
+	for _, c := range q.Conditions {
+		owner, kind, err := resolve(c.Attr)
+		if err != nil {
+			return nil, err
+		}
+		b.Conds = append(b.Conds, BoundCond{Condition: c, Relation: owner, Kind: kind})
+		if !seenSel[c.Attr.Col] {
+			seenSel[c.Attr.Col] = true
+			b.SelAttrs = append(b.SelAttrs, c.Attr.Col)
+			li := &b.Leaves[leafIdx[owner]]
+			li.SelAttrs = appendUnique(li.SelAttrs, c.Attr.Col)
+		}
+	}
+	return b, nil
+}
+
+// bindJoin computes the output schema of a join node and records resolved
+// ON columns for every internal node.
+func (b *Bound) bindJoin(node *JoinExpr, db *relation.Database) (*relation.Schema, error) {
+	if node.IsLeaf() {
+		t, err := db.Table(node.Relation)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnbound, err)
+		}
+		b.nodeSchema[node] = t.Schema
+		return t.Schema, nil
+	}
+	ls, err := b.bindJoin(node.Left, db)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := b.bindJoin(node.Right, db)
+	if err != nil {
+		return nil, err
+	}
+	on := node.On
+	if len(on) == 0 {
+		on = relation.SharedColumns(ls, rs)
+		if len(on) == 0 {
+			return nil, fmt.Errorf("%w: no join columns between %s and %s",
+				ErrUnbound, ls.Name, rs.Name)
+		}
+	} else {
+		for _, col := range on {
+			if !ls.HasColumn(col) || !rs.HasColumn(col) {
+				return nil, fmt.Errorf("%w: ON column %s missing from %s or %s",
+					ErrUnbound, col, ls.Name, rs.Name)
+			}
+		}
+	}
+	b.nodeOn[node] = on
+
+	cols := make([]relation.Column, 0, len(ls.Columns)+len(rs.Columns))
+	cols = append(cols, ls.Columns...)
+	for _, c := range rs.Columns {
+		isJoin := false
+		for _, o := range on {
+			if c.Name == o {
+				isJoin = true
+				break
+			}
+		}
+		if !isJoin {
+			cols = append(cols, c)
+		}
+	}
+	schema, err := relation.NewSchema(ls.Name+"⨝"+rs.Name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	b.nodeSchema[node] = schema
+	return schema, nil
+}
+
+// NodeOn returns the resolved join columns of an internal node. It is valid
+// only for nodes of the bound query's tree.
+func (b *Bound) NodeOn(node *JoinExpr) []string { return b.nodeOn[node] }
+
+// NodeSchema returns the output schema of a node of the bound query's tree
+// (for a leaf, the base relation's schema).
+func (b *Bound) NodeSchema(node *JoinExpr) *relation.Schema { return b.nodeSchema[node] }
+
+// EqAttrCols returns the resolved column names of equality attributes, in
+// selection order.
+func (b *Bound) EqAttrCols() []string {
+	var out []string
+	for _, a := range b.Query.EqAttrs() {
+		out = append(out, a.Col)
+	}
+	return out
+}
+
+// RangeAttrCols returns the resolved column names of range attributes.
+func (b *Bound) RangeAttrCols() []string {
+	var out []string
+	for _, a := range b.Query.RangeAttrs() {
+		out = append(out, a.Col)
+	}
+	return out
+}
+
+// SelAttrKinds returns the column kind of each selection attribute in
+// b.SelAttrs order.
+func (b *Bound) SelAttrKinds() []relation.Kind {
+	kinds := make([]relation.Kind, len(b.SelAttrs))
+	for i, col := range b.SelAttrs {
+		for _, c := range b.Conds {
+			if c.Attr.Col == col {
+				kinds[i] = c.Kind
+				break
+			}
+		}
+	}
+	return kinds
+}
+
+// ParamKind returns the column kind a parameter is compared against.
+func (b *Bound) ParamKind(param string) (relation.Kind, error) {
+	for _, c := range b.Conds {
+		if c.Param == param {
+			return c.Kind, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: parameter $%s not in query", ErrNoParam, param)
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

@@ -1,0 +1,118 @@
+package psj
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// JoinAll evaluates the query's join tree over db without applying any
+// selection or projection. This is the reference evaluator behind the
+// crawling query (paper §V-A):
+//
+//	π a1,…,al,c1,…,cm (R1 ⨝ R2 ⨝ … ⨝ Rn)
+//
+// The caller projects as needed. The MapReduce crawlers compute the same
+// result via shuffle joins; tests assert both paths agree.
+func (b *Bound) JoinAll(db *relation.Database) (*relation.Table, error) {
+	return b.evalJoin(b.Query.From, db, nil)
+}
+
+// Execute evaluates the full parameterized query for concrete parameter
+// values, pushing selections down to the owning leaf relations before
+// joining. This is how a web application generates one db-page's content.
+func (b *Bound) Execute(db *relation.Database, params map[string]relation.Value) (*relation.Table, error) {
+	for _, p := range b.Query.Params() {
+		if _, ok := params[p]; !ok {
+			return nil, fmt.Errorf("%w: $%s", ErrNoParam, p)
+		}
+	}
+	// Group conditions per owning relation.
+	perLeaf := make(map[string][]BoundCond, len(b.Conds))
+	for _, c := range b.Conds {
+		perLeaf[c.Relation] = append(perLeaf[c.Relation], c)
+	}
+	filter := func(leaf string, t *relation.Table) *relation.Table {
+		conds := perLeaf[leaf]
+		if len(conds) == 0 {
+			return t
+		}
+		idx := make([]int, len(conds))
+		for i, c := range conds {
+			idx[i] = t.Schema.ColumnIndex(c.Attr.Col)
+		}
+		return t.Select(func(row relation.Row) bool {
+			for i, c := range conds {
+				v := row[idx[i]]
+				if v.IsNull() {
+					return false
+				}
+				cmp := v.Compare(params[c.Param])
+				switch c.Op {
+				case OpEQ:
+					if cmp != 0 {
+						return false
+					}
+				case OpGE:
+					if cmp < 0 {
+						return false
+					}
+				case OpLE:
+					if cmp > 0 {
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	joined, err := b.evalJoin(b.Query.From, db, filter)
+	if err != nil {
+		return nil, err
+	}
+	return joined.Project(b.Projections)
+}
+
+// evalJoin walks the join tree; filter (optional) is applied to each leaf
+// before joining.
+func (b *Bound) evalJoin(node *JoinExpr, db *relation.Database,
+	filter func(string, *relation.Table) *relation.Table) (*relation.Table, error) {
+	if node.IsLeaf() {
+		t, err := db.Table(node.Relation)
+		if err != nil {
+			return nil, err
+		}
+		if filter != nil {
+			t = filter(node.Relation, t)
+		}
+		return t, nil
+	}
+	left, err := b.evalJoin(node.Left, db, filter)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.evalJoin(node.Right, db, filter)
+	if err != nil {
+		return nil, err
+	}
+	return relation.Join(left, right, b.nodeOn[node], node.Kind)
+}
+
+// CrawlProjection returns the column list of the crawling query: the
+// projection attributes followed by any selection attributes not already
+// projected (paper §V-A).
+func (b *Bound) CrawlProjection() []string {
+	out := make([]string, 0, len(b.Projections)+len(b.SelAttrs))
+	out = append(out, b.Projections...)
+	seen := make(map[string]bool, len(out))
+	for _, c := range out {
+		seen[c] = true
+	}
+	for _, c := range b.SelAttrs {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

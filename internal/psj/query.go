@@ -1,0 +1,241 @@
+// Package psj models parameterized project-select-join (PSJ) queries —
+// the paper's Definition 1:
+//
+//	π a1,…,al σ c1⊗1v1 ∧ … ∧ cm⊗mvm (R1 ⨝ R2 ⨝ … ⨝ Rn)
+//
+// where each selection attribute ci is compared against one query parameter
+// vi with ⊗ ∈ {=, ≥, ≤} and the Ri are joined through inner or left-outer
+// joins. The package provides an SQL-subset parser (the dialect used by the
+// paper's application queries, Fig. 3 and Table III), binding against a
+// relation.Database, and a reference evaluator with predicate push-down.
+package psj
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Errors returned by parsing, binding, and evaluation.
+var (
+	ErrSyntax    = errors.New("psj: syntax error")
+	ErrUnbound   = errors.New("psj: cannot bind query against database")
+	ErrAmbiguous = errors.New("psj: ambiguous column reference")
+	ErrNoParam   = errors.New("psj: missing parameter value")
+)
+
+// CompareOp is a selection comparison operator (Definition 1 restricts the
+// operators to =, ≥, ≤; BETWEEN desugars into one ≥ and one ≤ condition).
+type CompareOp uint8
+
+// Supported comparison operators.
+const (
+	OpEQ CompareOp = iota + 1
+	OpGE
+	OpLE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpGE:
+		return ">="
+	case OpLE:
+		return "<="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// ColRef names a column, optionally qualified by a relation name.
+type ColRef struct {
+	Table string // optional qualifier; "" means unqualified
+	Col   string
+}
+
+// String renders the reference in SQL form.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Col
+	}
+	return c.Table + "." + c.Col
+}
+
+// Condition is one conjunct of the selection predicate: Attr ⊗ $Param.
+type Condition struct {
+	Attr  ColRef
+	Op    CompareOp
+	Param string // parameter name without the $ sigil
+}
+
+// String renders the condition in SQL form.
+func (c Condition) String() string {
+	return fmt.Sprintf("%s %s $%s", c.Attr, c.Op, c.Param)
+}
+
+// JoinExpr is a binary join tree. A node is either a leaf (Relation != "")
+// or an internal node joining Left and Right. On optionally names the join
+// columns; when empty the shared column names of the two sides are used
+// (natural equi-join — Dash databases name foreign keys after the keys they
+// reference).
+type JoinExpr struct {
+	Relation    string
+	Left, Right *JoinExpr
+	Kind        relation.JoinKind
+	On          []string
+}
+
+// IsLeaf reports whether the node references a base relation.
+func (j *JoinExpr) IsLeaf() bool { return j.Relation != "" }
+
+// Leaves appends the base relation names in left-to-right order.
+func (j *JoinExpr) Leaves() []string {
+	var out []string
+	var walk func(*JoinExpr)
+	walk = func(n *JoinExpr) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n.Relation)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(j)
+	return out
+}
+
+// String renders the join tree in SQL form with explicit parentheses.
+func (j *JoinExpr) String() string {
+	if j.IsLeaf() {
+		return j.Relation
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(j.Left.String())
+	b.WriteByte(' ')
+	b.WriteString(j.Kind.String())
+	b.WriteByte(' ')
+	b.WriteString(j.Right.String())
+	if len(j.On) > 0 {
+		b.WriteString(" ON ")
+		b.WriteString(strings.Join(j.On, ", "))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Query is a parsed parameterized PSJ query.
+type Query struct {
+	Star        bool     // SELECT *
+	Projections []ColRef // empty iff Star
+	From        *JoinExpr
+	Conditions  []Condition
+}
+
+// String renders the query in parseable SQL form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Star {
+		b.WriteByte('*')
+	} else {
+		for i, p := range q.Projections {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.From.String())
+	if len(q.Conditions) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range q.Conditions {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// SelectionAttrs returns the distinct selection attributes in order of first
+// appearance in the WHERE clause. Their value tuples are the db-page
+// fragment identifiers (Definition 2).
+func (q *Query) SelectionAttrs() []ColRef {
+	var out []ColRef
+	seen := make(map[ColRef]bool, len(q.Conditions))
+	for _, c := range q.Conditions {
+		if !seen[c.Attr] {
+			seen[c.Attr] = true
+			out = append(out, c.Attr)
+		}
+	}
+	return out
+}
+
+// Params returns the distinct parameter names in order of first appearance.
+func (q *Query) Params() []string {
+	var out []string
+	seen := make(map[string]bool, len(q.Conditions))
+	for _, c := range q.Conditions {
+		if !seen[c.Param] {
+			seen[c.Param] = true
+			out = append(out, c.Param)
+		}
+	}
+	return out
+}
+
+// AttrOps returns, for each selection attribute, the set of operators it is
+// compared with. An attribute is an equality attribute if it only appears
+// with =, and a range attribute if it appears with ≥ and/or ≤.
+func (q *Query) AttrOps() map[ColRef][]CompareOp {
+	out := make(map[ColRef][]CompareOp, len(q.Conditions))
+	for _, c := range q.Conditions {
+		out[c.Attr] = append(out[c.Attr], c.Op)
+	}
+	return out
+}
+
+// EqAttrs returns the selection attributes used only with equality.
+func (q *Query) EqAttrs() []ColRef {
+	var out []ColRef
+	ops := q.AttrOps()
+	for _, a := range q.SelectionAttrs() {
+		eq := true
+		for _, op := range ops[a] {
+			if op != OpEQ {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RangeAttrs returns the selection attributes used with ≥ or ≤.
+func (q *Query) RangeAttrs() []ColRef {
+	var out []ColRef
+	ops := q.AttrOps()
+	for _, a := range q.SelectionAttrs() {
+		for _, op := range ops[a] {
+			if op != OpEQ {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainTables builds three tables linked A.k1→B.k1, B.k2→C.k2 with random
+// contents, non-NULL keys.
+func chainTables(r *rand.Rand) (a, b, c *Table) {
+	a = NewTable(MustSchema("a", Column{"k1", KindInt}, Column{"av", KindInt}))
+	b = NewTable(MustSchema("b", Column{"k1", KindInt}, Column{"k2", KindInt}, Column{"bv", KindInt}))
+	c = NewTable(MustSchema("c", Column{"k2", KindInt}, Column{"cv", KindInt}))
+	for i := 0; i < r.Intn(20); i++ {
+		_ = a.Append(Row{Int(r.Int63n(5)), Int(int64(i))})
+	}
+	for i := 0; i < r.Intn(25); i++ {
+		_ = b.Append(Row{Int(r.Int63n(5)), Int(r.Int63n(5)), Int(int64(100 + i))})
+	}
+	for i := 0; i < r.Intn(15); i++ {
+		_ = c.Append(Row{Int(r.Int63n(5)), Int(int64(200 + i))})
+	}
+	return a, b, c
+}
+
+// rowMultiset canonicalizes a table's rows (projected to the named columns)
+// into a count map, so contents can be compared across column orders.
+func rowMultiset(t *testing.T, tbl *Table, cols []string) map[string]int {
+	t.Helper()
+	proj, err := tbl.Project(cols)
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	out := make(map[string]int, proj.Len())
+	for _, r := range proj.Rows {
+		out[Key(r)]++
+	}
+	return out
+}
+
+// TestPropInnerJoinAssociative: (A⨝B)⨝C and A⨝(B⨝C) hold the same row
+// multiset for inner joins over a key chain.
+func TestPropInnerJoinAssociative(t *testing.T) {
+	cols := []string{"k1", "av", "k2", "bv", "cv"}
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := chainTables(r)
+
+		ab, err := Join(a, b, []string{"k1"}, JoinInner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc1, err := Join(ab, c, []string{"k2"}, JoinInner)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		bc, err := Join(b, c, []string{"k2"}, JoinInner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc2, err := Join(a, bc, []string{"k1"}, JoinInner)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m1 := rowMultiset(t, abc1, cols)
+		m2 := rowMultiset(t, abc2, cols)
+		if len(m1) != len(m2) {
+			t.Fatalf("seed %d: multiset sizes %d vs %d", seed, len(m1), len(m2))
+		}
+		for k, n := range m1 {
+			if m2[k] != n {
+				t.Fatalf("seed %d: row count differs", seed)
+			}
+		}
+	}
+}
+
+// TestPropGroupCountTotals: θ values sum to the relation's row count, and
+// every group key is distinct.
+func TestPropGroupCountTotals(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		_, b, _ := chainTables(r)
+		g, err := b.GroupCount([]string{"k1", "k2"}, "theta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		seen := make(map[string]bool)
+		thetaIdx := g.Schema.ColumnIndex("theta")
+		for _, row := range g.Rows {
+			total += row[thetaIdx].AsInt()
+			k := Key(row[:thetaIdx])
+			if seen[k] {
+				t.Fatalf("seed %d: duplicate group", seed)
+			}
+			seen[k] = true
+		}
+		if total != int64(b.Len()) {
+			t.Fatalf("seed %d: θ sum %d != %d rows", seed, total, b.Len())
+		}
+	}
+}
+
+// TestPropDistinctValuesSortedUnique: DistinctValues is sorted, unique, and
+// covers exactly the column's value set.
+func TestPropDistinctValuesSortedUnique(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a, _, _ := chainTables(r)
+		vals, err := a.DistinctValues("k1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i-1].Compare(vals[i]) >= 0 {
+				t.Fatalf("seed %d: not strictly sorted", seed)
+			}
+		}
+		want := make(map[string]bool)
+		for _, row := range a.Rows {
+			want[Key([]Value{row[0]})] = true
+		}
+		if len(want) != len(vals) {
+			t.Fatalf("seed %d: %d distinct, want %d", seed, len(vals), len(want))
+		}
+	}
+}
+
+// TestPropLeftJoinRowAccounting: |A LEFT JOIN B| = |A JOIN B| + unmatched
+// left rows.
+func TestPropLeftJoinRowAccounting(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a, b, _ := chainTables(r)
+		inner, err := Join(a, b, []string{"k1"}, JoinInner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outer, err := Join(a, b, []string{"k1"}, JoinLeftOuter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count left rows with no match.
+		matched := make(map[string]bool)
+		for _, row := range b.Rows {
+			matched[Key([]Value{row[0]})] = true
+		}
+		unmatched := 0
+		for _, row := range a.Rows {
+			if !matched[Key([]Value{row[0]})] {
+				unmatched++
+			}
+		}
+		if outer.Len() != inner.Len()+unmatched {
+			t.Fatalf("seed %d: outer %d != inner %d + unmatched %d",
+				seed, outer.Len(), inner.Len(), unmatched)
+		}
+	}
+}
+
+// TestPropProjectThenSelectCommutes: filtering then projecting equals
+// projecting then filtering when the predicate only reads projected
+// columns.
+func TestPropProjectThenSelectCommutes(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		a, _, _ := chainTables(r)
+		pred := func(v Value) bool { return v.AsInt()%2 == 0 }
+
+		sel := a.Select(func(row Row) bool { return pred(row[0]) })
+		p1, err := sel.Project([]string{"k1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		p2all, err := a.Project([]string{"k1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := p2all.Select(func(row Row) bool { return pred(row[0]) })
+
+		if p1.Len() != p2.Len() {
+			t.Fatalf("seed %d: %d vs %d rows", seed, p1.Len(), p2.Len())
+		}
+		for i := range p1.Rows {
+			if CompareRows(p1.Rows[i], p2.Rows[i]) != 0 {
+				t.Fatalf("seed %d: row %d differs", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// JoinKind selects inner or left-outer join semantics.
+type JoinKind uint8
+
+// Supported join kinds. Left-outer joins null-extend unmatched left rows,
+// which is how db-pages keep restaurants that have no comments (paper
+// Fig. 1/Fig. 5).
+const (
+	JoinInner JoinKind = iota + 1
+	JoinLeftOuter
+)
+
+// String returns the SQL spelling of the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeftOuter:
+		return "LEFT JOIN"
+	default:
+		return fmt.Sprintf("joinkind(%d)", uint8(k))
+	}
+}
+
+// SharedColumns returns the column names present in both schemas, in the
+// left schema's order. These are the natural-join columns: Dash's databases
+// name foreign keys after the keys they reference (rid, uid, custkey, …),
+// exactly as the paper's fooddb and TPC-H schemas do.
+func SharedColumns(a, b *Schema) []string {
+	var out []string
+	for _, c := range a.Columns {
+		if b.HasColumn(c.Name) {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Join performs a hash equi-join of left and right on the given columns,
+// which must exist in both tables. If on is empty, the shared columns are
+// used (natural join). The output schema is the left columns followed by the
+// right columns minus the join columns; join columns appear once, with the
+// left table's values.
+//
+// For JoinLeftOuter, left rows with no match are emitted once with the right
+// side's non-join columns set to NULL.
+func Join(left, right *Table, on []string, kind JoinKind) (*Table, error) {
+	if len(on) == 0 {
+		on = SharedColumns(left.Schema, right.Schema)
+		if len(on) == 0 {
+			return nil, fmt.Errorf("%w: %s and %s", ErrNoJoinCols,
+				left.Schema.Name, right.Schema.Name)
+		}
+	}
+	leftIdx := make([]int, len(on))
+	rightIdx := make([]int, len(on))
+	for i, name := range on {
+		li, ri := left.Schema.ColumnIndex(name), right.Schema.ColumnIndex(name)
+		if li < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, left.Schema.Name, name)
+		}
+		if ri < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, right.Schema.Name, name)
+		}
+		leftIdx[i] = li
+		rightIdx[i] = ri
+	}
+
+	// Right columns that survive into the output (non-join columns).
+	rightKeep := make([]int, 0, len(right.Schema.Columns))
+	outCols := make([]Column, 0, len(left.Schema.Columns)+len(right.Schema.Columns))
+	outCols = append(outCols, left.Schema.Columns...)
+	for j, c := range right.Schema.Columns {
+		isJoin := false
+		for _, ri := range rightIdx {
+			if ri == j {
+				isJoin = true
+				break
+			}
+		}
+		if !isJoin {
+			rightKeep = append(rightKeep, j)
+			outCols = append(outCols, c)
+		}
+	}
+	schema, err := NewSchema(left.Schema.Name+"⨝"+right.Schema.Name, outCols...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build phase: hash the right side on its join key.
+	build := make(map[string][]Row, len(right.Rows))
+	keyBuf := make([]Value, len(rightIdx))
+	for _, r := range right.Rows {
+		skip := false
+		for i, j := range rightIdx {
+			if r[j].IsNull() {
+				skip = true // NULL never matches in an equi-join
+				break
+			}
+			keyBuf[i] = r[j]
+		}
+		if skip {
+			continue
+		}
+		k := Key(keyBuf)
+		build[k] = append(build[k], r)
+	}
+
+	out := &Table{Schema: schema, Rows: make([]Row, 0, len(left.Rows))}
+	probeBuf := make([]Value, len(leftIdx))
+	for _, l := range left.Rows {
+		nullKey := false
+		for i, j := range leftIdx {
+			if l[j].IsNull() {
+				nullKey = true
+				break
+			}
+			probeBuf[i] = l[j]
+		}
+		var matches []Row
+		if !nullKey {
+			matches = build[Key(probeBuf)]
+		}
+		if len(matches) == 0 {
+			if kind == JoinLeftOuter {
+				row := make(Row, 0, len(outCols))
+				row = append(row, l...)
+				for range rightKeep {
+					row = append(row, Null())
+				}
+				out.Rows = append(out.Rows, row)
+			}
+			continue
+		}
+		for _, r := range matches {
+			row := make(Row, 0, len(outCols))
+			row = append(row, l...)
+			for _, j := range rightKeep {
+				row = append(row, r[j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,351 @@
+package relation
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// restaurantTable reproduces the paper's fooddb restaurant relation (Fig. 2).
+func restaurantTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema("restaurant",
+		Column{"rid", KindInt}, Column{"name", KindString},
+		Column{"cuisine", KindString}, Column{"budget", KindInt},
+		Column{"rate", KindFloat})
+	tbl := NewTable(s)
+	rows := []Row{
+		{Int(1), String("Burger Queen"), String("American"), Int(10), Float(4.3)},
+		{Int(2), String("McRonald's"), String("American"), Int(18), Float(2.2)},
+		{Int(3), String("Wandy's"), String("American"), Int(12), Float(4.1)},
+		{Int(4), String("Wandy's"), String("American"), Int(12), Float(4.2)},
+		{Int(5), String("Thaifood"), String("Thai"), Int(10), Float(4.8)},
+		{Int(6), String("Bangkok"), String("Thai"), Int(10), Float(3.9)},
+		{Int(7), String("Bond's Cafe"), String("American"), Int(9), Float(4.3)},
+	}
+	if err := tbl.Append(rows...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return tbl
+}
+
+func commentTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema("comment",
+		Column{"cid", KindInt}, Column{"rid", KindInt}, Column{"uid", KindInt},
+		Column{"comment", KindString}, Column{"date", KindString})
+	tbl := NewTable(s)
+	rows := []Row{
+		{Int(201), Int(1), Int(109), String("Burger experts"), String("06/10")},
+		{Int(202), Int(4), Int(132), String("Unique burger"), String("05/10")},
+		{Int(203), Int(4), Int(132), String("Bad fries"), String("06/10")},
+		{Int(204), Int(2), Int(109), String("Regret taking it"), String("06/10")},
+		{Int(205), Int(6), Int(180), String("Thai burger"), String("08/11")},
+		{Int(206), Int(7), Int(171), String("Nice coffee"), String("01/11")},
+	}
+	if err := tbl.Append(rows...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return tbl
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := MustSchema("t", Column{"a", KindInt}, Column{"b", KindString})
+	if s.ColumnIndex("b") != 1 || s.ColumnIndex("z") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if !s.HasColumn("a") || s.HasColumn("z") {
+		t.Error("HasColumn wrong")
+	}
+	k, err := s.ColumnKind("b")
+	if err != nil || k != KindString {
+		t.Errorf("ColumnKind(b) = %v, %v", k, err)
+	}
+	if _, err := s.ColumnKind("z"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("ColumnKind(z) err = %v, want ErrNoColumn", err)
+	}
+	if _, err := NewSchema("t", Column{"a", KindInt}, Column{"a", KindInt}); !errors.Is(err, ErrDupColumn) {
+		t.Errorf("dup column err = %v", err)
+	}
+	if got := strings.Join(s.ColumnNames(), ","); got != "a,b" {
+		t.Errorf("ColumnNames = %s", got)
+	}
+}
+
+func TestAppendArity(t *testing.T) {
+	tbl := NewTable(MustSchema("t", Column{"a", KindInt}))
+	if err := tbl.Append(Row{Int(1), Int(2)}); !errors.Is(err, ErrArity) {
+		t.Errorf("arity err = %v", err)
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	r := restaurantTable(t)
+	american := r.Select(func(row Row) bool { return row[2].Equal(String("American")) })
+	if american.Len() != 5 {
+		t.Fatalf("american rows = %d, want 5", american.Len())
+	}
+	p, err := american.Project([]string{"name", "budget"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if len(p.Schema.Columns) != 2 || p.Schema.Columns[0].Name != "name" {
+		t.Errorf("projected schema = %v", p.Schema.Columns)
+	}
+	if p.Rows[0][0].AsString() != "Burger Queen" || p.Rows[0][1].AsInt() != 10 {
+		t.Errorf("projected row = %v", p.Rows[0])
+	}
+	if _, err := r.Project([]string{"nope"}); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("Project missing col err = %v", err)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	r := restaurantTable(t)
+	if err := r.SortBy("budget", "name"); err != nil {
+		t.Fatalf("SortBy: %v", err)
+	}
+	budgets := make([]int64, r.Len())
+	for i, row := range r.Rows {
+		budgets[i] = row[3].AsInt()
+	}
+	for i := 1; i < len(budgets); i++ {
+		if budgets[i] < budgets[i-1] {
+			t.Fatalf("not sorted: %v", budgets)
+		}
+	}
+	if err := r.SortBy("zzz"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("SortBy missing col err = %v", err)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	r := restaurantTable(t)
+	g, err := r.GroupCount([]string{"cuisine", "budget"}, "theta")
+	if err != nil {
+		t.Fatalf("GroupCount: %v", err)
+	}
+	// Expected groups: (American,10):1 (American,18):1 (American,12):2
+	// (Thai,10):2 (American,9):1 — five groups as in paper Fig. 5.
+	if g.Len() != 5 {
+		t.Fatalf("groups = %d, want 5", g.Len())
+	}
+	want := map[string]int64{
+		"American|10": 1, "American|18": 1, "American|12": 2,
+		"Thai|10": 2, "American|9": 1,
+	}
+	for _, row := range g.Rows {
+		k := row[0].AsString() + "|" + row[1].Text()
+		if row[2].AsInt() != want[k] {
+			t.Errorf("group %s count = %d, want %d", k, row[2].AsInt(), want[k])
+		}
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	r := restaurantTable(t)
+	vals, err := r.DistinctValues("budget")
+	if err != nil {
+		t.Fatalf("DistinctValues: %v", err)
+	}
+	var got []string
+	for _, v := range vals {
+		got = append(got, v.Text())
+	}
+	if strings.Join(got, ",") != "9,10,12,18" {
+		t.Errorf("distinct budgets = %v, want 9,10,12,18", got)
+	}
+}
+
+func TestInnerJoinFooddb(t *testing.T) {
+	r, c := restaurantTable(t), commentTable(t)
+	j, err := Join(r, c, nil, JoinInner)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	// 6 comments each matching exactly one restaurant.
+	if j.Len() != 6 {
+		t.Fatalf("inner join rows = %d, want 6", j.Len())
+	}
+	// rid appears exactly once in the output schema.
+	count := 0
+	for _, col := range j.Schema.Columns {
+		if col.Name == "rid" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("rid columns = %d, want 1", count)
+	}
+}
+
+func TestLeftOuterJoinFooddb(t *testing.T) {
+	r, c := restaurantTable(t), commentTable(t)
+	j, err := Join(r, c, []string{"rid"}, JoinLeftOuter)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	// Restaurants 3 (Wandy's 4.1) and 5 (Thaifood) have no comments:
+	// 6 matched rows + 2 null-extended = 8 rows, matching Fig. 5 contents.
+	if j.Len() != 8 {
+		t.Fatalf("left join rows = %d, want 8", j.Len())
+	}
+	commentIdx := j.Schema.ColumnIndex("comment")
+	nulls := 0
+	for _, row := range j.Rows {
+		if row[commentIdx].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Errorf("null-extended rows = %d, want 2", nulls)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	r := restaurantTable(t)
+	other := NewTable(MustSchema("x", Column{"q", KindInt}))
+	if _, err := Join(r, other, nil, JoinInner); !errors.Is(err, ErrNoJoinCols) {
+		t.Errorf("no shared cols err = %v", err)
+	}
+	if _, err := Join(r, other, []string{"rid"}, JoinInner); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("missing col err = %v", err)
+	}
+}
+
+func TestJoinNullKeyNeverMatches(t *testing.T) {
+	a := NewTable(MustSchema("a", Column{"k", KindInt}, Column{"av", KindString}))
+	b := NewTable(MustSchema("b", Column{"k", KindInt}, Column{"bv", KindString}))
+	_ = a.Append(Row{Null(), String("x")}, Row{Int(1), String("y")})
+	_ = b.Append(Row{Null(), String("p")}, Row{Int(1), String("q")})
+	inner, err := Join(a, b, []string{"k"}, JoinInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Len() != 1 {
+		t.Errorf("inner join with NULL keys = %d rows, want 1", inner.Len())
+	}
+	outer, err := Join(a, b, []string{"k"}, JoinLeftOuter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Len() != 2 {
+		t.Errorf("left join with NULL keys = %d rows, want 2", outer.Len())
+	}
+}
+
+// randomKeyedTables builds two tables with integer keys in a small domain so
+// joins have plenty of matches and misses.
+func randomKeyedTables(r *rand.Rand) (*Table, *Table) {
+	a := NewTable(MustSchema("a", Column{"k", KindInt}, Column{"av", KindInt}))
+	b := NewTable(MustSchema("b", Column{"k", KindInt}, Column{"bv", KindInt}))
+	for i := 0; i < r.Intn(30); i++ {
+		_ = a.Append(Row{Int(r.Int63n(10)), Int(int64(i))})
+	}
+	for i := 0; i < r.Intn(30); i++ {
+		_ = b.Append(Row{Int(r.Int63n(10)), Int(int64(i))})
+	}
+	return a, b
+}
+
+func TestPropInnerJoinSubsetOfLeftJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomKeyedTables(r)
+		inner, err := Join(a, b, []string{"k"}, JoinInner)
+		if err != nil {
+			return false
+		}
+		outer, err := Join(a, b, []string{"k"}, JoinLeftOuter)
+		if err != nil {
+			return false
+		}
+		// Left join emits every inner row plus one row per unmatched left row.
+		if outer.Len() < inner.Len() {
+			return false
+		}
+		// Every left row appears at least once in the left-outer result.
+		seen := make(map[string]int)
+		kIdx := 0
+		for _, row := range outer.Rows {
+			seen[Key([]Value{row[kIdx], row[1]})]++
+		}
+		for _, row := range a.Rows {
+			if seen[Key([]Value{row[0], row[1]})] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinCardinalityMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomKeyedTables(r)
+		inner, err := Join(a, b, []string{"k"}, JoinInner)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, ra := range a.Rows {
+			for _, rb := range b.Rows {
+				if ra[0].Equal(rb[0]) {
+					want++
+				}
+			}
+		}
+		return inner.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase("fooddb")
+	db.AddTable(restaurantTable(t))
+	db.AddTable(commentTable(t))
+	db.AddForeignKey(ForeignKey{"comment", "rid", "restaurant", "rid"})
+
+	if got := db.TableNames(); len(got) != 2 || got[0] != "restaurant" {
+		t.Errorf("TableNames = %v", got)
+	}
+	if _, err := db.Table("nope"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("missing table err = %v", err)
+	}
+	tbl, err := db.Table("comment")
+	if err != nil || tbl.Len() != 6 {
+		t.Errorf("Table(comment) = %v, %v", tbl, err)
+	}
+	if got := db.TotalRows(); got != 13 {
+		t.Errorf("TotalRows = %d, want 13", got)
+	}
+	stats := db.Stats()
+	if len(stats) != 2 || stats[0].Name != "comment" || stats[0].Rows != 6 {
+		t.Errorf("Stats = %+v", stats)
+	}
+	if stats[0].Bytes == 0 {
+		t.Error("Stats bytes should be nonzero")
+	}
+	if got := db.ForeignKeys(); len(got) != 1 || got[0].FromTable != "comment" {
+		t.Errorf("ForeignKeys = %v", got)
+	}
+}
+
+func TestTableCloneIndependent(t *testing.T) {
+	r := restaurantTable(t)
+	c := r.Clone()
+	c.Rows[0][1] = String("Changed")
+	if r.Rows[0][1].AsString() == "Changed" {
+		t.Error("Clone shares row storage")
+	}
+	if got := c.String(); !strings.Contains(got, "restaurant") {
+		t.Errorf("String = %q", got)
+	}
+}

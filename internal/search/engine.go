@@ -1,0 +1,386 @@
+// Package search implements Dash's top-k db-page search (paper §VI,
+// Algorithm 1). Given queried keywords W, a result count k, and a db-page
+// size threshold s, it looks up relevant fragments in the inverted fragment
+// index, assembles them into db-pages along fragment-graph edges, and
+// returns the k most relevant pages as URLs that would regenerate them.
+//
+// Relevance follows the paper's modified TF/IDF: since db-pages are never
+// materialized, IDF of keyword w is approximated as 1/DF(w) over fragments,
+// and a page's TF for w is its occurrence count divided by its total
+// keyword count. Merging the queue head with a neighbour yields a mediant
+// of fractions, so scores are non-increasing along expansions — the
+// monotonicity Algorithm 1's early termination relies on.
+package search
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fragindex"
+	"repro/internal/relation"
+	"repro/internal/webapp"
+)
+
+// Errors returned by Search.
+var (
+	ErrNoKeywords = errors.New("search: no keywords given")
+	ErrBadK       = errors.New("search: k must be positive")
+)
+
+// Engine answers top-k searches over one application's fragment index.
+type Engine struct {
+	idx *fragindex.Index
+	app *webapp.Application // nil: results carry no URLs
+}
+
+// New creates an engine. app may be nil when URL formulation is not needed
+// (benchmarks measure pure search time that way).
+func New(idx *fragindex.Index, app *webapp.Application) *Engine {
+	return &Engine{idx: idx, app: app}
+}
+
+// Index returns the engine's fragment index.
+func (e *Engine) Index() *fragindex.Index { return e.idx }
+
+// App returns the engine's application (may be nil).
+func (e *Engine) App() *webapp.Application { return e.app }
+
+// Request is one top-k search invocation.
+type Request struct {
+	Keywords []string
+	K        int
+	// SizeThreshold is the paper's s: pages smaller than s keep expanding
+	// while fragments are available; pages at or above s stop growing.
+	SizeThreshold int
+	// AllowOverlap keeps results that share fragments with already
+	// accepted results. The default (false) excludes them, following the
+	// paper's observation that fragment-sharing pages are redundant.
+	AllowOverlap bool
+	// CandidateLimit caps how many postings are read per keyword
+	// (0 = all). Inverted lists are TF-descending, so reading only the
+	// "initial part of Lw" (paper §II) trades a bounded amount of recall
+	// for latency on hot keywords. IDF still uses the full DF.
+	CandidateLimit int
+	// RequireAll keeps only pages containing every queried keyword
+	// (conjunctive semantics); the default scores any matching keyword.
+	RequireAll bool
+}
+
+// Result is one suggested db-page.
+type Result struct {
+	// URL regenerates the db-page through the web application ("" when
+	// the engine has no application bound).
+	URL string
+	// QueryString is the URL's query-string part.
+	QueryString string
+	// Score is the page's TF/IDF relevance.
+	Score float64
+	// Fragments lists the page's fragments in range order.
+	Fragments []fragindex.FragRef
+	// Size is the page's total keyword count.
+	Size int64
+	// EqValues and RangeLo/RangeHi describe the page's parameter box.
+	EqValues         map[string]relation.Value
+	RangeLo, RangeHi relation.Value
+}
+
+// candidate is a pending db-page: a contiguous interval of one equality
+// group's members.
+type candidate struct {
+	members []fragindex.FragRef // the full group, shared
+	lo, hi  int                 // inclusive interval within members
+	occ     []int64             // per query keyword occurrence counts
+	size    int64
+	score   float64
+	seed    fragindex.FragRef // originating fragment (for removal tracking)
+}
+
+type pageHeap []*candidate
+
+func (h pageHeap) Len() int { return len(h) }
+func (h pageHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	// Deterministic tie-break: smaller page first, then seed order.
+	if h[i].size != h[j].size {
+		return h[i].size < h[j].size
+	}
+	return h[i].seed < h[j].seed
+}
+func (h pageHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pageHeap) Push(x any)   { *h = append(*h, x.(*candidate)) }
+func (h *pageHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}
+
+// Search runs Algorithm 1 and returns at most req.K results ordered by
+// descending relevance.
+func (e *Engine) Search(req Request) ([]Result, error) {
+	keywords := normalizeKeywords(req.Keywords)
+	if len(keywords) == 0 {
+		return nil, ErrNoKeywords
+	}
+	if req.K <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadK, req.K)
+	}
+
+	// Line 1: fragments relevant to W, with IDF weights and per-fragment
+	// occurrence vectors.
+	idf := make([]float64, len(keywords))
+	occOf := make(map[fragindex.FragRef][]int64)
+	for i, w := range keywords {
+		ps := e.idx.Postings(w)
+		if len(ps) == 0 {
+			continue
+		}
+		idf[i] = 1 / float64(len(ps))
+		if req.CandidateLimit > 0 && len(ps) > req.CandidateLimit {
+			// TF-descending lists make the prefix the highest-TF
+			// fragments — the paper's partial inverted-list read.
+			ps = ps[:req.CandidateLimit]
+		}
+		for _, p := range ps {
+			v, ok := occOf[p.Frag]
+			if !ok {
+				v = make([]int64, len(keywords))
+				occOf[p.Frag] = v
+			}
+			v[i] += p.TF
+		}
+	}
+	if len(occOf) == 0 {
+		return nil, nil // no relevant fragments, empty result
+	}
+
+	// Line 2: seed the priority queue with single-fragment pages.
+	q := make(pageHeap, 0, len(occOf))
+	for ref, occ := range occOf {
+		meta, err := e.idx.Meta(ref)
+		if err != nil {
+			return nil, err
+		}
+		members, pos, err := e.idx.GroupMembers(ref)
+		if err != nil {
+			return nil, err
+		}
+		c := &candidate{
+			members: members,
+			lo:      pos,
+			hi:      pos,
+			// Copy: expansion mutates the candidate's vector, while
+			// occOf's entries must stay pristine for gain lookups.
+			occ:  append([]int64(nil), occ...),
+			size: meta.Terms,
+			seed: ref,
+		}
+		c.score = score(c.occ, c.size, idf)
+		q = append(q, c)
+	}
+	heap.Init(&q)
+
+	consumed := make(map[fragindex.FragRef]bool) // seeds used in expansions
+	used := make(map[fragindex.FragRef]bool)     // fragments inside accepted results
+	seen := make(map[string]bool)                // emitted page signatures
+	var out []Result
+
+	// Lines 4-9: assemble pages best-first.
+	for q.Len() > 0 && len(out) < req.K {
+		c := heap.Pop(&q).(*candidate)
+		if c.lo == c.hi && consumed[c.members[c.lo]] {
+			continue // seed absorbed into an earlier expansion (line 8)
+		}
+		if e.expandable(c, req.SizeThreshold) {
+			e.expand(c, occOf, idf, consumed)
+			heap.Push(&q, c)
+			continue
+		}
+		// Line 6-7: not expandable — emit.
+		sig := pageSignature(c)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		if req.RequireAll && !hasAll(c.occ) {
+			continue
+		}
+		if !req.AllowOverlap {
+			overlap := false
+			for i := c.lo; i <= c.hi; i++ {
+				if used[c.members[i]] {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				continue
+			}
+			for i := c.lo; i <= c.hi; i++ {
+				used[c.members[i]] = true
+			}
+		}
+		res, err := e.resultFor(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+// expandable implements line 6's test:  is smaller than s and a neighbour
+// fragment exists.
+func (e *Engine) expandable(c *candidate, s int) bool {
+	if c.size >= int64(s) {
+		return false
+	}
+	return c.lo > 0 || c.hi < len(c.members)-1
+}
+
+// expand grows the page by its best neighbour: relevant fragments are
+// favoured (highest added weighted occurrence), then smaller fragments.
+// An absorbed relevant seed is marked consumed so its queue entry dies.
+func (e *Engine) expand(c *candidate, occOf map[fragindex.FragRef][]int64,
+	idf []float64, consumed map[fragindex.FragRef]bool) {
+
+	type option struct {
+		ref   fragindex.FragRef
+		left  bool
+		gain  float64
+		terms int64
+	}
+	var opts []option
+	if c.lo > 0 {
+		ref := c.members[c.lo-1]
+		meta, _ := e.idx.Meta(ref)
+		opts = append(opts, option{ref: ref, left: true, gain: weighted(occOf[ref], idf), terms: meta.Terms})
+	}
+	if c.hi < len(c.members)-1 {
+		ref := c.members[c.hi+1]
+		meta, _ := e.idx.Meta(ref)
+		opts = append(opts, option{ref: ref, left: false, gain: weighted(occOf[ref], idf), terms: meta.Terms})
+	}
+	best := opts[0]
+	if len(opts) == 2 {
+		o := opts[1]
+		if o.gain > best.gain || (o.gain == best.gain && o.terms < best.terms) {
+			best = o
+		}
+	}
+	if best.left {
+		c.lo--
+	} else {
+		c.hi++
+	}
+	meta, _ := e.idx.Meta(best.ref)
+	c.size += meta.Terms
+	if occ, ok := occOf[best.ref]; ok {
+		for i := range c.occ {
+			c.occ[i] += occ[i]
+		}
+		consumed[best.ref] = true
+	}
+	c.score = score(c.occ, c.size, idf)
+}
+
+// score computes Σ_w (occ_w / size) × IDF_w.
+func score(occ []int64, size int64, idf []float64) float64 {
+	if size == 0 {
+		return 0
+	}
+	return weighted(occ, idf) / float64(size)
+}
+
+// hasAll reports whether every queried keyword occurs in the page.
+func hasAll(occ []int64) bool {
+	for _, n := range occ {
+		if n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// weighted computes Σ_w occ_w × IDF_w (occ may be nil for an irrelevant
+// fragment).
+func weighted(occ []int64, idf []float64) float64 {
+	var sum float64
+	for i, n := range occ {
+		sum += float64(n) * idf[i]
+	}
+	return sum
+}
+
+// resultFor formulates the page's parameter box and URL (line 10).
+func (e *Engine) resultFor(c *candidate) (Result, error) {
+	frags := make([]fragindex.FragRef, 0, c.hi-c.lo+1)
+	for i := c.lo; i <= c.hi; i++ {
+		frags = append(frags, c.members[i])
+	}
+	eqVals, err := e.idx.EqValues(frags[0])
+	if err != nil {
+		return Result{}, err
+	}
+	lo, err := e.idx.RangeValue(frags[0])
+	if err != nil {
+		return Result{}, err
+	}
+	hi, err := e.idx.RangeValue(frags[len(frags)-1])
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Score:     c.score,
+		Fragments: frags,
+		Size:      c.size,
+		EqValues:  eqVals,
+		RangeLo:   lo,
+		RangeHi:   hi,
+	}
+	if e.app != nil {
+		params, err := e.app.PageParams(eqVals, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		res.QueryString, err = e.app.FormatQueryString(params)
+		if err != nil {
+			return Result{}, err
+		}
+		res.URL, err = e.app.FormatURL(params)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// pageSignature identifies a page by its fragment interval endpoints (frag
+// refs are globally unique, so the pair pins the page down).
+func pageSignature(c *candidate) string {
+	return fmt.Sprintf("%d:%d", c.members[c.lo], c.members[c.hi])
+}
+
+// normalizeKeywords lower-cases, splits, and deduplicates query keywords.
+func normalizeKeywords(words []string) []string {
+	var out []string
+	seen := make(map[string]bool, len(words))
+	for _, w := range words {
+		for _, f := range strings.Fields(strings.ToLower(w)) {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"sort"
+)
+
+// MultiEngine federates top-k search across several web applications that
+// share an underlying database — the paper's second future-work direction.
+// Db-pages from different applications can carry the same content when the
+// applications expose overlapping selection attributes; MultiEngine
+// eliminates such duplicates by the pages' selection-value composition.
+type MultiEngine struct {
+	engines []*Engine
+}
+
+// NewMulti creates a federated engine over the given per-application
+// engines.
+func NewMulti(engines ...*Engine) *MultiEngine {
+	return &MultiEngine{engines: engines}
+}
+
+// MultiResult pairs a result with the application that produced it.
+type MultiResult struct {
+	Result
+	AppName string
+}
+
+// Search runs the request against every application and merges the results:
+// pages are ranked by score across applications, and when two applications
+// derive pages from the same fragment composition (identical selection
+// attribute values), only the higher-scoring one is kept.
+func (m *MultiEngine) Search(req Request) ([]MultiResult, error) {
+	perApp := req
+	var all []MultiResult
+	for _, e := range m.engines {
+		rs, err := e.Search(perApp)
+		if err != nil {
+			return nil, err
+		}
+		name := ""
+		if e.app != nil {
+			name = e.app.Name
+		}
+		for _, r := range rs {
+			all = append(all, MultiResult{Result: r, AppName: name})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+
+	seen := make(map[string]bool, len(all))
+	out := make([]MultiResult, 0, req.K)
+	for _, r := range all {
+		sig := contentSignature(r)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, r)
+		if len(out) == req.K {
+			break
+		}
+	}
+	return out, nil
+}
+
+// contentSignature captures the page's underlying record selection: its
+// equality values plus range interval. Two applications projecting the same
+// records produce pages with equal signatures.
+func contentSignature(r MultiResult) string {
+	keys := make([]string, 0, len(r.EqValues))
+	for k := range r.EqValues {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sig := ""
+	for _, k := range keys {
+		sig += k + "=" + r.EqValues[k].Text() + ";"
+	}
+	sig += "[" + r.RangeLo.Text() + "," + r.RangeHi.Text() + "]"
+	return sig
+}
+
+// Engines returns the federated engines (for inspection).
+func (m *MultiEngine) Engines() []*Engine { return m.engines }

@@ -1,0 +1,112 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestCandidateLimitPrefix: limiting candidates to 1 keeps only the
+// highest-TF fragment per keyword as a seed.
+func TestCandidateLimitPrefix(t *testing.T) {
+	e := fooddbEngine(t)
+	results, err := e.Search(Request{
+		Keywords: []string{"burger"}, K: 10, SizeThreshold: 1, CandidateLimit: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1 (only the top posting read)", len(results))
+	}
+	// The retained fragment is the highest-TF one: (American,10) with 2.
+	if results[0].QueryString != "c=American&l=10&u=10" {
+		t.Errorf("top = %s", results[0].QueryString)
+	}
+	// IDF still reflects the full DF (3 fragments), so the score matches
+	// the unlimited run's top score.
+	full, err := e.Search(Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Score != full[0].Score {
+		t.Errorf("limited score %v != full score %v", results[0].Score, full[0].Score)
+	}
+}
+
+func TestCandidateLimitLargerThanListIsNoop(t *testing.T) {
+	e := fooddbEngine(t)
+	limited, err := e.Search(Request{
+		Keywords: []string{"burger"}, K: 5, SizeThreshold: 20, CandidateLimit: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.Search(Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != len(full) {
+		t.Fatalf("limited = %d results, full = %d", len(limited), len(full))
+	}
+	for i := range full {
+		if limited[i].URL != full[i].URL || limited[i].Score != full[i].Score {
+			t.Errorf("result %d differs: %v vs %v", i, limited[i], full[i])
+		}
+	}
+}
+
+// TestRequireAllConjunctive: "burger fries" with RequireAll only returns
+// pages containing both; (Thai,10) has burger but no fries.
+func TestRequireAllConjunctive(t *testing.T) {
+	e := fooddbEngine(t)
+	results, err := e.Search(Request{
+		Keywords: []string{"burger", "fries"}, K: 10, SizeThreshold: 1, RequireAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1: %+v", len(results), results)
+	}
+	if !results[0].EqValues["cuisine"].Equal(relation.String("American")) ||
+		!results[0].RangeLo.Equal(relation.Int(12)) {
+		t.Errorf("conjunctive result = %+v", results[0])
+	}
+
+	// Without RequireAll the burger-only pages come back too.
+	loose, err := e.Search(Request{
+		Keywords: []string{"burger", "fries"}, K: 10, SizeThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) <= len(results) {
+		t.Errorf("disjunctive results = %d, want more than %d", len(loose), len(results))
+	}
+}
+
+// TestRequireAllSatisfiedByExpansion: neither (American,10) nor
+// (American,9) alone has both "burger" and "coffee", but a page spanning
+// 9..10 does — expansion can satisfy conjunctive queries.
+func TestRequireAllSatisfiedByExpansion(t *testing.T) {
+	e := fooddbEngine(t)
+	results, err := e.Search(Request{
+		Keywords: []string{"burger", "coffee"}, K: 5, SizeThreshold: 17, RequireAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no conjunctive results")
+	}
+	found := false
+	for _, r := range results {
+		if r.RangeLo.Equal(relation.Int(9)) && r.RangeHi.Compare(relation.Int(10)) >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no merged page spanning 9..10: %+v", results)
+	}
+}

@@ -1,0 +1,88 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/webapp"
+)
+
+// The three application queries of Table III, written as the servlet-style
+// web applications Dash's analyzer reverse-engineers. Q1 touches the small
+// relations (region, nation, customer); Q2 the three large ones (customer,
+// orders, lineitem); Q3 adds part through a bushy join.
+const (
+	// Q1Servlet: select * from (R ⨝ N) ⨝ C
+	// where R.RID = $r and C.ACCBAL between $min and $max.
+	Q1Servlet = `
+public class Q1 extends HttpServlet {
+  public void doGet(HttpServletRequest q, HttpServletResponse p) {
+    String r = q.getParameter("r");
+    String min = q.getParameter("l");
+    String max = q.getParameter("u");
+    Connection cn = DB.connect();
+    Query = "SELECT * FROM (region JOIN nation) JOIN customer " +
+        "WHERE (region.regionkey = " + r + ") AND (acctbal BETWEEN " + min + " AND " + max + ")";
+    ResultSet rs = cn.createStatement().executeQuery(Query);
+    output(p, rs);
+  }
+}`
+
+	// Q2Servlet: select * from (C ⨝ O) ⨝ L
+	// where C.CID = $r and L.QTY between $min and $max.
+	Q2Servlet = `
+public class Q2 extends HttpServlet {
+  public void doGet(HttpServletRequest q, HttpServletResponse p) {
+    String r = q.getParameter("r");
+    String min = q.getParameter("l");
+    String max = q.getParameter("u");
+    Connection cn = DB.connect();
+    Query = "SELECT * FROM (customer JOIN orders) JOIN lineitem " +
+        "WHERE (customer.custkey = " + r + ") AND (qty BETWEEN " + min + " AND " + max + ")";
+    ResultSet rs = cn.createStatement().executeQuery(Query);
+    output(p, rs);
+  }
+}`
+
+	// Q3Servlet: select * from (C ⨝ O) ⨝ (L ⨝ P)
+	// where C.CID = $r and L.QTY between $min and $max.
+	Q3Servlet = `
+public class Q3 extends HttpServlet {
+  public void doGet(HttpServletRequest q, HttpServletResponse p) {
+    String r = q.getParameter("r");
+    String min = q.getParameter("l");
+    String max = q.getParameter("u");
+    Connection cn = DB.connect();
+    Query = "SELECT * FROM (customer JOIN orders) JOIN (lineitem JOIN part) " +
+        "WHERE (customer.custkey = " + r + ") AND (qty BETWEEN " + min + " AND " + max + ")";
+    ResultSet rs = cn.createStatement().executeQuery(Query);
+    output(p, rs);
+  }
+}`
+)
+
+// QueryNames lists the workload queries in paper order.
+func QueryNames() []string { return []string{"Q1", "Q2", "Q3"} }
+
+// Servlet returns the servlet source of a named query.
+func Servlet(name string) (string, error) {
+	switch name {
+	case "Q1":
+		return Q1Servlet, nil
+	case "Q2":
+		return Q2Servlet, nil
+	case "Q3":
+		return Q3Servlet, nil
+	default:
+		return "", fmt.Errorf("tpch: unknown query %q (want Q1, Q2, or Q3)", name)
+	}
+}
+
+// App analyzes a named query's servlet into a web application rooted at a
+// synthetic URL.
+func App(name string) (*webapp.Application, error) {
+	src, err := Servlet(name)
+	if err != nil {
+		return nil, err
+	}
+	return webapp.Analyze(src, "http://tpch.example.com/"+name)
+}

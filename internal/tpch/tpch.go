@@ -1,0 +1,237 @@
+// Package tpch generates TPC-H-like databases for Dash's performance
+// evaluation (paper §VII). The paper used TPC-H dbgen at three scales
+// (Table II); this generator produces the same six relations — region,
+// nation, customer, orders, lineitem, part — with the same key structure
+// and relative sizes, scaled to laptop proportions, plus the three
+// application queries of Table III as servlet-style web applications.
+//
+// Text columns draw words from a Zipf-distributed vocabulary so keyword
+// document frequencies span the hot/warm/cold bands the paper's top-k
+// search experiment selects from.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// Scale sizes one generated dataset. Row counts keep the paper's relative
+// relation sizes (customer ≪ orders ≪ lineitem).
+type Scale struct {
+	Name          string
+	Customers     int
+	OrdersPerCust int
+	LinesPerOrder int
+	Parts         int
+}
+
+// The three dataset scales of Table II, shrunk proportionally to run on one
+// machine (the paper's small/medium/large were 0.9/4.7/9.5 GB on a Hadoop
+// cluster; relative sizes C:O:L are preserved).
+var (
+	Small  = Scale{Name: "small", Customers: 800, OrdersPerCust: 5, LinesPerOrder: 3, Parts: 300}
+	Medium = Scale{Name: "medium", Customers: 2400, OrdersPerCust: 7, LinesPerOrder: 4, Parts: 900}
+	Large  = Scale{Name: "large", Customers: 4800, OrdersPerCust: 8, LinesPerOrder: 4, Parts: 1800}
+)
+
+// Scales lists the presets in size order.
+func Scales() []Scale { return []Scale{Small, Medium, Large} }
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, error) {
+	for _, s := range Scales() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scale{}, fmt.Errorf("tpch: unknown scale %q (want small, medium, or large)", name)
+}
+
+// vocabulary returns the deterministic word pool. Rank correlates with
+// popularity through the Zipf sampler, so low-numbered words become hot
+// keywords and the long tail stays cold.
+func vocabulary(n int) []string {
+	syllables := []string{"ca", "to", "ri", "mun", "del", "sor", "bex", "lin", "qua", "fen",
+		"dor", "vel", "tam", "pol", "gri", "hax", "neb", "ost", "ruk", "zam"}
+	out := make([]string, n)
+	for i := range out {
+		w := ""
+		x := i + 7
+		for len(w) < 4 || x > 0 {
+			w += syllables[x%len(syllables)]
+			x /= len(syllables)
+		}
+		out[i] = fmt.Sprintf("%s%d", w, i%97)
+	}
+	return out
+}
+
+// textGen samples comment strings with Zipf-distributed word choice.
+type textGen struct {
+	words []string
+	zipf  *rand.Zipf
+	r     *rand.Rand
+}
+
+func newTextGen(r *rand.Rand) *textGen {
+	words := vocabulary(1500)
+	return &textGen{
+		words: words,
+		zipf:  rand.NewZipf(r, 1.2, 1.0, uint64(len(words)-1)),
+		r:     r,
+	}
+}
+
+// comment produces a 3..3+spread word comment.
+func (g *textGen) comment(spread int) string {
+	n := 3 + g.r.Intn(spread+1)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += g.words[g.zipf.Uint64()]
+	}
+	return out
+}
+
+var (
+	regionNames = []string{"africa", "america", "asia", "europe", "mideast"}
+	statuses    = []string{"open", "filled", "pending"}
+	shipmodes   = []string{"air", "rail", "ship", "truck", "mail"}
+	brands      = []string{"acme", "borel", "colda", "drimm", "eonix"}
+	ptypes      = []string{"anodized brass", "burnished copper", "economy tin", "polished steel", "standard nickel"}
+)
+
+// Generate builds a database at the given scale. The same (scale, seed)
+// always produces the same database.
+func Generate(scale Scale, seed int64) *relation.Database {
+	r := rand.New(rand.NewSource(seed))
+	text := newTextGen(r)
+	db := relation.NewDatabase("tpch-" + scale.Name)
+
+	region := relation.NewTable(relation.MustSchema("region",
+		relation.Column{Name: "regionkey", Kind: relation.KindInt},
+		relation.Column{Name: "rname", Kind: relation.KindString},
+		relation.Column{Name: "rcomment", Kind: relation.KindString},
+	))
+	for i := 0; i < 5; i++ {
+		mustAppend(region, relation.Row{
+			relation.Int(int64(i)),
+			relation.String(regionNames[i]),
+			relation.String(text.comment(3)),
+		})
+	}
+
+	nation := relation.NewTable(relation.MustSchema("nation",
+		relation.Column{Name: "nationkey", Kind: relation.KindInt},
+		relation.Column{Name: "regionkey", Kind: relation.KindInt},
+		relation.Column{Name: "nname", Kind: relation.KindString},
+		relation.Column{Name: "ncomment", Kind: relation.KindString},
+	))
+	for i := 0; i < 25; i++ {
+		mustAppend(nation, relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(int64(i % 5)),
+			relation.String(fmt.Sprintf("nation%02d", i)),
+			relation.String(text.comment(4)),
+		})
+	}
+
+	customer := relation.NewTable(relation.MustSchema("customer",
+		relation.Column{Name: "custkey", Kind: relation.KindInt},
+		relation.Column{Name: "nationkey", Kind: relation.KindInt},
+		relation.Column{Name: "cname", Kind: relation.KindString},
+		relation.Column{Name: "acctbal", Kind: relation.KindInt},
+		relation.Column{Name: "ccomment", Kind: relation.KindString},
+	))
+	for i := 0; i < scale.Customers; i++ {
+		mustAppend(customer, relation.Row{
+			relation.Int(int64(i)),
+			relation.Int(int64(r.Intn(25))),
+			relation.String(fmt.Sprintf("customer%06d", i)),
+			relation.Int(int64(r.Intn(1000))),
+			relation.String(text.comment(12)),
+		})
+	}
+
+	orders := relation.NewTable(relation.MustSchema("orders",
+		relation.Column{Name: "orderkey", Kind: relation.KindInt},
+		relation.Column{Name: "custkey", Kind: relation.KindInt},
+		relation.Column{Name: "ostatus", Kind: relation.KindString},
+		relation.Column{Name: "odate", Kind: relation.KindString},
+		relation.Column{Name: "ocomment", Kind: relation.KindString},
+	))
+	lineitem := relation.NewTable(relation.MustSchema("lineitem",
+		relation.Column{Name: "orderkey", Kind: relation.KindInt},
+		relation.Column{Name: "partkey", Kind: relation.KindInt},
+		relation.Column{Name: "linenum", Kind: relation.KindInt},
+		relation.Column{Name: "qty", Kind: relation.KindInt},
+		relation.Column{Name: "price", Kind: relation.KindFloat},
+		relation.Column{Name: "shipmode", Kind: relation.KindString},
+		relation.Column{Name: "lcomment", Kind: relation.KindString},
+	))
+	orderkey := int64(0)
+	for c := 0; c < scale.Customers; c++ {
+		for o := 0; o < scale.OrdersPerCust; o++ {
+			mustAppend(orders, relation.Row{
+				relation.Int(orderkey),
+				relation.Int(int64(c)),
+				relation.String(statuses[r.Intn(len(statuses))]),
+				relation.String(fmt.Sprintf("19%02d-%02d-%02d", 92+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28))),
+				relation.String(text.comment(9)),
+			})
+			for l := 0; l < scale.LinesPerOrder; l++ {
+				mustAppend(lineitem, relation.Row{
+					relation.Int(orderkey),
+					relation.Int(int64(r.Intn(scale.Parts))),
+					relation.Int(int64(l + 1)),
+					relation.Int(int64(1 + r.Intn(50))),
+					relation.Float(float64(5+r.Intn(495)) + 0.5*float64(r.Intn(2))),
+					relation.String(shipmodes[r.Intn(len(shipmodes))]),
+					relation.String(text.comment(4)),
+				})
+			}
+			orderkey++
+		}
+	}
+
+	part := relation.NewTable(relation.MustSchema("part",
+		relation.Column{Name: "partkey", Kind: relation.KindInt},
+		relation.Column{Name: "pname", Kind: relation.KindString},
+		relation.Column{Name: "brand", Kind: relation.KindString},
+		relation.Column{Name: "ptype", Kind: relation.KindString},
+		relation.Column{Name: "pcomment", Kind: relation.KindString},
+	))
+	for i := 0; i < scale.Parts; i++ {
+		mustAppend(part, relation.Row{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("part%05d %s", i, text.comment(1))),
+			relation.String(brands[r.Intn(len(brands))]),
+			relation.String(ptypes[r.Intn(len(ptypes))]),
+			relation.String(text.comment(4)),
+		})
+	}
+
+	db.AddTable(region)
+	db.AddTable(nation)
+	db.AddTable(customer)
+	db.AddTable(orders)
+	db.AddTable(lineitem)
+	db.AddTable(part)
+
+	db.AddForeignKey(relation.ForeignKey{FromTable: "nation", FromCol: "regionkey", ToTable: "region", ToCol: "regionkey"})
+	db.AddForeignKey(relation.ForeignKey{FromTable: "customer", FromCol: "nationkey", ToTable: "nation", ToCol: "nationkey"})
+	db.AddForeignKey(relation.ForeignKey{FromTable: "orders", FromCol: "custkey", ToTable: "customer", ToCol: "custkey"})
+	db.AddForeignKey(relation.ForeignKey{FromTable: "lineitem", FromCol: "orderkey", ToTable: "orders", ToCol: "orderkey"})
+	db.AddForeignKey(relation.ForeignKey{FromTable: "lineitem", FromCol: "partkey", ToTable: "part", ToCol: "partkey"})
+	return db
+}
+
+func mustAppend(t *relation.Table, row relation.Row) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}

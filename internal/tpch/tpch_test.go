@@ -1,0 +1,230 @@
+package tpch
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/crawl"
+	"repro/internal/fragindex"
+	"repro/internal/relation"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Small, 42)
+	b := Generate(Small, 42)
+	for _, name := range a.TableNames() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s: %d vs %d rows", name, ta.Len(), tb.Len())
+		}
+		for i := range ta.Rows {
+			if relation.CompareRows(ta.Rows[i], tb.Rows[i]) != 0 {
+				t.Fatalf("%s row %d differs", name, i)
+			}
+		}
+	}
+	c := Generate(Small, 43)
+	tc, _ := c.Table("customer")
+	ta, _ := a.Table("customer")
+	same := true
+	for i := range ta.Rows {
+		if relation.CompareRows(ta.Rows[i], tc.Rows[i]) != 0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical customers")
+	}
+}
+
+func TestScaleShape(t *testing.T) {
+	db := Generate(Small, 1)
+	counts := map[string]int{}
+	for _, st := range db.Stats() {
+		counts[st.Name] = st.Rows
+	}
+	if counts["region"] != 5 || counts["nation"] != 25 {
+		t.Errorf("region/nation = %d/%d", counts["region"], counts["nation"])
+	}
+	if counts["customer"] != Small.Customers {
+		t.Errorf("customers = %d", counts["customer"])
+	}
+	if counts["orders"] != Small.Customers*Small.OrdersPerCust {
+		t.Errorf("orders = %d", counts["orders"])
+	}
+	if counts["lineitem"] != counts["orders"]*Small.LinesPerOrder {
+		t.Errorf("lineitem = %d", counts["lineitem"])
+	}
+	// The paper's ordering: customer ≪ orders ≪ lineitem.
+	if !(counts["customer"] < counts["orders"] && counts["orders"] < counts["lineitem"]) {
+		t.Errorf("relative sizes broken: %v", counts)
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	s, err := ScaleByName("medium")
+	if err != nil || s.Name != "medium" {
+		t.Errorf("ScaleByName(medium) = %v, %v", s, err)
+	}
+	if _, err := ScaleByName("giant"); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if got := len(Scales()); got != 3 {
+		t.Errorf("Scales() = %d", got)
+	}
+}
+
+func TestAppsAnalyzeAndBind(t *testing.T) {
+	db := Generate(Small, 7)
+	for _, name := range QueryNames() {
+		app, err := App(name)
+		if err != nil {
+			t.Fatalf("App(%s): %v", name, err)
+		}
+		if app.Name != name {
+			t.Errorf("app name = %s, want %s", app.Name, name)
+		}
+		if err := app.Bind(db); err != nil {
+			t.Fatalf("Bind(%s): %v", name, err)
+		}
+		b, err := app.Bound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(b.SelAttrs); got != 2 {
+			t.Errorf("%s sel attrs = %v", name, b.SelAttrs)
+		}
+		if _, err := fragindex.SpecFromBound(b); err != nil {
+			t.Errorf("%s spec: %v", name, err)
+		}
+	}
+	if _, err := Servlet("Q9"); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+// TestQ1EndToEnd crawls Q1 on a small dataset with both algorithms and
+// verifies they agree; Q1's operand relations are tiny so this stays fast.
+func TestQ1EndToEnd(t *testing.T) {
+	db := Generate(Small, 3)
+	app, err := App("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := app.Bound()
+	ref, err := crawl.Reference(db, b)
+	if err != nil {
+		t.Fatalf("Reference: %v", err)
+	}
+	in, err := crawl.Integrated(context.Background(), db, b, crawl.Options{})
+	if err != nil {
+		t.Fatalf("Integrated: %v", err)
+	}
+	if len(ref.FragmentTerms) != len(in.FragmentTerms) {
+		t.Fatalf("fragment counts differ: %d vs %d", len(ref.FragmentTerms), len(in.FragmentTerms))
+	}
+	for k, v := range ref.FragmentTerms {
+		if in.FragmentTerms[k] != v {
+			t.Fatalf("fragment terms differ for a fragment: %d vs %d", v, in.FragmentTerms[k])
+		}
+	}
+	// Q1 fragments are (regionkey, acctbal) pairs — at most 5×1000.
+	if len(ref.FragmentTerms) > 5000 {
+		t.Errorf("Q1 fragments = %d, want ≤ 5000", len(ref.FragmentTerms))
+	}
+}
+
+// TestQ2AndQ3ShareFragmentCount verifies Table IV's structural fact: Q2 and
+// Q3 have identical selection attributes, hence identical fragment counts,
+// while Q3's fragments carry more keywords (part attributes join in).
+func TestQ2AndQ3ShareFragmentCount(t *testing.T) {
+	db := Generate(Scale{Name: "tiny", Customers: 60, OrdersPerCust: 3, LinesPerOrder: 2, Parts: 40}, 5)
+	outs := make(map[string]*crawl.Output)
+	for _, name := range []string{"Q2", "Q3"} {
+		app, err := App(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Bind(db); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := app.Bound()
+		out, err := crawl.Reference(db, b)
+		if err != nil {
+			t.Fatalf("Reference(%s): %v", name, err)
+		}
+		outs[name] = out
+	}
+	if len(outs["Q2"].FragmentTerms) != len(outs["Q3"].FragmentTerms) {
+		t.Errorf("fragment counts: Q2 = %d, Q3 = %d — paper says equal",
+			len(outs["Q2"].FragmentTerms), len(outs["Q3"].FragmentTerms))
+	}
+	var sum2, sum3 int64
+	for _, v := range outs["Q2"].FragmentTerms {
+		sum2 += v
+	}
+	for _, v := range outs["Q3"].FragmentTerms {
+		sum3 += v
+	}
+	if sum3 <= sum2 {
+		t.Errorf("avg keywords: Q3 (%d total) should exceed Q2 (%d total)", sum3, sum2)
+	}
+}
+
+// TestZipfVocabulary checks the keyword DF distribution is skewed: the most
+// frequent word should appear in far more fragments than the median word.
+func TestZipfVocabulary(t *testing.T) {
+	db := Generate(Small, 11)
+	app, err := App("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := app.Bound()
+	out, err := crawl.Reference(db, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs := make([]int, 0, len(out.Inverted))
+	for _, ps := range out.Inverted {
+		dfs = append(dfs, len(ps))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dfs)))
+	if len(dfs) < 100 {
+		t.Fatalf("vocabulary too small: %d keywords", len(dfs))
+	}
+	hot, median := dfs[0], dfs[len(dfs)/2]
+	if hot < 20*median {
+		t.Errorf("DF skew too flat: hot=%d median=%d", hot, median)
+	}
+}
+
+func TestExecutePageQ2(t *testing.T) {
+	db := Generate(Scale{Name: "tiny", Customers: 30, OrdersPerCust: 2, LinesPerOrder: 2, Parts: 20}, 9)
+	app, err := App("Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	page, err := app.Execute("r=3&l=1&u=50")
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// Customer 3 has 2 orders × 2 lines = 4 joined rows.
+	if page.Len() != 4 {
+		t.Errorf("page rows = %d, want 4", page.Len())
+	}
+	if !page.Schema.HasColumn("qty") || !page.Schema.HasColumn("cname") {
+		t.Errorf("page columns = %v", page.Schema.ColumnNames())
+	}
+}

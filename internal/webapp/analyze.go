@@ -1,0 +1,150 @@
+// Package webapp models database-backed web applications and Dash's
+// web-application analysis (paper §III–§IV).
+//
+// A web application's execution has three steps: (a) query-string parsing,
+// (b) application-query evaluation, and (c) result presentation. Dash
+// reverse-engineers step (a): Analyze inspects servlet-style source code
+// (Fig. 3), symbolically reconstructs the SQL text the code would build,
+// and extracts the binding between HTTP query-string fields and query
+// parameters. The result — an Application — can run forwards (parse a query
+// string, evaluate, render a db-page) and backwards (format the query
+// string/URL that would generate a given db-page), which is how the top-k
+// search turns assembled fragments into URLs.
+package webapp
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/psj"
+)
+
+// Errors returned by analysis.
+var (
+	ErrNoServletClass = errors.New("webapp: no servlet class declaration found")
+	ErrNoQuery        = errors.New("webapp: no SQL query assignment found")
+	ErrUnboundVar     = errors.New("webapp: SQL references a variable with no getParameter binding")
+)
+
+// Binding associates an HTTP query-string field with a query parameter.
+// For the running example, field "c" binds parameter $cuisine.
+type Binding struct {
+	Field string // query-string field name, e.g. "c"
+	Param string // PSJ parameter name, e.g. "cuisine"
+}
+
+var (
+	classRe = regexp.MustCompile(`class\s+(\w+)\s+extends\s+HttpServlet`)
+	paramRe = regexp.MustCompile(`(\w+)\s*=\s*\w+\.getParameter\(\s*['"](\w+)['"]\s*\)`)
+	// queryRe matches an assignment whose right-hand side is a string
+	// concatenation; the SQL assignment is the one containing SELECT.
+	queryRe = regexp.MustCompile(`(?s)(\w+)\s*=\s*("(?:[^"\\]|\\.)*"(?:\s*\+\s*(?:"(?:[^"\\]|\\.)*"|\w+))*)\s*;`)
+	// concatTokRe splits a concatenation into string literals and idents.
+	concatTokRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|(\w+)`)
+)
+
+// Analyze reverse-engineers a servlet-style source file into an Application.
+// It performs the paper's "web application analysis": locating the query
+// string parsing statements (getParameter calls), symbolically evaluating
+// the string concatenation that builds the SQL text, and parsing the result
+// as a parameterized PSJ query whose parameters are the servlet's local
+// variables.
+//
+// baseURL is the URI the application is served under (its db-page URLs are
+// baseURL?field=value&…).
+func Analyze(src, baseURL string) (*Application, error) {
+	cm := classRe.FindStringSubmatch(src)
+	if cm == nil {
+		return nil, ErrNoServletClass
+	}
+	name := cm[1]
+
+	// Step (a) reverse engineering: variable ← query-string field.
+	varToField := make(map[string]string)
+	var fieldOrder []string
+	for _, m := range paramRe.FindAllStringSubmatch(src, -1) {
+		varToField[m[1]] = m[2]
+		fieldOrder = append(fieldOrder, m[1])
+	}
+
+	// Locate the SQL-building assignment and symbolically evaluate it:
+	// string literals concatenate verbatim; variables become $var
+	// placeholders. Quote characters adjacent to a placeholder belong to
+	// the SQL dialect ('$cuisine' stays quoted — the PSJ parser accepts
+	// quoted parameters).
+	var sql string
+	for _, m := range queryRe.FindAllStringSubmatch(src, -1) {
+		rhs := m[2]
+		if !strings.Contains(strings.ToUpper(rhs), "SELECT") {
+			continue
+		}
+		var b strings.Builder
+		for _, tok := range concatTokRe.FindAllStringSubmatch(rhs, -1) {
+			if tok[2] != "" { // identifier
+				if _, ok := varToField[tok[2]]; !ok {
+					return nil, fmt.Errorf("%w: %s", ErrUnboundVar, tok[2])
+				}
+				b.WriteString("$" + tok[2])
+				continue
+			}
+			b.WriteString(unescapeJava(tok[1]))
+		}
+		sql = b.String()
+		break
+	}
+	if sql == "" {
+		return nil, ErrNoQuery
+	}
+
+	q, err := psj.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("webapp: reconstructed SQL %q: %w", sql, err)
+	}
+
+	// Bindings, in the order parameters appear in the source.
+	var bindings []Binding
+	used := make(map[string]bool)
+	for _, p := range q.Params() {
+		used[p] = true
+	}
+	for _, v := range fieldOrder {
+		if used[v] {
+			bindings = append(bindings, Binding{Field: varToField[v], Param: v})
+		}
+	}
+
+	return &Application{
+		Name:     name,
+		BaseURL:  baseURL,
+		Query:    q,
+		SQL:      sql,
+		Bindings: bindings,
+	}, nil
+}
+
+// unescapeJava resolves the escape sequences that matter inside the SQL
+// string literals (\" \' \\ \n \t).
+func unescapeJava(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package webapp
+
+import (
+	"html/template"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// pageTemplate renders a db-page the way Fig. 1 prints one: the requested
+// URL as the title and the query result as a table.
+var pageTemplate = template.Must(template.New("dbpage").Parse(`<!DOCTYPE html>
+<html>
+<head><title>{{.Title}}</title></head>
+<body>
+<h1>{{.Title}}</h1>
+<table border="1">
+<tr>{{range .Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</table>
+<p>{{.RowCount}} rows</p>
+</body>
+</html>
+`))
+
+type pageData struct {
+	Title    string
+	Columns  []string
+	Rows     [][]string
+	RowCount int
+}
+
+// RenderHTML performs execution step (c), result presentation: it formats a
+// query result as the db-page HTML document.
+func RenderHTML(title string, result *relation.Table) (string, error) {
+	data := pageData{
+		Title:    title,
+		Columns:  result.Schema.ColumnNames(),
+		RowCount: result.Len(),
+	}
+	for _, r := range result.Rows {
+		row := make([]string, len(r))
+		for i, v := range r {
+			row[i] = v.Text()
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	var b strings.Builder
+	if err := pageTemplate.Execute(&b, data); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Handler returns an http.Handler that serves the application's db-pages:
+// it parses the request's parameters, evaluates the application query, and
+// renders the result. Both GET query strings and POST form submissions are
+// accepted (paper §I footnote: query strings may arrive through either
+// method). This is the "target web application" a Dash deployment points
+// at; examples fetch Dash-suggested URLs from it to show the URLs really
+// produce the promised content.
+func (a *Application) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		qs := r.URL.RawQuery
+		if r.Method == http.MethodPost {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			// Form values subsume the URL query; encode them back into
+			// the canonical query-string form the application parses.
+			qs = r.Form.Encode()
+		}
+		result, err := a.Execute(qs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		title := a.Name + "?" + qs
+		html, err := RenderHTML(title, result)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if _, err := w.Write([]byte(html)); err != nil {
+			log.Printf("webapp: write response: %v", err)
+		}
+	})
+}

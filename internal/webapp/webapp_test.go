@@ -1,0 +1,316 @@
+package webapp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/fooddb"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+func analyzedSearch(t *testing.T) *Application {
+	t.Helper()
+	app, err := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return app
+}
+
+func boundSearch(t *testing.T) *Application {
+	t.Helper()
+	app := analyzedSearch(t)
+	if err := app.Bind(fooddb.New()); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	return app
+}
+
+// TestAnalyzeSearchServlet reproduces Example 2: reverse-engineering the
+// Search servlet (Fig. 3) yields the parameterized PSJ query and the c/l/u
+// field bindings.
+func TestAnalyzeSearchServlet(t *testing.T) {
+	app := analyzedSearch(t)
+	if app.Name != "Search" {
+		t.Errorf("Name = %q, want Search", app.Name)
+	}
+	if got := len(app.Bindings); got != 3 {
+		t.Fatalf("Bindings = %v", app.Bindings)
+	}
+	want := []Binding{{"c", "cuisine"}, {"l", "min"}, {"u", "max"}}
+	for i, b := range app.Bindings {
+		if b != want[i] {
+			t.Errorf("Bindings[%d] = %v, want %v", i, b, want[i])
+		}
+	}
+	// The reconstructed query matches the paper's application query.
+	wantQ := psj.MustParse(fooddb.SearchSQL)
+	if app.Query.String() != wantQ.String() {
+		t.Errorf("Query = %s\nwant %s", app.Query, wantQ)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze("int main() {}", "http://x"); !errors.Is(err, ErrNoServletClass) {
+		t.Errorf("no class err = %v", err)
+	}
+	src := `class X extends HttpServlet {
+		void doGet(HttpServletRequest q, HttpServletResponse p) {}
+	}`
+	if _, err := Analyze(src, "http://x"); !errors.Is(err, ErrNoQuery) {
+		t.Errorf("no query err = %v", err)
+	}
+	src = `class X extends HttpServlet {
+		Query = "SELECT a FROM t WHERE a = " + unknown;
+	}`
+	if _, err := Analyze(src, "http://x"); !errors.Is(err, ErrUnboundVar) {
+		t.Errorf("unbound var err = %v", err)
+	}
+	src = `class X extends HttpServlet {
+		String v = q.getParameter("f");
+		Query = "SELECT FROM WHERE banana " + v;
+	}`
+	if _, err := Analyze(src, "http://x"); !errors.Is(err, psj.ErrSyntax) {
+		t.Errorf("bad sql err = %v", err)
+	}
+}
+
+func TestAnalyzeEscapedQuotes(t *testing.T) {
+	src := `class Q extends HttpServlet {
+		String v = q.getParameter("x");
+		Query = "SELECT name FROM restaurant WHERE cuisine = \"" + v + "\"";
+	}`
+	app, err := Analyze(src, "http://x/Q")
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(app.Query.Conditions) != 1 || app.Query.Conditions[0].Param != "v" {
+		t.Errorf("Conditions = %v", app.Query.Conditions)
+	}
+}
+
+func TestParseQueryString(t *testing.T) {
+	app := boundSearch(t)
+	params, err := app.ParseQueryString("c=American&l=10&u=15")
+	if err != nil {
+		t.Fatalf("ParseQueryString: %v", err)
+	}
+	if !params["cuisine"].Equal(relation.String("American")) ||
+		!params["min"].Equal(relation.Int(10)) ||
+		!params["max"].Equal(relation.Int(15)) {
+		t.Errorf("params = %v", params)
+	}
+	if _, err := app.ParseQueryString("c=American&l=10"); !errors.Is(err, ErrMissingField) {
+		t.Errorf("missing field err = %v", err)
+	}
+	if _, err := app.ParseQueryString("c=American&l=abc&u=15"); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := app.ParseQueryString("%zz"); err == nil {
+		t.Error("malformed query string should fail")
+	}
+}
+
+func TestParseQueryStringUnbound(t *testing.T) {
+	app := analyzedSearch(t)
+	if _, err := app.ParseQueryString("c=x&l=1&u=2"); !errors.Is(err, ErrNotBound) {
+		t.Errorf("unbound err = %v", err)
+	}
+}
+
+// TestFormatQueryStringRoundTrip checks reverse query-string parsing is the
+// inverse of forward parsing.
+func TestFormatQueryStringRoundTrip(t *testing.T) {
+	app := boundSearch(t)
+	qs := "c=American&l=10&u=12"
+	params, err := app.ParseQueryString(qs)
+	if err != nil {
+		t.Fatalf("ParseQueryString: %v", err)
+	}
+	got, err := app.FormatQueryString(params)
+	if err != nil {
+		t.Fatalf("FormatQueryString: %v", err)
+	}
+	if got != qs {
+		t.Errorf("round trip = %q, want %q", got, qs)
+	}
+	u, err := app.FormatURL(params)
+	if err != nil {
+		t.Fatalf("FormatURL: %v", err)
+	}
+	if u != fooddb.BaseURL+"?"+qs {
+		t.Errorf("FormatURL = %q", u)
+	}
+}
+
+func TestFormatQueryStringEscapes(t *testing.T) {
+	app := boundSearch(t)
+	qs, err := app.FormatQueryString(map[string]relation.Value{
+		"cuisine": relation.String("Tex Mex & BBQ"),
+		"min":     relation.Int(1),
+		"max":     relation.Int(2),
+	})
+	if err != nil {
+		t.Fatalf("FormatQueryString: %v", err)
+	}
+	if !strings.Contains(qs, "c=Tex+Mex+%26+BBQ") {
+		t.Errorf("escaping wrong: %q", qs)
+	}
+	if _, err := app.FormatQueryString(map[string]relation.Value{}); err == nil {
+		t.Error("missing params should fail")
+	}
+}
+
+// TestPageParamsExample7 checks the URL formulation of Example 7: the merged
+// page (American,(10,12)) maps to c=American&l=10&u=12, and the single
+// fragment (Thai,10) to c=Thai&l=10&u=10.
+func TestPageParamsExample7(t *testing.T) {
+	app := boundSearch(t)
+	params, err := app.PageParams(
+		map[string]relation.Value{"cuisine": relation.String("American")},
+		relation.Int(10), relation.Int(12))
+	if err != nil {
+		t.Fatalf("PageParams: %v", err)
+	}
+	u, err := app.FormatURL(params)
+	if err != nil {
+		t.Fatalf("FormatURL: %v", err)
+	}
+	if u != "http://www.example.com/Search?c=American&l=10&u=12" {
+		t.Errorf("URL = %q", u)
+	}
+
+	params, err = app.PageParams(
+		map[string]relation.Value{"cuisine": relation.String("Thai")},
+		relation.Int(10), relation.Int(10))
+	if err != nil {
+		t.Fatalf("PageParams: %v", err)
+	}
+	u, _ = app.FormatURL(params)
+	if u != "http://www.example.com/Search?c=Thai&l=10&u=10" {
+		t.Errorf("URL = %q", u)
+	}
+}
+
+func TestPageParamsErrors(t *testing.T) {
+	app := boundSearch(t)
+	if _, err := app.PageParams(map[string]relation.Value{}, relation.Int(1), relation.Int(2)); !errors.Is(err, ErrMissingField) {
+		t.Errorf("missing eq err = %v", err)
+	}
+	eq := map[string]relation.Value{"cuisine": relation.String("Thai")}
+	if _, err := app.PageParams(eq, relation.Null(), relation.Int(2)); !errors.Is(err, ErrMissingField) {
+		t.Errorf("missing lo err = %v", err)
+	}
+	if _, err := app.PageParams(eq, relation.Int(1), relation.Null()); !errors.Is(err, ErrMissingField) {
+		t.Errorf("missing hi err = %v", err)
+	}
+}
+
+// TestExecuteGeneratesP1 runs the application end to end for P1's query
+// string (Example 1).
+func TestExecuteGeneratesP1(t *testing.T) {
+	app := boundSearch(t)
+	page, err := app.Execute("c=American&l=10&u=15")
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if page.Len() != 4 {
+		t.Errorf("P1 rows = %d, want 4", page.Len())
+	}
+}
+
+func TestRenderHTML(t *testing.T) {
+	app := boundSearch(t)
+	page, err := app.Execute("c=American&l=10&u=15")
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	html, err := RenderHTML("P1", page)
+	if err != nil {
+		t.Fatalf("RenderHTML: %v", err)
+	}
+	// html/template escapes apostrophes, so Wandy's renders as Wandy&#39;s.
+	for _, want := range []string{"Burger Queen", "Wandy&#39;s", "<th>name</th>", "4 rows"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("rendered page missing %q", want)
+		}
+	}
+	if strings.Contains(html, "McRonald") {
+		t.Error("P1 should not contain McRonald's (budget 18)")
+	}
+}
+
+// TestHandlerHTTP serves the application and fetches P2 over HTTP.
+func TestHandlerHTTP(t *testing.T) {
+	app := boundSearch(t)
+	srv := httptest.NewServer(app.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?c=American&l=10&u=20")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if !strings.Contains(string(body), "McRonald&#39;s") {
+		t.Error("P2 should contain McRonald's")
+	}
+
+	// Bad query strings are a client error, not a crash.
+	resp2, err := http.Get(srv.URL + "?c=American")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad request status = %d", resp2.StatusCode)
+	}
+}
+
+// TestHandlerPOST submits the query string as an HTML form (POST method),
+// which the paper notes db-pages commonly use.
+func TestHandlerPOST(t *testing.T) {
+	app := boundSearch(t)
+	srv := httptest.NewServer(app.Handler())
+	defer srv.Close()
+
+	resp, err := http.PostForm(srv.URL, url.Values{
+		"c": {"Thai"}, "l": {"10"}, "u": {"10"},
+	})
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Thaifood") || !strings.Contains(string(body), "Bangkok") {
+		t.Errorf("POST page missing Thai restaurants")
+	}
+
+	// Malformed POST values are client errors.
+	resp2, err := http.PostForm(srv.URL, url.Values{"c": {"Thai"}, "l": {"x"}, "u": {"10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad POST status = %d", resp2.StatusCode)
+	}
+}
