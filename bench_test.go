@@ -199,6 +199,36 @@ func BenchmarkFig11_TopKSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSearchThroughput measures batch search over a shared
+// engine at increasing worker counts (the cmd/dashbench "parallel"
+// experiment in benchstat-able form). The metric to watch is ns/op
+// shrinking as workers grow: the zero-allocation scoring core keeps
+// goroutines out of each other's way.
+func BenchmarkParallelSearchThroughput(b *testing.B) {
+	st := workloadState(b, "Q2")
+	var reqs []search.Request
+	for _, kws := range [][]string{st.band.Cold, st.band.Warm, st.band.Hot} {
+		for _, kw := range kws {
+			reqs = append(reqs, search.Request{Keywords: []string{kw}, K: 10, SizeThreshold: 200})
+		}
+	}
+	if len(reqs) == 0 {
+		b.Fatal("no requests")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, br := range st.eng.ParallelSearch(reqs, workers) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(reqs)*b.N)/b.Elapsed().Seconds(), "searches/s")
+		})
+	}
+}
+
 // BenchmarkAblation_NaiveVsFragment compares §IV's "intuitive approach"
 // (index whole db-pages) with the fragment index it motivates, on Q1.
 func BenchmarkAblation_NaiveVsFragment(b *testing.B) {

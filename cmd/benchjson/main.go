@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` text output into JSON so the
+// repository can track its performance trajectory in version control:
+//
+//	go test -run '^$' -bench Fig11 -benchmem . > bench.txt
+//	benchjson -o BENCH_search.json < bench.txt
+//
+// Each benchmark line becomes one object with the parsed ns/op, B/op, and
+// allocs/op plus any ReportMetric extras; `make bench` wires this up.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchLine struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	lines, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(lines); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output: lines of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   9.9 extra/op
+func parse(r *os.File) ([]benchLine, error) {
+	var out []benchLine
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bl := benchLine{Name: fields[0], Iterations: iters}
+		// value/unit pairs follow.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				bl.NsPerOp = v
+			case "B/op":
+				n := int64(v)
+				bl.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				bl.AllocsPerOp = &n
+			default:
+				if bl.Metrics == nil {
+					bl.Metrics = make(map[string]float64)
+				}
+				bl.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, bl)
+	}
+	return out, sc.Err()
+}

@@ -6,6 +6,7 @@
 //	dashbench -experiment fig10    # SW vs INT crawl+index time per phase
 //	dashbench -experiment table4   # fragment graph build stats
 //	dashbench -experiment fig11    # top-k search latency sweep
+//	dashbench -experiment parallel # concurrent search throughput scaling
 //	dashbench -experiment ablation # naive page index vs fragment index
 //	dashbench -experiment all      # everything above
 //
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -78,11 +80,12 @@ func run(args []string) error {
 		"fig10":    fig10,
 		"table4":   table4,
 		"fig11":    fig11,
+		"parallel": parallelThroughput,
 		"ablation": ablation,
 		"coverage": coverage,
 	}
 	if cfg.experiment == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig10", "table4", "fig11", "ablation", "coverage"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig10", "table4", "fig11", "parallel", "ablation", "coverage"} {
 			if err := experiments[name](ctx, cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -248,6 +251,64 @@ func fig11(ctx context.Context, cfg config) error {
 					cells[1].Round(time.Microsecond), cells[5].Round(time.Microsecond),
 					cells[10].Round(time.Microsecond), cells[20].Round(time.Microsecond))
 			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelThroughput measures concurrent search scaling: a fixed batch of
+// requests drawn from all three keyword temperature bands, evaluated over
+// 1..GOMAXPROCS worker goroutines sharing one engine via ParallelSearch.
+// This is the serving-path headroom number: QPS at each worker count and
+// the speedup over serial evaluation.
+func parallelThroughput(ctx context.Context, cfg config) error {
+	header("Parallel — concurrent search throughput (Q2)")
+	for _, scale := range cfg.scales {
+		wl := harness.Workload{Scale: scale, Seed: cfg.seed, Query: "Q2"}
+		engine, _, _, err := harness.PrepareEngine(ctx, wl, crawl.Options{ReduceTasks: cfg.reduce})
+		if err != nil {
+			return err
+		}
+		bands := harness.KeywordBands(engine.Index(), cfg.bandSize)
+		var reqs []search.Request
+		for _, kws := range [][]string{bands.Cold, bands.Warm, bands.Hot} {
+			for _, kw := range kws {
+				reqs = append(reqs, search.Request{Keywords: []string{kw}, K: 10, SizeThreshold: 200})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		// Repeat the band mix so each measurement runs long enough to time.
+		for len(reqs) < 256 {
+			reqs = append(reqs, reqs...)
+		}
+		fmt.Printf("dataset %s: %d requests over shared engine\n", scale.Name, len(reqs))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "workers\telapsed\tQPS\tspeedup")
+		var serial time.Duration
+		workerCounts := []int{1, 2, 4, 8}
+		if n := runtime.GOMAXPROCS(0); n > 8 {
+			workerCounts = append(workerCounts, n)
+		}
+		for _, workers := range workerCounts {
+			start := time.Now()
+			for _, br := range engine.ParallelSearch(reqs, workers) {
+				if br.Err != nil {
+					return br.Err
+				}
+			}
+			elapsed := time.Since(start)
+			if workers == 1 {
+				serial = elapsed
+			}
+			speedup := float64(serial) / float64(elapsed)
+			fmt.Fprintf(w, "%d\t%v\t%.0f\t%.2fx\n", workers,
+				elapsed.Round(time.Millisecond),
+				float64(len(reqs))/elapsed.Seconds(), speedup)
 		}
 		if err := w.Flush(); err != nil {
 			return err

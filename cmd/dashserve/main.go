@@ -8,10 +8,18 @@
 //
 //	curl 'http://localhost:8080/app?c=American&l=10&u=15'   # a db-page
 //	curl 'http://localhost:8080/search?q=burger&k=2&s=20'   # Dash results
+//	curl 'http://localhost:8080/batch?q=burger&q=coffee'    # JSON batch
+//
+// One search.Engine is shared by every request: net/http serves each
+// request on its own goroutine, and the engine's read path is race-free
+// (pooled per-goroutine scratch, lock-free index reads), so no
+// serialization is needed. /batch additionally fans each request's
+// queries out over ParallelSearch.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"html/template"
@@ -126,7 +134,56 @@ func run(args []string) error {
 		}
 	})
 
-	log.Printf("serving on %s (web app at /app, search at /search?q=…)", *addr)
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		queries := r.URL.Query()["q"]
+		if len(queries) == 0 {
+			http.Error(w, "missing q parameters", http.StatusBadRequest)
+			return
+		}
+		k := intParam(r, "k", 5)
+		s := intParam(r, "s", 100)
+		reqs := make([]search.Request, len(queries))
+		for i, q := range queries {
+			reqs[i] = search.Request{Keywords: strings.Fields(q), K: k, SizeThreshold: s}
+		}
+		start := time.Now()
+		batch := engine.ParallelSearch(reqs, 0)
+		type pageJSON struct {
+			URL   string  `json:"url"`
+			Query string  `json:"query_string"`
+			Score float64 `json:"score"`
+			Size  int64   `json:"size"`
+		}
+		type entryJSON struct {
+			Query   string     `json:"query"`
+			Error   string     `json:"error,omitempty"`
+			Results []pageJSON `json:"results"`
+		}
+		entries := make([]entryJSON, len(batch))
+		for i, br := range batch {
+			entries[i].Query = queries[i]
+			entries[i].Results = make([]pageJSON, 0, len(br.Results))
+			if br.Err != nil {
+				entries[i].Error = br.Err.Error()
+				continue
+			}
+			for _, res := range br.Results {
+				entries[i].Results = append(entries[i].Results, pageJSON{
+					URL: res.URL, Query: res.QueryString, Score: res.Score, Size: res.Size,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		err := json.NewEncoder(w).Encode(map[string]any{
+			"elapsed": time.Since(start).String(),
+			"queries": entries,
+		})
+		if err != nil {
+			log.Printf("encode: %v", err)
+		}
+	})
+
+	log.Printf("serving on %s (web app at /app, search at /search?q=…, batch at /batch?q=…&q=…)", *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

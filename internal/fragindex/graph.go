@@ -18,7 +18,7 @@ func (idx *Index) Neighbors(ref FragRef) ([]FragRef, error) {
 	if !m.Alive {
 		return nil, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
 	}
-	g := idx.groupFor(m.ID, false)
+	g := idx.groupOf[ref]
 	pos := idx.memberAt[ref]
 	var out []FragRef
 	if pos > 0 {
@@ -40,8 +40,7 @@ func (idx *Index) GroupMembers(ref FragRef) ([]FragRef, int, error) {
 	if !m.Alive {
 		return nil, 0, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
 	}
-	g := idx.groupFor(m.ID, false)
-	return g.members, idx.memberAt[ref], nil
+	return idx.groupOf[ref].members, idx.memberAt[ref], nil
 }
 
 // Edges enumerates all fragment-graph edges as (smaller, larger) ref pairs,
@@ -93,10 +92,14 @@ func (idx *Index) InsertFragment(id fragment.ID, termCounts map[string]int64, to
 	ref := FragRef(len(idx.frags))
 	idx.frags = append(idx.frags, Meta{ID: id, Terms: totalTerms, Alive: true})
 	idx.memberAt = append(idx.memberAt, -1)
+	idx.kwOf = append(idx.kwOf, nil)
 	idx.byKey[key] = ref
+	idx.liveFrags++
+	idx.liveTerms += totalTerms
 
 	// Splice into the group at the range position.
 	g := idx.groupFor(id, true)
+	idx.groupOf = append(idx.groupOf, g)
 	rv := idx.rangeValOf(ref)
 	pos := sort.Search(len(g.members), func(i int) bool {
 		return idx.rangeValOf(g.members[i]).Compare(rv) >= 0
@@ -111,13 +114,21 @@ func (idx *Index) InsertFragment(id fragment.ID, termCounts map[string]int64, to
 	// Posting lists: insert keeping TF-descending order.
 	for kw, tf := range termCounts {
 		idx.insertPosting(kw, Posting{Frag: ref, TF: tf})
+		idx.kwOf[ref] = append(idx.kwOf[ref], kw)
 	}
+	idx.epoch++
 	return ref, nil
 }
 
-// insertPosting places p into kw's list preserving (TF desc, ref asc) order.
+// insertPosting places p into kw's list preserving (TF desc, ref asc) order
+// and refreshes the list's liveness bookkeeping.
 func (idx *Index) insertPosting(kw string, p Posting) {
-	list := idx.inverted[kw]
+	pl := idx.inverted[kw]
+	if pl == nil {
+		pl = &postingList{}
+		idx.inverted[kw] = pl
+	}
+	list := pl.ps
 	pos := sort.Search(len(list), func(i int) bool {
 		if list[i].TF != p.TF {
 			return list[i].TF < p.TF
@@ -127,19 +138,26 @@ func (idx *Index) insertPosting(kw string, p Posting) {
 	list = append(list, Posting{})
 	copy(list[pos+1:], list[pos:])
 	list[pos] = p
-	idx.inverted[kw] = list
+	pl.ps = list
+	if pl.liveDF() == 1 { // the list just came (back) to life
+		idx.liveKws++
+	}
+	pl.recompute()
 }
 
 // RemoveFragment deletes a fragment: its group edge pair collapses back into
 // one edge (the reverse of the §VI-A split), and its postings become
-// tombstones that Postings filters and Compact reclaims.
+// tombstones. Each affected list's dead counter and precomputed IDF are
+// updated through the forward keyword map, and lists whose dead ratio
+// reaches the compaction threshold are reclaimed on the spot — so the read
+// path never pays for tombstones left behind here.
 func (idx *Index) RemoveFragment(id fragment.ID) error {
 	key := id.Key()
 	ref, ok := idx.byKey[key]
 	if !ok || !idx.frags[ref].Alive {
 		return fmt.Errorf("%w: %s", ErrNoFragment, id)
 	}
-	g := idx.groupFor(id, false)
+	g := idx.groupOf[ref]
 	pos := idx.memberAt[ref]
 	g.members = append(g.members[:pos], g.members[pos+1:]...)
 	for i := pos; i < len(g.members); i++ {
@@ -148,6 +166,24 @@ func (idx *Index) RemoveFragment(id fragment.ID) error {
 	idx.frags[ref].Alive = false
 	idx.memberAt[ref] = -1
 	delete(idx.byKey, key)
+	idx.liveFrags--
+	idx.liveTerms -= idx.frags[ref].Terms
+	for _, kw := range idx.kwOf[ref] {
+		pl := idx.inverted[kw]
+		if pl == nil {
+			continue
+		}
+		pl.dead++
+		if pl.liveDF() == 0 {
+			idx.liveKws--
+		}
+		pl.recompute()
+		if pl.dead*compactDeadDen >= len(pl.ps)*compactDeadNum {
+			idx.CompactPostings(kw)
+		}
+	}
+	idx.kwOf[ref] = nil // the tombstone never revives; free the forward map
+	idx.epoch++
 	return nil
 }
 
@@ -174,8 +210,8 @@ func (idx *Index) Compact() (*Index, error) {
 	// Re-insert live fragments in identifier order; gather term counts
 	// from the inverted lists.
 	counts := make(map[FragRef]map[string]int64)
-	for kw, ps := range idx.inverted {
-		for _, p := range ps {
+	for kw, pl := range idx.inverted {
+		for _, p := range pl.ps {
 			if !idx.frags[p.Frag].Alive {
 				continue
 			}

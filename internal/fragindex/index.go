@@ -11,12 +11,39 @@
 // construction (§VI-A) — inserting a fragment between two connected nodes
 // splits their edge — as well as removal and replacement, which is the
 // update mechanism the paper lists as future work.
+//
+// # Performance
+//
+// The query-serving read path (Postings, DF, IDF, NumKeywords,
+// NumFragments, AvgTermsPerFragment, Keywords, Meta, GroupMembers) is
+// designed to be O(1) or O(result) and free of whole-index rescans:
+//
+//   - Each posting list carries a dead-posting counter, so Postings and DF
+//     never scan for tombstones on clean lists; a list is returned by
+//     reference when it has no tombstones (the common case).
+//   - RemoveFragment maintains the counters through a per-fragment forward
+//     keyword map, and triggers CompactPostings on any list whose dead
+//     ratio reaches compactDeadNum/compactDeadDen — lazy, amortized-O(1)
+//     tombstone reclamation instead of the eager rescan the seed did.
+//   - IDF is precomputed per list at mutation time, so query scoring does
+//     no division or liveness counting.
+//   - Live fragment/term/keyword counters make the Table IV statistics O(1).
+//   - Keywords() is cached sorted and stamped with a mutation epoch; any
+//     insert or remove invalidates it.
+//
+// Concurrency contract: any number of goroutines may read concurrently
+// (the cached Keywords slice is swapped through an atomic pointer and
+// reads never mutate the index), but mutations (InsertFragment,
+// RemoveFragment, UpdateFragment, CompactPostings) require exclusive
+// access — the same single-writer/multi-reader discipline as the rest of
+// the repository.
 package fragindex
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/crawl"
 	"repro/internal/fragment"
@@ -50,6 +77,42 @@ type Meta struct {
 	ID    fragment.ID
 	Terms int64
 	Alive bool
+}
+
+// postingList is one keyword's inverted list plus its maintenance state:
+// how many entries are tombstones of removed fragments, and the
+// precomputed IDF (1/liveDF) the search engine reads per query.
+type postingList struct {
+	ps   []Posting // TF-descending; may contain up to `dead` tombstones
+	dead int       // tombstoned entries within ps
+	idf  float64   // 1/liveDF, 0 when the list has no live postings
+}
+
+// liveDF returns the number of live postings in the list.
+func (pl *postingList) liveDF() int { return len(pl.ps) - pl.dead }
+
+// recompute refreshes the precomputed IDF after a liveness change.
+func (pl *postingList) recompute() {
+	if df := pl.liveDF(); df > 0 {
+		pl.idf = 1 / float64(df)
+	} else {
+		pl.idf = 0
+	}
+}
+
+// Lists whose tombstones reach compactDeadNum/compactDeadDen of their
+// length are compacted on the spot; below the threshold Postings filters a
+// copy. Each compaction is O(list) after Ω(list) removals, so tombstone
+// reclamation is amortized O(1) per removal.
+const (
+	compactDeadNum = 1
+	compactDeadDen = 4
+)
+
+// kwCache is the epoch-stamped sorted-keyword cache behind Keywords().
+type kwCache struct {
+	epoch uint64
+	kws   []string
 }
 
 // Spec describes the selection-attribute structure the index is built over:
@@ -118,10 +181,23 @@ type Index struct {
 
 	frags    []Meta
 	byKey    map[string]FragRef
-	inverted map[string][]Posting
+	inverted map[string]*postingList
+	kwOf     [][]string // per FragRef: distinct keywords it appears in
 
 	groups   map[string]*group
-	memberAt []int // per FragRef: position within its group (-1 when dead)
+	groupOf  []*group // per FragRef: its group, so lookups skip key building
+	memberAt []int    // per FragRef: position within its group (-1 when dead)
+
+	// Live counters: maintained on insert/remove so the Table IV stats
+	// (NumFragments, AvgTermsPerFragment, NumKeywords) are O(1).
+	liveFrags int
+	liveTerms int64
+	liveKws   int
+
+	// epoch counts mutations; kwCache holds the sorted Keywords() slice
+	// built at a given epoch (atomic so concurrent readers may refresh it).
+	epoch   uint64
+	kwCache atomic.Pointer[kwCache]
 }
 
 // New creates an empty index for incremental construction.
@@ -135,7 +211,7 @@ func New(spec Spec) (*Index, error) {
 		eqIdx:    eqIdx,
 		rangeIdx: rangeIdx,
 		byKey:    make(map[string]FragRef),
-		inverted: make(map[string][]Posting),
+		inverted: make(map[string]*postingList),
 		groups:   make(map[string]*group),
 	}, nil
 }
@@ -158,18 +234,24 @@ func Build(out *crawl.Output, spec Spec) (*Index, error) {
 	}
 	idx.frags = make([]Meta, 0, len(ids))
 	idx.memberAt = make([]int, 0, len(ids))
+	idx.kwOf = make([][]string, len(ids))
 	for _, id := range ids {
 		key := id.Key()
 		ref := FragRef(len(idx.frags))
-		idx.frags = append(idx.frags, Meta{ID: id, Terms: out.FragmentTerms[key], Alive: true})
+		terms := out.FragmentTerms[key]
+		idx.frags = append(idx.frags, Meta{ID: id, Terms: terms, Alive: true})
 		idx.byKey[key] = ref
 		idx.memberAt = append(idx.memberAt, 0)
+		idx.liveTerms += terms
 	}
+	idx.liveFrags = len(idx.frags)
 	// Identifier order sorts by equality values first, then range value,
 	// so each group's members arrive already ordered.
+	idx.groupOf = make([]*group, len(idx.frags))
 	for ref := range idx.frags {
 		g := idx.groupFor(idx.frags[ref].ID, true)
 		idx.memberAt[ref] = len(g.members)
+		idx.groupOf[ref] = g
 		g.members = append(g.members, FragRef(ref))
 	}
 	for kw, ps := range out.Inverted {
@@ -180,8 +262,15 @@ func Build(out *crawl.Output, spec Spec) (*Index, error) {
 				return nil, fmt.Errorf("%w: posting for unknown fragment", ErrNoFragment)
 			}
 			list = append(list, Posting{Frag: ref, TF: p.TF})
+			idx.kwOf[ref] = append(idx.kwOf[ref], kw)
 		}
-		idx.inverted[kw] = list
+		if len(list) == 0 {
+			continue
+		}
+		pl := &postingList{ps: list}
+		pl.recompute()
+		idx.inverted[kw] = pl
+		idx.liveKws++
 	}
 	return idx, nil
 }
@@ -204,43 +293,22 @@ func (idx *Index) groupFor(id fragment.ID, create bool) *group {
 // Spec returns the index's selection-attribute structure.
 func (idx *Index) Spec() Spec { return idx.spec }
 
-// NumFragments returns the number of live fragments.
-func (idx *Index) NumFragments() int {
-	n := 0
-	for _, m := range idx.frags {
-		if m.Alive {
-			n++
-		}
-	}
-	return n
-}
+// NumFragments returns the number of live fragments (O(1): maintained as a
+// counter on insert/remove).
+func (idx *Index) NumFragments() int { return idx.liveFrags }
 
-// NumKeywords returns the number of distinct indexed keywords (live lists).
-func (idx *Index) NumKeywords() int {
-	n := 0
-	for kw := range idx.inverted {
-		if idx.DF(kw) > 0 {
-			n++
-		}
-	}
-	return n
-}
+// NumKeywords returns the number of distinct indexed keywords with at
+// least one live posting (O(1): maintained as a counter).
+func (idx *Index) NumKeywords() int { return idx.liveKws }
 
 // AvgTermsPerFragment reports the average keyword count over live fragments
-// (Table IV's third column).
+// (Table IV's third column). O(1): live term and fragment totals are
+// maintained as counters.
 func (idx *Index) AvgTermsPerFragment() float64 {
-	var sum int64
-	n := 0
-	for _, m := range idx.frags {
-		if m.Alive {
-			sum += m.Terms
-			n++
-		}
-	}
-	if n == 0 {
+	if idx.liveFrags == 0 {
 		return 0
 	}
-	return float64(sum) / float64(n)
+	return float64(idx.liveTerms) / float64(idx.liveFrags)
 }
 
 // Meta returns a fragment's summary.
@@ -251,6 +319,22 @@ func (idx *Index) Meta(ref FragRef) (Meta, error) {
 	return idx.frags[ref], nil
 }
 
+// NumRefs returns the size of the ref space (live fragments plus
+// tombstones): every FragRef handed out by this index is in [0, NumRefs).
+// Callers that validate refs once against it may then use the unchecked
+// accessors TermsOf and AliveRef on the hot path.
+func (idx *Index) NumRefs() int { return len(idx.frags) }
+
+// TermsOf returns a fragment's total keyword count without bounds
+// checking. The caller must have validated ref (see NumRefs); index-issued
+// refs — postings, group members, neighbours — are always valid.
+func (idx *Index) TermsOf(ref FragRef) int64 { return idx.frags[ref].Terms }
+
+// AliveRef reports whether ref is within range and not tombstoned.
+func (idx *Index) AliveRef(ref FragRef) bool {
+	return int(ref) >= 0 && int(ref) < len(idx.frags) && idx.frags[ref].Alive
+}
+
 // Lookup resolves a fragment identifier to its ref.
 func (idx *Index) Lookup(id fragment.ID) (FragRef, bool) {
 	ref, ok := idx.byKey[id.Key()]
@@ -258,21 +342,19 @@ func (idx *Index) Lookup(id fragment.ID) (FragRef, bool) {
 }
 
 // Postings returns the live postings of a keyword, sorted by TF descending.
-// The returned slice must not be modified.
+// The returned slice must not be modified. Lists without tombstones — the
+// common case, since RemoveFragment compacts any list whose dead ratio
+// crosses the threshold — are returned by reference without scanning.
 func (idx *Index) Postings(keyword string) []Posting {
-	ps := idx.inverted[keyword]
-	clean := true
-	for _, p := range ps {
-		if !idx.frags[p.Frag].Alive {
-			clean = false
-			break
-		}
+	pl := idx.inverted[keyword]
+	if pl == nil {
+		return nil
 	}
-	if clean {
-		return ps
+	if pl.dead == 0 {
+		return pl.ps
 	}
-	out := make([]Posting, 0, len(ps))
-	for _, p := range ps {
+	out := make([]Posting, 0, pl.liveDF())
+	for _, p := range pl.ps {
 		if idx.frags[p.Frag].Alive {
 			out = append(out, p)
 		}
@@ -281,19 +363,64 @@ func (idx *Index) Postings(keyword string) []Posting {
 }
 
 // DF returns the document frequency of a keyword: the number of live
-// fragments containing it. Dash approximates IDF as 1/DF (§VI).
-func (idx *Index) DF(keyword string) int { return len(idx.Postings(keyword)) }
+// fragments containing it. O(1): each list counts its own tombstones.
+func (idx *Index) DF(keyword string) int {
+	pl := idx.inverted[keyword]
+	if pl == nil {
+		return 0
+	}
+	return pl.liveDF()
+}
+
+// IDF returns the keyword's inverse document frequency, Dash's 1/DF
+// approximation (§VI). The value is precomputed when the list mutates, so
+// query scoring reads it in O(1).
+func (idx *Index) IDF(keyword string) float64 {
+	pl := idx.inverted[keyword]
+	if pl == nil {
+		return 0
+	}
+	return pl.idf
+}
+
+// CompactPostings drops tombstoned entries from one keyword's inverted
+// list in place, reclaiming their slots. RemoveFragment calls it
+// automatically once a list's dead ratio reaches the compaction threshold;
+// it is exported for callers that want eager reclamation.
+func (idx *Index) CompactPostings(keyword string) {
+	pl := idx.inverted[keyword]
+	if pl == nil || pl.dead == 0 {
+		return
+	}
+	live := pl.ps[:0]
+	for _, p := range pl.ps {
+		if idx.frags[p.Frag].Alive {
+			live = append(live, p)
+		}
+	}
+	pl.ps = live
+	pl.dead = 0
+	if len(pl.ps) == 0 {
+		delete(idx.inverted, keyword)
+	}
+}
 
 // Keywords returns all keywords with at least one live posting, sorted; the
-// benchmark harness uses it to pick hot/warm/cold terms.
+// benchmark harness uses it to pick hot/warm/cold terms. The sorted slice
+// is cached and invalidated by any mutation (epoch-stamped); it must not
+// be modified by the caller.
 func (idx *Index) Keywords() []string {
+	if c := idx.kwCache.Load(); c != nil && c.epoch == idx.epoch {
+		return c.kws
+	}
 	out := make([]string, 0, len(idx.inverted))
-	for kw := range idx.inverted {
-		if idx.DF(kw) > 0 {
+	for kw, pl := range idx.inverted {
+		if pl.liveDF() > 0 {
 			out = append(out, kw)
 		}
 	}
 	sort.Strings(out)
+	idx.kwCache.Store(&kwCache{epoch: idx.epoch, kws: out})
 	return out
 }
 

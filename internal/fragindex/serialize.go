@@ -46,9 +46,9 @@ func (idx *Index) Save(w io.Writer) error {
 		wire.FragKeys[i] = m.ID.Key()
 		wire.Terms[i] = m.Terms
 	}
-	for kw, ps := range src.inverted {
-		wps := make([]wirePosting, len(ps))
-		for i, p := range ps {
+	for kw, pl := range src.inverted {
+		wps := make([]wirePosting, len(pl.ps))
+		for i, p := range pl.ps {
 			wps[i] = wirePosting{Frag: int32(p.Frag), TF: p.TF}
 		}
 		wire.Inverted[kw] = wps
@@ -75,6 +75,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	idx.frags = make([]Meta, len(wire.FragKeys))
 	idx.memberAt = make([]int, len(wire.FragKeys))
+	idx.kwOf = make([][]string, len(wire.FragKeys))
 	for i, key := range wire.FragKeys {
 		id, err := fragment.ParseID(key)
 		if err != nil {
@@ -85,7 +86,9 @@ func Load(r io.Reader) (*Index, error) {
 		}
 		idx.frags[i] = Meta{ID: id, Terms: wire.Terms[i], Alive: true}
 		idx.byKey[key] = FragRef(i)
+		idx.liveTerms += wire.Terms[i]
 	}
+	idx.liveFrags = len(idx.frags)
 	// Rebuild groups: identifier-sorted insertion keeps members ordered.
 	order := make([]FragRef, len(idx.frags))
 	for i := range order {
@@ -99,20 +102,29 @@ func Load(r io.Reader) (*Index, error) {
 			break
 		}
 	}
+	idx.groupOf = make([]*group, len(idx.frags))
 	for _, ref := range order {
 		g := idx.groupFor(idx.frags[ref].ID, true)
 		idx.memberAt[ref] = len(g.members)
+		idx.groupOf[ref] = g
 		g.members = append(g.members, ref)
 	}
 	for kw, wps := range wire.Inverted {
+		if len(wps) == 0 {
+			continue
+		}
 		ps := make([]Posting, len(wps))
 		for i, p := range wps {
 			if int(p.Frag) < 0 || int(p.Frag) >= len(idx.frags) {
 				return nil, fmt.Errorf("%w: posting ref out of range", ErrCorruptIndex)
 			}
 			ps[i] = Posting{Frag: FragRef(p.Frag), TF: p.TF}
+			idx.kwOf[p.Frag] = append(idx.kwOf[p.Frag], kw)
 		}
-		idx.inverted[kw] = ps
+		pl := &postingList{ps: ps}
+		pl.recompute()
+		idx.inverted[kw] = pl
+		idx.liveKws++
 	}
 	return idx, nil
 }

@@ -10,14 +10,40 @@
 // keyword count. Merging the queue head with a neighbour yields a mediant
 // of fractions, so scores are non-increasing along expansions — the
 // monotonicity Algorithm 1's early termination relies on.
+//
+// # Performance
+//
+// The scoring core is allocation-free in steady state. Each query borrows
+// a searchScratch from a sync.Pool holding every transient structure
+// Algorithm 1 needs:
+//
+//   - Candidate fragments get dense ordinals in discovery order; their
+//     per-keyword occurrence counts live in two flat arenas (numCandidates
+//     × numKeywords int64s) instead of a map of per-fragment slices. The
+//     seed arena keeps the pristine vectors expansion gain-lookups read;
+//     the candidate arena holds the vectors expansions mutate.
+//   - candidate structs are pooled in one backing slice; the priority
+//     queue is a hand-rolled typed heap over pointers into it, so there is
+//     no container/heap interface boxing and no per-push allocation.
+//   - Page identity is a packed uint64 of the interval's endpoint refs
+//     (FragRefs are int32), not an fmt.Sprintf string.
+//   - Fragment refs are validated once when a candidate is seeded; the
+//     expansion inner loop then reads fragment weights through the
+//     index's unchecked TermsOf accessor instead of re-error-checking
+//     Meta per step.
+//
+// Only per-result work (URL formulation, the returned slice) allocates.
+// Engines are safe for concurrent use by multiple goroutines as long as
+// the underlying index is not mutated concurrently — the index read path
+// is lock-free and scratch state is per-goroutine via the pool.
 package search
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/fragindex"
 	"repro/internal/relation"
@@ -31,15 +57,19 @@ var (
 )
 
 // Engine answers top-k searches over one application's fragment index.
+// It is safe for concurrent use (see the package Performance notes).
 type Engine struct {
-	idx *fragindex.Index
-	app *webapp.Application // nil: results carry no URLs
+	idx     *fragindex.Index
+	app     *webapp.Application // nil: results carry no URLs
+	scratch sync.Pool           // *searchScratch
 }
 
 // New creates an engine. app may be nil when URL formulation is not needed
 // (benchmarks measure pure search time that way).
 func New(idx *fragindex.Index, app *webapp.Application) *Engine {
-	return &Engine{idx: idx, app: app}
+	e := &Engine{idx: idx, app: app}
+	e.scratch.New = func() any { return newScratch() }
+	return e
 }
 
 // Index returns the engine's fragment index.
@@ -92,130 +122,235 @@ type Result struct {
 type candidate struct {
 	members []fragindex.FragRef // the full group, shared
 	lo, hi  int                 // inclusive interval within members
-	occ     []int64             // per query keyword occurrence counts
+	occ     []int64             // per query keyword occurrences (arena slice)
+	ord     int32               // dense ordinal of the seeding fragment
 	size    int64
 	score   float64
 	seed    fragindex.FragRef // originating fragment (for removal tracking)
 }
 
-type pageHeap []*candidate
-
-func (h pageHeap) Len() int { return len(h) }
-func (h pageHeap) Less(i, j int) bool {
-	if h[i].score != h[j].score {
-		return h[i].score > h[j].score
-	}
-	// Deterministic tie-break: smaller page first, then seed order.
-	if h[i].size != h[j].size {
-		return h[i].size < h[j].size
-	}
-	return h[i].seed < h[j].seed
+// searchScratch holds every transient structure one Search needs. It is
+// pooled so the scoring core allocates nothing in steady state; all
+// fields are reset (lengths zeroed, maps cleared) between queries but
+// keep their capacity.
+type searchScratch struct {
+	keywords []string
+	idf      []float64
+	refs     []fragindex.FragRef           // candidate ref per ordinal
+	ordOf    map[fragindex.FragRef]int32   // candidate ref → dense ordinal
+	seedOcc  []int64                       // pristine occ vectors, ord-major
+	candOcc  []int64                       // expansion-mutated occ vectors
+	cands    []candidate                   // one per ordinal
+	heap     []*candidate                  // typed priority queue
+	consumed []bool                        // per ordinal: absorbed by expansion
+	used     map[fragindex.FragRef]struct{} // fragments in accepted results
+	seen     map[uint64]struct{}           // emitted page signatures
 }
-func (h pageHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pageHeap) Push(x any)   { *h = append(*h, x.(*candidate)) }
-func (h *pageHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return item
+
+func newScratch() *searchScratch {
+	return &searchScratch{
+		ordOf: make(map[fragindex.FragRef]int32),
+		used:  make(map[fragindex.FragRef]struct{}),
+		seen:  make(map[uint64]struct{}),
+	}
+}
+
+// reset prepares the scratch for reuse, keeping capacity.
+func (s *searchScratch) reset() {
+	s.keywords = s.keywords[:0]
+	s.idf = s.idf[:0]
+	s.refs = s.refs[:0]
+	s.seedOcc = s.seedOcc[:0]
+	s.candOcc = s.candOcc[:0]
+	s.cands = s.cands[:0]
+	s.heap = s.heap[:0]
+	s.consumed = s.consumed[:0]
+	clear(s.ordOf)
+	clear(s.used)
+	clear(s.seen)
+}
+
+// growZero extends a slice by n zeroed int64s without a temporary.
+func growZero(s []int64, n int) []int64 {
+	if cap(s)-len(s) >= n {
+		l := len(s)
+		s = s[: l+n : cap(s)]
+		clear(s[l:])
+		return s
+	}
+	for i := 0; i < n; i++ {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// candLess orders the priority queue: best score first, then the
+// deterministic tie-break (smaller page, then seed order).
+func candLess(a, b *candidate) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.seed < b.seed
+}
+
+// heapPush and heapPop implement a typed binary heap over s.heap —
+// identical ordering to container/heap but without interface boxing.
+func (s *searchScratch) heapPush(c *candidate) {
+	s.heap = append(s.heap, c)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *searchScratch) heapPop() *candidate {
+	h := s.heap
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && candLess(h[r], h[l]) {
+			child = r
+		}
+		if !candLess(h[child], h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // Search runs Algorithm 1 and returns at most req.K results ordered by
 // descending relevance.
 func (e *Engine) Search(req Request) ([]Result, error) {
-	keywords := normalizeKeywords(req.Keywords)
-	if len(keywords) == 0 {
+	s := e.scratch.Get().(*searchScratch)
+	defer e.scratch.Put(s)
+	s.reset()
+
+	s.keywords = normalizeKeywords(s.keywords, req.Keywords)
+	if len(s.keywords) == 0 {
 		return nil, ErrNoKeywords
 	}
 	if req.K <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadK, req.K)
 	}
+	nk := len(s.keywords)
 
-	// Line 1: fragments relevant to W, with IDF weights and per-fragment
-	// occurrence vectors.
-	idf := make([]float64, len(keywords))
-	occOf := make(map[fragindex.FragRef][]int64)
-	for i, w := range keywords {
+	// Line 1: fragments relevant to W, with precomputed IDF weights and
+	// per-fragment occurrence vectors in the flat seed arena.
+	for i, w := range s.keywords {
 		ps := e.idx.Postings(w)
-		if len(ps) == 0 {
-			continue
-		}
-		idf[i] = 1 / float64(len(ps))
+		s.idf = append(s.idf, e.idx.IDF(w))
 		if req.CandidateLimit > 0 && len(ps) > req.CandidateLimit {
 			// TF-descending lists make the prefix the highest-TF
 			// fragments — the paper's partial inverted-list read.
 			ps = ps[:req.CandidateLimit]
 		}
 		for _, p := range ps {
-			v, ok := occOf[p.Frag]
+			ord, ok := s.ordOf[p.Frag]
 			if !ok {
-				v = make([]int64, len(keywords))
-				occOf[p.Frag] = v
+				ord = int32(len(s.refs))
+				s.ordOf[p.Frag] = ord
+				s.refs = append(s.refs, p.Frag)
+				s.seedOcc = growZero(s.seedOcc, nk)
 			}
-			v[i] += p.TF
+			s.seedOcc[int(ord)*nk+i] += p.TF
 		}
 	}
-	if len(occOf) == 0 {
+	if len(s.refs) == 0 {
 		return nil, nil // no relevant fragments, empty result
 	}
 
-	// Line 2: seed the priority queue with single-fragment pages.
-	q := make(pageHeap, 0, len(occOf))
-	for ref, occ := range occOf {
-		meta, err := e.idx.Meta(ref)
-		if err != nil {
-			return nil, err
+	// Validate every candidate ref once; after this the hot loop uses the
+	// index's unchecked accessors. Postings only hands out live refs, so a
+	// failure here means the index broke its own invariant — surfaced as
+	// an error rather than scored as a silent zero-weight page.
+	for _, ref := range s.refs {
+		if !e.idx.AliveRef(ref) {
+			return nil, fmt.Errorf("%w: posting ref %d", fragindex.ErrNoFragment, ref)
 		}
+	}
+
+	// Line 2: seed the priority queue with single-fragment pages. The
+	// candidate backing slice is sized up front so heap pointers into it
+	// stay valid; candidate occ vectors are copies of the seed vectors
+	// (expansion mutates them, gain lookups need the originals).
+	numOrds := len(s.refs)
+	s.candOcc = growZero(s.candOcc, numOrds*nk)
+	copy(s.candOcc, s.seedOcc)
+	if cap(s.cands) < numOrds {
+		s.cands = make([]candidate, numOrds)
+	} else {
+		s.cands = s.cands[:numOrds]
+	}
+	if cap(s.consumed) >= numOrds {
+		s.consumed = s.consumed[:numOrds]
+		clear(s.consumed)
+	} else {
+		s.consumed = make([]bool, numOrds)
+	}
+	for ord, ref := range s.refs {
 		members, pos, err := e.idx.GroupMembers(ref)
 		if err != nil {
 			return nil, err
 		}
-		c := &candidate{
+		c := &s.cands[ord]
+		*c = candidate{
 			members: members,
 			lo:      pos,
 			hi:      pos,
-			// Copy: expansion mutates the candidate's vector, while
-			// occOf's entries must stay pristine for gain lookups.
-			occ:  append([]int64(nil), occ...),
-			size: meta.Terms,
-			seed: ref,
+			occ:     s.candOcc[ord*nk : (ord+1)*nk],
+			ord:     int32(ord),
+			size:    e.idx.TermsOf(ref),
+			seed:    ref,
 		}
-		c.score = score(c.occ, c.size, idf)
-		q = append(q, c)
+		c.score = score(c.occ, c.size, s.idf)
+		s.heapPush(c)
 	}
-	heap.Init(&q)
 
-	consumed := make(map[fragindex.FragRef]bool) // seeds used in expansions
-	used := make(map[fragindex.FragRef]bool)     // fragments inside accepted results
-	seen := make(map[string]bool)                // emitted page signatures
 	var out []Result
 
 	// Lines 4-9: assemble pages best-first.
-	for q.Len() > 0 && len(out) < req.K {
-		c := heap.Pop(&q).(*candidate)
-		if c.lo == c.hi && consumed[c.members[c.lo]] {
+	for len(s.heap) > 0 && len(out) < req.K {
+		c := s.heapPop()
+		if c.lo == c.hi && s.consumed[c.ord] {
 			continue // seed absorbed into an earlier expansion (line 8)
 		}
 		if e.expandable(c, req.SizeThreshold) {
-			e.expand(c, occOf, idf, consumed)
-			heap.Push(&q, c)
+			e.expand(c, s, nk)
+			s.heapPush(c)
 			continue
 		}
 		// Line 6-7: not expandable — emit.
-		sig := pageSignature(c)
-		if seen[sig] {
+		sig := packRefs(c.members[c.lo], c.members[c.hi])
+		if _, ok := s.seen[sig]; ok {
 			continue
 		}
-		seen[sig] = true
+		s.seen[sig] = struct{}{}
 		if req.RequireAll && !hasAll(c.occ) {
 			continue
 		}
 		if !req.AllowOverlap {
 			overlap := false
 			for i := c.lo; i <= c.hi; i++ {
-				if used[c.members[i]] {
+				if _, ok := s.used[c.members[i]]; ok {
 					overlap = true
 					break
 				}
@@ -224,7 +359,7 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 				continue
 			}
 			for i := c.lo; i <= c.hi; i++ {
-				used[c.members[i]] = true
+				s.used[c.members[i]] = struct{}{}
 			}
 		}
 		res, err := e.resultFor(c)
@@ -247,50 +382,57 @@ func (e *Engine) expandable(c *candidate, s int) bool {
 	return c.lo > 0 || c.hi < len(c.members)-1
 }
 
+// gainOf returns a neighbour's weighted occurrence gain (0 when the
+// fragment carries none of the queried keywords) and its dense ordinal
+// (-1 when it is not a candidate).
+func (e *Engine) gainOf(ref fragindex.FragRef, s *searchScratch, nk int) (float64, int32) {
+	ord, ok := s.ordOf[ref]
+	if !ok {
+		return 0, -1
+	}
+	return weighted(s.seedOcc[int(ord)*nk:int(ord+1)*nk], s.idf), ord
+}
+
 // expand grows the page by its best neighbour: relevant fragments are
 // favoured (highest added weighted occurrence), then smaller fragments.
 // An absorbed relevant seed is marked consumed so its queue entry dies.
-func (e *Engine) expand(c *candidate, occOf map[fragindex.FragRef][]int64,
-	idf []float64, consumed map[fragindex.FragRef]bool) {
-
-	type option struct {
-		ref   fragindex.FragRef
-		left  bool
-		gain  float64
-		terms int64
-	}
-	var opts []option
+// Neighbour refs come from the candidate's group members — index-issued
+// and validated at seed time — so fragment weights are read through the
+// unchecked TermsOf accessor.
+func (e *Engine) expand(c *candidate, s *searchScratch, nk int) {
+	var (
+		bestRef  fragindex.FragRef
+		bestOrd  int32
+		bestGain float64
+		bestLeft bool
+	)
 	if c.lo > 0 {
-		ref := c.members[c.lo-1]
-		meta, _ := e.idx.Meta(ref)
-		opts = append(opts, option{ref: ref, left: true, gain: weighted(occOf[ref], idf), terms: meta.Terms})
+		bestRef = c.members[c.lo-1]
+		bestGain, bestOrd = e.gainOf(bestRef, s, nk)
+		bestLeft = true
 	}
 	if c.hi < len(c.members)-1 {
 		ref := c.members[c.hi+1]
-		meta, _ := e.idx.Meta(ref)
-		opts = append(opts, option{ref: ref, left: false, gain: weighted(occOf[ref], idf), terms: meta.Terms})
-	}
-	best := opts[0]
-	if len(opts) == 2 {
-		o := opts[1]
-		if o.gain > best.gain || (o.gain == best.gain && o.terms < best.terms) {
-			best = o
+		gain, ord := e.gainOf(ref, s, nk)
+		if !bestLeft || gain > bestGain ||
+			(gain == bestGain && e.idx.TermsOf(ref) < e.idx.TermsOf(bestRef)) {
+			bestRef, bestOrd, bestGain, bestLeft = ref, ord, gain, false
 		}
 	}
-	if best.left {
+	if bestLeft {
 		c.lo--
 	} else {
 		c.hi++
 	}
-	meta, _ := e.idx.Meta(best.ref)
-	c.size += meta.Terms
-	if occ, ok := occOf[best.ref]; ok {
+	c.size += e.idx.TermsOf(bestRef)
+	if bestOrd >= 0 {
+		occ := s.seedOcc[int(bestOrd)*nk : int(bestOrd+1)*nk]
 		for i := range c.occ {
 			c.occ[i] += occ[i]
 		}
-		consumed[best.ref] = true
+		s.consumed[bestOrd] = true
 	}
-	c.score = score(c.occ, c.size, idf)
+	c.score = score(c.occ, c.size, s.idf)
 }
 
 // score computes Σ_w (occ_w / size) × IDF_w.
@@ -364,23 +506,48 @@ func (e *Engine) resultFor(c *candidate) (Result, error) {
 	return res, nil
 }
 
-// pageSignature identifies a page by its fragment interval endpoints (frag
-// refs are globally unique, so the pair pins the page down).
-func pageSignature(c *candidate) string {
-	return fmt.Sprintf("%d:%d", c.members[c.lo], c.members[c.hi])
+// packRefs identifies a page by its fragment interval endpoints packed
+// into one uint64 (frag refs are int32 and globally unique, so the pair
+// pins the page down without an fmt.Sprintf key).
+func packRefs(lo, hi fragindex.FragRef) uint64 {
+	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
 }
 
-// normalizeKeywords lower-cases, splits, and deduplicates query keywords.
-func normalizeKeywords(words []string) []string {
-	var out []string
-	seen := make(map[string]bool, len(words))
+// normalizeKeywords lower-cases, splits, and deduplicates query keywords
+// into dst (reused across queries). Typical queries are a handful of
+// words, where a linear-scan dedup is allocation-free; past
+// dedupScanLimit distinct keywords it falls back to a map so a huge
+// user-supplied query string stays linear, not quadratic.
+const dedupScanLimit = 24
+
+func normalizeKeywords(dst []string, words []string) []string {
+	var seen map[string]struct{}
 	for _, w := range words {
 		for _, f := range strings.Fields(strings.ToLower(w)) {
-			if !seen[f] {
-				seen[f] = true
-				out = append(out, f)
+			if seen != nil {
+				if _, dup := seen[f]; !dup {
+					seen[f] = struct{}{}
+					dst = append(dst, f)
+				}
+				continue
+			}
+			dup := false
+			for _, have := range dst {
+				if have == f {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, f)
+				if len(dst) > dedupScanLimit {
+					seen = make(map[string]struct{}, 2*len(dst))
+					for _, have := range dst {
+						seen[have] = struct{}{}
+					}
+				}
 			}
 		}
 	}
-	return out
+	return dst
 }

@@ -1,7 +1,11 @@
 package search
 
 import (
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // MultiEngine federates top-k search across several web applications that
@@ -9,8 +13,18 @@ import (
 // Db-pages from different applications can carry the same content when the
 // applications expose overlapping selection attributes; MultiEngine
 // eliminates such duplicates by the pages' selection-value composition.
+//
+// Search fans out to the per-application engines concurrently over a
+// bounded worker pool (at most MaxFanout goroutines, default GOMAXPROCS)
+// and merges deterministically: per-engine result sets are collected in
+// engine registration order before the cross-application rank/dedup pass,
+// so the output is identical to a sequential evaluation.
 type MultiEngine struct {
 	engines []*Engine
+	// MaxFanout bounds the number of engines searched concurrently
+	// (<= 0 means GOMAXPROCS). Set it before serving traffic; it is not
+	// synchronized with in-flight searches.
+	MaxFanout int
 }
 
 // NewMulti creates a federated engine over the given per-application
@@ -25,20 +39,55 @@ type MultiResult struct {
 	AppName string
 }
 
-// Search runs the request against every application and merges the results:
-// pages are ranked by score across applications, and when two applications
-// derive pages from the same fragment composition (identical selection
-// attribute values), only the higher-scoring one is kept.
+// Search runs the request against every application concurrently and
+// merges the results: pages are ranked by score across applications, and
+// when two applications derive pages from the same fragment composition
+// (identical selection attribute values), only the higher-scoring one is
+// kept.
 func (m *MultiEngine) Search(req Request) ([]MultiResult, error) {
-	perApp := req
+	perEngine := make([][]Result, len(m.engines))
+	errs := make([]error, len(m.engines))
+
+	workers := m.MaxFanout
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(m.engines) {
+		workers = len(m.engines)
+	}
+	if workers <= 1 {
+		for i, e := range m.engines {
+			perEngine[i], errs[i] = e.Search(req)
+		}
+	} else {
+		// Same worker-pool shape as ParallelSearch: exactly `workers`
+		// goroutines pulling engine indices from a shared counter.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(m.engines) {
+						return
+					}
+					perEngine[i], errs[i] = m.engines[i].Search(req)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Deterministic merge: engine order first, then the stable rank sort —
+	// byte-for-byte the sequential evaluation's output.
 	var all []MultiResult
-	for _, e := range m.engines {
-		rs, err := e.Search(perApp)
-		if err != nil {
-			return nil, err
+	for i, rs := range perEngine {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		name := ""
-		if e.app != nil {
+		if e := m.engines[i]; e.app != nil {
 			name = e.app.Name
 		}
 		for _, r := range rs {
@@ -65,19 +114,27 @@ func (m *MultiEngine) Search(req Request) ([]MultiResult, error) {
 
 // contentSignature captures the page's underlying record selection: its
 // equality values plus range interval. Two applications projecting the same
-// records produce pages with equal signatures.
+// records produce pages with equal signatures. Built with a strings.Builder
+// so a signature costs one allocation, not one per component.
 func contentSignature(r MultiResult) string {
 	keys := make([]string, 0, len(r.EqValues))
 	for k := range r.EqValues {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	sig := ""
+	var sb strings.Builder
 	for _, k := range keys {
-		sig += k + "=" + r.EqValues[k].Text() + ";"
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(r.EqValues[k].Text())
+		sb.WriteByte(';')
 	}
-	sig += "[" + r.RangeLo.Text() + "," + r.RangeHi.Text() + "]"
-	return sig
+	sb.WriteByte('[')
+	sb.WriteString(r.RangeLo.Text())
+	sb.WriteByte(',')
+	sb.WriteString(r.RangeHi.Text())
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 // Engines returns the federated engines (for inspection).

@@ -1,0 +1,58 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchResult is one request's outcome within a ParallelSearch batch.
+type BatchResult struct {
+	Results []Result
+	Err     error
+}
+
+// ParallelSearch evaluates N requests over at most `workers` goroutines
+// sharing this engine (workers <= 0 means GOMAXPROCS). Results come back
+// positionally — out[i] answers reqs[i] — and each slot is exactly what a
+// serial e.Search(reqs[i]) would have returned, since the engine's read
+// path is race-free and every worker borrows its own pooled scratch.
+//
+// This is the batch serving primitive: cmd/dashserve answers multi-query
+// requests through it, and cmd/dashbench's parallel experiment measures
+// its throughput scaling.
+func (e *Engine) ParallelSearch(reqs []Request, workers int) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers == 1 {
+		for i := range reqs {
+			out[i].Results, out[i].Err = e.Search(reqs[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i].Results, out[i].Err = e.Search(reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,170 @@
+package search
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// stressQueries is a mixed workload over the fooddb fixture: different
+// keywords, k, s, and option combinations, so concurrent searches exercise
+// every scratch-reuse path.
+func stressQueries() []Request {
+	return []Request{
+		{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20},
+		{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1},
+		{Keywords: []string{"burger", "fries", "coffee"}, K: 10, SizeThreshold: 15},
+		{Keywords: []string{"burger", "fries"}, K: 1, SizeThreshold: 1},
+		{Keywords: []string{"burger"}, K: 5, SizeThreshold: 10000},
+		{Keywords: []string{"coffee"}, K: 3, SizeThreshold: 30, AllowOverlap: true},
+		{Keywords: []string{"burger", "fries"}, K: 4, SizeThreshold: 25, RequireAll: true},
+		{Keywords: []string{"thai"}, K: 2, SizeThreshold: 50, CandidateLimit: 2},
+		{Keywords: []string{"zanzibar"}, K: 3, SizeThreshold: 10},
+	}
+}
+
+// TestConcurrentSearchStress hammers one shared Engine from 32 goroutines
+// (run under -race in CI): every goroutine must see exactly the serial
+// answer for every query, and the pooled scratch state must never leak
+// between concurrent searches.
+func TestConcurrentSearchStress(t *testing.T) {
+	e := fooddbEngine(t)
+	queries := stressQueries()
+
+	// Serial ground truth, computed before any concurrency.
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		rs, err := e.Search(q)
+		if err != nil {
+			t.Fatalf("serial %d: %v", i, err)
+		}
+		want[i] = rs
+	}
+
+	const goroutines = 32
+	const iters = 50
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(queries)
+				rs, err := e.Search(queries[i])
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d query %d: %v", g, i, err)
+					return
+				}
+				if !reflect.DeepEqual(rs, want[i]) {
+					errc <- fmt.Errorf("goroutine %d query %d: results diverged from serial", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMultiEngineStress drives the federated engine's concurrent
+// fan-out from 32 goroutines and checks the deterministic merge: every
+// call returns exactly the same result list.
+func TestConcurrentMultiEngineStress(t *testing.T) {
+	m := NewMulti(fooddbEngine(t), fooddbEngine(t))
+	req := Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1}
+	want, err := m.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 25; it++ {
+				rs, err := m.Search(req)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if !reflect.DeepEqual(rs, want) {
+					errc <- fmt.Errorf("goroutine %d: nondeterministic merge", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestParallelSearchMatchesSerial: the batch API returns positionally what
+// serial Search returns, at every worker count.
+func TestParallelSearchMatchesSerial(t *testing.T) {
+	e := fooddbEngine(t)
+	queries := stressQueries()
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		rs, err := e.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rs
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		batch := e.ParallelSearch(queries, workers)
+		if len(batch) != len(queries) {
+			t.Fatalf("workers=%d: %d results for %d requests", workers, len(batch), len(queries))
+		}
+		for i, br := range batch {
+			if br.Err != nil {
+				t.Fatalf("workers=%d request %d: %v", workers, i, br.Err)
+			}
+			if !reflect.DeepEqual(br.Results, want[i]) {
+				t.Errorf("workers=%d request %d diverged from serial", workers, i)
+			}
+		}
+	}
+	if got := e.ParallelSearch(nil, 4); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+	// Request errors surface per slot, not as a batch failure.
+	batch := e.ParallelSearch([]Request{{Keywords: []string{"burger"}, K: 0}}, 2)
+	if batch[0].Err == nil {
+		t.Error("bad request did not surface its error")
+	}
+}
+
+// TestSearchAllocsRegression pins the steady-state allocation budget of the
+// scoring core. The seed implementation spent ~90 allocs on this query;
+// the pooled-arena core must stay under half that. The budget has slack
+// over the measured value (~20: per-result URL formulation plus the
+// returned slice) so GC-driven pool evictions don't flake the test.
+func TestSearchAllocsRegression(t *testing.T) {
+	e := fooddbEngine(t)
+	req := Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20}
+	// Warm the scratch pool.
+	if _, err := e.Search(req); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := e.Search(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 45 // seed: ~90 allocs for this query
+	if avg > budget {
+		t.Errorf("Search allocates %.1f/op, budget %d", avg, budget)
+	}
+}
