@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -86,7 +87,7 @@ func workloadState(b *testing.B, query string) *benchState {
 		out:  out,
 		idx:  idx,
 		eng:  search.New(idx, app),
-		band: harness.KeywordBands(idx, 30),
+		band: harness.KeywordBands(idx.Snapshot(), 30),
 	}
 	benchCache[query] = st
 	return st
@@ -225,6 +226,106 @@ func BenchmarkParallelSearchThroughput(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(reqs)*b.N)/b.Elapsed().Seconds(), "searches/s")
+		})
+	}
+}
+
+// BenchmarkLiveMutationUnderLoad measures online index maintenance — the
+// epoch-swap publish cycle — as a first-class serving scenario: fragment
+// updates applied through a LiveIndex while 0, 8, or 32 reader goroutines
+// stream top-k searches against the concurrently published snapshots. The
+// metric pair to watch is mutations/s holding up as readers grow (readers
+// never block the writer) alongside the searches the readers sustain.
+func BenchmarkLiveMutationUnderLoad(b *testing.B) {
+	st := workloadState(b, "Q2")
+	bound, err := st.app.Bound()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := fragindex.SpecFromBound(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Per-fragment term counts, so each mutation is a realistic full
+	// fragment update.
+	counts := make(map[string]map[string]int64)
+	for kw, ps := range st.out.Inverted {
+		for _, p := range ps {
+			m, ok := counts[p.FragKey]
+			if !ok {
+				m = make(map[string]int64)
+				counts[p.FragKey] = m
+			}
+			m[kw] = p.TF
+		}
+	}
+	ids, err := st.out.Fragments()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kws := append(append([]string{}, st.band.Hot...), st.band.Warm...)
+	for _, readers := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			idx, err := fragindex.Build(st.out, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			live := fragindex.NewLive(idx)
+			eng := search.New(live, st.app)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var reads int64
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					var n int64
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							atomic.AddInt64(&reads, n)
+							return
+						default:
+						}
+						_, err := eng.Search(search.Request{
+							Keywords:      []string{kws[(r+i)%len(kws)]},
+							K:             10,
+							SizeThreshold: 200,
+						})
+						if err != nil {
+							panic(err)
+						}
+						n++
+					}
+				}(r)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := ids[i%len(ids)]
+				key := id.Key()
+				d := crawl.Delta{Changes: []crawl.FragmentChange{{
+					Op: crawl.OpUpdateFragment, ID: id,
+					TermCounts: counts[key], TotalTerms: st.out.FragmentTerms[key],
+				}}}
+				if _, err := live.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+				// Periodic snapshot GC, as a production apply loop runs it:
+				// updates tombstone one ref each, and unbounded tombstones
+				// would turn the metadata copy quadratic.
+				if i%512 == 511 {
+					if _, err := live.CompactIfNeeded(0.5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "mutations/s")
+			if readers > 0 {
+				b.ReportMetric(float64(reads)/b.Elapsed().Seconds(), "searches/s")
+			}
 		})
 	}
 }

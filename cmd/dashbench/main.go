@@ -229,14 +229,14 @@ func fig11(ctx context.Context, cfg config) error {
 		if err != nil {
 			return err
 		}
-		bands := harness.KeywordBands(engine.Index(), cfg.bandSize)
+		bands := harness.KeywordBands(engine.Snapshot(), cfg.bandSize)
 		ks, ss := harness.Fig11Grid()
 		points, err := harness.RunSearchSweep(engine, bands, ks, ss)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("dataset %s: %d fragments, %d keywords\n",
-			scale.Name, engine.Index().NumFragments(), engine.Index().NumKeywords())
+			scale.Name, engine.Snapshot().NumFragments(), engine.Snapshot().NumKeywords())
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "band\ts\tk=1\tk=5\tk=10\tk=20")
 		for _, band := range []string{"cold", "warm", "hot"} {
@@ -272,7 +272,7 @@ func parallelThroughput(ctx context.Context, cfg config) error {
 		if err != nil {
 			return err
 		}
-		bands := harness.KeywordBands(engine.Index(), cfg.bandSize)
+		bands := harness.KeywordBands(engine.Snapshot(), cfg.bandSize)
 		var reqs []search.Request
 		for _, kws := range [][]string{bands.Cold, bands.Warm, bands.Hot} {
 			for _, kw := range kws {
@@ -369,7 +369,7 @@ func ablation(ctx context.Context, cfg config) error {
 	// Result redundancy for a concentrated (cold) keyword: its content
 	// lives in few fragments, so the naive index's top pages are the many
 	// overlapping intervals containing them — the P1 ⊂ P2 problem of §I.
-	bands := harness.KeywordBands(idx, 5)
+	bands := harness.KeywordBands(idx.Snapshot(), 5)
 	if len(bands.Cold) > 0 {
 		kw := bands.Cold[0]
 		naiveTop := naive.Search([]string{kw}, 10)

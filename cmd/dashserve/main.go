@@ -9,27 +9,39 @@
 //	curl 'http://localhost:8080/app?c=American&l=10&u=15'   # a db-page
 //	curl 'http://localhost:8080/search?q=burger&k=2&s=20'   # Dash results
 //	curl 'http://localhost:8080/batch?q=burger&q=coffee'    # JSON batch
+//	curl 'http://localhost:8080/admin/stats'                # serving index stats
+//	curl -d '{"recrawl":[["American","9"]]}' http://localhost:8080/admin/apply
 //
-// One search.Engine is shared by every request: net/http serves each
-// request on its own goroutine, and the engine's read path is race-free
-// (pooled per-goroutine scratch, lock-free index reads), so no
-// serialization is needed. /batch additionally fans each request's
-// queries out over ParallelSearch.
+// The index is served through a dash.LiveEngine: every request pins one
+// immutable snapshot (an atomic load), so searches never block on or get
+// torn by index maintenance. /admin/apply folds changes into the next
+// snapshot — either explicit fragment changes or a targeted re-crawl of
+// the named partitions — and publishes it atomically; /admin/stats reports
+// the serving epoch and maintenance counters. A background goroutine
+// periodically garbage-collects tombstoned refs by publishing a compacted
+// snapshot once enough removals accumulate.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight searches
+// drain before the process exits.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	dash "repro"
 	"repro/internal/crawl"
 	"repro/internal/harness"
 	"repro/internal/relation"
@@ -51,7 +63,7 @@ var resultsTemplate = template.Must(template.New("results").Parse(`<!DOCTYPE htm
 <ol>
 {{range .Results}}<li><a href="{{.Href}}">{{.Label}}</a> — score {{printf "%.6f" .Score}}, {{.Size}} keywords</li>
 {{end}}</ol>
-<p>{{.Elapsed}} over {{.Fragments}} fragments</p>
+<p>{{.Elapsed}} over {{.Fragments}} fragments (epoch {{.Epoch}})</p>
 </body></html>
 `))
 
@@ -68,6 +80,8 @@ func run(args []string) error {
 	dataset := fs.String("dataset", "fooddb", "fooddb | small | medium | large")
 	query := fs.String("query", "Q2", "application query for TPC-H datasets")
 	seed := fs.Int64("seed", 42, "dataset generator seed")
+	gcInterval := fs.Duration("gc-interval", 30*time.Second, "snapshot GC period (0 disables)")
+	gcRatio := fs.Float64("gc-ratio", 0.25, "tombstoned-ref share that triggers snapshot GC")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,8 +104,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine := search.New(idx, app)
-	log.Printf("index ready: %d fragments, %d keywords", idx.NumFragments(), idx.NumKeywords())
+	engine := dash.NewLiveEngine(idx, app)
+	snap := engine.Snapshot()
+	log.Printf("index ready: %d fragments, %d keywords", snap.NumFragments(), snap.NumKeywords())
 
 	mux := http.NewServeMux()
 	mux.Handle("/app", app.Handler())
@@ -104,7 +119,10 @@ func run(args []string) error {
 		k := intParam(r, "k", 5)
 		s := intParam(r, "s", 100)
 		start := time.Now()
-		results, err := engine.Search(search.Request{
+		// Pin one snapshot for the whole request so the rendered fragment
+		// count and epoch describe exactly the version that was searched.
+		snap := engine.Snapshot()
+		results, err := engine.Engine().SearchSnapshot(snap, search.Request{
 			Keywords: strings.Fields(q), K: k, SizeThreshold: s,
 		})
 		if err != nil {
@@ -127,7 +145,8 @@ func run(args []string) error {
 			"Query":     q,
 			"Results":   rows,
 			"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
-			"Fragments": idx.NumFragments(),
+			"Fragments": snap.NumFragments(),
+			"Epoch":     snap.Epoch(),
 		})
 		if err != nil {
 			log.Printf("render: %v", err)
@@ -183,13 +202,154 @@ func run(args []string) error {
 		}
 	})
 
-	log.Printf("serving on %s (web app at /app, search at /search?q=…, batch at /batch?q=…&q=…)", *addr)
+	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(engine.Stats()); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	})
+
+	mux.HandleFunc("/admin/apply", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a JSON delta", http.StatusMethodNotAllowed)
+			return
+		}
+		stats, err := handleApply(engine, db, bound.SelAttrKinds(), r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(stats); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	})
+
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return server.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Snapshot GC: removals leave tombstoned refs in every later version;
+	// once their share crosses the threshold, publish a compacted snapshot.
+	if *gcInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*gcInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					ran, err := engine.Live().CompactIfNeeded(*gcRatio)
+					if err != nil {
+						log.Printf("snapshot gc: %v", err)
+					} else if ran {
+						st := engine.Stats()
+						log.Printf("snapshot gc: compacted to %d fragments (epoch %d)",
+							st.Fragments, st.Epoch)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (web app at /app, search at /search?q=…, batch at /batch?q=…&q=…, admin at /admin/stats and /admin/apply)", *addr)
+		errc <- server.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight requests…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// applyRequest is the /admin/apply body: explicit fragment changes and/or
+// partitions to re-crawl, combined into one transactional delta.
+type applyRequest struct {
+	// Changes are explicit fragment mutations with precomputed statistics.
+	Changes []struct {
+		Op    string           `json:"op"` // insert | remove | update
+		ID    []string         `json:"id"` // selection values, WHERE order
+		Terms map[string]int64 `json:"terms,omitempty"`
+		Total int64            `json:"total,omitempty"`
+	} `json:"changes"`
+	// Recrawl lists fragment identifiers whose partitions should be
+	// re-executed against the database; the op (insert/remove/update) is
+	// derived from what the partition and the index currently hold.
+	Recrawl [][]string `json:"recrawl"`
+}
+
+// handleApply parses, derives, and applies one admin delta.
+func handleApply(engine *dash.LiveEngine, db *dash.Database, kinds []relation.Kind, r *http.Request) (dash.ApplyStats, error) {
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return dash.ApplyStats{}, fmt.Errorf("bad delta JSON: %w", err)
+	}
+	if len(req.Changes) == 0 && len(req.Recrawl) == 0 {
+		return dash.ApplyStats{}, errors.New("empty delta: provide changes and/or recrawl")
+	}
+	var d dash.Delta
+	for _, ch := range req.Changes {
+		id, err := parseID(ch.ID, kinds)
+		if err != nil {
+			return dash.ApplyStats{}, err
+		}
+		fc := dash.FragmentChange{ID: id, TermCounts: ch.Terms, TotalTerms: ch.Total}
+		switch ch.Op {
+		case "insert":
+			fc.Op = dash.OpInsertFragment
+		case "remove":
+			fc.Op = dash.OpRemoveFragment
+		case "update":
+			fc.Op = dash.OpUpdateFragment
+		default:
+			return dash.ApplyStats{}, fmt.Errorf("unknown op %q", ch.Op)
+		}
+		d.Changes = append(d.Changes, fc)
+	}
+	ids := make([]dash.FragmentID, 0, len(req.Recrawl))
+	for _, raw := range req.Recrawl {
+		id, err := parseID(raw, kinds)
+		if err != nil {
+			return dash.ApplyStats{}, err
+		}
+		ids = append(ids, id)
+	}
+	// One transactional delta: the recrawl derivation and the apply run
+	// under the engine's maintenance lock, serialized with any concurrent
+	// admin request.
+	return engine.RecrawlWith(db, ids, d)
+}
+
+// parseID converts string selection values into a typed fragment
+// identifier using the query's selection-attribute kinds.
+func parseID(raw []string, kinds []relation.Kind) (dash.FragmentID, error) {
+	if len(raw) != len(kinds) {
+		return nil, fmt.Errorf("id %v has %d values, want %d", raw, len(raw), len(kinds))
+	}
+	id := make(dash.FragmentID, len(raw))
+	for i, s := range raw {
+		v, err := relation.ParseAs(s, kinds[i])
+		if err != nil {
+			return nil, fmt.Errorf("id value %q: %w", s, err)
+		}
+		id[i] = v
+	}
+	return id, nil
 }
 
 func intParam(r *http.Request, name string, def int) int {

@@ -24,16 +24,41 @@
 //	for _, r := range results {
 //	    fmt.Println(r.URL) // e.g. http://example.com/Search?c=American&l=10&u=12
 //	}
+//
+// # Serving while the database changes
+//
+// A db-page index is only useful while it tracks the database, so the
+// production serving path is the LiveEngine: searches run lock-free
+// against immutable epoch-swap snapshots while a writer folds database
+// changes into the next snapshot and publishes it atomically. Searches
+// in flight keep their pinned snapshot; new searches see the new version.
+//
+//	live := dash.NewLiveEngine(idx, app) // takes ownership of idx
+//	go serve(live)                       // live.Search from any goroutine
+//
+//	// Rows changed in the database: re-crawl only the affected
+//	// partitions and swap in the patched index version.
+//	stats, _ := live.Recrawl(db, []dash.FragmentID{
+//	    {relation.String("American"), relation.Int(9)},
+//	})
+//	fmt.Println(stats.Updated, "fragments refreshed")
+//
+// Recrawl derives a Delta (insert/remove/update per fragment) by executing
+// the application query pinned to each affected partition; Apply publishes
+// a Delta built by any other means. Both are transactional: on error the
+// serving snapshot is unchanged.
 package dash
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/crawl"
 	"repro/internal/fragindex"
+	"repro/internal/fragment"
 	"repro/internal/relation"
 	"repro/internal/search"
 	"repro/internal/webapp"
@@ -62,6 +87,28 @@ type (
 	Result = search.Result
 	// FragRef identifies a fragment within an Index.
 	FragRef = fragindex.FragRef
+	// Snapshot is one immutable version of a fragment index; the whole
+	// search read path runs against it lock-free.
+	Snapshot = fragindex.Snapshot
+	// LiveIndex serves snapshots while absorbing deltas (epoch swap).
+	LiveIndex = fragindex.LiveIndex
+	// FragmentID identifies a fragment: its selection-attribute values.
+	FragmentID = fragment.ID
+	// Delta is a batch of fragment changes derived from database updates.
+	Delta = crawl.Delta
+	// FragmentChange is one fragment's insert/remove/update within a Delta.
+	FragmentChange = crawl.FragmentChange
+	// ApplyStats reports what one delta application did and cost.
+	ApplyStats = fragindex.ApplyStats
+	// LiveStats summarizes a serving index and its maintenance history.
+	LiveStats = fragindex.LiveStats
+)
+
+// Delta change operations, re-exported for building Deltas by hand.
+const (
+	OpInsertFragment = crawl.OpInsertFragment
+	OpRemoveFragment = crawl.OpRemoveFragment
+	OpUpdateFragment = crawl.OpUpdateFragment
 )
 
 // Algorithm selects the crawling/indexing strategy.
@@ -178,6 +225,101 @@ func NewEngine(idx *Index, app *Application) *Engine {
 // database) with duplicate-content elimination.
 func NewMultiEngine(engines ...*Engine) *MultiEngine {
 	return search.NewMulti(engines...)
+}
+
+// LiveEngine pairs a LiveIndex with a search engine: lock-free top-k
+// searches against the current published snapshot, plus the single-writer
+// maintenance API that folds database changes into the next snapshot. All
+// methods are safe for concurrent use: Apply, Recrawl, and RecrawlWith
+// serialize among themselves, including Recrawl's delta derivation — two
+// concurrent recrawls of the same partition cannot misclassify each
+// other's in-flight inserts or removals.
+type LiveEngine struct {
+	// mu serializes the whole maintenance cycle (derive + apply), so delta
+	// classification always runs against the latest published snapshot.
+	mu     sync.Mutex
+	live   *fragindex.LiveIndex
+	engine *search.Engine
+	app    *Application
+}
+
+// NewLiveEngine wraps a built index for online serving. It takes ownership
+// of idx: all further access must go through the LiveEngine. app may be
+// nil when URL formulation is not needed.
+func NewLiveEngine(idx *Index, app *Application) *LiveEngine {
+	live := fragindex.NewLive(idx)
+	return &LiveEngine{live: live, engine: search.New(live, app), app: app}
+}
+
+// Search answers a top-k query against the current snapshot.
+func (le *LiveEngine) Search(req Request) ([]Result, error) { return le.engine.Search(req) }
+
+// ParallelSearch evaluates a batch of requests concurrently, all pinned to
+// one snapshot.
+func (le *LiveEngine) ParallelSearch(reqs []Request, workers int) []search.BatchResult {
+	return le.engine.ParallelSearch(reqs, workers)
+}
+
+// Engine returns the underlying search engine (for MultiEngine federation
+// or snapshot-pinned searches via SearchSnapshot).
+func (le *LiveEngine) Engine() *Engine { return le.engine }
+
+// Live returns the underlying live index (stats, explicit snapshots,
+// compaction).
+func (le *LiveEngine) Live() *LiveIndex { return le.live }
+
+// Snapshot returns the current published index version.
+func (le *LiveEngine) Snapshot() *Snapshot { return le.live.Snapshot() }
+
+// Apply folds a delta into the index and atomically publishes the result.
+func (le *LiveEngine) Apply(d Delta) (ApplyStats, error) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.live.Apply(d)
+}
+
+// Stats summarizes the serving index and its maintenance history.
+func (le *LiveEngine) Stats() LiveStats { return le.live.Stats() }
+
+// Recrawl re-executes the application query for the given fragment
+// partitions only — not the whole database — derives the resulting Delta
+// (inserts, removals, updates), and publishes it. This is the paper's
+// §VIII "efficient update mechanism" end to end: after database rows
+// change, pass every fragment identifier whose partition is affected.
+func (le *LiveEngine) Recrawl(db *Database, ids []FragmentID) (ApplyStats, error) {
+	return le.RecrawlWith(db, ids, Delta{})
+}
+
+// RecrawlWith combines a targeted re-crawl with explicit extra changes and
+// applies everything as one transactional delta. Derivation runs under the
+// same lock as the apply and classifies against the latest published
+// snapshot, so concurrent maintenance calls observe each other's results
+// instead of racing.
+func (le *LiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (ApplyStats, error) {
+	if len(ids) > 0 && le.app == nil {
+		return ApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+	}
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	d := Delta{
+		SelAttrs: extra.SelAttrs,
+		Changes:  append([]FragmentChange(nil), extra.Changes...),
+	}
+	if len(ids) > 0 {
+		bound, err := le.app.Bound()
+		if err != nil {
+			return ApplyStats{}, err
+		}
+		derived, err := crawl.DeriveDelta(db, bound, ids, le.live.Snapshot().Has)
+		if err != nil {
+			return ApplyStats{}, err
+		}
+		if d.SelAttrs == nil {
+			d.SelAttrs = derived.SelAttrs
+		}
+		d.Changes = append(d.Changes, derived.Changes...)
+	}
+	return le.live.Apply(d)
 }
 
 // SaveIndex serializes an index (gob encoding).

@@ -1,23 +1,28 @@
-// Incremental demonstrates fragment-index maintenance under database
-// updates — the paper's first future-work item (§VIII): "some efficient
-// update mechanisms that can efficiently update (affected portions of) a
-// fragment index are desirable".
+// Incremental demonstrates online fragment-index maintenance — the paper's
+// first future-work item (§VIII: "some efficient update mechanisms that can
+// efficiently update (affected portions of) a fragment index are
+// desirable") — under live query traffic.
 //
-// A new customer comment is inserted into fooddb. Instead of re-crawling
-// everything, Dash recomputes only the affected fragment (by executing the
-// application query for that fragment's selection values) and patches the
-// index in place: postings, node weight, and graph edges all stay
-// consistent, and searches immediately see the new content.
+// The index is served through a dash.LiveEngine built on epoch-swap
+// snapshots: searcher goroutines stream top-k queries, each pinned to an
+// immutable snapshot resolved with one atomic load, while the writer
+// mutates the fooddb database and calls Recrawl, which re-executes the
+// application query for the affected partitions only, derives a Delta
+// (insert/remove/update per fragment), and atomically publishes the
+// patched index version. A snapshot pinned before the update keeps
+// answering with the old contents — repeatable reads for free — while new
+// searches see the fresh comment immediately.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
 
 	dash "repro"
 	"repro/internal/fooddb"
-	"repro/internal/fragment"
 	"repro/internal/relation"
 )
 
@@ -42,15 +47,46 @@ func run() error {
 	}
 	fmt.Printf("initial index: %d fragments, %d keywords\n", stats.Fragments, stats.Keywords)
 
-	engine := dash.NewEngine(idx, app)
-	before, err := engine.Search(dash.Request{Keywords: []string{"froyo"}, K: 5, SizeThreshold: 5})
+	engine := dash.NewLiveEngine(idx, app)
+	froyo := dash.Request{Keywords: []string{"froyo"}, K: 5, SizeThreshold: 5}
+
+	before, err := engine.Search(froyo)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("search \"froyo\" before update: %d results\n", len(before))
 
+	// Pin the pre-update version: everything searched through it stays
+	// byte-identical no matter what is published later.
+	pinned := engine.Snapshot()
+
+	// Query traffic keeps flowing while the index is maintained: searcher
+	// goroutines hammer the live engine and count how many of their
+	// answers came from the post-update index version.
+	var (
+		searches   atomic.Int64
+		sawFresh   atomic.Int64
+		searcherWG sync.WaitGroup
+	)
+	for g := 0; g < 4; g++ {
+		searcherWG.Add(1)
+		go func() {
+			defer searcherWG.Done()
+			for i := 0; i < 500; i++ {
+				rs, err := engine.Search(froyo)
+				if err != nil {
+					panic(err)
+				}
+				searches.Add(1)
+				if len(rs) > 0 {
+					sawFresh.Add(1)
+				}
+			}
+		}()
+	}
+
 	// A customer posts a new comment on Bond's Cafe (rid 7, an American
-	// restaurant with budget 9).
+	// restaurant with budget 9) — the database changes under the index.
 	comments, err := db.Table("comment")
 	if err != nil {
 		return err
@@ -64,42 +100,25 @@ func run() error {
 	}
 	fmt.Println("\ninserted comment 207: \"Great froyo dessert\" on Bond's Cafe")
 
-	// Only the (American, 9) fragment is affected. Recompute it by
-	// executing the application query pinned to the fragment's selection
-	// values, and patch the index.
-	affected := fragment.ID{relation.String("American"), relation.Int(9)}
-	bound, err := app.Bound()
+	// Only the (American, 9) partition is affected. Recrawl re-executes the
+	// application query pinned to it, derives the delta, and swaps in the
+	// patched snapshot — while the searchers above keep running.
+	affected := dash.FragmentID{relation.String("American"), relation.Int(9)}
+	applied, err := engine.Recrawl(db, []dash.FragmentID{affected})
 	if err != nil {
 		return err
 	}
-	rows, err := bound.Execute(db, map[string]relation.Value{
-		"cuisine": relation.String("American"),
-		"min":     relation.Int(9),
-		"max":     relation.Int(9),
-	})
-	if err != nil {
-		return err
-	}
-	counts := make(map[string]int64)
-	var total int64
-	for _, row := range rows.Rows {
-		perRow := make(map[string]int)
-		for _, v := range row {
-			total += int64(fragment.CountTokens(v, perRow))
-		}
-		for kw, c := range perRow {
-			counts[kw] += int64(c)
-		}
-	}
-	if err := idx.UpdateFragment(affected, counts, total); err != nil {
-		return err
-	}
-	fmt.Printf("patched fragment %s: now %d keywords (was 8)\n", affected, total)
-	fmt.Printf("index still has %d fragments, %d graph edges — only one fragment touched\n",
-		idx.NumFragments(), idx.NumEdges())
+	fmt.Printf("recrawled partition %s: %d updated, cloned %d posting lists in %d shards (epoch %d)\n",
+		affected, applied.Updated, applied.ClonedLists, applied.ClonedShards, applied.Epoch)
+	st := engine.Stats()
+	fmt.Printf("index still has %d fragments — only one partition touched\n", st.Fragments)
 
-	// The new content is searchable instantly.
-	after, err := engine.Search(dash.Request{Keywords: []string{"froyo"}, K: 5, SizeThreshold: 5})
+	searcherWG.Wait()
+	fmt.Printf("served %d searches concurrently with the update (%d saw the new content)\n",
+		searches.Load(), sawFresh.Load())
+
+	// New searches see the fresh comment instantly…
+	after, err := engine.Search(froyo)
 	if err != nil {
 		return err
 	}
@@ -107,6 +126,15 @@ func run() error {
 	for _, r := range after {
 		fmt.Printf("  %s (score %.4f)\n", r.URL, r.Score)
 	}
+
+	// …while the pinned pre-update snapshot still answers with the old
+	// contents (repeatable reads across index versions).
+	old, err := engine.Engine().SearchSnapshot(pinned, froyo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pinned pre-update snapshot (epoch %d) still returns %d results\n",
+		pinned.Epoch(), len(old))
 
 	// And the suggested URL serves the fresh comment.
 	page, err := app.Execute(after[0].QueryString)

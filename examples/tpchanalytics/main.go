@@ -60,7 +60,7 @@ func run() error {
 
 	// Keyword temperature sweep (Fig. 11 at one cell).
 	engine := dash.NewEngine(idx, app)
-	bands := harness.KeywordBands(idx, 10)
+	bands := harness.KeywordBands(idx.Snapshot(), 10)
 	fmt.Printf("\nsearch latency by keyword temperature (k=10, s=200):\n")
 	for _, band := range []struct {
 		name string

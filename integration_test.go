@@ -45,7 +45,7 @@ func TestIntegrationTPCHAllQueriesAllAlgorithms(t *testing.T) {
 					t.Fatal("no fragments")
 				}
 				engine := NewEngine(idx, app)
-				bands := harness.KeywordBands(idx, 3)
+				bands := harness.KeywordBands(idx.Snapshot(), 3)
 				for _, kw := range bands.Warm {
 					results, err := engine.Search(Request{
 						Keywords: []string{kw}, K: 3, SizeThreshold: 50,
@@ -101,7 +101,7 @@ func TestIntegrationSearchResultsConsistentAcrossAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	eSW, eINT := NewEngine(idxSW, app), NewEngine(idxINT, app)
-	bands := harness.KeywordBands(idxINT, 5)
+	bands := harness.KeywordBands(idxINT.Snapshot(), 5)
 	all := append(append(append([]string{}, bands.Hot...), bands.Warm...), bands.Cold...)
 	for _, kw := range all {
 		for _, s := range []int{50, 500} {
@@ -155,7 +155,7 @@ func TestIntegrationSaveLoadServeRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	engine := NewEngine(loaded, app)
-	bands := harness.KeywordBands(loaded, 2)
+	bands := harness.KeywordBands(loaded.Snapshot(), 2)
 	kw := bands.Hot[0]
 	results, err := engine.Search(Request{Keywords: []string{kw}, K: 2, SizeThreshold: 100})
 	if err != nil {
@@ -339,7 +339,7 @@ func TestIntegrationNaiveAgreesWithDashOnTopPage(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine := search.New(idx, app)
-	bands := harness.KeywordBands(idx, 3)
+	bands := harness.KeywordBands(idx.Snapshot(), 3)
 	kw := bands.Cold[0]
 
 	dashTop, err := engine.Search(search.Request{Keywords: []string{kw}, K: 1, SizeThreshold: 1})

@@ -1,0 +1,146 @@
+package crawl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fragment"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+// Errors returned by delta derivation.
+var (
+	ErrPinArity = errors.New("crawl: fragment identifier arity does not match selection attributes")
+	ErrPinParam = errors.New("crawl: query parameter not pinned by any selection attribute")
+)
+
+// ChangeOp classifies one fragment change within a Delta.
+type ChangeOp uint8
+
+// The three fragment maintenance operations.
+const (
+	OpInsertFragment ChangeOp = iota + 1
+	OpRemoveFragment
+	OpUpdateFragment
+)
+
+// String names the operation.
+func (op ChangeOp) String() string {
+	switch op {
+	case OpInsertFragment:
+		return "insert"
+	case OpRemoveFragment:
+		return "remove"
+	case OpUpdateFragment:
+		return "update"
+	}
+	return fmt.Sprintf("ChangeOp(%d)", uint8(op))
+}
+
+// FragmentChange is one fragment's worth of index maintenance: the fragment
+// to touch and, for inserts and updates, its recomputed keyword statistics.
+type FragmentChange struct {
+	Op         ChangeOp
+	ID         fragment.ID
+	TermCounts map[string]int64 // nil for removals
+	TotalTerms int64            // 0 for removals
+}
+
+// Delta is a batch of fragment changes derived from database updates — the
+// incremental counterpart of Output. fragindex.LiveIndex.Apply folds a
+// Delta into the next published snapshot in one atomic swap.
+type Delta struct {
+	// SelAttrs names the selection attribute columns the change IDs are
+	// tuples over, in WHERE order; empty skips the spec check on apply.
+	SelAttrs []string
+	Changes  []FragmentChange
+}
+
+// PinParams returns the parameter assignment that restricts the bound query
+// to exactly one fragment's partition: every condition over a selection
+// attribute receives that attribute's value from the fragment identifier.
+// With Dash's comparison set (=, >=, <=) the pinned evaluation selects
+// precisely the rows whose selection values equal the identifier's.
+func PinParams(b *psj.Bound, id fragment.ID) (map[string]relation.Value, error) {
+	if len(id) != len(b.SelAttrs) {
+		return nil, fmt.Errorf("%w: id %v over attrs %v", ErrPinArity, id, b.SelAttrs)
+	}
+	params := make(map[string]relation.Value, len(b.Conds))
+	for _, c := range b.Conds {
+		for i, col := range b.SelAttrs {
+			if c.Attr.Col == col {
+				params[c.Param] = id[i]
+			}
+		}
+	}
+	for _, p := range b.Query.Params() {
+		if _, ok := params[p]; !ok {
+			return nil, fmt.Errorf("%w: $%s", ErrPinParam, p)
+		}
+	}
+	return params, nil
+}
+
+// RecrawlFragment recomputes one fragment's keyword statistics by executing
+// the application query pinned to the fragment's partition — re-crawling
+// only the rows that can contribute to this fragment, not the whole
+// database. exists is false when the partition currently selects no rows
+// (the fragment no longer exists). The counts match what a full crawl
+// (Reference or the MR algorithms) would derive for the same fragment.
+func RecrawlFragment(db *relation.Database, b *psj.Bound, id fragment.ID) (counts map[string]int64, total int64, exists bool, err error) {
+	params, err := PinParams(b, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	tbl, err := b.Execute(db, params)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if tbl.Len() == 0 {
+		return nil, 0, false, nil
+	}
+	// Execute projects to the application's projection attributes — exactly
+	// the values a full crawl counts tokens over (fragment.Derive's projIdx).
+	acc := make(map[string]int)
+	for _, row := range tbl.Rows {
+		for _, v := range row {
+			total += int64(fragment.CountTokens(v, acc))
+		}
+	}
+	counts = make(map[string]int64, len(acc))
+	for kw, n := range acc {
+		counts[kw] = int64(n)
+	}
+	return counts, total, true, nil
+}
+
+// DeriveDelta re-crawls the partitions of the candidate fragment
+// identifiers (typically: every fragment whose underlying rows changed,
+// plus any identifiers newly introduced by inserted rows) and classifies
+// each against the serving index via have, which reports whether a live
+// fragment with that identifier currently exists. Identifiers whose
+// partition is empty and unknown to the index are dropped as no-ops.
+func DeriveDelta(db *relation.Database, b *psj.Bound, ids []fragment.ID, have func(fragment.ID) bool) (Delta, error) {
+	d := Delta{SelAttrs: append([]string(nil), b.SelAttrs...)}
+	for _, id := range ids {
+		counts, total, exists, err := RecrawlFragment(db, b, id)
+		if err != nil {
+			return Delta{}, err
+		}
+		known := have(id)
+		switch {
+		case exists && known:
+			d.Changes = append(d.Changes, FragmentChange{
+				Op: OpUpdateFragment, ID: id, TermCounts: counts, TotalTerms: total,
+			})
+		case exists:
+			d.Changes = append(d.Changes, FragmentChange{
+				Op: OpInsertFragment, ID: id, TermCounts: counts, TotalTerms: total,
+			})
+		case known:
+			d.Changes = append(d.Changes, FragmentChange{Op: OpRemoveFragment, ID: id})
+		}
+	}
+	return d, nil
+}

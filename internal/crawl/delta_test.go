@@ -1,0 +1,176 @@
+package crawl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/fooddb"
+	"repro/internal/fragment"
+	"repro/internal/psj"
+	"repro/internal/relation"
+)
+
+func boundFooddb(t *testing.T) (*relation.Database, *psj.Bound) {
+	t.Helper()
+	db := fooddb.New()
+	b, err := psj.Bind(psj.MustParse(fooddb.SearchSQL), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, b
+}
+
+// TestRecrawlMatchesReference: re-crawling any single partition yields
+// byte-identical keyword statistics to what the full crawl derives for
+// that fragment — the property that lets a delta patch an index built by
+// Reference or the MR algorithms without drift.
+func TestRecrawlMatchesReference(t *testing.T) {
+	db, b := boundFooddb(t)
+	out, err := Reference(db, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-crawl per-fragment counts from the inverted lists.
+	want := make(map[string]map[string]int64)
+	for kw, ps := range out.Inverted {
+		for _, p := range ps {
+			m, ok := want[p.FragKey]
+			if !ok {
+				m = make(map[string]int64)
+				want[p.FragKey] = m
+			}
+			m[kw] = p.TF
+		}
+	}
+	ids, err := out.Fragments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		counts, total, exists, err := RecrawlFragment(db, b, id)
+		if err != nil {
+			t.Fatalf("RecrawlFragment(%s): %v", id, err)
+		}
+		if !exists {
+			t.Fatalf("fragment %s vanished on recrawl", id)
+		}
+		if total != out.FragmentTerms[id.Key()] {
+			t.Errorf("%s total = %d, full crawl %d", id, total, out.FragmentTerms[id.Key()])
+		}
+		if !reflect.DeepEqual(counts, want[id.Key()]) {
+			t.Errorf("%s counts = %v, full crawl %v", id, counts, want[id.Key()])
+		}
+	}
+}
+
+// TestRecrawlMissingPartition: an identifier selecting no rows reports
+// exists=false.
+func TestRecrawlMissingPartition(t *testing.T) {
+	db, b := boundFooddb(t)
+	_, _, exists, err := RecrawlFragment(db, b,
+		fragment.ID{relation.String("Klingon"), relation.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exists {
+		t.Error("empty partition reported as existing")
+	}
+}
+
+// TestDeriveDeltaClassifies drives all four cases: a changed partition the
+// index knows (update), a new partition (insert), a vanished partition the
+// index still holds (remove), and an unknown empty partition (no-op).
+func TestDeriveDeltaClassifies(t *testing.T) {
+	db, b := boundFooddb(t)
+	// A new restaurant opens a (American, 25) partition the index has
+	// never seen, and a comment lands on Bond's Cafe (American, 9).
+	restaurant, err := db.Table("restaurant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = restaurant.Append(relation.Row{
+		relation.Int(8), relation.String("Deluxe Diner"), relation.String("American"),
+		relation.Int(25), relation.Float(4.9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comments, err := db.Table("comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comments.Append(relation.Row{
+		relation.Int(207), relation.Int(7), relation.Int(120),
+		relation.String("Great froyo"), relation.String("03/12"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	updated := fragment.ID{relation.String("American"), relation.Int(9)}
+	inserted := fragment.ID{relation.String("American"), relation.Int(25)}
+	removed := fragment.ID{relation.String("Mythical"), relation.Int(1)} // index-known, db-empty
+	noop := fragment.ID{relation.String("Klingon"), relation.Int(7)}
+
+	have := func(id fragment.ID) bool {
+		return id.Key() == updated.Key() || id.Key() == removed.Key()
+	}
+	d, err := DeriveDelta(db, b, []fragment.ID{updated, inserted, removed, noop}, have)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.SelAttrs, b.SelAttrs) {
+		t.Errorf("delta SelAttrs = %v", d.SelAttrs)
+	}
+	if len(d.Changes) != 3 {
+		t.Fatalf("changes = %d, want 3 (no-op dropped): %+v", len(d.Changes), d.Changes)
+	}
+	ops := map[string]ChangeOp{}
+	for _, ch := range d.Changes {
+		ops[ch.ID.Key()] = ch.Op
+		if ch.Op != OpRemoveFragment {
+			if ch.TotalTerms <= 0 || len(ch.TermCounts) == 0 {
+				t.Errorf("%s %s carries no statistics", ch.Op, ch.ID)
+			}
+		} else if ch.TermCounts != nil || ch.TotalTerms != 0 {
+			t.Errorf("remove %s carries statistics", ch.ID)
+		}
+	}
+	if ops[updated.Key()] != OpUpdateFragment {
+		t.Errorf("updated partition classified as %v", ops[updated.Key()])
+	}
+	if ops[inserted.Key()] != OpInsertFragment {
+		t.Errorf("new partition classified as %v", ops[inserted.Key()])
+	}
+	if ops[removed.Key()] != OpRemoveFragment {
+		t.Errorf("vanished partition classified as %v", ops[removed.Key()])
+	}
+	// The update's statistics include the new comment's keyword.
+	for _, ch := range d.Changes {
+		if ch.ID.Key() == updated.Key() && ch.TermCounts["froyo"] != 1 {
+			t.Errorf("update misses the new comment: %v", ch.TermCounts)
+		}
+	}
+}
+
+// TestPinParamsErrors: arity mismatches are rejected.
+func TestPinParamsErrors(t *testing.T) {
+	_, b := boundFooddb(t)
+	if _, err := PinParams(b, fragment.ID{relation.String("American")}); !errors.Is(err, ErrPinArity) {
+		t.Errorf("arity err = %v", err)
+	}
+	params, err := PinParams(b, fragment.ID{relation.String("American"), relation.Int(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cuisine pins $cuisine; budget pins both $min and $max.
+	want := map[string]relation.Value{
+		"cuisine": relation.String("American"),
+		"min":     relation.Int(9),
+		"max":     relation.Int(9),
+	}
+	if !reflect.DeepEqual(params, want) {
+		t.Errorf("params = %v, want %v", params, want)
+	}
+}

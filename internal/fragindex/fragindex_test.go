@@ -39,7 +39,7 @@ func fooddbIndex(t *testing.T) *Index {
 
 func refByName(t *testing.T, idx *Index, name string) FragRef {
 	t.Helper()
-	for i := 0; i < len(idx.frags); i++ {
+	for i := 0; i < idx.NumRefs(); i++ {
 		m, err := idx.Meta(FragRef(i))
 		if err != nil {
 			t.Fatal(err)
@@ -368,9 +368,9 @@ func TestCompact(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	if compacted.NumFragments() != 4 || len(compacted.frags) != 4 {
+	if compacted.NumFragments() != 4 || compacted.NumRefs() != 4 {
 		t.Errorf("compacted fragments = %d/%d, want 4/4",
-			compacted.NumFragments(), len(compacted.frags))
+			compacted.NumFragments(), compacted.NumRefs())
 	}
 	if compacted.NumEdges() != 2 {
 		t.Errorf("compacted edges = %d, want 2", compacted.NumEdges())
@@ -424,8 +424,8 @@ func TestSaveCompactsTombstones(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if loaded.NumFragments() != 4 || len(loaded.frags) != 4 {
-		t.Errorf("loaded fragments = %d/%d, want 4/4", loaded.NumFragments(), len(loaded.frags))
+	if loaded.NumFragments() != 4 || loaded.NumRefs() != 4 {
+		t.Errorf("loaded fragments = %d/%d, want 4/4", loaded.NumFragments(), loaded.NumRefs())
 	}
 }
 
@@ -471,20 +471,20 @@ func TestPropRandomInsertRemoveInvariants(t *testing.T) {
 			}
 			// Per-group edges = members-1; all members alive and sorted.
 			edges := 0
-			for _, grp := range idx.groups {
+			for _, grp := range idx.s.groups {
 				if len(grp.members) > 0 {
 					edges += len(grp.members) - 1
 				}
 				for i, ref := range grp.members {
-					if !idx.frags[ref].Alive {
+					if !idx.s.frags[ref].Alive {
 						t.Fatalf("trial %d: dead member in group", trial)
 					}
-					if idx.memberAt[ref] != i {
+					if idx.s.memberAt[ref] != i {
 						t.Fatalf("trial %d: memberAt inconsistent", trial)
 					}
 					if i > 0 {
-						prev := idx.rangeValOf(grp.members[i-1])
-						if prev.Compare(idx.rangeValOf(ref)) >= 0 {
+						prev := idx.s.rangeValOf(grp.members[i-1])
+						if prev.Compare(idx.s.rangeValOf(ref)) >= 0 {
 							t.Fatalf("trial %d: group not sorted", trial)
 						}
 					}

@@ -7,140 +7,88 @@ import (
 	"repro/internal/fragment"
 )
 
-// Neighbors returns the fragment-graph neighbours of a live fragment: the
-// adjacent members of its equality group in range order. A fragment has at
-// most two neighbours (the graph is a union of paths, as in Fig. 9).
-func (idx *Index) Neighbors(ref FragRef) ([]FragRef, error) {
-	m, err := idx.Meta(ref)
-	if err != nil {
-		return nil, err
-	}
-	if !m.Alive {
-		return nil, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
-	}
-	g := idx.groupOf[ref]
-	pos := idx.memberAt[ref]
-	var out []FragRef
-	if pos > 0 {
-		out = append(out, g.members[pos-1])
-	}
-	if pos+1 < len(g.members) {
-		out = append(out, g.members[pos+1])
-	}
-	return out, nil
-}
+// Neighbors returns the fragment-graph neighbours of a live fragment (live
+// view of the builder's state; see Snapshot.Neighbors).
+func (idx *Index) Neighbors(ref FragRef) ([]FragRef, error) { return idx.s.Neighbors(ref) }
 
 // GroupMembers returns the full equality group of a fragment in range
 // order. The slice must not be modified.
 func (idx *Index) GroupMembers(ref FragRef) ([]FragRef, int, error) {
-	m, err := idx.Meta(ref)
-	if err != nil {
-		return nil, 0, err
-	}
-	if !m.Alive {
-		return nil, 0, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
-	}
-	return idx.groupOf[ref].members, idx.memberAt[ref], nil
+	return idx.s.GroupMembers(ref)
 }
 
 // Edges enumerates all fragment-graph edges as (smaller, larger) ref pairs,
 // sorted. Mostly useful for tests and stats.
-func (idx *Index) Edges() [][2]FragRef {
-	var out [][2]FragRef
-	for _, g := range idx.groups {
-		for i := 1; i < len(g.members); i++ {
-			a, b := g.members[i-1], g.members[i]
-			if a > b {
-				a, b = b, a
-			}
-			out = append(out, [2]FragRef{a, b})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
-}
+func (idx *Index) Edges() [][2]FragRef { return idx.s.Edges() }
 
 // NumEdges returns the number of fragment-graph edges.
-func (idx *Index) NumEdges() int {
-	n := 0
-	for _, g := range idx.groups {
-		if len(g.members) > 1 {
-			n += len(g.members) - 1
-		}
-	}
-	return n
-}
+func (idx *Index) NumEdges() int { return idx.s.NumEdges() }
 
 // InsertFragment adds a fragment incrementally (§VI-A): the node joins its
 // equality group at its range position; if it lands between two previously
 // adjacent fragments their edge is split into two. This is both the
 // incremental construction path and the insert half of index maintenance.
 func (idx *Index) InsertFragment(id fragment.ID, termCounts map[string]int64, totalTerms int64) (FragRef, error) {
-	if len(id) != len(idx.spec.SelAttrs) {
+	s := idx.s
+	if len(id) != len(s.spec.SelAttrs) {
 		return 0, fmt.Errorf("%w: id %v has %d values, want %d",
-			ErrBadIDArity, id, len(id), len(idx.spec.SelAttrs))
+			ErrBadIDArity, id, len(id), len(s.spec.SelAttrs))
 	}
 	key := id.Key()
-	if old, ok := idx.byKey[key]; ok && idx.frags[old].Alive {
+	if old, ok := s.byKey[key]; ok && s.frags[old].Alive {
 		return 0, fmt.Errorf("%w: %s", ErrDupFragment, id)
 	}
-	ref := FragRef(len(idx.frags))
-	idx.frags = append(idx.frags, Meta{ID: id, Terms: totalTerms, Alive: true})
-	idx.memberAt = append(idx.memberAt, -1)
-	idx.kwOf = append(idx.kwOf, nil)
-	idx.byKey[key] = ref
-	idx.liveFrags++
-	idx.liveTerms += totalTerms
+	idx.beginWrite()
+	s = idx.s
+	ref := FragRef(len(s.frags))
+	s.frags = append(s.frags, Meta{ID: id, Terms: totalTerms, Alive: true})
+	s.memberAt = append(s.memberAt, -1)
+	s.kwOf = append(s.kwOf, nil)
+	s.byKey[key] = ref
+	s.liveFrags++
+	s.liveTerms += totalTerms
 
 	// Splice into the group at the range position.
 	g := idx.groupFor(id, true)
-	idx.groupOf = append(idx.groupOf, g)
-	rv := idx.rangeValOf(ref)
+	s.groupOf = append(s.groupOf, g)
+	rv := s.rangeValOf(ref)
 	pos := sort.Search(len(g.members), func(i int) bool {
-		return idx.rangeValOf(g.members[i]).Compare(rv) >= 0
+		return s.rangeValOf(g.members[i]).Compare(rv) >= 0
 	})
 	g.members = append(g.members, 0)
 	copy(g.members[pos+1:], g.members[pos:])
 	g.members[pos] = ref
 	for i := pos; i < len(g.members); i++ {
-		idx.memberAt[g.members[i]] = i
+		s.memberAt[g.members[i]] = i
 	}
 
 	// Posting lists: insert keeping TF-descending order.
 	for kw, tf := range termCounts {
 		idx.insertPosting(kw, Posting{Frag: ref, TF: tf})
-		idx.kwOf[ref] = append(idx.kwOf[ref], kw)
+		s.kwOf[ref] = append(s.kwOf[ref], kw)
 	}
-	idx.epoch++
+	s.epoch++
 	return ref, nil
 }
 
 // insertPosting places p into kw's list preserving (TF desc, ref asc) order
 // and refreshes the list's liveness bookkeeping.
 func (idx *Index) insertPosting(kw string, p Posting) {
-	pl := idx.inverted[kw]
-	if pl == nil {
-		pl = &postingList{}
-		idx.inverted[kw] = pl
-	}
+	s := idx.s
+	pl := idx.listForWrite(kw, true)
 	list := pl.ps
 	pos := sort.Search(len(list), func(i int) bool {
 		if list[i].TF != p.TF {
 			return list[i].TF < p.TF
 		}
-		return idx.frags[list[i].Frag].ID.Compare(idx.frags[p.Frag].ID) >= 0
+		return s.frags[list[i].Frag].ID.Compare(s.frags[p.Frag].ID) >= 0
 	})
 	list = append(list, Posting{})
 	copy(list[pos+1:], list[pos:])
 	list[pos] = p
 	pl.ps = list
 	if pl.liveDF() == 1 { // the list just came (back) to life
-		idx.liveKws++
+		s.liveKws++
 	}
 	pl.recompute()
 }
@@ -153,37 +101,39 @@ func (idx *Index) insertPosting(kw string, p Posting) {
 // path never pays for tombstones left behind here.
 func (idx *Index) RemoveFragment(id fragment.ID) error {
 	key := id.Key()
-	ref, ok := idx.byKey[key]
-	if !ok || !idx.frags[ref].Alive {
+	ref, ok := idx.s.byKey[key]
+	if !ok || !idx.s.frags[ref].Alive {
 		return fmt.Errorf("%w: %s", ErrNoFragment, id)
 	}
-	g := idx.groupOf[ref]
-	pos := idx.memberAt[ref]
+	idx.beginWrite()
+	s := idx.s
+	g := idx.groupForWrite(s.groupOf[ref])
+	pos := s.memberAt[ref]
 	g.members = append(g.members[:pos], g.members[pos+1:]...)
 	for i := pos; i < len(g.members); i++ {
-		idx.memberAt[g.members[i]] = i
+		s.memberAt[g.members[i]] = i
 	}
-	idx.frags[ref].Alive = false
-	idx.memberAt[ref] = -1
-	delete(idx.byKey, key)
-	idx.liveFrags--
-	idx.liveTerms -= idx.frags[ref].Terms
-	for _, kw := range idx.kwOf[ref] {
-		pl := idx.inverted[kw]
+	s.frags[ref].Alive = false
+	s.memberAt[ref] = -1
+	delete(s.byKey, key)
+	s.liveFrags--
+	s.liveTerms -= s.frags[ref].Terms
+	for _, kw := range s.kwOf[ref] {
+		pl := idx.listForWrite(kw, false)
 		if pl == nil {
 			continue
 		}
 		pl.dead++
 		if pl.liveDF() == 0 {
-			idx.liveKws--
+			s.liveKws--
 		}
 		pl.recompute()
 		if pl.dead*compactDeadDen >= len(pl.ps)*compactDeadNum {
 			idx.CompactPostings(kw)
 		}
 	}
-	idx.kwOf[ref] = nil // the tombstone never revives; free the forward map
-	idx.epoch++
+	s.kwOf[ref] = nil // the tombstone never revives; free the forward map
+	s.epoch++
 	return nil
 }
 
@@ -201,18 +151,20 @@ func (idx *Index) UpdateFragment(id fragment.ID, termCounts map[string]int64, to
 
 // Compact rebuilds the index without tombstones, reclaiming posting slots
 // and renumbering refs. It returns the compacted index; the receiver is
-// left untouched.
+// left untouched, and the result shares no storage with it (or with any
+// snapshot it published).
 func (idx *Index) Compact() (*Index, error) {
-	out, err := New(idx.spec)
+	s := idx.s
+	out, err := New(s.spec)
 	if err != nil {
 		return nil, err
 	}
 	// Re-insert live fragments in identifier order; gather term counts
 	// from the inverted lists.
 	counts := make(map[FragRef]map[string]int64)
-	for kw, pl := range idx.inverted {
+	s.eachList(func(kw string, pl *postingList) {
 		for _, p := range pl.ps {
-			if !idx.frags[p.Frag].Alive {
+			if !s.frags[p.Frag].Alive {
 				continue
 			}
 			m, ok := counts[p.Frag]
@@ -222,18 +174,18 @@ func (idx *Index) Compact() (*Index, error) {
 			}
 			m[kw] += p.TF
 		}
-	}
-	order := make([]FragRef, 0, len(idx.frags))
-	for ref := range idx.frags {
-		if idx.frags[ref].Alive {
+	})
+	order := make([]FragRef, 0, len(s.frags))
+	for ref := range s.frags {
+		if s.frags[ref].Alive {
 			order = append(order, FragRef(ref))
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {
-		return idx.frags[order[i]].ID.Compare(idx.frags[order[j]].ID) < 0
+		return s.frags[order[i]].ID.Compare(s.frags[order[j]].ID) < 0
 	})
 	for _, ref := range order {
-		m := idx.frags[ref]
+		m := s.frags[ref]
 		if _, err := out.InsertFragment(m.ID, counts[ref], m.Terms); err != nil {
 			return nil, err
 		}

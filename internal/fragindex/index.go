@@ -12,11 +12,28 @@
 // splits their edge — as well as removal and replacement, which is the
 // update mechanism the paper lists as future work.
 //
+// # Architecture: snapshot + builder
+//
+// The index is split into two halves. Snapshot is the immutable read half:
+// every query-serving accessor (Postings, DF, IDF, the graph walks, the
+// Table IV statistics) lives on it, is O(1) or O(result), and is lock-free.
+// Index is the single-writer builder half: it owns a snapshot-in-progress
+// and the mutation API (InsertFragment, RemoveFragment, UpdateFragment,
+// CompactPostings).
+//
+// A fresh Index mutates its snapshot in place — the classic exclusive-
+// mutation contract, with zero copy-on-write overhead. Calling Freeze
+// publishes the current state as an immutable Snapshot and switches the
+// builder into copy-on-write mode: the next mutation clones the fragment
+// metadata arrays once, and posting lists are cloned lazily, hash shard by
+// hash shard, only where mutations touch them. Freeze again to publish the
+// next version. LiveIndex wraps this cycle behind an atomic pointer so
+// readers resolve a consistent snapshot per query while a writer applies
+// deltas concurrently (see live.go).
+//
 // # Performance
 //
-// The query-serving read path (Postings, DF, IDF, NumKeywords,
-// NumFragments, AvgTermsPerFragment, Keywords, Meta, GroupMembers) is
-// designed to be O(1) or O(result) and free of whole-index rescans:
+// The read path is free of whole-index rescans:
 //
 //   - Each posting list carries a dead-posting counter, so Postings and DF
 //     never scan for tombstones on clean lists; a list is returned by
@@ -24,26 +41,23 @@
 //   - RemoveFragment maintains the counters through a per-fragment forward
 //     keyword map, and triggers CompactPostings on any list whose dead
 //     ratio reaches compactDeadNum/compactDeadDen — lazy, amortized-O(1)
-//     tombstone reclamation instead of the eager rescan the seed did.
+//     tombstone reclamation instead of an eager rescan.
 //   - IDF is precomputed per list at mutation time, so query scoring does
 //     no division or liveness counting.
 //   - Live fragment/term/keyword counters make the Table IV statistics O(1).
-//   - Keywords() is cached sorted and stamped with a mutation epoch; any
-//     insert or remove invalidates it.
+//   - Keywords() is cached sorted and stamped with a mutation epoch; for a
+//     frozen snapshot the cache is built once and reused forever.
 //
-// Concurrency contract: any number of goroutines may read concurrently
-// (the cached Keywords slice is swapped through an atomic pointer and
-// reads never mutate the index), but mutations (InsertFragment,
-// RemoveFragment, UpdateFragment, CompactPostings) require exclusive
-// access — the same single-writer/multi-reader discipline as the rest of
-// the repository.
+// Concurrency contract: a published Snapshot is immutable and safe for any
+// number of concurrent readers. The Index builder itself follows the
+// single-writer discipline: mutations and Freeze require exclusive access
+// among themselves, but never disturb previously published snapshots.
 package fragindex
 
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync/atomic"
+	"maps"
 
 	"repro/internal/crawl"
 	"repro/internal/fragment"
@@ -59,10 +73,12 @@ var (
 	ErrNoFragment   = errors.New("fragindex: no such fragment")
 	ErrBadIDArity   = errors.New("fragindex: fragment identifier arity mismatch")
 	ErrCorruptIndex = errors.New("fragindex: corrupt serialized index")
+	ErrDeltaSpec    = errors.New("fragindex: delta selection attributes do not match index spec")
 )
 
-// FragRef identifies a fragment within one Index. Refs are stable for the
-// index's lifetime; removed fragments leave tombstones until Compact.
+// FragRef identifies a fragment within one Snapshot lineage. Refs are stable
+// across snapshots of the same builder until a Compact renumbers them;
+// removed fragments leave tombstones until then.
 type FragRef int32
 
 // Posting is one inverted-list entry.
@@ -173,31 +189,21 @@ type group struct {
 	members []FragRef // sorted ascending by range value
 }
 
-// Index is the fragment index: inverted fragment index + fragment graph.
+// Index is the builder half of the fragment index: a snapshot-in-progress
+// plus the copy-on-write bookkeeping that isolates published snapshots from
+// later mutations (see the package comment).
 type Index struct {
-	spec     Spec
-	eqIdx    []int
-	rangeIdx int
+	s *Snapshot
 
-	frags    []Meta
-	byKey    map[string]FragRef
-	inverted map[string]*postingList
-	kwOf     [][]string // per FragRef: distinct keywords it appears in
-
-	groups   map[string]*group
-	groupOf  []*group // per FragRef: its group, so lookups skip key building
-	memberAt []int    // per FragRef: position within its group (-1 when dead)
-
-	// Live counters: maintained on insert/remove so the Table IV stats
-	// (NumFragments, AvgTermsPerFragment, NumKeywords) are O(1).
-	liveFrags int
-	liveTerms int64
-	liveKws   int
-
-	// epoch counts mutations; kwCache holds the sorted Keywords() slice
-	// built at a given epoch (atomic so concurrent readers may refresh it).
-	epoch   uint64
-	kwCache atomic.Pointer[kwCache]
+	// cow is set once Freeze has published a snapshot: from then on every
+	// mutation copies shared structures before writing. The owned* sets
+	// track what has already been copied since the last Freeze, so a batch
+	// of mutations pays each clone once.
+	cow         bool
+	metaOwned   bool
+	ownedShards []bool
+	ownedLists  map[string]struct{}
+	ownedGroups map[string]struct{}
 }
 
 // New creates an empty index for incremental construction.
@@ -207,12 +213,14 @@ func New(spec Spec) (*Index, error) {
 		return nil, err
 	}
 	return &Index{
-		spec:     spec,
-		eqIdx:    eqIdx,
-		rangeIdx: rangeIdx,
-		byKey:    make(map[string]FragRef),
-		inverted: make(map[string]*postingList),
-		groups:   make(map[string]*group),
+		s: &Snapshot{
+			spec:     spec,
+			eqIdx:    eqIdx,
+			rangeIdx: rangeIdx,
+			byKey:    make(map[string]FragRef),
+			shards:   newShards(),
+			groups:   make(map[string]*group),
+		},
 	}, nil
 }
 
@@ -228,159 +236,264 @@ func Build(out *crawl.Output, spec Spec) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := idx.s
 	ids, err := out.Fragments() // sorted by identifier
 	if err != nil {
 		return nil, err
 	}
-	idx.frags = make([]Meta, 0, len(ids))
-	idx.memberAt = make([]int, 0, len(ids))
-	idx.kwOf = make([][]string, len(ids))
+	s.frags = make([]Meta, 0, len(ids))
+	s.memberAt = make([]int, 0, len(ids))
+	s.kwOf = make([][]string, len(ids))
 	for _, id := range ids {
 		key := id.Key()
-		ref := FragRef(len(idx.frags))
+		ref := FragRef(len(s.frags))
 		terms := out.FragmentTerms[key]
-		idx.frags = append(idx.frags, Meta{ID: id, Terms: terms, Alive: true})
-		idx.byKey[key] = ref
-		idx.memberAt = append(idx.memberAt, 0)
-		idx.liveTerms += terms
+		s.frags = append(s.frags, Meta{ID: id, Terms: terms, Alive: true})
+		s.byKey[key] = ref
+		s.memberAt = append(s.memberAt, 0)
+		s.liveTerms += terms
 	}
-	idx.liveFrags = len(idx.frags)
+	s.liveFrags = len(s.frags)
 	// Identifier order sorts by equality values first, then range value,
 	// so each group's members arrive already ordered.
-	idx.groupOf = make([]*group, len(idx.frags))
-	for ref := range idx.frags {
-		g := idx.groupFor(idx.frags[ref].ID, true)
-		idx.memberAt[ref] = len(g.members)
-		idx.groupOf[ref] = g
+	s.groupOf = make([]*group, len(s.frags))
+	for ref := range s.frags {
+		g := idx.groupFor(s.frags[ref].ID, true)
+		s.memberAt[ref] = len(g.members)
+		s.groupOf[ref] = g
 		g.members = append(g.members, FragRef(ref))
 	}
 	for kw, ps := range out.Inverted {
 		list := make([]Posting, 0, len(ps))
 		for _, p := range ps {
-			ref, ok := idx.byKey[p.FragKey]
+			ref, ok := s.byKey[p.FragKey]
 			if !ok {
 				return nil, fmt.Errorf("%w: posting for unknown fragment", ErrNoFragment)
 			}
 			list = append(list, Posting{Frag: ref, TF: p.TF})
-			idx.kwOf[ref] = append(idx.kwOf[ref], kw)
+			s.kwOf[ref] = append(s.kwOf[ref], kw)
 		}
 		if len(list) == 0 {
 			continue
 		}
 		pl := &postingList{ps: list}
 		pl.recompute()
-		idx.inverted[kw] = pl
-		idx.liveKws++
+		s.shards[shardIndex(kw)].lists[kw] = pl
+		s.liveKws++
 	}
 	return idx, nil
 }
 
-// groupFor locates (optionally creating) the group of an identifier.
+// Snapshot returns the builder's current state as a Snapshot without
+// isolating it: the returned view shares the index's storage, so under the
+// builder's exclusive-mutation contract it is a live view of the index.
+// This makes *Index a search.Source with exactly the pre-snapshot
+// semantics (searches observe mutations immediately). For an isolated,
+// immutable version use Freeze or a LiveIndex.
+func (idx *Index) Snapshot() *Snapshot { return idx.s }
+
+// Freeze publishes the builder's current state as an immutable Snapshot
+// and switches the builder into copy-on-write mode: later mutations build
+// the next version without disturbing the returned one. Freeze is a
+// mutation for concurrency purposes — it requires the same exclusive
+// access as InsertFragment. Single-writer callers typically reach it
+// through LiveIndex, which wraps the freeze/publish cycle behind an atomic
+// pointer.
+func (idx *Index) Freeze() *Snapshot {
+	idx.cow = true
+	idx.metaOwned = false
+	if idx.ownedShards == nil {
+		idx.ownedShards = make([]bool, numShards)
+	} else {
+		for i := range idx.ownedShards {
+			idx.ownedShards[i] = false
+		}
+	}
+	if idx.ownedLists == nil {
+		idx.ownedLists = make(map[string]struct{})
+	} else {
+		clear(idx.ownedLists)
+	}
+	if idx.ownedGroups == nil {
+		idx.ownedGroups = make(map[string]struct{})
+	} else {
+		clear(idx.ownedGroups)
+	}
+	return idx.s
+}
+
+// discardTo abandons the builder's in-progress state and resumes
+// copy-on-write building from s (a snapshot previously published by this
+// builder). Because mutations after Freeze never touch published storage,
+// this is a constant-time rollback — LiveIndex uses it to make Apply
+// transactional.
+func (idx *Index) discardTo(s *Snapshot) {
+	idx.s = s
+	idx.Freeze()
+}
+
+// pendingClones reports how many shard maps, posting lists, and groups the
+// builder has copied since the last Freeze — the physical write
+// amplification of the in-progress delta.
+func (idx *Index) pendingClones() (shards, lists, groups int) {
+	for _, owned := range idx.ownedShards {
+		if owned {
+			shards++
+		}
+	}
+	return shards, len(idx.ownedLists), len(idx.ownedGroups)
+}
+
+// beginWrite prepares the builder for a mutation: in copy-on-write mode the
+// first mutation after a Freeze clones the fragment metadata arrays and
+// top-level maps (posting payloads are cloned lazily per shard).
+func (idx *Index) beginWrite() {
+	if !idx.cow || idx.metaOwned {
+		return
+	}
+	idx.s = idx.s.clone()
+	idx.metaOwned = true
+}
+
+// shardForWrite returns the shard ready for in-place mutation, cloning its
+// map if it is shared with a published snapshot.
+func (idx *Index) shardForWrite(si uint32) *shard {
+	sh := idx.s.shards[si]
+	if idx.cow && !idx.ownedShards[si] {
+		sh = &shard{lists: maps.Clone(sh.lists)}
+		idx.s.shards[si] = sh
+		idx.ownedShards[si] = true
+	}
+	return sh
+}
+
+// listForWrite returns kw's posting list ready for in-place mutation,
+// cloning list struct and postings if they are shared with a published
+// snapshot. When the list is absent it is created if create is set, else
+// nil is returned.
+func (idx *Index) listForWrite(kw string, create bool) *postingList {
+	sh := idx.shardForWrite(shardIndex(kw))
+	pl := sh.lists[kw]
+	if pl == nil {
+		if !create {
+			return nil
+		}
+		pl = &postingList{}
+		sh.lists[kw] = pl
+		if idx.cow {
+			idx.ownedLists[kw] = struct{}{}
+		}
+		return pl
+	}
+	if idx.cow {
+		if _, ok := idx.ownedLists[kw]; !ok {
+			pl = &postingList{ps: append([]Posting(nil), pl.ps...), dead: pl.dead, idf: pl.idf}
+			sh.lists[kw] = pl
+			idx.ownedLists[kw] = struct{}{}
+		}
+	}
+	return pl
+}
+
+// groupForWrite returns g ready for in-place mutation, cloning its member
+// slice (and repointing groupOf) if it is shared with a published snapshot.
+// Must run after beginWrite.
+func (idx *Index) groupForWrite(g *group) *group {
+	if !idx.cow {
+		return g
+	}
+	key := relation.Key(g.eqVals)
+	if _, ok := idx.ownedGroups[key]; ok {
+		return idx.s.groups[key]
+	}
+	ng := &group{eqVals: g.eqVals, members: append([]FragRef(nil), g.members...)}
+	idx.s.groups[key] = ng
+	for _, ref := range ng.members {
+		idx.s.groupOf[ref] = ng
+	}
+	idx.ownedGroups[key] = struct{}{}
+	return ng
+}
+
+// groupFor locates (optionally creating) the group of an identifier,
+// returned ready for mutation.
 func (idx *Index) groupFor(id fragment.ID, create bool) *group {
-	eq := make([]relation.Value, len(idx.eqIdx))
-	for i, j := range idx.eqIdx {
+	s := idx.s
+	eq := make([]relation.Value, len(s.eqIdx))
+	for i, j := range s.eqIdx {
 		eq[i] = id[j]
 	}
 	key := relation.Key(eq)
-	g, ok := idx.groups[key]
-	if !ok && create {
+	g, ok := s.groups[key]
+	if !ok {
+		if !create {
+			return nil
+		}
 		g = &group{eqVals: eq}
-		idx.groups[key] = g
+		s.groups[key] = g
+		if idx.cow {
+			idx.ownedGroups[key] = struct{}{}
+		}
+		return g
 	}
-	return g
+	return idx.groupForWrite(g)
 }
+
+// Read-path delegation: the builder exposes the full Snapshot read API as a
+// live view of its current state, preserving the original Index interface
+// for callers that own the index exclusively (tests, offline tools, the
+// serializer).
 
 // Spec returns the index's selection-attribute structure.
-func (idx *Index) Spec() Spec { return idx.spec }
+func (idx *Index) Spec() Spec { return idx.s.Spec() }
 
-// NumFragments returns the number of live fragments (O(1): maintained as a
-// counter on insert/remove).
-func (idx *Index) NumFragments() int { return idx.liveFrags }
+// NumFragments returns the number of live fragments (O(1)).
+func (idx *Index) NumFragments() int { return idx.s.NumFragments() }
 
 // NumKeywords returns the number of distinct indexed keywords with at
-// least one live posting (O(1): maintained as a counter).
-func (idx *Index) NumKeywords() int { return idx.liveKws }
+// least one live posting (O(1)).
+func (idx *Index) NumKeywords() int { return idx.s.NumKeywords() }
 
-// AvgTermsPerFragment reports the average keyword count over live fragments
-// (Table IV's third column). O(1): live term and fragment totals are
-// maintained as counters.
-func (idx *Index) AvgTermsPerFragment() float64 {
-	if idx.liveFrags == 0 {
-		return 0
-	}
-	return float64(idx.liveTerms) / float64(idx.liveFrags)
-}
+// AvgTermsPerFragment reports the average keyword count over live
+// fragments (Table IV's third column). O(1).
+func (idx *Index) AvgTermsPerFragment() float64 { return idx.s.AvgTermsPerFragment() }
 
 // Meta returns a fragment's summary.
-func (idx *Index) Meta(ref FragRef) (Meta, error) {
-	if int(ref) < 0 || int(ref) >= len(idx.frags) {
-		return Meta{}, fmt.Errorf("%w: ref %d", ErrNoFragment, ref)
-	}
-	return idx.frags[ref], nil
-}
+func (idx *Index) Meta(ref FragRef) (Meta, error) { return idx.s.Meta(ref) }
 
 // NumRefs returns the size of the ref space (live fragments plus
-// tombstones): every FragRef handed out by this index is in [0, NumRefs).
-// Callers that validate refs once against it may then use the unchecked
-// accessors TermsOf and AliveRef on the hot path.
-func (idx *Index) NumRefs() int { return len(idx.frags) }
+// tombstones).
+func (idx *Index) NumRefs() int { return idx.s.NumRefs() }
 
-// TermsOf returns a fragment's total keyword count without bounds
-// checking. The caller must have validated ref (see NumRefs); index-issued
-// refs — postings, group members, neighbours — are always valid.
-func (idx *Index) TermsOf(ref FragRef) int64 { return idx.frags[ref].Terms }
+// TermsOf returns a fragment's total keyword count without bounds checking.
+func (idx *Index) TermsOf(ref FragRef) int64 { return idx.s.TermsOf(ref) }
 
 // AliveRef reports whether ref is within range and not tombstoned.
-func (idx *Index) AliveRef(ref FragRef) bool {
-	return int(ref) >= 0 && int(ref) < len(idx.frags) && idx.frags[ref].Alive
-}
+func (idx *Index) AliveRef(ref FragRef) bool { return idx.s.AliveRef(ref) }
 
 // Lookup resolves a fragment identifier to its ref.
-func (idx *Index) Lookup(id fragment.ID) (FragRef, bool) {
-	ref, ok := idx.byKey[id.Key()]
-	return ref, ok
-}
+func (idx *Index) Lookup(id fragment.ID) (FragRef, bool) { return idx.s.Lookup(id) }
 
 // Postings returns the live postings of a keyword, sorted by TF descending.
-// The returned slice must not be modified. Lists without tombstones — the
-// common case, since RemoveFragment compacts any list whose dead ratio
-// crosses the threshold — are returned by reference without scanning.
-func (idx *Index) Postings(keyword string) []Posting {
-	pl := idx.inverted[keyword]
-	if pl == nil {
-		return nil
-	}
-	if pl.dead == 0 {
-		return pl.ps
-	}
-	out := make([]Posting, 0, pl.liveDF())
-	for _, p := range pl.ps {
-		if idx.frags[p.Frag].Alive {
-			out = append(out, p)
-		}
-	}
-	return out
+func (idx *Index) Postings(keyword string) []Posting { return idx.s.Postings(keyword) }
+
+// DF returns the document frequency of a keyword.
+func (idx *Index) DF(keyword string) int { return idx.s.DF(keyword) }
+
+// IDF returns the keyword's inverse document frequency (1/DF).
+func (idx *Index) IDF(keyword string) float64 { return idx.s.IDF(keyword) }
+
+// Keywords returns all keywords with at least one live posting, sorted.
+func (idx *Index) Keywords() []string { return idx.s.Keywords() }
+
+// EqValues returns a fragment's equality-attribute values keyed by column.
+func (idx *Index) EqValues(ref FragRef) (map[string]relation.Value, error) {
+	return idx.s.EqValues(ref)
 }
 
-// DF returns the document frequency of a keyword: the number of live
-// fragments containing it. O(1): each list counts its own tombstones.
-func (idx *Index) DF(keyword string) int {
-	pl := idx.inverted[keyword]
-	if pl == nil {
-		return 0
-	}
-	return pl.liveDF()
-}
-
-// IDF returns the keyword's inverse document frequency, Dash's 1/DF
-// approximation (§VI). The value is precomputed when the list mutates, so
-// query scoring reads it in O(1).
-func (idx *Index) IDF(keyword string) float64 {
-	pl := idx.inverted[keyword]
-	if pl == nil {
-		return 0
-	}
-	return pl.idf
+// RangeValue returns a fragment's range-attribute value.
+func (idx *Index) RangeValue(ref FragRef) (relation.Value, error) {
+	return idx.s.RangeValue(ref)
 }
 
 // CompactPostings drops tombstoned entries from one keyword's inverted
@@ -388,72 +501,20 @@ func (idx *Index) IDF(keyword string) float64 {
 // automatically once a list's dead ratio reaches the compaction threshold;
 // it is exported for callers that want eager reclamation.
 func (idx *Index) CompactPostings(keyword string) {
-	pl := idx.inverted[keyword]
-	if pl == nil || pl.dead == 0 {
-		return
+	if pl := idx.s.list(keyword); pl == nil || pl.dead == 0 {
+		return // nothing to reclaim; skip copy-on-write entirely
 	}
+	idx.beginWrite()
+	pl := idx.listForWrite(keyword, false)
 	live := pl.ps[:0]
 	for _, p := range pl.ps {
-		if idx.frags[p.Frag].Alive {
+		if idx.s.frags[p.Frag].Alive {
 			live = append(live, p)
 		}
 	}
 	pl.ps = live
 	pl.dead = 0
 	if len(pl.ps) == 0 {
-		delete(idx.inverted, keyword)
+		delete(idx.s.shards[shardIndex(keyword)].lists, keyword)
 	}
-}
-
-// Keywords returns all keywords with at least one live posting, sorted; the
-// benchmark harness uses it to pick hot/warm/cold terms. The sorted slice
-// is cached and invalidated by any mutation (epoch-stamped); it must not
-// be modified by the caller.
-func (idx *Index) Keywords() []string {
-	if c := idx.kwCache.Load(); c != nil && c.epoch == idx.epoch {
-		return c.kws
-	}
-	out := make([]string, 0, len(idx.inverted))
-	for kw, pl := range idx.inverted {
-		if pl.liveDF() > 0 {
-			out = append(out, kw)
-		}
-	}
-	sort.Strings(out)
-	idx.kwCache.Store(&kwCache{epoch: idx.epoch, kws: out})
-	return out
-}
-
-// EqValues returns a fragment's equality-attribute values keyed by column.
-func (idx *Index) EqValues(ref FragRef) (map[string]relation.Value, error) {
-	m, err := idx.Meta(ref)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]relation.Value, len(idx.eqIdx))
-	for i, j := range idx.eqIdx {
-		out[idx.spec.EqAttrs[i]] = m.ID[j]
-	}
-	return out, nil
-}
-
-// RangeValue returns a fragment's range-attribute value (NULL when the
-// query has no range attribute).
-func (idx *Index) RangeValue(ref FragRef) (relation.Value, error) {
-	m, err := idx.Meta(ref)
-	if err != nil {
-		return relation.Value{}, err
-	}
-	if idx.rangeIdx < 0 {
-		return relation.Null(), nil
-	}
-	return m.ID[idx.rangeIdx], nil
-}
-
-// rangeValOf is RangeValue without bounds checks, for internal use.
-func (idx *Index) rangeValOf(ref FragRef) relation.Value {
-	if idx.rangeIdx < 0 {
-		return relation.Null()
-	}
-	return idx.frags[ref].ID[idx.rangeIdx]
 }

@@ -1,0 +1,181 @@
+package fragindex
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/crawl"
+)
+
+// LiveIndex serves an index that keeps absorbing database changes while
+// queries run against it — the epoch-swap scheme behind Dash's online
+// index maintenance.
+//
+// Readers call Snapshot (one atomic load) and run the entire search read
+// path against the returned immutable version, never blocking on or being
+// torn by writers. A single-writer apply loop folds each Delta into the
+// next version through the builder's copy-on-write machinery — only the
+// posting-list shards, lists, and groups the delta touches are cloned; the
+// rest is shared with every published snapshot — and publishes it with one
+// atomic pointer swap.
+//
+// Apply is transactional: a delta that fails part-way (duplicate insert,
+// removal of a missing fragment) publishes nothing, and the serving
+// snapshot is exactly what it was before the call.
+//
+// Any number of goroutines may call Snapshot and Stats concurrently with
+// each other and with the writer. Apply and CompactIfNeeded serialize among
+// themselves internally, but the index is designed for one logical writer:
+// concurrent writers make per-delta validation (insert vs update) racy at
+// the application level even though the structure stays consistent.
+type LiveIndex struct {
+	writeMu sync.Mutex // serializes Apply / CompactIfNeeded
+	builder *Index     // writer-side copy-on-write builder
+	cur     atomic.Pointer[Snapshot]
+
+	deltas      atomic.Uint64
+	inserted    atomic.Uint64
+	removed     atomic.Uint64
+	updated     atomic.Uint64
+	compactions atomic.Uint64
+}
+
+// NewLive wraps a built index for online serving, publishing its current
+// state as the first snapshot. NewLive takes ownership of idx: the caller
+// must not mutate or read it afterwards — all access goes through the
+// LiveIndex.
+func NewLive(idx *Index) *LiveIndex {
+	l := &LiveIndex{builder: idx}
+	l.cur.Store(idx.Freeze())
+	return l
+}
+
+// Snapshot returns the current published version: one atomic load, no
+// locks. The result is immutable — a request that resolves it once
+// observes a perfectly stable index for its whole lifetime, regardless of
+// concurrent Apply calls.
+func (l *LiveIndex) Snapshot() *Snapshot { return l.cur.Load() }
+
+// ApplyStats reports what one Apply did and what it physically cost.
+type ApplyStats struct {
+	Inserted int `json:"inserted"`
+	Removed  int `json:"removed"`
+	Updated  int `json:"updated"`
+	// Epoch is the published snapshot's mutation epoch.
+	Epoch uint64 `json:"epoch"`
+	// ClonedShards/ClonedLists/ClonedGroups count the copy-on-write work
+	// the delta caused: posting-list shards, posting lists, and equality
+	// groups cloned for the new version. Everything else is shared with
+	// the previous snapshot.
+	ClonedShards int `json:"cloned_shards"`
+	ClonedLists  int `json:"cloned_lists"`
+	ClonedGroups int `json:"cloned_groups"`
+}
+
+// Apply folds a delta into the index and publishes the result as the new
+// serving snapshot with one atomic swap. On error nothing is published and
+// the serving snapshot is unchanged (the failed build is discarded in
+// constant time).
+func (l *LiveIndex) Apply(d crawl.Delta) (ApplyStats, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	published := l.cur.Load()
+	if len(d.SelAttrs) > 0 && !slices.Equal(d.SelAttrs, l.builder.s.spec.SelAttrs) {
+		return ApplyStats{}, fmt.Errorf("%w: delta %v, index %v",
+			ErrDeltaSpec, d.SelAttrs, l.builder.s.spec.SelAttrs)
+	}
+	var st ApplyStats
+	for _, ch := range d.Changes {
+		var err error
+		switch ch.Op {
+		case crawl.OpInsertFragment:
+			_, err = l.builder.InsertFragment(ch.ID, ch.TermCounts, ch.TotalTerms)
+			st.Inserted++
+		case crawl.OpRemoveFragment:
+			err = l.builder.RemoveFragment(ch.ID)
+			st.Removed++
+		case crawl.OpUpdateFragment:
+			err = l.builder.UpdateFragment(ch.ID, ch.TermCounts, ch.TotalTerms)
+			st.Updated++
+		default:
+			err = fmt.Errorf("fragindex: unknown delta op %v", ch.Op)
+		}
+		if err != nil {
+			l.builder.discardTo(published)
+			return ApplyStats{}, fmt.Errorf("applying %s %s: %w", ch.Op, ch.ID, err)
+		}
+	}
+	st.ClonedShards, st.ClonedLists, st.ClonedGroups = l.builder.pendingClones()
+	snap := l.builder.Freeze()
+	st.Epoch = snap.epoch
+	l.cur.Store(snap)
+	l.deltas.Add(1)
+	l.inserted.Add(uint64(st.Inserted))
+	l.removed.Add(uint64(st.Removed))
+	l.updated.Add(uint64(st.Updated))
+	return st, nil
+}
+
+// CompactIfNeeded is the snapshot garbage collector: removals leave
+// tombstoned refs in the fragment metadata of every later version, and
+// once their share of the ref space reaches maxDeadRatio the index is
+// rebuilt without them and published as a fresh snapshot lineage (refs are
+// renumbered; FragRefs are only meaningful within one snapshot anyway).
+// Previously published snapshots stay valid for the readers still holding
+// them and are reclaimed by the runtime once released. Returns whether a
+// compaction ran.
+func (l *LiveIndex) CompactIfNeeded(maxDeadRatio float64) (bool, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	refs := l.builder.NumRefs()
+	dead := refs - l.builder.NumFragments()
+	if refs == 0 || float64(dead)/float64(refs) < maxDeadRatio {
+		return false, nil
+	}
+	compacted, err := l.builder.Compact()
+	if err != nil {
+		return false, err
+	}
+	// Keep the epoch monotone across the rebuild so stats and kwCache
+	// stamps never move backwards.
+	compacted.s.epoch = l.builder.s.epoch + 1
+	l.builder = compacted
+	l.cur.Store(l.builder.Freeze())
+	l.compactions.Add(1)
+	return true, nil
+}
+
+// LiveStats is a point-in-time summary of the serving index and its
+// maintenance history.
+type LiveStats struct {
+	Epoch          uint64  `json:"epoch"`
+	Fragments      int     `json:"fragments"`
+	Keywords       int     `json:"keywords"`
+	TombstonedRefs int     `json:"tombstoned_refs"`
+	AvgTerms       float64 `json:"avg_terms_per_fragment"`
+	DeltasApplied  uint64  `json:"deltas_applied"`
+	Inserted       uint64  `json:"fragments_inserted"`
+	Removed        uint64  `json:"fragments_removed"`
+	Updated        uint64  `json:"fragments_updated"`
+	Compactions    uint64  `json:"compactions"`
+}
+
+// Stats reads the current snapshot and the maintenance counters. Safe to
+// call concurrently with searches and Apply.
+func (l *LiveIndex) Stats() LiveStats {
+	s := l.Snapshot()
+	return LiveStats{
+		Epoch:          s.Epoch(),
+		Fragments:      s.NumFragments(),
+		Keywords:       s.NumKeywords(),
+		TombstonedRefs: s.NumRefs() - s.NumFragments(),
+		AvgTerms:       s.AvgTermsPerFragment(),
+		DeltasApplied:  l.deltas.Load(),
+		Inserted:       l.inserted.Load(),
+		Removed:        l.removed.Load(),
+		Updated:        l.updated.Load(),
+		Compactions:    l.compactions.Load(),
+	}
+}

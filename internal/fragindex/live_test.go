@@ -13,16 +13,16 @@ import (
 // brute recomputes the O(1) statistics the hard way, straight from the
 // underlying structures, for cross-checking the maintained counters.
 func brute(idx *Index) (frags int, terms int64, kws int) {
-	for _, m := range idx.frags {
+	for _, m := range idx.s.frags {
 		if m.Alive {
 			frags++
 			terms += m.Terms
 		}
 	}
-	for _, pl := range idx.inverted {
+	idx.s.eachList(func(_ string, pl *postingList) {
 		live := 0
 		for _, p := range pl.ps {
-			if idx.frags[p.Frag].Alive {
+			if idx.s.frags[p.Frag].Alive {
 				live++
 			}
 		}
@@ -32,7 +32,7 @@ func brute(idx *Index) (frags int, terms int64, kws int) {
 		if live > 0 {
 			kws++
 		}
-	}
+	})
 	return
 }
 
@@ -134,7 +134,7 @@ func TestCompactPostingsThreshold(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := len(idx.inverted["shared"].ps); got != n {
+	if got := len(idx.s.list("shared").ps); got != n {
 		t.Fatalf("list length = %d, want %d", got, n)
 	}
 	// Remove fragments one at a time; the physical list must never carry
@@ -144,7 +144,7 @@ func TestCompactPostingsThreshold(t *testing.T) {
 		if err := idx.RemoveFragment(id); err != nil {
 			t.Fatal(err)
 		}
-		pl := idx.inverted["shared"]
+		pl := idx.s.list("shared")
 		if pl.dead*compactDeadDen >= len(pl.ps)*compactDeadNum {
 			t.Fatalf("after %d removals: %d dead in list of %d not compacted", i+1, pl.dead, len(pl.ps))
 		}
@@ -160,7 +160,7 @@ func TestCompactPostingsThreshold(t *testing.T) {
 	if err := idx.RemoveFragment(last); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := idx.inverted["shared"]; ok {
+	if idx.s.list("shared") != nil {
 		t.Error("fully dead list not reclaimed")
 	}
 	if idx.DF("shared") != 0 || idx.Postings("shared") != nil {
@@ -185,7 +185,7 @@ func TestExplicitCompactPostings(t *testing.T) {
 	if err := idx.RemoveFragment(fragment.ID{relation.String("g"), relation.Int(3)}); err != nil {
 		t.Fatal(err)
 	}
-	pl := idx.inverted["w"]
+	pl := idx.s.list("w")
 	if pl.dead != 1 || len(pl.ps) != 10 {
 		t.Fatalf("expected 1 sub-threshold tombstone, got dead=%d len=%d", pl.dead, len(pl.ps))
 	}

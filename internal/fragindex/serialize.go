@@ -26,33 +26,33 @@ type wirePosting struct {
 
 // Save serializes the index. Tombstoned fragments are compacted away.
 func (idx *Index) Save(w io.Writer) error {
-	src := idx
-	if idx.NumFragments() != len(idx.frags) {
+	if idx.NumFragments() != len(idx.s.frags) {
 		compacted, err := idx.Compact()
 		if err != nil {
 			return err
 		}
-		src = compacted
+		idx = compacted
 	}
+	src := idx.s
 	wire := indexWire{
 		SelAttrs:  src.spec.SelAttrs,
 		EqAttrs:   src.spec.EqAttrs,
 		RangeAttr: src.spec.RangeAttr,
 		FragKeys:  make([]string, len(src.frags)),
 		Terms:     make([]int64, len(src.frags)),
-		Inverted:  make(map[string][]wirePosting, len(src.inverted)),
+		Inverted:  make(map[string][]wirePosting, src.liveKws),
 	}
 	for i, m := range src.frags {
 		wire.FragKeys[i] = m.ID.Key()
 		wire.Terms[i] = m.Terms
 	}
-	for kw, pl := range src.inverted {
+	src.eachList(func(kw string, pl *postingList) {
 		wps := make([]wirePosting, len(pl.ps))
 		for i, p := range pl.ps {
 			wps[i] = wirePosting{Frag: int32(p.Frag), TF: p.TF}
 		}
 		wire.Inverted[kw] = wps
-	}
+	})
 	return gob.NewEncoder(w).Encode(&wire)
 }
 
@@ -73,9 +73,10 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx.frags = make([]Meta, len(wire.FragKeys))
-	idx.memberAt = make([]int, len(wire.FragKeys))
-	idx.kwOf = make([][]string, len(wire.FragKeys))
+	s := idx.s
+	s.frags = make([]Meta, len(wire.FragKeys))
+	s.memberAt = make([]int, len(wire.FragKeys))
+	s.kwOf = make([][]string, len(wire.FragKeys))
 	for i, key := range wire.FragKeys {
 		id, err := fragment.ParseID(key)
 		if err != nil {
@@ -84,29 +85,29 @@ func Load(r io.Reader) (*Index, error) {
 		if len(id) != len(wire.SelAttrs) {
 			return nil, fmt.Errorf("%w: fragment arity", ErrCorruptIndex)
 		}
-		idx.frags[i] = Meta{ID: id, Terms: wire.Terms[i], Alive: true}
-		idx.byKey[key] = FragRef(i)
-		idx.liveTerms += wire.Terms[i]
+		s.frags[i] = Meta{ID: id, Terms: wire.Terms[i], Alive: true}
+		s.byKey[key] = FragRef(i)
+		s.liveTerms += wire.Terms[i]
 	}
-	idx.liveFrags = len(idx.frags)
+	s.liveFrags = len(s.frags)
 	// Rebuild groups: identifier-sorted insertion keeps members ordered.
-	order := make([]FragRef, len(idx.frags))
+	order := make([]FragRef, len(s.frags))
 	for i := range order {
 		order[i] = FragRef(i)
 	}
 	for i := 1; i < len(order); i++ {
 		// Saved indexes are identifier-sorted by construction; tolerate
 		// arbitrary order anyway by sorting.
-		if idx.frags[order[i-1]].ID.Compare(idx.frags[order[i]].ID) > 0 {
-			sortRefsByID(idx, order)
+		if s.frags[order[i-1]].ID.Compare(s.frags[order[i]].ID) > 0 {
+			sortRefsByID(s, order)
 			break
 		}
 	}
-	idx.groupOf = make([]*group, len(idx.frags))
+	s.groupOf = make([]*group, len(s.frags))
 	for _, ref := range order {
-		g := idx.groupFor(idx.frags[ref].ID, true)
-		idx.memberAt[ref] = len(g.members)
-		idx.groupOf[ref] = g
+		g := idx.groupFor(s.frags[ref].ID, true)
+		s.memberAt[ref] = len(g.members)
+		s.groupOf[ref] = g
 		g.members = append(g.members, ref)
 	}
 	for kw, wps := range wire.Inverted {
@@ -115,23 +116,23 @@ func Load(r io.Reader) (*Index, error) {
 		}
 		ps := make([]Posting, len(wps))
 		for i, p := range wps {
-			if int(p.Frag) < 0 || int(p.Frag) >= len(idx.frags) {
+			if int(p.Frag) < 0 || int(p.Frag) >= len(s.frags) {
 				return nil, fmt.Errorf("%w: posting ref out of range", ErrCorruptIndex)
 			}
 			ps[i] = Posting{Frag: FragRef(p.Frag), TF: p.TF}
-			idx.kwOf[p.Frag] = append(idx.kwOf[p.Frag], kw)
+			s.kwOf[p.Frag] = append(s.kwOf[p.Frag], kw)
 		}
 		pl := &postingList{ps: ps}
 		pl.recompute()
-		idx.inverted[kw] = pl
-		idx.liveKws++
+		s.shards[shardIndex(kw)].lists[kw] = pl
+		s.liveKws++
 	}
 	return idx, nil
 }
 
-func sortRefsByID(idx *Index, refs []FragRef) {
+func sortRefsByID(s *Snapshot, refs []FragRef) {
 	for i := 1; i < len(refs); i++ {
-		for j := i; j > 0 && idx.frags[refs[j-1]].ID.Compare(idx.frags[refs[j]].ID) > 0; j-- {
+		for j := i; j > 0 && s.frags[refs[j-1]].ID.Compare(s.frags[refs[j]].ID) > 0; j-- {
 			refs[j-1], refs[j] = refs[j], refs[j-1]
 		}
 	}

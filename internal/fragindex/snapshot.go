@@ -1,0 +1,366 @@
+package fragindex
+
+import (
+	"fmt"
+	"maps"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/fragment"
+	"repro/internal/relation"
+)
+
+// Posting lists are grouped into a fixed number of hash shards. The shard is
+// the copy-on-write unit between snapshots: publishing a new snapshot clones
+// only the shard maps (and within them, only the posting lists) touched by
+// the delta, so untouched shards — the overwhelming majority of index
+// memory — are shared by pointer across every live snapshot.
+const numShards = 64 // power of two; shardIndex masks with numShards-1
+
+// shard is one hash bucket of the inverted fragment index.
+type shard struct {
+	lists map[string]*postingList
+}
+
+// shardIndex hashes a keyword to its shard (FNV-1a, masked).
+func shardIndex(kw string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(kw); i++ {
+		h = (h ^ uint32(kw[i])) * 16777619
+	}
+	return h & (numShards - 1)
+}
+
+func newShards() []*shard {
+	out := make([]*shard, numShards)
+	for i := range out {
+		out[i] = &shard{lists: make(map[string]*postingList)}
+	}
+	return out
+}
+
+// Snapshot is one immutable version of the fragment index: the inverted
+// fragment index (sharded posting lists), the fragment graph, and the O(1)
+// statistics counters, all frozen at a mutation epoch.
+//
+// A Snapshot obtained from LiveIndex.Snapshot (or Index.Freeze) never
+// changes: any number of goroutines may run the entire query read path
+// against it lock-free, concurrently with a writer publishing later
+// snapshots. The only internally mutable field is the lazily built sorted
+// keyword cache, which is swapped through an atomic pointer and is
+// idempotent to race on.
+//
+// A Snapshot obtained from Index.Snapshot on an index that has never been
+// frozen is a live view, not an isolated version: it shares the index's
+// storage and observes its mutations, under the index's exclusive-mutation
+// contract.
+type Snapshot struct {
+	spec     Spec
+	eqIdx    []int
+	rangeIdx int
+
+	frags  []Meta
+	byKey  map[string]FragRef
+	shards []*shard
+	kwOf   [][]string // builder-side forward map: per FragRef, its keywords
+
+	groups   map[string]*group
+	groupOf  []*group // per FragRef: its group, so lookups skip key building
+	memberAt []int    // per FragRef: position within its group (-1 when dead)
+
+	// Live counters: maintained on insert/remove so the Table IV stats
+	// (NumFragments, AvgTermsPerFragment, NumKeywords) are O(1).
+	liveFrags int
+	liveTerms int64
+	liveKws   int
+
+	// epoch counts mutations; kwCache holds the sorted Keywords() slice
+	// built at a given epoch (atomic so concurrent readers may refresh it).
+	epoch   uint64
+	kwCache atomic.Pointer[kwCache]
+}
+
+// clone returns a builder-writable copy sharing all posting-list shards and
+// groups with the receiver. The fragment metadata arrays and top-level maps
+// are copied (a flat memcpy / pointer copy, amortized over a delta batch);
+// the posting payload — the dominant share of index memory — is cloned
+// lazily, shard by shard, only where the delta touches it.
+func (s *Snapshot) clone() *Snapshot {
+	return &Snapshot{
+		spec:      s.spec,
+		eqIdx:     s.eqIdx,
+		rangeIdx:  s.rangeIdx,
+		frags:     append([]Meta(nil), s.frags...),
+		byKey:     maps.Clone(s.byKey),
+		shards:    append([]*shard(nil), s.shards...),
+		kwOf:      append([][]string(nil), s.kwOf...),
+		groups:    maps.Clone(s.groups),
+		groupOf:   append([]*group(nil), s.groupOf...),
+		memberAt:  append([]int(nil), s.memberAt...),
+		liveFrags: s.liveFrags,
+		liveTerms: s.liveTerms,
+		liveKws:   s.liveKws,
+		epoch:     s.epoch,
+	}
+}
+
+// Snapshot returns the receiver, making *Snapshot a search.Source: an
+// engine constructed over a snapshot is permanently pinned to it.
+func (s *Snapshot) Snapshot() *Snapshot { return s }
+
+// list returns the keyword's posting list, nil when absent.
+func (s *Snapshot) list(kw string) *postingList {
+	return s.shards[shardIndex(kw)].lists[kw]
+}
+
+// eachList visits every posting list (any order).
+func (s *Snapshot) eachList(f func(kw string, pl *postingList)) {
+	for _, sh := range s.shards {
+		for kw, pl := range sh.lists {
+			f(kw, pl)
+		}
+	}
+}
+
+// Spec returns the snapshot's selection-attribute structure.
+func (s *Snapshot) Spec() Spec { return s.spec }
+
+// Epoch returns the mutation epoch the snapshot was frozen at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumFragments returns the number of live fragments (O(1)).
+func (s *Snapshot) NumFragments() int { return s.liveFrags }
+
+// NumKeywords returns the number of distinct indexed keywords with at
+// least one live posting (O(1)).
+func (s *Snapshot) NumKeywords() int { return s.liveKws }
+
+// AvgTermsPerFragment reports the average keyword count over live fragments
+// (Table IV's third column). O(1).
+func (s *Snapshot) AvgTermsPerFragment() float64 {
+	if s.liveFrags == 0 {
+		return 0
+	}
+	return float64(s.liveTerms) / float64(s.liveFrags)
+}
+
+// Meta returns a fragment's summary.
+func (s *Snapshot) Meta(ref FragRef) (Meta, error) {
+	if int(ref) < 0 || int(ref) >= len(s.frags) {
+		return Meta{}, fmt.Errorf("%w: ref %d", ErrNoFragment, ref)
+	}
+	return s.frags[ref], nil
+}
+
+// NumRefs returns the size of the ref space (live fragments plus
+// tombstones): every FragRef handed out by this snapshot is in [0, NumRefs).
+// Callers that validate refs once against it may then use the unchecked
+// accessors TermsOf and AliveRef on the hot path.
+func (s *Snapshot) NumRefs() int { return len(s.frags) }
+
+// TermsOf returns a fragment's total keyword count without bounds
+// checking. The caller must have validated ref (see NumRefs).
+func (s *Snapshot) TermsOf(ref FragRef) int64 { return s.frags[ref].Terms }
+
+// AliveRef reports whether ref is within range and not tombstoned.
+func (s *Snapshot) AliveRef(ref FragRef) bool {
+	return int(ref) >= 0 && int(ref) < len(s.frags) && s.frags[ref].Alive
+}
+
+// Lookup resolves a fragment identifier to its ref.
+func (s *Snapshot) Lookup(id fragment.ID) (FragRef, bool) {
+	ref, ok := s.byKey[id.Key()]
+	return ref, ok
+}
+
+// Has reports whether a live fragment with the given identifier exists.
+func (s *Snapshot) Has(id fragment.ID) bool {
+	_, ok := s.byKey[id.Key()]
+	return ok
+}
+
+// Postings returns the live postings of a keyword, sorted by TF descending.
+// The returned slice must not be modified. Lists without tombstones — the
+// common case, since RemoveFragment compacts any list whose dead ratio
+// crosses the threshold — are returned by reference without scanning.
+func (s *Snapshot) Postings(keyword string) []Posting {
+	pl := s.list(keyword)
+	if pl == nil {
+		return nil
+	}
+	if pl.dead == 0 {
+		return pl.ps
+	}
+	out := make([]Posting, 0, pl.liveDF())
+	for _, p := range pl.ps {
+		if s.frags[p.Frag].Alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DF returns the document frequency of a keyword: the number of live
+// fragments containing it. O(1): each list counts its own tombstones.
+func (s *Snapshot) DF(keyword string) int {
+	pl := s.list(keyword)
+	if pl == nil {
+		return 0
+	}
+	return pl.liveDF()
+}
+
+// IDF returns the keyword's inverse document frequency, Dash's 1/DF
+// approximation (§VI). The value is precomputed when the list mutates, so
+// query scoring reads it in O(1).
+func (s *Snapshot) IDF(keyword string) float64 {
+	pl := s.list(keyword)
+	if pl == nil {
+		return 0
+	}
+	return pl.idf
+}
+
+// PostingsIDF returns Postings(keyword) and IDF(keyword) with a single
+// list lookup — the form the search engine's seeding loop uses, so each
+// queried keyword costs one shard hash instead of two.
+func (s *Snapshot) PostingsIDF(keyword string) ([]Posting, float64) {
+	pl := s.list(keyword)
+	if pl == nil {
+		return nil, 0
+	}
+	if pl.dead == 0 {
+		return pl.ps, pl.idf
+	}
+	out := make([]Posting, 0, pl.liveDF())
+	for _, p := range pl.ps {
+		if s.frags[p.Frag].Alive {
+			out = append(out, p)
+		}
+	}
+	return out, pl.idf
+}
+
+// Keywords returns all keywords with at least one live posting, sorted; the
+// benchmark harness uses it to pick hot/warm/cold terms. The sorted slice
+// is cached per epoch — for a frozen snapshot the first call builds it and
+// every later call reuses it — and must not be modified by the caller.
+func (s *Snapshot) Keywords() []string {
+	if c := s.kwCache.Load(); c != nil && c.epoch == s.epoch {
+		return c.kws
+	}
+	var out []string
+	for _, sh := range s.shards {
+		for kw, pl := range sh.lists {
+			if pl.liveDF() > 0 {
+				out = append(out, kw)
+			}
+		}
+	}
+	sort.Strings(out)
+	s.kwCache.Store(&kwCache{epoch: s.epoch, kws: out})
+	return out
+}
+
+// EqValues returns a fragment's equality-attribute values keyed by column.
+func (s *Snapshot) EqValues(ref FragRef) (map[string]relation.Value, error) {
+	m, err := s.Meta(ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]relation.Value, len(s.eqIdx))
+	for i, j := range s.eqIdx {
+		out[s.spec.EqAttrs[i]] = m.ID[j]
+	}
+	return out, nil
+}
+
+// RangeValue returns a fragment's range-attribute value (NULL when the
+// query has no range attribute).
+func (s *Snapshot) RangeValue(ref FragRef) (relation.Value, error) {
+	m, err := s.Meta(ref)
+	if err != nil {
+		return relation.Value{}, err
+	}
+	if s.rangeIdx < 0 {
+		return relation.Null(), nil
+	}
+	return m.ID[s.rangeIdx], nil
+}
+
+// rangeValOf is RangeValue without bounds checks, for internal use.
+func (s *Snapshot) rangeValOf(ref FragRef) relation.Value {
+	if s.rangeIdx < 0 {
+		return relation.Null()
+	}
+	return s.frags[ref].ID[s.rangeIdx]
+}
+
+// Neighbors returns the fragment-graph neighbours of a live fragment: the
+// adjacent members of its equality group in range order. A fragment has at
+// most two neighbours (the graph is a union of paths, as in Fig. 9).
+func (s *Snapshot) Neighbors(ref FragRef) ([]FragRef, error) {
+	m, err := s.Meta(ref)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Alive {
+		return nil, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
+	}
+	g := s.groupOf[ref]
+	pos := s.memberAt[ref]
+	var out []FragRef
+	if pos > 0 {
+		out = append(out, g.members[pos-1])
+	}
+	if pos+1 < len(g.members) {
+		out = append(out, g.members[pos+1])
+	}
+	return out, nil
+}
+
+// GroupMembers returns the full equality group of a fragment in range
+// order. The slice must not be modified.
+func (s *Snapshot) GroupMembers(ref FragRef) ([]FragRef, int, error) {
+	m, err := s.Meta(ref)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !m.Alive {
+		return nil, 0, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
+	}
+	return s.groupOf[ref].members, s.memberAt[ref], nil
+}
+
+// Edges enumerates all fragment-graph edges as (smaller, larger) ref pairs,
+// sorted. Mostly useful for tests and stats.
+func (s *Snapshot) Edges() [][2]FragRef {
+	var out [][2]FragRef
+	for _, g := range s.groups {
+		for i := 1; i < len(g.members); i++ {
+			a, b := g.members[i-1], g.members[i]
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, [2]FragRef{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumEdges returns the number of fragment-graph edges.
+func (s *Snapshot) NumEdges() int {
+	n := 0
+	for _, g := range s.groups {
+		if len(g.members) > 1 {
+			n += len(g.members) - 1
+		}
+	}
+	return n
+}

@@ -138,8 +138,9 @@ type Bands struct {
 }
 
 // KeywordBands orders all indexed keywords by DF and samples n from each
-// band deterministically.
-func KeywordBands(idx *fragindex.Index, n int) Bands {
+// band deterministically. It reads one index snapshot, so the bands are
+// consistent even while the index absorbs updates.
+func KeywordBands(idx *fragindex.Snapshot, n int) Bands {
 	type kwDF struct {
 		kw string
 		df int

@@ -53,7 +53,7 @@ func TestKeywordBandsOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bands := KeywordBands(engine.Index(), 10)
+	bands := KeywordBands(engine.Snapshot(), 10)
 	if len(bands.Hot) == 0 || len(bands.Warm) == 0 || len(bands.Cold) == 0 {
 		t.Fatalf("bands = %+v", bands)
 	}
@@ -85,7 +85,7 @@ func TestRunSearchSweep(t *testing.T) {
 	if graphRow.Fragments == 0 || graphRow.AvgKeywords <= 0 {
 		t.Errorf("graph row = %+v", graphRow)
 	}
-	bands := KeywordBands(engine.Index(), 3)
+	bands := KeywordBands(engine.Snapshot(), 3)
 	points, err := RunSearchSweep(engine, bands, []int{1, 5}, []int{100, 500})
 	if err != nil {
 		t.Fatalf("RunSearchSweep: %v", err)

@@ -33,9 +33,18 @@
 //     Meta per step.
 //
 // Only per-result work (URL formulation, the returned slice) allocates.
-// Engines are safe for concurrent use by multiple goroutines as long as
-// the underlying index is not mutated concurrently — the index read path
-// is lock-free and scratch state is per-goroutine via the pool.
+//
+// # Snapshot pinning
+//
+// An Engine reads the index through a Source, which resolves the current
+// fragindex.Snapshot. Every Search pins exactly one snapshot up front —
+// for a LiveIndex source that is a single atomic load — and runs the whole
+// algorithm against it, so scoring, expansion, and dedup can never observe
+// a torn index even while a writer publishes new versions concurrently.
+// ParallelSearch pins one snapshot for the entire batch, so a batch is
+// internally consistent too. Engines are safe for concurrent use by any
+// number of goroutines: the snapshot read path is lock-free and scratch
+// state is per-goroutine via the pool.
 package search
 
 import (
@@ -56,24 +65,45 @@ var (
 	ErrBadK       = errors.New("search: k must be positive")
 )
 
+// Source resolves the index version a request should run against. Three
+// implementations exist: *fragindex.Index (a live view of a mutable index
+// under the exclusive-mutation contract), *fragindex.LiveIndex (the
+// current published version, one atomic load), and *fragindex.Snapshot
+// itself (a permanently pinned version).
+type Source interface {
+	Snapshot() *fragindex.Snapshot
+}
+
 // Engine answers top-k searches over one application's fragment index.
-// It is safe for concurrent use (see the package Performance notes).
+// It is safe for concurrent use (see the package Snapshot pinning notes).
 type Engine struct {
-	idx     *fragindex.Index
+	src     Source
 	app     *webapp.Application // nil: results carry no URLs
 	scratch sync.Pool           // *searchScratch
 }
 
-// New creates an engine. app may be nil when URL formulation is not needed
-// (benchmarks measure pure search time that way).
-func New(idx *fragindex.Index, app *webapp.Application) *Engine {
-	e := &Engine{idx: idx, app: app}
+// New creates an engine over an index source — a *fragindex.Index,
+// *fragindex.LiveIndex, or pinned *fragindex.Snapshot. app may be nil when
+// URL formulation is not needed (benchmarks measure pure search time that
+// way).
+func New(src Source, app *webapp.Application) *Engine {
+	e := &Engine{src: src, app: app}
 	e.scratch.New = func() any { return newScratch() }
 	return e
 }
 
-// Index returns the engine's fragment index.
-func (e *Engine) Index() *fragindex.Index { return e.idx }
+// Source returns the engine's index source.
+func (e *Engine) Source() Source { return e.src }
+
+// Snapshot resolves the index version the next Search would pin.
+func (e *Engine) Snapshot() *fragindex.Snapshot { return e.src.Snapshot() }
+
+// Index returns the engine's mutable fragment index when the engine was
+// constructed directly over one, and nil for snapshot or live sources.
+func (e *Engine) Index() *fragindex.Index {
+	idx, _ := e.src.(*fragindex.Index)
+	return idx
+}
 
 // App returns the engine's application (may be nil).
 func (e *Engine) App() *webapp.Application { return e.app }
@@ -237,9 +267,17 @@ func (s *searchScratch) heapPop() *candidate {
 	return top
 }
 
-// Search runs Algorithm 1 and returns at most req.K results ordered by
-// descending relevance.
+// Search runs Algorithm 1 against the source's current snapshot and
+// returns at most req.K results ordered by descending relevance.
 func (e *Engine) Search(req Request) ([]Result, error) {
+	return e.SearchSnapshot(e.src.Snapshot(), req)
+}
+
+// SearchSnapshot runs Algorithm 1 pinned to an explicit snapshot — the
+// batch APIs use it to keep multi-query requests internally consistent,
+// and callers can hold a snapshot across calls for repeatable reads while
+// later versions are published.
+func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result, error) {
 	s := e.scratch.Get().(*searchScratch)
 	defer e.scratch.Put(s)
 	s.reset()
@@ -256,8 +294,8 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 	// Line 1: fragments relevant to W, with precomputed IDF weights and
 	// per-fragment occurrence vectors in the flat seed arena.
 	for i, w := range s.keywords {
-		ps := e.idx.Postings(w)
-		s.idf = append(s.idf, e.idx.IDF(w))
+		ps, idf := idx.PostingsIDF(w)
+		s.idf = append(s.idf, idf)
 		if req.CandidateLimit > 0 && len(ps) > req.CandidateLimit {
 			// TF-descending lists make the prefix the highest-TF
 			// fragments — the paper's partial inverted-list read.
@@ -283,7 +321,7 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 	// failure here means the index broke its own invariant — surfaced as
 	// an error rather than scored as a silent zero-weight page.
 	for _, ref := range s.refs {
-		if !e.idx.AliveRef(ref) {
+		if !idx.AliveRef(ref) {
 			return nil, fmt.Errorf("%w: posting ref %d", fragindex.ErrNoFragment, ref)
 		}
 	}
@@ -307,7 +345,7 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 		s.consumed = make([]bool, numOrds)
 	}
 	for ord, ref := range s.refs {
-		members, pos, err := e.idx.GroupMembers(ref)
+		members, pos, err := idx.GroupMembers(ref)
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +356,7 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 			hi:      pos,
 			occ:     s.candOcc[ord*nk : (ord+1)*nk],
 			ord:     int32(ord),
-			size:    e.idx.TermsOf(ref),
+			size:    idx.TermsOf(ref),
 			seed:    ref,
 		}
 		c.score = score(c.occ, c.size, s.idf)
@@ -334,7 +372,7 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 			continue // seed absorbed into an earlier expansion (line 8)
 		}
 		if e.expandable(c, req.SizeThreshold) {
-			e.expand(c, s, nk)
+			e.expand(idx, c, s, nk)
 			s.heapPush(c)
 			continue
 		}
@@ -362,7 +400,7 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 				s.used[c.members[i]] = struct{}{}
 			}
 		}
-		res, err := e.resultFor(c)
+		res, err := e.resultFor(idx, c)
 		if err != nil {
 			return nil, err
 		}
@@ -399,7 +437,7 @@ func (e *Engine) gainOf(ref fragindex.FragRef, s *searchScratch, nk int) (float6
 // Neighbour refs come from the candidate's group members — index-issued
 // and validated at seed time — so fragment weights are read through the
 // unchecked TermsOf accessor.
-func (e *Engine) expand(c *candidate, s *searchScratch, nk int) {
+func (e *Engine) expand(idx *fragindex.Snapshot, c *candidate, s *searchScratch, nk int) {
 	var (
 		bestRef  fragindex.FragRef
 		bestOrd  int32
@@ -415,7 +453,7 @@ func (e *Engine) expand(c *candidate, s *searchScratch, nk int) {
 		ref := c.members[c.hi+1]
 		gain, ord := e.gainOf(ref, s, nk)
 		if !bestLeft || gain > bestGain ||
-			(gain == bestGain && e.idx.TermsOf(ref) < e.idx.TermsOf(bestRef)) {
+			(gain == bestGain && idx.TermsOf(ref) < idx.TermsOf(bestRef)) {
 			bestRef, bestOrd, bestGain, bestLeft = ref, ord, gain, false
 		}
 	}
@@ -424,7 +462,7 @@ func (e *Engine) expand(c *candidate, s *searchScratch, nk int) {
 	} else {
 		c.hi++
 	}
-	c.size += e.idx.TermsOf(bestRef)
+	c.size += idx.TermsOf(bestRef)
 	if bestOrd >= 0 {
 		occ := s.seedOcc[int(bestOrd)*nk : int(bestOrd+1)*nk]
 		for i := range c.occ {
@@ -464,20 +502,20 @@ func weighted(occ []int64, idf []float64) float64 {
 }
 
 // resultFor formulates the page's parameter box and URL (line 10).
-func (e *Engine) resultFor(c *candidate) (Result, error) {
+func (e *Engine) resultFor(idx *fragindex.Snapshot, c *candidate) (Result, error) {
 	frags := make([]fragindex.FragRef, 0, c.hi-c.lo+1)
 	for i := c.lo; i <= c.hi; i++ {
 		frags = append(frags, c.members[i])
 	}
-	eqVals, err := e.idx.EqValues(frags[0])
+	eqVals, err := idx.EqValues(frags[0])
 	if err != nil {
 		return Result{}, err
 	}
-	lo, err := e.idx.RangeValue(frags[0])
+	lo, err := idx.RangeValue(frags[0])
 	if err != nil {
 		return Result{}, err
 	}
-	hi, err := e.idx.RangeValue(frags[len(frags)-1])
+	hi, err := idx.RangeValue(frags[len(frags)-1])
 	if err != nil {
 		return Result{}, err
 	}

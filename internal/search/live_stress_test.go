@@ -1,0 +1,211 @@
+package search
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/crawl"
+	"repro/internal/fooddb"
+	"repro/internal/fragindex"
+	"repro/internal/fragment"
+	"repro/internal/relation"
+	"repro/internal/webapp"
+)
+
+// fooddbLiveEngine builds a LiveIndex-backed engine over the fooddb stack.
+func fooddbLiveEngine(t *testing.T) (*Engine, *fragindex.LiveIndex) {
+	t.Helper()
+	db := fooddb.New()
+	app, err := webapp.Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := app.Bound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := crawl.Reference(db, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := fragindex.SpecFromBound(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := fragindex.Build(out, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := fragindex.NewLive(idx)
+	return New(live, app), live
+}
+
+// TestConcurrentSearchWithLiveApply mixes 32 searcher goroutines with a
+// concurrent writer publishing deltas through the LiveIndex (run under
+// -race in CI). Every search must succeed, and — the epoch-swap
+// guarantee — re-running a search on the snapshot it pinned must
+// reproduce its answer exactly, no matter how many versions the writer
+// published in between.
+func TestConcurrentSearchWithLiveApply(t *testing.T) {
+	e, live := fooddbLiveEngine(t)
+	queries := stressQueries()
+
+	const searchers = 32
+	const iters = 40
+	var searcherWG, writerWG sync.WaitGroup
+	errc := make(chan error, searchers+1)
+	stop := make(chan struct{})
+
+	for g := 0; g < searchers; g++ {
+		searcherWG.Add(1)
+		go func(g int) {
+			defer searcherWG.Done()
+			for it := 0; it < iters; it++ {
+				req := queries[(g+it)%len(queries)]
+				snap := live.Snapshot()
+				rs, err := e.SearchSnapshot(snap, req)
+				if err != nil {
+					errc <- fmt.Errorf("searcher %d: %v", g, err)
+					return
+				}
+				again, err := e.SearchSnapshot(snap, req)
+				if err != nil {
+					errc <- fmt.Errorf("searcher %d re-run: %v", g, err)
+					return
+				}
+				if !reflect.DeepEqual(rs, again) {
+					errc <- fmt.Errorf("searcher %d: pinned snapshot not repeatable", g)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// The writer churns one fragment's contents and inserts/removes
+	// another while the searchers run.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		target := fragment.ID{relation.String("American"), relation.Int(10)}
+		extra := fragment.ID{relation.String("Fusion"), relation.Int(99)}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := crawl.Delta{Changes: []crawl.FragmentChange{{
+				Op: crawl.OpUpdateFragment, ID: target,
+				TermCounts: map[string]int64{"burger": 2, "queen": 1, fmt.Sprintf("v%d", i%5): 1},
+				TotalTerms: 4,
+			}}}
+			if _, err := live.Apply(d); err != nil {
+				errc <- fmt.Errorf("writer: %v", err)
+				return
+			}
+			op := crawl.OpInsertFragment
+			if i%2 == 1 {
+				op = crawl.OpRemoveFragment
+			}
+			d = crawl.Delta{Changes: []crawl.FragmentChange{{
+				Op: op, ID: extra,
+				TermCounts: map[string]int64{"fusion": 1}, TotalTerms: 1,
+			}}}
+			if op == crawl.OpRemoveFragment {
+				d.Changes[0].TermCounts, d.Changes[0].TotalTerms = nil, 0
+			}
+			if _, err := live.Apply(d); err != nil {
+				errc <- fmt.Errorf("writer: %v", err)
+				return
+			}
+			if i%8 == 7 {
+				if _, err := live.CompactIfNeeded(0.3); err != nil {
+					errc <- fmt.Errorf("writer compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Keep the writer publishing for the searchers' whole lifetime, then
+	// stop it.
+	searcherWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPinnedSnapshotPropertyIdenticalResults is the repeatable-reads
+// property test: results computed on a pinned snapshot are byte-identical
+// before and after arbitrary later mutations are published, while fresh
+// snapshots see the new contents.
+func TestPinnedSnapshotPropertyIdenticalResults(t *testing.T) {
+	e, live := fooddbLiveEngine(t)
+	queries := stressQueries()
+
+	pinned := live.Snapshot()
+	want := make([][]Result, len(queries))
+	for i, q := range queries {
+		rs, err := e.SearchSnapshot(pinned, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want[i] = rs
+	}
+
+	// Publish a pile of mutations: update every fragment, insert new ones,
+	// remove one, compact.
+	for i := 0; i < pinned.NumRefs(); i++ {
+		m, err := pinned.Meta(fragindex.FragRef(i))
+		if err != nil || !m.Alive {
+			continue
+		}
+		d := crawl.Delta{Changes: []crawl.FragmentChange{{
+			Op: crawl.OpUpdateFragment, ID: m.ID,
+			TermCounts: map[string]int64{"rewritten": 3, "burger": 1}, TotalTerms: 4,
+		}}}
+		if _, err := live.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := crawl.Delta{Changes: []crawl.FragmentChange{
+		{Op: crawl.OpInsertFragment, ID: fragment.ID{relation.String("Fusion"), relation.Int(1)},
+			TermCounts: map[string]int64{"burger": 9}, TotalTerms: 9},
+		{Op: crawl.OpRemoveFragment, ID: fragment.ID{relation.String("Thai"), relation.Int(10)}},
+	}}
+	if _, err := live.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.CompactIfNeeded(0.01); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, q := range queries {
+		rs, err := e.SearchSnapshot(pinned, q)
+		if err != nil {
+			t.Fatalf("query %d after mutations: %v", i, err)
+		}
+		if !reflect.DeepEqual(rs, want[i]) {
+			t.Errorf("query %d: pinned snapshot results changed after publications", i)
+		}
+	}
+	// Sanity: the live view did change.
+	fresh, err := e.Search(Request{Keywords: []string{"rewritten"}, K: 10, SizeThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) == 0 {
+		t.Error("published mutations invisible to fresh snapshots")
+	}
+	if got, _ := e.SearchSnapshot(pinned, Request{Keywords: []string{"rewritten"}, K: 10, SizeThreshold: 1}); len(got) != 0 {
+		t.Error("pinned snapshot sees post-pin keyword")
+	}
+}

@@ -18,7 +18,9 @@ import (
 // bounded worker pool (at most MaxFanout goroutines, default GOMAXPROCS)
 // and merges deterministically: per-engine result sets are collected in
 // engine registration order before the cross-application rank/dedup pass,
-// so the output is identical to a sequential evaluation.
+// so the output is identical to a sequential evaluation. Each per-engine
+// search pins its own index snapshot, so every application's results are
+// internally consistent even under concurrent index maintenance.
 type MultiEngine struct {
 	engines []*Engine
 	// MaxFanout bounds the number of engines searched concurrently

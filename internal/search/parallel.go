@@ -18,6 +18,11 @@ type BatchResult struct {
 // serial e.Search(reqs[i]) would have returned, since the engine's read
 // path is race-free and every worker borrows its own pooled scratch.
 //
+// The whole batch is pinned to one snapshot, resolved once up front: even
+// with a writer publishing new index versions mid-batch, every request
+// observes the same index state, as if the batch had run serially at the
+// moment the call was made.
+//
 // This is the batch serving primitive: cmd/dashserve answers multi-query
 // requests through it, and cmd/dashbench's parallel experiment measures
 // its throughput scaling.
@@ -26,6 +31,7 @@ func (e *Engine) ParallelSearch(reqs []Request, workers int) []BatchResult {
 	if len(reqs) == 0 {
 		return out
 	}
+	snap := e.src.Snapshot()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -34,7 +40,7 @@ func (e *Engine) ParallelSearch(reqs []Request, workers int) []BatchResult {
 	}
 	if workers == 1 {
 		for i := range reqs {
-			out[i].Results, out[i].Err = e.Search(reqs[i])
+			out[i].Results, out[i].Err = e.SearchSnapshot(snap, reqs[i])
 		}
 		return out
 	}
@@ -49,7 +55,7 @@ func (e *Engine) ParallelSearch(reqs []Request, workers int) []BatchResult {
 				if i >= len(reqs) {
 					return
 				}
-				out[i].Results, out[i].Err = e.Search(reqs[i])
+				out[i].Results, out[i].Err = e.SearchSnapshot(snap, reqs[i])
 			}
 		}()
 	}
