@@ -17,11 +17,13 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the tracked search-path performance snapshot: the
-# Fig. 11 top-k sweep, the parallel-throughput scaling benchmark, and the
-# live-mutation-under-load benchmark, with allocation counts, converted to
-# BENCH_search.json so the perf trajectory is diffable PR over PR.
+# Fig. 11 top-k sweep, the parallel-throughput scaling benchmark, the
+# live-mutation-under-load benchmark, and the snapshot-publish-cost
+# benchmark (chunked metadata + batched applies), with allocation counts,
+# converted to BENCH_search.json so the perf trajectory is diffable PR
+# over PR.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig11|ParallelSearchThroughput|LiveMutationUnderLoad' -benchmem -count 1 . > BENCH_search.txt
+	$(GO) test -run '^$$' -bench 'Fig11|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost' -benchmem -count 1 . > BENCH_search.txt
 	$(GO) run ./cmd/benchjson -o BENCH_search.json < BENCH_search.txt
 	@rm -f BENCH_search.txt
 	@echo wrote BENCH_search.json

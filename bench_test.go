@@ -10,6 +10,8 @@ package dash
 //	BenchmarkFig10_CrawlIndex         — Fig. 10 SW vs INT crawl+index
 //	BenchmarkTable4_FragmentGraph     — Table IV fragment graph build
 //	BenchmarkFig11_TopKSearch         — Fig. 11 search latency sweep
+//	BenchmarkApplyPublishCost         — snapshot publish cost vs index size,
+//	                                    single vs batched delta applies
 //	BenchmarkAblation_*               — naive vs fragments, reduce tasks,
 //	                                    incremental vs batch graph
 //	BenchmarkExample7_Fooddb          — the running example end to end
@@ -25,7 +27,9 @@ import (
 	"repro/internal/crawl"
 	"repro/internal/fooddb"
 	"repro/internal/fragindex"
+	"repro/internal/fragment"
 	"repro/internal/harness"
+	"repro/internal/relation"
 	"repro/internal/search"
 	"repro/internal/tpch"
 	"repro/internal/webapp"
@@ -326,6 +330,97 @@ func BenchmarkLiveMutationUnderLoad(b *testing.B) {
 			if readers > 0 {
 				b.ReportMetric(float64(reads)/b.Elapsed().Seconds(), "searches/s")
 			}
+		})
+	}
+}
+
+// syntheticLive builds an n-fragment LiveIndex with a bounded keyword
+// vocabulary (so posting lists, not the vocabulary, grow with n) — the
+// shape that exposes per-publish metadata cost as the index scales.
+func syntheticLive(b *testing.B, n int) (*fragindex.LiveIndex, []fragment.ID) {
+	b.Helper()
+	idx, err := fragindex.New(fragindex.Spec{
+		SelAttrs: []string{"g", "v"}, EqAttrs: []string{"g"}, RangeAttr: "v",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]fragment.ID, n)
+	for i := 0; i < n; i++ {
+		// Groups of 8 refs; ascending insertion appends at each group's tail.
+		ids[i] = fragment.ID{
+			relation.String(fmt.Sprintf("g%07d", i/8)),
+			relation.Int(int64(i % 8)),
+		}
+		if _, err := idx.InsertFragment(ids[i], syntheticCounts(i, 1), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fragindex.NewLive(idx), ids
+}
+
+// syntheticCounts derives fragment i's keyword statistics; bump varies the
+// TF so repeated updates are real content changes.
+func syntheticCounts(i, bump int) map[string]int64 {
+	return map[string]int64{
+		fmt.Sprintf("w%05d", i%10000):     int64(1 + bump%3),
+		fmt.Sprintf("x%05d", (i*7)%10000): 2,
+	}
+}
+
+// BenchmarkApplyPublishCost measures what one published snapshot costs as
+// the index grows — the chunked-metadata claim in benchstat-able form. For
+// each index size, "single" applies one single-fragment update per publish
+// while "batch=100" folds 100 single-fragment deltas into one publish
+// (LiveIndex.ApplyBatch), so ns/change shows the amortization. With
+// chunked metadata the clonedChunks/op metric stays flat (the update's own
+// chunk plus the append tail) instead of growing with refs/chunkSize, and
+// per-publish time is dominated by the touched posting lists — sublinear
+// in index size, where the pre-chunk design paid an O(refs) metadata
+// memcpy per publish.
+func BenchmarkApplyPublishCost(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("refs=%d", n), func(b *testing.B) {
+			live, ids := syntheticLive(b, n)
+			runBatch := func(b *testing.B, batch int) {
+				var chunks, changes int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ds := make([]crawl.Delta, batch)
+					for j := 0; j < batch; j++ {
+						at := (i*batch + j) % len(ids)
+						ds[j] = crawl.Delta{Changes: []crawl.FragmentChange{{
+							Op: crawl.OpUpdateFragment, ID: ids[at],
+							TermCounts: syntheticCounts(at, i+1), TotalTerms: 3,
+						}}}
+					}
+					var st fragindex.ApplyStats
+					var err error
+					if batch == 1 {
+						st, err = live.Apply(ds[0])
+					} else {
+						st, err = live.ApplyBatch(ds)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					chunks += st.ClonedChunks
+					changes += batch
+					// Periodic snapshot GC, as a production apply loop runs
+					// it: every update tombstones one ref, and unbounded
+					// tombstones would grow the ref space without limit.
+					if i%512 == 511 {
+						if _, err := live.CompactIfNeeded(0.5); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(changes), "ns/change")
+				b.ReportMetric(float64(chunks)/float64(b.N), "clonedChunks/op")
+			}
+			b.Run("apply=single", func(b *testing.B) { runBatch(b, 1) })
+			b.Run("apply=batch100", func(b *testing.B) { runBatch(b, 100) })
 		})
 	}
 }

@@ -11,15 +11,24 @@
 //	curl 'http://localhost:8080/batch?q=burger&q=coffee'    # JSON batch
 //	curl 'http://localhost:8080/admin/stats'                # serving index stats
 //	curl -d '{"recrawl":[["American","9"]]}' http://localhost:8080/admin/apply
+//	curl -d '{"batch":[{"changes":[...]},{"recrawl":[...]}]}' \
+//	     http://localhost:8080/admin/apply                  # one publish
 //
 // The index is served through a dash.LiveEngine: every request pins one
 // immutable snapshot (an atomic load), so searches never block on or get
 // torn by index maintenance. /admin/apply folds changes into the next
 // snapshot — either explicit fragment changes or a targeted re-crawl of
-// the named partitions — and publishes it atomically; /admin/stats reports
-// the serving epoch and maintenance counters. A background goroutine
+// the named partitions — and publishes it atomically; its batch mode
+// accepts a list of deltas and coalesces them into a single publish
+// (changes to the same fragment fold first: an insert a later delta
+// removes never touches the index). /admin/stats reports the serving
+// epoch, publish counters, and maintenance history. A background goroutine
 // periodically garbage-collects tombstoned refs by publishing a compacted
 // snapshot once enough removals accumulate.
+//
+// Malformed numeric query parameters (k, s) are rejected with HTTP 400
+// naming the offending parameter — a typo'd ?k=abc fails loudly instead of
+// quietly serving default-k results.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight searches
 // drain before the process exits.
@@ -108,122 +117,7 @@ func run(args []string) error {
 	snap := engine.Snapshot()
 	log.Printf("index ready: %d fragments, %d keywords", snap.NumFragments(), snap.NumKeywords())
 
-	mux := http.NewServeMux()
-	mux.Handle("/app", app.Handler())
-	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		if q == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
-		}
-		k := intParam(r, "k", 5)
-		s := intParam(r, "s", 100)
-		start := time.Now()
-		// Pin one snapshot for the whole request so the rendered fragment
-		// count and epoch describe exactly the version that was searched.
-		snap := engine.Snapshot()
-		results, err := engine.Engine().SearchSnapshot(snap, search.Request{
-			Keywords: strings.Fields(q), K: k, SizeThreshold: s,
-		})
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		rows := make([]resultRow, 0, len(results))
-		for _, res := range results {
-			rows = append(rows, resultRow{
-				// Rewrite the application's base URL onto this server
-				// so links work in the demo.
-				Href:  "/app?" + res.QueryString,
-				Label: res.URL,
-				Score: res.Score,
-				Size:  res.Size,
-			})
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		err = resultsTemplate.Execute(w, map[string]any{
-			"Query":     q,
-			"Results":   rows,
-			"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
-			"Fragments": snap.NumFragments(),
-			"Epoch":     snap.Epoch(),
-		})
-		if err != nil {
-			log.Printf("render: %v", err)
-		}
-	})
-
-	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
-		queries := r.URL.Query()["q"]
-		if len(queries) == 0 {
-			http.Error(w, "missing q parameters", http.StatusBadRequest)
-			return
-		}
-		k := intParam(r, "k", 5)
-		s := intParam(r, "s", 100)
-		reqs := make([]search.Request, len(queries))
-		for i, q := range queries {
-			reqs[i] = search.Request{Keywords: strings.Fields(q), K: k, SizeThreshold: s}
-		}
-		start := time.Now()
-		batch := engine.ParallelSearch(reqs, 0)
-		type pageJSON struct {
-			URL   string  `json:"url"`
-			Query string  `json:"query_string"`
-			Score float64 `json:"score"`
-			Size  int64   `json:"size"`
-		}
-		type entryJSON struct {
-			Query   string     `json:"query"`
-			Error   string     `json:"error,omitempty"`
-			Results []pageJSON `json:"results"`
-		}
-		entries := make([]entryJSON, len(batch))
-		for i, br := range batch {
-			entries[i].Query = queries[i]
-			entries[i].Results = make([]pageJSON, 0, len(br.Results))
-			if br.Err != nil {
-				entries[i].Error = br.Err.Error()
-				continue
-			}
-			for _, res := range br.Results {
-				entries[i].Results = append(entries[i].Results, pageJSON{
-					URL: res.URL, Query: res.QueryString, Score: res.Score, Size: res.Size,
-				})
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		err := json.NewEncoder(w).Encode(map[string]any{
-			"elapsed": time.Since(start).String(),
-			"queries": entries,
-		})
-		if err != nil {
-			log.Printf("encode: %v", err)
-		}
-	})
-
-	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(engine.Stats()); err != nil {
-			log.Printf("encode: %v", err)
-		}
-	})
-
-	mux.HandleFunc("/admin/apply", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST a JSON delta", http.StatusMethodNotAllowed)
-			return
-		}
-		stats, err := handleApply(engine, db, bound.SelAttrKinds(), r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(stats); err != nil {
-			log.Printf("encode: %v", err)
-		}
-	})
+	mux := newMux(engine, app, db, bound.SelAttrKinds())
 
 	server := &http.Server{
 		Addr:              *addr,
@@ -277,36 +171,230 @@ func run(args []string) error {
 	return nil
 }
 
-// applyRequest is the /admin/apply body: explicit fragment changes and/or
-// partitions to re-crawl, combined into one transactional delta.
-type applyRequest struct {
-	// Changes are explicit fragment mutations with precomputed statistics.
-	Changes []struct {
-		Op    string           `json:"op"` // insert | remove | update
-		ID    []string         `json:"id"` // selection values, WHERE order
-		Terms map[string]int64 `json:"terms,omitempty"`
-		Total int64            `json:"total,omitempty"`
-	} `json:"changes"`
+// newMux assembles the demo's HTTP surface over a live engine. Split out
+// of run so handler tests can drive it with httptest against a small
+// dataset.
+func newMux(engine *dash.LiveEngine, app *webapp.Application, db *dash.Database, kinds []relation.Kind) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/app", app.Handler())
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		k, err := intParam(r, "k", 5)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s, err := intParam(r, "s", 100)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		// Pin one snapshot for the whole request so the rendered fragment
+		// count and epoch describe exactly the version that was searched.
+		snap := engine.Snapshot()
+		results, err := engine.Engine().SearchSnapshot(snap, search.Request{
+			Keywords: strings.Fields(q), K: k, SizeThreshold: s,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rows := make([]resultRow, 0, len(results))
+		for _, res := range results {
+			rows = append(rows, resultRow{
+				// Rewrite the application's base URL onto this server
+				// so links work in the demo.
+				Href:  "/app?" + res.QueryString,
+				Label: res.URL,
+				Score: res.Score,
+				Size:  res.Size,
+			})
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		err = resultsTemplate.Execute(w, map[string]any{
+			"Query":     q,
+			"Results":   rows,
+			"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
+			"Fragments": snap.NumFragments(),
+			"Epoch":     snap.Epoch(),
+		})
+		if err != nil {
+			log.Printf("render: %v", err)
+		}
+	})
+
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		queries := r.URL.Query()["q"]
+		if len(queries) == 0 {
+			http.Error(w, "missing q parameters", http.StatusBadRequest)
+			return
+		}
+		k, err := intParam(r, "k", 5)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s, err := intParam(r, "s", 100)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reqs := make([]search.Request, len(queries))
+		for i, q := range queries {
+			reqs[i] = search.Request{Keywords: strings.Fields(q), K: k, SizeThreshold: s}
+		}
+		start := time.Now()
+		batch := engine.ParallelSearch(reqs, 0)
+		type pageJSON struct {
+			URL   string  `json:"url"`
+			Query string  `json:"query_string"`
+			Score float64 `json:"score"`
+			Size  int64   `json:"size"`
+		}
+		type entryJSON struct {
+			Query   string     `json:"query"`
+			Error   string     `json:"error,omitempty"`
+			Results []pageJSON `json:"results"`
+		}
+		entries := make([]entryJSON, len(batch))
+		for i, br := range batch {
+			entries[i].Query = queries[i]
+			entries[i].Results = make([]pageJSON, 0, len(br.Results))
+			if br.Err != nil {
+				entries[i].Error = br.Err.Error()
+				continue
+			}
+			for _, res := range br.Results {
+				entries[i].Results = append(entries[i].Results, pageJSON{
+					URL: res.URL, Query: res.QueryString, Score: res.Score, Size: res.Size,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		err = json.NewEncoder(w).Encode(map[string]any{
+			"elapsed": time.Since(start).String(),
+			"queries": entries,
+		})
+		if err != nil {
+			log.Printf("encode: %v", err)
+		}
+	})
+
+	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(engine.Stats()); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	})
+
+	mux.HandleFunc("/admin/apply", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a JSON delta", http.StatusMethodNotAllowed)
+			return
+		}
+		stats, err := handleApply(engine, db, kinds, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(stats); err != nil {
+			log.Printf("encode: %v", err)
+		}
+	})
+
+	return mux
+}
+
+// changeJSON is one explicit fragment mutation with precomputed statistics.
+type changeJSON struct {
+	Op    string           `json:"op"` // insert | remove | update
+	ID    []string         `json:"id"` // selection values, WHERE order
+	Terms map[string]int64 `json:"terms,omitempty"`
+	Total int64            `json:"total,omitempty"`
+}
+
+// deltaRequest is one delta's worth of maintenance: explicit fragment
+// changes and/or partitions to re-crawl.
+type deltaRequest struct {
+	Changes []changeJSON `json:"changes"`
 	// Recrawl lists fragment identifiers whose partitions should be
 	// re-executed against the database; the op (insert/remove/update) is
 	// derived from what the partition and the index currently hold.
 	Recrawl [][]string `json:"recrawl"`
 }
 
-// handleApply parses, derives, and applies one admin delta.
+// applyRequest is the /admin/apply body: one delta at the top level,
+// and/or a batch of deltas coalesced into a single publish.
+type applyRequest struct {
+	deltaRequest
+	// Batch holds additional deltas. When present, everything in the
+	// request — the top-level delta included — is folded into one
+	// published snapshot (changes to the same fragment coalesce; see
+	// dash.LiveEngine.ApplyBatch).
+	Batch []deltaRequest `json:"batch"`
+}
+
+// handleApply parses, derives, and applies one admin maintenance request.
 func handleApply(engine *dash.LiveEngine, db *dash.Database, kinds []relation.Kind, r *http.Request) (dash.ApplyStats, error) {
 	var req applyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return dash.ApplyStats{}, fmt.Errorf("bad delta JSON: %w", err)
 	}
-	if len(req.Changes) == 0 && len(req.Recrawl) == 0 {
-		return dash.ApplyStats{}, errors.New("empty delta: provide changes and/or recrawl")
-	}
-	var d dash.Delta
-	for _, ch := range req.Changes {
-		id, err := parseID(ch.ID, kinds)
+	entries := append([]deltaRequest{req.deltaRequest}, req.Batch...)
+	var (
+		deltas []dash.Delta
+		ids    []dash.FragmentID
+		empty  = true
+	)
+	for _, e := range entries {
+		if len(e.Changes) == 0 && len(e.Recrawl) == 0 {
+			continue
+		}
+		empty = false
+		d, err := parseDelta(e.Changes, kinds)
 		if err != nil {
 			return dash.ApplyStats{}, err
+		}
+		if len(d.Changes) > 0 {
+			deltas = append(deltas, d)
+		}
+		for _, raw := range e.Recrawl {
+			id, err := parseID(raw, kinds)
+			if err != nil {
+				return dash.ApplyStats{}, err
+			}
+			ids = append(ids, id)
+		}
+	}
+	if empty {
+		return dash.ApplyStats{}, errors.New("empty delta: provide changes, recrawl, and/or batch")
+	}
+	// The whole request — derivation included — runs under the engine's
+	// maintenance lock, serialized with any concurrent admin request.
+	if len(req.Batch) > 0 {
+		// Batch mode: every delta folds into one published snapshot.
+		return engine.RecrawlBatch(db, ids, deltas)
+	}
+	var extra dash.Delta
+	if len(deltas) > 0 {
+		extra = deltas[0]
+	}
+	return engine.RecrawlWith(db, ids, extra)
+}
+
+// parseDelta converts explicit JSON changes into a typed delta.
+func parseDelta(changes []changeJSON, kinds []relation.Kind) (dash.Delta, error) {
+	var d dash.Delta
+	for _, ch := range changes {
+		id, err := parseID(ch.ID, kinds)
+		if err != nil {
+			return dash.Delta{}, err
 		}
 		fc := dash.FragmentChange{ID: id, TermCounts: ch.Terms, TotalTerms: ch.Total}
 		switch ch.Op {
@@ -317,22 +405,11 @@ func handleApply(engine *dash.LiveEngine, db *dash.Database, kinds []relation.Ki
 		case "update":
 			fc.Op = dash.OpUpdateFragment
 		default:
-			return dash.ApplyStats{}, fmt.Errorf("unknown op %q", ch.Op)
+			return dash.Delta{}, fmt.Errorf("unknown op %q", ch.Op)
 		}
 		d.Changes = append(d.Changes, fc)
 	}
-	ids := make([]dash.FragmentID, 0, len(req.Recrawl))
-	for _, raw := range req.Recrawl {
-		id, err := parseID(raw, kinds)
-		if err != nil {
-			return dash.ApplyStats{}, err
-		}
-		ids = append(ids, id)
-	}
-	// One transactional delta: the recrawl derivation and the apply run
-	// under the engine's maintenance lock, serialized with any concurrent
-	// admin request.
-	return engine.RecrawlWith(db, ids, d)
+	return d, nil
 }
 
 // parseID converts string selection values into a typed fragment
@@ -352,16 +429,20 @@ func parseID(raw []string, kinds []relation.Kind) (dash.FragmentID, error) {
 	return id, nil
 }
 
-func intParam(r *http.Request, name string, def int) int {
+// intParam reads a positive integer query parameter, returning def when it
+// is absent. A malformed or non-positive value is an error naming the
+// parameter, which handlers surface as HTTP 400 — silently substituting
+// the default would serve wrong-shaped results for a typo'd request.
+func intParam(r *http.Request, name string, def int) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(raw)
 	if err != nil || n <= 0 {
-		return def
+		return 0, fmt.Errorf("invalid %s parameter %q: want a positive integer", name, raw)
 	}
-	return n
+	return n, nil
 }
 
 func setup(dataset, query string, seed int64) (*relation.Database, *webapp.Application, error) {

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	dash "repro"
+	"repro/internal/harness"
+	"repro/internal/relation"
+)
+
+// testMux builds the full handler surface over the fooddb dataset, the
+// same wiring run() performs, small enough for handler tests.
+func testMux(t *testing.T) (*http.ServeMux, *dash.LiveEngine) {
+	t.Helper()
+	db, app, err := harness.Fooddb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := dash.Build(context.Background(), db, app, dash.BuildOptions{
+		Algorithm: dash.AlgReference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := app.Bound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := dash.NewLiveEngine(idx, app)
+	return newMux(engine, app, db, bound.SelAttrKinds()), engine
+}
+
+func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+func postJSON(t *testing.T, mux *http.ServeMux, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestSearchHandler covers the HTML search endpoint: a good query renders
+// results; malformed or non-positive numeric parameters are 400s naming
+// the parameter instead of silently serving default-k results.
+func TestSearchHandler(t *testing.T) {
+	mux, _ := testMux(t)
+
+	if rec := get(t, mux, "/search?q=burger&k=2&s=20"); rec.Code != http.StatusOK {
+		t.Fatalf("good search: status %d, body %q", rec.Code, rec.Body.String())
+	} else if !strings.Contains(rec.Body.String(), "db-pages") {
+		t.Errorf("search response missing results page: %q", rec.Body.String())
+	}
+
+	if rec := get(t, mux, "/search"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d, want 400", rec.Code)
+	}
+
+	for _, bad := range []struct{ url, param string }{
+		{"/search?q=burger&k=abc", "k"},
+		{"/search?q=burger&k=0", "k"},
+		{"/search?q=burger&s=-5", "s"},
+		{"/search?q=burger&s=12x", "s"},
+	} {
+		rec := get(t, mux, bad.url)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad.url, rec.Code)
+			continue
+		}
+		if body := rec.Body.String(); !strings.Contains(body, bad.param+" parameter") {
+			t.Errorf("%s: body %q does not name parameter %q", bad.url, body, bad.param)
+		}
+	}
+}
+
+// TestBatchHandler covers the JSON batch endpoint, including parameter
+// validation shared with /search.
+func TestBatchHandler(t *testing.T) {
+	mux, _ := testMux(t)
+
+	rec := get(t, mux, "/batch?q=burger&q=coffee&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("good batch: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Queries []struct {
+			Query   string `json:"query"`
+			Error   string `json:"error"`
+			Results []struct {
+				URL string `json:"url"`
+			} `json:"results"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("batch response not JSON: %v", err)
+	}
+	if len(resp.Queries) != 2 {
+		t.Fatalf("batch returned %d entries, want 2", len(resp.Queries))
+	}
+	if resp.Queries[0].Error != "" || len(resp.Queries[0].Results) == 0 {
+		t.Errorf("burger entry = %+v", resp.Queries[0])
+	}
+
+	if rec := get(t, mux, "/batch"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d, want 400", rec.Code)
+	}
+	rec = get(t, mux, "/batch?q=burger&k=nope")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad k: status %d, want 400", rec.Code)
+	} else if !strings.Contains(rec.Body.String(), "k parameter") {
+		t.Errorf("bad k: body %q does not name k", rec.Body.String())
+	}
+}
+
+// TestApplyHandler covers /admin/apply: method and body validation, a
+// plain single-delta apply, and batch mode coalescing several deltas into
+// one publish.
+func TestApplyHandler(t *testing.T) {
+	mux, engine := testMux(t)
+
+	rec := get(t, mux, "/admin/apply")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", rec.Code)
+	}
+	if rec := postJSON(t, mux, "/admin/apply", "{not json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", rec.Code)
+	}
+	if rec := postJSON(t, mux, "/admin/apply", "{}"); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty delta: status %d, want 400", rec.Code)
+	}
+	bad := `{"changes":[{"op":"sideways","id":["American","10"]}]}`
+	if rec := postJSON(t, mux, "/admin/apply", bad); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", rec.Code)
+	}
+
+	// One explicit update publishes one snapshot.
+	before := engine.Stats()
+	upd := `{"changes":[{"op":"update","id":["American","10"],"terms":{"burger":3},"total":3}]}`
+	rec = postJSON(t, mux, "/admin/apply", upd)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	var st dash.ApplyStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Updated != 1 || st.Deltas != 1 {
+		t.Errorf("update stats = %+v", st)
+	}
+	mid := engine.Stats()
+	if mid.Publishes != before.Publishes+1 {
+		t.Errorf("publishes %d -> %d, want +1", before.Publishes, mid.Publishes)
+	}
+
+	// Batch mode: three deltas — two updates and an insert+remove pair
+	// that cancels out — fold into a single publish.
+	batch := `{"batch":[
+		{"changes":[{"op":"update","id":["American","10"],"terms":{"burger":2},"total":2}]},
+		{"changes":[{"op":"insert","id":["Nordic","3"],"terms":{"herring":1},"total":1}]},
+		{"changes":[{"op":"remove","id":["Nordic","3"]}]}
+	]}`
+	rec = postJSON(t, mux, "/admin/apply", batch)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch apply: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Deltas != 3 || st.Updated != 1 || st.Inserted != 0 || st.Removed != 0 {
+		t.Errorf("batch stats = %+v (want 3 deltas folded to 1 update)", st)
+	}
+	after := engine.Stats()
+	if after.Publishes != mid.Publishes+1 {
+		t.Errorf("batch publishes %d -> %d, want +1", mid.Publishes, after.Publishes)
+	}
+	if engine.Snapshot().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
+		t.Error("cancelled insert reached the index")
+	}
+}

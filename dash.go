@@ -47,6 +47,11 @@
 // the application query pinned to each affected partition; Apply publishes
 // a Delta built by any other means. Both are transactional: on error the
 // serving snapshot is unchanged.
+//
+// When changes arrive faster than they must become visible, batch them:
+// ApplyBatch (or the Queue/Flush pair) coalesces any number of deltas into
+// one published snapshot, paying a single publish — and a single
+// copy-on-write pass over each touched fragment — for the whole batch.
 package dash
 
 import (
@@ -278,6 +283,26 @@ func (le *LiveEngine) Apply(d Delta) (ApplyStats, error) {
 	return le.live.Apply(d)
 }
 
+// ApplyBatch coalesces a sequence of deltas and publishes their net effect
+// as one snapshot — one publish for the whole batch instead of one per
+// delta (see fragindex.LiveIndex.ApplyBatch for the folding rules).
+func (le *LiveEngine) ApplyBatch(ds []Delta) (ApplyStats, error) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.live.ApplyBatch(ds)
+}
+
+// Queue buffers a delta for a later batched publish without applying it,
+// returning the queue length. Flush drains the queue as one publish.
+func (le *LiveEngine) Queue(d Delta) int { return le.live.Queue(d) }
+
+// Flush applies every queued delta as one batched publish.
+func (le *LiveEngine) Flush() (ApplyStats, error) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.live.Flush()
+}
+
 // Stats summarizes the serving index and its maintenance history.
 func (le *LiveEngine) Stats() LiveStats { return le.live.Stats() }
 
@@ -306,11 +331,7 @@ func (le *LiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (
 		Changes:  append([]FragmentChange(nil), extra.Changes...),
 	}
 	if len(ids) > 0 {
-		bound, err := le.app.Bound()
-		if err != nil {
-			return ApplyStats{}, err
-		}
-		derived, err := crawl.DeriveDelta(db, bound, ids, le.live.Snapshot().Has)
+		derived, err := le.deriveLocked(db, ids)
 		if err != nil {
 			return ApplyStats{}, err
 		}
@@ -320,6 +341,39 @@ func (le *LiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (
 		d.Changes = append(d.Changes, derived.Changes...)
 	}
 	return le.live.Apply(d)
+}
+
+// RecrawlBatch combines a targeted re-crawl with a batch of explicit
+// deltas and publishes everything as one coalesced snapshot: the derived
+// re-crawl delta joins ds and the whole batch pays a single publish.
+// Unlike sequential Apply calls, changes to the same fragment across the
+// batch are folded first (an insert a later delta removes never touches
+// the index). Derivation runs under the maintenance lock like RecrawlWith.
+func (le *LiveEngine) RecrawlBatch(db *Database, ids []FragmentID, ds []Delta) (ApplyStats, error) {
+	if len(ids) > 0 && le.app == nil {
+		return ApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+	}
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	batch := append([]Delta(nil), ds...)
+	if len(ids) > 0 {
+		derived, err := le.deriveLocked(db, ids)
+		if err != nil {
+			return ApplyStats{}, err
+		}
+		batch = append(batch, derived)
+	}
+	return le.live.ApplyBatch(batch)
+}
+
+// deriveLocked re-crawls the given partitions against the latest published
+// snapshot. Caller holds le.mu.
+func (le *LiveEngine) deriveLocked(db *Database, ids []FragmentID) (Delta, error) {
+	bound, err := le.app.Bound()
+	if err != nil {
+		return Delta{}, err
+	}
+	return crawl.DeriveDelta(db, bound, ids, le.live.Snapshot().Has)
 }
 
 // SaveIndex serializes an index (gob encoding).

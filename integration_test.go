@@ -8,6 +8,7 @@ package dash
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/crawl"
+	"repro/internal/fragindex"
 	"repro/internal/fragment"
 	"repro/internal/harness"
 	"repro/internal/relation"
@@ -308,6 +310,63 @@ func TestIntegrationUpdateFlow(t *testing.T) {
 	}
 	if !pageContains(page.Rows, "xyzzynew") {
 		t.Errorf("updated page %s missing new keyword", rs[0].QueryString)
+	}
+}
+
+// TestIntegrationStaleDeriveApply reproduces the maintenance race between
+// DeriveDelta and Apply: a delta derived while a fragment existed
+// (classified as update) meets a serving index where concurrent
+// maintenance has since removed it. The stale apply must fail without
+// publishing, and the race-free path — Recrawl, which derives and applies
+// under one lock — must reclassify and succeed.
+func TestIntegrationStaleDeriveApply(t *testing.T) {
+	db, app, err := harness.Fooddb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := Build(context.Background(), db, app, BuildOptions{Algorithm: AlgReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLiveEngine(idx, app)
+	bound, err := app.Bound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := FragmentID{relation.String("American"), relation.Int(10)}
+	// Derivation sees the fragment live and classifies its change as an
+	// update.
+	stale, err := crawl.DeriveDelta(db, bound, []fragment.ID{id}, live.Snapshot().Has)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale.Changes) != 1 || stale.Changes[0].Op != crawl.OpUpdateFragment {
+		t.Fatalf("derived delta = %+v, want one update", stale.Changes)
+	}
+	// Concurrent maintenance deletes the fragment before the apply lands.
+	if _, err := live.Apply(Delta{Changes: []FragmentChange{
+		{Op: OpRemoveFragment, ID: id},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := live.Snapshot()
+	if _, err := live.Apply(stale); !errors.Is(err, fragindex.ErrNoFragment) {
+		t.Fatalf("stale apply err = %v, want ErrNoFragment", err)
+	}
+	if live.Snapshot() != s1 {
+		t.Error("failed stale apply published a snapshot")
+	}
+	// Recrawl derives under the maintenance lock against the latest
+	// snapshot: the same partition now classifies as insert and applies.
+	st, err := live.Recrawl(db, []FragmentID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserted != 1 || st.Updated != 0 {
+		t.Errorf("recrawl after removal stats = %+v, want one insert", st)
+	}
+	if !live.Snapshot().Has(id) {
+		t.Error("recrawled fragment missing from the serving snapshot")
 	}
 }
 

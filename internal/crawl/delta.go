@@ -3,16 +3,19 @@ package crawl
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/fragment"
 	"repro/internal/psj"
 	"repro/internal/relation"
 )
 
-// Errors returned by delta derivation.
+// Errors returned by delta derivation and coalescing.
 var (
-	ErrPinArity = errors.New("crawl: fragment identifier arity does not match selection attributes")
-	ErrPinParam = errors.New("crawl: query parameter not pinned by any selection attribute")
+	ErrPinArity     = errors.New("crawl: fragment identifier arity does not match selection attributes")
+	ErrPinParam     = errors.New("crawl: query parameter not pinned by any selection attribute")
+	ErrCoalesce     = errors.New("crawl: conflicting changes for fragment")
+	ErrCoalesceSpec = errors.New("crawl: coalesced deltas disagree on selection attributes")
 )
 
 // ChangeOp classifies one fragment change within a Delta.
@@ -56,6 +59,92 @@ type Delta struct {
 	SelAttrs []string
 	Changes  []FragmentChange
 }
+
+// Coalesce folds a sequence of deltas — in application order — into one
+// delta holding at most one change per fragment identifier, so a batched
+// apply pays one publish (and one pass over each touched fragment) for the
+// whole sequence. The folding rules preserve the net effect of applying
+// the deltas one by one:
+//
+//	insert + update → insert with the update's statistics
+//	insert + remove → nothing (the remove cancels the insert)
+//	update + update → the last update
+//	update + remove → remove
+//	remove + insert → update (the fragment existed before the batch)
+//
+// Sequences that could not have applied cleanly one by one — a second
+// insert of a live fragment, an update or remove of a fragment the batch
+// already removed — return ErrCoalesce rather than silently masking the
+// conflict. Deltas with non-empty SelAttrs must agree; the folded delta
+// carries the first non-empty set.
+//
+// Surviving changes keep the order their identifiers were first touched
+// in; a cancelled insert that is later re-inserted keeps its original
+// position (fragment changes for distinct identifiers commute).
+func Coalesce(ds []Delta) (Delta, error) {
+	var out Delta
+	byKey := make(map[string]int) // identifier key -> index into out.Changes
+	for _, d := range ds {
+		if len(d.SelAttrs) > 0 {
+			if out.SelAttrs == nil {
+				out.SelAttrs = append([]string(nil), d.SelAttrs...)
+			} else if !slices.Equal(out.SelAttrs, d.SelAttrs) {
+				return Delta{}, fmt.Errorf("%w: %v vs %v", ErrCoalesceSpec, out.SelAttrs, d.SelAttrs)
+			}
+		}
+		for _, ch := range d.Changes {
+			key := ch.ID.Key()
+			at, ok := byKey[key]
+			if !ok {
+				byKey[key] = len(out.Changes)
+				out.Changes = append(out.Changes, ch)
+				continue
+			}
+			prev := &out.Changes[at]
+			switch {
+			case prev.Op == OpInsertFragment && ch.Op == OpUpdateFragment:
+				prev.TermCounts, prev.TotalTerms = ch.TermCounts, ch.TotalTerms
+			case prev.Op == OpInsertFragment && ch.Op == OpRemoveFragment:
+				// The slot stays in byKey as a cancellation marker: the
+				// fragment is absent again, so only a re-insert may follow.
+				prev.Op, prev.TermCounts, prev.TotalTerms = opCancelled, nil, 0
+			case prev.Op == opCancelled && ch.Op == OpInsertFragment:
+				prev.Op, prev.TermCounts, prev.TotalTerms = OpInsertFragment, ch.TermCounts, ch.TotalTerms
+			case prev.Op == OpUpdateFragment && ch.Op == OpUpdateFragment:
+				prev.TermCounts, prev.TotalTerms = ch.TermCounts, ch.TotalTerms
+			case prev.Op == OpUpdateFragment && ch.Op == OpRemoveFragment:
+				prev.Op, prev.TermCounts, prev.TotalTerms = OpRemoveFragment, nil, 0
+			case prev.Op == OpRemoveFragment && ch.Op == OpInsertFragment:
+				prev.Op, prev.TermCounts, prev.TotalTerms = OpUpdateFragment, ch.TermCounts, ch.TotalTerms
+			default:
+				prevDesc := prev.Op.String()
+				if prev.Op == opCancelled {
+					prevDesc = "cancelled insert"
+				}
+				return Delta{}, fmt.Errorf("%w %s: %s after %s", ErrCoalesce, ch.ID, ch.Op, prevDesc)
+			}
+		}
+	}
+	// Drop cancelled entries, preserving order.
+	kept := out.Changes[:0]
+	for _, ch := range out.Changes {
+		if ch.Op != opCancelled {
+			kept = append(kept, ch)
+		}
+	}
+	out.Changes = kept
+	if len(out.Changes) == 0 {
+		out.Changes = nil
+	}
+	return out, nil
+}
+
+// opCancelled marks a change slot neutralized during coalescing (an insert
+// annihilated by a later remove). The slot keeps its byKey entry so a
+// later update/remove of the same identifier is still recognized as a
+// conflict — the fragment is absent mid-batch, exactly as a sequential
+// apply would observe. Never present in a returned Delta.
+const opCancelled ChangeOp = 0
 
 // PinParams returns the parameter assignment that restricts the bound query
 // to exactly one fragment's partition: every condition over a selection

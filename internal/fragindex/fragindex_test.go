@@ -471,15 +471,15 @@ func TestPropRandomInsertRemoveInvariants(t *testing.T) {
 			}
 			// Per-group edges = members-1; all members alive and sorted.
 			edges := 0
-			for _, grp := range idx.s.groups {
+			idx.s.eachGroup(func(grp *group) {
 				if len(grp.members) > 0 {
 					edges += len(grp.members) - 1
 				}
 				for i, ref := range grp.members {
-					if !idx.s.frags[ref].Alive {
+					if !idx.s.aliveAt(ref) {
 						t.Fatalf("trial %d: dead member in group", trial)
 					}
-					if idx.s.memberAt[ref] != i {
+					if idx.s.posAt(ref) != i {
 						t.Fatalf("trial %d: memberAt inconsistent", trial)
 					}
 					if i > 0 {
@@ -489,7 +489,7 @@ func TestPropRandomInsertRemoveInvariants(t *testing.T) {
 						}
 					}
 				}
-			}
+			})
 			if idx.NumEdges() != edges {
 				t.Fatalf("trial %d: NumEdges = %d, want %d", trial, idx.NumEdges(), edges)
 			}

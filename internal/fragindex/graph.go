@@ -34,23 +34,17 @@ func (idx *Index) InsertFragment(id fragment.ID, termCounts map[string]int64, to
 		return 0, fmt.Errorf("%w: id %v has %d values, want %d",
 			ErrBadIDArity, id, len(id), len(s.spec.SelAttrs))
 	}
-	key := id.Key()
-	if old, ok := s.byKey[key]; ok && s.frags[old].Alive {
+	if _, ok := s.Lookup(id); ok {
 		return 0, fmt.Errorf("%w: %s", ErrDupFragment, id)
 	}
 	idx.beginWrite()
 	s = idx.s
-	ref := FragRef(len(s.frags))
-	s.frags = append(s.frags, Meta{ID: id, Terms: totalTerms, Alive: true})
-	s.memberAt = append(s.memberAt, -1)
-	s.kwOf = append(s.kwOf, nil)
-	s.byKey[key] = ref
+	g := idx.groupFor(id, true)
+	ref := idx.appendRef(Meta{ID: id, Terms: totalTerms, Alive: true}, g, -1)
 	s.liveFrags++
 	s.liveTerms += totalTerms
 
-	// Splice into the group at the range position.
-	g := idx.groupFor(id, true)
-	s.groupOf = append(s.groupOf, g)
+	// Splice into the group at the range position (weights stay parallel).
 	rv := s.rangeValOf(ref)
 	pos := sort.Search(len(g.members), func(i int) bool {
 		return s.rangeValOf(g.members[i]).Compare(rv) >= 0
@@ -58,20 +52,23 @@ func (idx *Index) InsertFragment(id fragment.ID, termCounts map[string]int64, to
 	g.members = append(g.members, 0)
 	copy(g.members[pos+1:], g.members[pos:])
 	g.members[pos] = ref
+	g.weights = append(g.weights, 0)
+	copy(g.weights[pos+1:], g.weights[pos:])
+	g.weights[pos] = totalTerms
 	for i := pos; i < len(g.members); i++ {
-		s.memberAt[g.members[i]] = i
+		idx.setMemberAt(g.members[i], i)
 	}
 
 	// Posting lists: insert keeping TF-descending order.
 	for kw, tf := range termCounts {
 		idx.insertPosting(kw, Posting{Frag: ref, TF: tf})
-		s.kwOf[ref] = append(s.kwOf[ref], kw)
+		idx.appendKw(ref, kw)
 	}
 	s.epoch++
 	return ref, nil
 }
 
-// insertPosting places p into kw's list preserving (TF desc, ref asc) order
+// insertPosting places p into kw's list preserving (TF desc, id asc) order
 // and refreshes the list's liveness bookkeeping.
 func (idx *Index) insertPosting(kw string, p Posting) {
 	s := idx.s
@@ -81,7 +78,7 @@ func (idx *Index) insertPosting(kw string, p Posting) {
 		if list[i].TF != p.TF {
 			return list[i].TF < p.TF
 		}
-		return s.frags[list[i].Frag].ID.Compare(s.frags[p.Frag].ID) >= 0
+		return s.metaAt(list[i].Frag).ID.Compare(s.metaAt(p.Frag).ID) >= 0
 	})
 	list = append(list, Posting{})
 	copy(list[pos+1:], list[pos:])
@@ -100,25 +97,26 @@ func (idx *Index) insertPosting(kw string, p Posting) {
 // reaches the compaction threshold are reclaimed on the spot — so the read
 // path never pays for tombstones left behind here.
 func (idx *Index) RemoveFragment(id fragment.ID) error {
-	key := id.Key()
-	ref, ok := idx.s.byKey[key]
-	if !ok || !idx.s.frags[ref].Alive {
+	ref, ok := idx.s.Lookup(id)
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoFragment, id)
 	}
 	idx.beginWrite()
 	s := idx.s
-	g := idx.groupForWrite(s.groupOf[ref])
-	pos := s.memberAt[ref]
+	g := idx.groupForWrite(s.groupAt(ref))
+	pos := s.posAt(ref)
 	g.members = append(g.members[:pos], g.members[pos+1:]...)
+	g.weights = append(g.weights[:pos], g.weights[pos+1:]...)
 	for i := pos; i < len(g.members); i++ {
-		s.memberAt[g.members[i]] = i
+		idx.setMemberAt(g.members[i], i)
 	}
-	s.frags[ref].Alive = false
-	s.memberAt[ref] = -1
-	delete(s.byKey, key)
+	c := idx.chunkForWrite(ref)
+	ci := int(ref) & chunkMask
+	c.frags[ci].Alive = false
+	c.memberAt[ci] = -1
 	s.liveFrags--
-	s.liveTerms -= s.frags[ref].Terms
-	for _, kw := range s.kwOf[ref] {
+	s.liveTerms -= c.frags[ci].Terms
+	for _, kw := range c.kwOf[ci] {
 		pl := idx.listForWrite(kw, false)
 		if pl == nil {
 			continue
@@ -132,7 +130,7 @@ func (idx *Index) RemoveFragment(id fragment.ID) error {
 			idx.CompactPostings(kw)
 		}
 	}
-	s.kwOf[ref] = nil // the tombstone never revives; free the forward map
+	c.kwOf[ci] = nil // the tombstone never revives; free the forward map
 	s.epoch++
 	return nil
 }
@@ -164,7 +162,7 @@ func (idx *Index) Compact() (*Index, error) {
 	counts := make(map[FragRef]map[string]int64)
 	s.eachList(func(kw string, pl *postingList) {
 		for _, p := range pl.ps {
-			if !s.frags[p.Frag].Alive {
+			if !s.aliveAt(p.Frag) {
 				continue
 			}
 			m, ok := counts[p.Frag]
@@ -175,17 +173,17 @@ func (idx *Index) Compact() (*Index, error) {
 			m[kw] += p.TF
 		}
 	})
-	order := make([]FragRef, 0, len(s.frags))
-	for ref := range s.frags {
-		if s.frags[ref].Alive {
+	order := make([]FragRef, 0, s.numRefs)
+	for ref := 0; ref < s.numRefs; ref++ {
+		if s.aliveAt(FragRef(ref)) {
 			order = append(order, FragRef(ref))
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {
-		return s.frags[order[i]].ID.Compare(s.frags[order[j]].ID) < 0
+		return s.metaAt(order[i]).ID.Compare(s.metaAt(order[j]).ID) < 0
 	})
 	for _, ref := range order {
-		m := s.frags[ref]
+		m := s.metaAt(ref)
 		if _, err := out.InsertFragment(m.ID, counts[ref], m.Terms); err != nil {
 			return nil, err
 		}

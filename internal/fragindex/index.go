@@ -24,12 +24,14 @@
 // A fresh Index mutates its snapshot in place — the classic exclusive-
 // mutation contract, with zero copy-on-write overhead. Calling Freeze
 // publishes the current state as an immutable Snapshot and switches the
-// builder into copy-on-write mode: the next mutation clones the fragment
-// metadata arrays once, and posting lists are cloned lazily, hash shard by
-// hash shard, only where mutations touch them. Freeze again to publish the
-// next version. LiveIndex wraps this cycle behind an atomic pointer so
-// readers resolve a consistent snapshot per query while a writer applies
-// deltas concurrently (see live.go).
+// builder into copy-on-write mode: the next mutation clones only the
+// top-level pointer tables, and the payloads behind them are cloned lazily
+// where mutations touch them — fragment metadata chunk by chunk (the chunk
+// is the metadata CoW unit), posting lists hash shard by hash shard, and
+// equality groups group by group. Freeze again to publish the next
+// version. LiveIndex wraps this cycle behind an atomic pointer so readers
+// resolve a consistent snapshot per query while a writer applies deltas
+// concurrently (see live.go).
 //
 // # Performance
 //
@@ -47,6 +49,11 @@
 //   - Live fragment/term/keyword counters make the Table IV statistics O(1).
 //   - Keywords() is cached sorted and stamped with a mutation epoch; for a
 //     frozen snapshot the cache is built once and reused forever.
+//
+// And the publish path is free of whole-index copies: fragment metadata is
+// chunked (see metaChunk), so a snapshot clone costs the chunk-pointer
+// table plus the dirty chunks — not O(refs) — and there is no per-ref key
+// map to copy (Lookup resolves through the group directory instead).
 //
 // Concurrency contract: a published Snapshot is immutable and safe for any
 // number of concurrent readers. The Index builder itself follows the
@@ -183,10 +190,14 @@ func (s Spec) indices() (eqIdx []int, rangeIdx int, err error) {
 }
 
 // group is one equality-value class: its members sorted by range value form
-// a path in the fragment graph.
+// a path in the fragment graph. weights mirrors members with each node's
+// total keyword count, so the search expansion loop reads neighbour
+// weights from the path it is already walking instead of dereferencing
+// fragment metadata chunks per step.
 type group struct {
 	eqVals  []relation.Value
 	members []FragRef // sorted ascending by range value
+	weights []int64   // members[i]'s Meta.Terms
 }
 
 // Index is the builder half of the fragment index: a snapshot-in-progress
@@ -197,13 +208,16 @@ type Index struct {
 
 	// cow is set once Freeze has published a snapshot: from then on every
 	// mutation copies shared structures before writing. The owned* sets
-	// track what has already been copied since the last Freeze, so a batch
-	// of mutations pays each clone once.
-	cow         bool
-	metaOwned   bool
-	ownedShards []bool
-	ownedLists  map[string]struct{}
-	ownedGroups map[string]struct{}
+	// track what has already been copied since the last Freeze — metadata
+	// chunks, posting shards, posting lists, group shards, groups — so a
+	// batch of mutations pays each clone once.
+	cow          bool
+	metaOwned    bool // the Snapshot struct + pointer tables are cloned
+	ownedChunks  []bool
+	ownedShards  []bool
+	ownedGShards []bool
+	ownedLists   map[string]struct{}
+	ownedGroups  map[string]struct{}
 }
 
 // New creates an empty index for incremental construction.
@@ -217,9 +231,8 @@ func New(spec Spec) (*Index, error) {
 			spec:     spec,
 			eqIdx:    eqIdx,
 			rangeIdx: rangeIdx,
-			byKey:    make(map[string]FragRef),
 			shards:   newShards(),
-			groups:   make(map[string]*group),
+			gshards:  newGroupShards(),
 		},
 	}, nil
 }
@@ -241,37 +254,31 @@ func Build(out *crawl.Output, spec Spec) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.frags = make([]Meta, 0, len(ids))
-	s.memberAt = make([]int, 0, len(ids))
-	s.kwOf = make([][]string, len(ids))
+	// Identifier order sorts by equality values first, then range value,
+	// so each group's members arrive already ordered. refOf is build-time
+	// scaffolding only — the snapshot itself resolves keys through the
+	// group directory (see Snapshot.Lookup).
+	refOf := make(map[string]FragRef, len(ids))
 	for _, id := range ids {
 		key := id.Key()
-		ref := FragRef(len(s.frags))
 		terms := out.FragmentTerms[key]
-		s.frags = append(s.frags, Meta{ID: id, Terms: terms, Alive: true})
-		s.byKey[key] = ref
-		s.memberAt = append(s.memberAt, 0)
+		g := idx.groupFor(id, true)
+		ref := idx.appendRef(Meta{ID: id, Terms: terms, Alive: true}, g, len(g.members))
+		g.members = append(g.members, ref)
+		g.weights = append(g.weights, terms)
+		refOf[key] = ref
 		s.liveTerms += terms
 	}
-	s.liveFrags = len(s.frags)
-	// Identifier order sorts by equality values first, then range value,
-	// so each group's members arrive already ordered.
-	s.groupOf = make([]*group, len(s.frags))
-	for ref := range s.frags {
-		g := idx.groupFor(s.frags[ref].ID, true)
-		s.memberAt[ref] = len(g.members)
-		s.groupOf[ref] = g
-		g.members = append(g.members, FragRef(ref))
-	}
+	s.liveFrags = s.numRefs
 	for kw, ps := range out.Inverted {
 		list := make([]Posting, 0, len(ps))
 		for _, p := range ps {
-			ref, ok := s.byKey[p.FragKey]
+			ref, ok := refOf[p.FragKey]
 			if !ok {
 				return nil, fmt.Errorf("%w: posting for unknown fragment", ErrNoFragment)
 			}
 			list = append(list, Posting{Frag: ref, TF: p.TF})
-			s.kwOf[ref] = append(s.kwOf[ref], kw)
+			idx.appendKw(ref, kw)
 		}
 		if len(list) == 0 {
 			continue
@@ -292,6 +299,16 @@ func Build(out *crawl.Output, spec Spec) (*Index, error) {
 // immutable version use Freeze or a LiveIndex.
 func (idx *Index) Snapshot() *Snapshot { return idx.s }
 
+// resetBools returns b resized to n entries, all false.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
 // Freeze publishes the builder's current state as an immutable Snapshot
 // and switches the builder into copy-on-write mode: later mutations build
 // the next version without disturbing the returned one. Freeze is a
@@ -302,13 +319,9 @@ func (idx *Index) Snapshot() *Snapshot { return idx.s }
 func (idx *Index) Freeze() *Snapshot {
 	idx.cow = true
 	idx.metaOwned = false
-	if idx.ownedShards == nil {
-		idx.ownedShards = make([]bool, numShards)
-	} else {
-		for i := range idx.ownedShards {
-			idx.ownedShards[i] = false
-		}
-	}
+	idx.ownedChunks = resetBools(idx.ownedChunks, len(idx.s.chunks))
+	idx.ownedShards = resetBools(idx.ownedShards, numShards)
+	idx.ownedGShards = resetBools(idx.ownedGShards, numGroupShards)
 	if idx.ownedLists == nil {
 		idx.ownedLists = make(map[string]struct{})
 	} else {
@@ -332,27 +345,84 @@ func (idx *Index) discardTo(s *Snapshot) {
 	idx.Freeze()
 }
 
-// pendingClones reports how many shard maps, posting lists, and groups the
-// builder has copied since the last Freeze — the physical write
-// amplification of the in-progress delta.
-func (idx *Index) pendingClones() (shards, lists, groups int) {
+// pendingClones reports how many metadata chunks, shard maps, posting
+// lists, and groups the builder has copied since the last Freeze — the
+// physical write amplification of the in-progress delta.
+func (idx *Index) pendingClones() (chunks, shards, lists, groups int) {
+	for _, owned := range idx.ownedChunks {
+		if owned {
+			chunks++
+		}
+	}
 	for _, owned := range idx.ownedShards {
 		if owned {
 			shards++
 		}
 	}
-	return shards, len(idx.ownedLists), len(idx.ownedGroups)
+	return chunks, shards, len(idx.ownedLists), len(idx.ownedGroups)
 }
 
 // beginWrite prepares the builder for a mutation: in copy-on-write mode the
-// first mutation after a Freeze clones the fragment metadata arrays and
-// top-level maps (posting payloads are cloned lazily per shard).
+// first mutation after a Freeze clones the Snapshot struct and its pointer
+// tables (the chunk table and the two shard tables); chunk, list, and
+// group payloads are cloned lazily as mutations reach them.
 func (idx *Index) beginWrite() {
 	if !idx.cow || idx.metaOwned {
 		return
 	}
 	idx.s = idx.s.clone()
 	idx.metaOwned = true
+}
+
+// chunkForWrite returns ref's metadata chunk ready for in-place mutation,
+// cloning it if it is shared with a published snapshot. Must run after
+// beginWrite.
+func (idx *Index) chunkForWrite(ref FragRef) *metaChunk {
+	ci := int(ref) >> chunkShift
+	c := idx.s.chunks[ci]
+	if idx.cow && !idx.ownedChunks[ci] {
+		c = c.clone()
+		idx.s.chunks[ci] = c
+		idx.ownedChunks[ci] = true
+	}
+	return c
+}
+
+// appendRef extends the ref space by one fragment with the given group
+// assignment, appending a fresh chunk to the table when the last one is
+// full. Must run after beginWrite (the new last chunk is dirtied).
+func (idx *Index) appendRef(m Meta, g *group, pos int) FragRef {
+	ref := FragRef(idx.s.numRefs)
+	if int(ref)>>chunkShift == len(idx.s.chunks) {
+		idx.s.chunks = append(idx.s.chunks, &metaChunk{})
+		if idx.cow {
+			idx.ownedChunks = append(idx.ownedChunks, true)
+		}
+	}
+	c := idx.chunkForWrite(ref)
+	c.frags = append(c.frags, m)
+	c.kwOf = append(c.kwOf, nil)
+	c.groupOf = append(c.groupOf, g)
+	c.memberAt = append(c.memberAt, pos)
+	idx.s.numRefs++
+	return ref
+}
+
+// appendKw records kw in ref's forward keyword map.
+func (idx *Index) appendKw(ref FragRef, kw string) {
+	c := idx.chunkForWrite(ref)
+	i := int(ref) & chunkMask
+	c.kwOf[i] = append(c.kwOf[i], kw)
+}
+
+// setMemberAt updates ref's position within its group.
+func (idx *Index) setMemberAt(ref FragRef, pos int) {
+	idx.chunkForWrite(ref).memberAt[int(ref)&chunkMask] = pos
+}
+
+// setGroupOf repoints ref's group.
+func (idx *Index) setGroupOf(ref FragRef, g *group) {
+	idx.chunkForWrite(ref).groupOf[int(ref)&chunkMask] = g
 }
 
 // shardForWrite returns the shard ready for in-place mutation, cloning its
@@ -395,21 +465,38 @@ func (idx *Index) listForWrite(kw string, create bool) *postingList {
 	return pl
 }
 
+// gshardForWrite returns the group shard ready for in-place mutation,
+// cloning its map if it is shared with a published snapshot.
+func (idx *Index) gshardForWrite(gi uint32) *groupShard {
+	gs := idx.s.gshards[gi]
+	if idx.cow && !idx.ownedGShards[gi] {
+		gs = &groupShard{groups: maps.Clone(gs.groups)}
+		idx.s.gshards[gi] = gs
+		idx.ownedGShards[gi] = true
+	}
+	return gs
+}
+
 // groupForWrite returns g ready for in-place mutation, cloning its member
-// slice (and repointing groupOf) if it is shared with a published snapshot.
-// Must run after beginWrite.
+// slice (and repointing groupOf across the members' chunks) if it is
+// shared with a published snapshot. Must run after beginWrite.
 func (idx *Index) groupForWrite(g *group) *group {
 	if !idx.cow {
 		return g
 	}
 	key := relation.Key(g.eqVals)
+	gi := groupShardIndex(key)
 	if _, ok := idx.ownedGroups[key]; ok {
-		return idx.s.groups[key]
+		return idx.s.gshards[gi].groups[key]
 	}
-	ng := &group{eqVals: g.eqVals, members: append([]FragRef(nil), g.members...)}
-	idx.s.groups[key] = ng
+	ng := &group{
+		eqVals:  g.eqVals,
+		members: append([]FragRef(nil), g.members...),
+		weights: append([]int64(nil), g.weights...),
+	}
+	idx.gshardForWrite(gi).groups[key] = ng
 	for _, ref := range ng.members {
-		idx.s.groupOf[ref] = ng
+		idx.setGroupOf(ref, ng)
 	}
 	idx.ownedGroups[key] = struct{}{}
 	return ng
@@ -424,13 +511,14 @@ func (idx *Index) groupFor(id fragment.ID, create bool) *group {
 		eq[i] = id[j]
 	}
 	key := relation.Key(eq)
-	g, ok := s.groups[key]
+	gi := groupShardIndex(key)
+	g, ok := s.gshards[gi].groups[key]
 	if !ok {
 		if !create {
 			return nil
 		}
 		g = &group{eqVals: eq}
-		s.groups[key] = g
+		idx.gshardForWrite(gi).groups[key] = g
 		if idx.cow {
 			idx.ownedGroups[key] = struct{}{}
 		}
@@ -508,7 +596,7 @@ func (idx *Index) CompactPostings(keyword string) {
 	pl := idx.listForWrite(keyword, false)
 	live := pl.ps[:0]
 	for _, p := range pl.ps {
-		if idx.s.frags[p.Frag].Alive {
+		if idx.s.aliveAt(p.Frag) {
 			live = append(live, p)
 		}
 	}

@@ -17,25 +17,38 @@ import (
 // path against the returned immutable version, never blocking on or being
 // torn by writers. A single-writer apply loop folds each Delta into the
 // next version through the builder's copy-on-write machinery — only the
-// posting-list shards, lists, and groups the delta touches are cloned; the
-// rest is shared with every published snapshot — and publishes it with one
-// atomic pointer swap.
+// metadata chunks, posting-list shards, lists, and groups the delta
+// touches are cloned; the rest is shared with every published snapshot —
+// and publishes it with one atomic pointer swap.
 //
-// Apply is transactional: a delta that fails part-way (duplicate insert,
-// removal of a missing fragment) publishes nothing, and the serving
-// snapshot is exactly what it was before the call.
+// Publishing has a fixed floor (the snapshot struct and its pointer
+// tables), so the cheapest way to absorb a stream of small deltas is to
+// batch them: ApplyBatch coalesces any number of deltas into one
+// freeze-and-swap, and the Queue/Flush pair buffers deltas between
+// publishes so N queued single-change deltas pay one publish instead
+// of N.
+//
+// Apply and ApplyBatch are transactional: a delta that fails part-way
+// (duplicate insert, removal of a missing fragment) publishes nothing, and
+// the serving snapshot is exactly what it was before the call.
 //
 // Any number of goroutines may call Snapshot and Stats concurrently with
-// each other and with the writer. Apply and CompactIfNeeded serialize among
-// themselves internally, but the index is designed for one logical writer:
-// concurrent writers make per-delta validation (insert vs update) racy at
-// the application level even though the structure stays consistent.
+// each other and with the writer. Apply, ApplyBatch, Flush, and
+// CompactIfNeeded serialize among themselves internally, but the index is
+// designed for one logical writer: concurrent writers make per-delta
+// validation (insert vs update) racy at the application level even though
+// the structure stays consistent.
 type LiveIndex struct {
-	writeMu sync.Mutex // serializes Apply / CompactIfNeeded
+	writeMu sync.Mutex // serializes Apply / ApplyBatch / CompactIfNeeded
 	builder *Index     // writer-side copy-on-write builder
 	cur     atomic.Pointer[Snapshot]
 
+	// pending buffers queued deltas between publishes (Queue/Flush).
+	pendMu  sync.Mutex
+	pending []crawl.Delta
+
 	deltas      atomic.Uint64
+	publishes   atomic.Uint64
 	inserted    atomic.Uint64
 	removed     atomic.Uint64
 	updated     atomic.Uint64
@@ -58,36 +71,86 @@ func NewLive(idx *Index) *LiveIndex {
 // concurrent Apply calls.
 func (l *LiveIndex) Snapshot() *Snapshot { return l.cur.Load() }
 
-// ApplyStats reports what one Apply did and what it physically cost.
+// ApplyStats reports what one publish did and what it physically cost.
 type ApplyStats struct {
+	// Deltas is how many deltas were folded into this publish (1 for
+	// Apply; the batch size for ApplyBatch/Flush).
+	Deltas   int `json:"deltas"`
 	Inserted int `json:"inserted"`
 	Removed  int `json:"removed"`
 	Updated  int `json:"updated"`
 	// Epoch is the published snapshot's mutation epoch.
 	Epoch uint64 `json:"epoch"`
-	// ClonedShards/ClonedLists/ClonedGroups count the copy-on-write work
-	// the delta caused: posting-list shards, posting lists, and equality
-	// groups cloned for the new version. Everything else is shared with
-	// the previous snapshot.
+	// ClonedChunks/ClonedShards/ClonedLists/ClonedGroups count the
+	// copy-on-write work the publish caused: fragment-metadata chunks,
+	// posting-list shard maps, posting lists, and equality groups cloned
+	// for the new version. Everything else is shared with the previous
+	// snapshot, so these four numbers — not the index size — are the
+	// publish cost.
+	ClonedChunks int `json:"cloned_chunks"`
 	ClonedShards int `json:"cloned_shards"`
 	ClonedLists  int `json:"cloned_lists"`
 	ClonedGroups int `json:"cloned_groups"`
 }
 
+// checkSpec rejects deltas whose selection attributes disagree with the
+// index spec. Empty SelAttrs skips the check.
+func (l *LiveIndex) checkSpec(selAttrs []string) error {
+	if len(selAttrs) > 0 && !slices.Equal(selAttrs, l.builder.s.spec.SelAttrs) {
+		return fmt.Errorf("%w: delta %v, index %v",
+			ErrDeltaSpec, selAttrs, l.builder.s.spec.SelAttrs)
+	}
+	return nil
+}
+
 // Apply folds a delta into the index and publishes the result as the new
 // serving snapshot with one atomic swap. On error nothing is published and
 // the serving snapshot is unchanged (the failed build is discarded in
-// constant time).
+// constant time). An empty delta is a no-op: it publishes nothing, clones
+// nothing, and returns the current epoch.
 func (l *LiveIndex) Apply(d crawl.Delta) (ApplyStats, error) {
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
-	published := l.cur.Load()
-	if len(d.SelAttrs) > 0 && !slices.Equal(d.SelAttrs, l.builder.s.spec.SelAttrs) {
-		return ApplyStats{}, fmt.Errorf("%w: delta %v, index %v",
-			ErrDeltaSpec, d.SelAttrs, l.builder.s.spec.SelAttrs)
+	if err := l.checkSpec(d.SelAttrs); err != nil {
+		return ApplyStats{}, err
 	}
-	var st ApplyStats
-	for _, ch := range d.Changes {
+	if len(d.Changes) == 0 {
+		return ApplyStats{Epoch: l.cur.Load().epoch}, nil
+	}
+	return l.applyLocked(d.Changes, 1)
+}
+
+// ApplyBatch coalesces a sequence of deltas (crawl.Coalesce) and publishes
+// the net effect as one snapshot — one freeze-and-swap for the whole
+// batch, so N buffered single-change deltas cost one publish instead of N.
+// Transactional like Apply: on any error (spec mismatch, conflicting
+// changes, a change that cannot apply) nothing is published. A batch whose
+// net effect is empty — no deltas, or every change cancelled out — is a
+// no-op returning the current epoch.
+func (l *LiveIndex) ApplyBatch(ds []crawl.Delta) (ApplyStats, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	for _, d := range ds {
+		if err := l.checkSpec(d.SelAttrs); err != nil {
+			return ApplyStats{}, err
+		}
+	}
+	folded, err := crawl.Coalesce(ds)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	if len(folded.Changes) == 0 {
+		return ApplyStats{Deltas: len(ds), Epoch: l.cur.Load().epoch}, nil
+	}
+	return l.applyLocked(folded.Changes, len(ds))
+}
+
+// applyLocked folds changes into the next version and publishes it.
+// Caller holds writeMu and guarantees len(changes) > 0.
+func (l *LiveIndex) applyLocked(changes []crawl.FragmentChange, deltas int) (ApplyStats, error) {
+	published := l.cur.Load()
+	st := ApplyStats{Deltas: deltas}
+	for _, ch := range changes {
 		var err error
 		switch ch.Op {
 		case crawl.OpInsertFragment:
@@ -107,15 +170,47 @@ func (l *LiveIndex) Apply(d crawl.Delta) (ApplyStats, error) {
 			return ApplyStats{}, fmt.Errorf("applying %s %s: %w", ch.Op, ch.ID, err)
 		}
 	}
-	st.ClonedShards, st.ClonedLists, st.ClonedGroups = l.builder.pendingClones()
+	st.ClonedChunks, st.ClonedShards, st.ClonedLists, st.ClonedGroups = l.builder.pendingClones()
 	snap := l.builder.Freeze()
 	st.Epoch = snap.epoch
 	l.cur.Store(snap)
-	l.deltas.Add(1)
+	l.deltas.Add(uint64(deltas))
+	l.publishes.Add(1)
 	l.inserted.Add(uint64(st.Inserted))
 	l.removed.Add(uint64(st.Removed))
 	l.updated.Add(uint64(st.Updated))
 	return st, nil
+}
+
+// Queue buffers a delta for a later batched publish without applying it,
+// and returns the queue length. Queue never blocks on the writer: it only
+// takes the short queue lock, so producers (crawlers, change-data-capture
+// feeds) can enqueue while an earlier Flush is still publishing.
+func (l *LiveIndex) Queue(d crawl.Delta) int {
+	l.pendMu.Lock()
+	defer l.pendMu.Unlock()
+	l.pending = append(l.pending, d)
+	return len(l.pending)
+}
+
+// Pending returns the number of queued deltas awaiting Flush.
+func (l *LiveIndex) Pending() int {
+	l.pendMu.Lock()
+	defer l.pendMu.Unlock()
+	return len(l.pending)
+}
+
+// Flush drains the queue and applies everything as one batched publish
+// (see ApplyBatch). With an empty queue it is a no-op returning the
+// current epoch. On error the drained batch is discarded — nothing was
+// published, and the queue holds only deltas enqueued after the drain —
+// so the caller decides whether to re-derive or re-queue.
+func (l *LiveIndex) Flush() (ApplyStats, error) {
+	l.pendMu.Lock()
+	batch := l.pending
+	l.pending = nil
+	l.pendMu.Unlock()
+	return l.ApplyBatch(batch)
 }
 
 // CompactIfNeeded is the snapshot garbage collector: removals leave
@@ -156,10 +251,14 @@ type LiveStats struct {
 	TombstonedRefs int     `json:"tombstoned_refs"`
 	AvgTerms       float64 `json:"avg_terms_per_fragment"`
 	DeltasApplied  uint64  `json:"deltas_applied"`
-	Inserted       uint64  `json:"fragments_inserted"`
-	Removed        uint64  `json:"fragments_removed"`
-	Updated        uint64  `json:"fragments_updated"`
-	Compactions    uint64  `json:"compactions"`
+	// Publishes counts snapshot swaps; with batching it lags
+	// DeltasApplied by the deltas amortized per publish.
+	Publishes   uint64 `json:"publishes"`
+	Queued      int    `json:"queued_deltas"`
+	Inserted    uint64 `json:"fragments_inserted"`
+	Removed     uint64 `json:"fragments_removed"`
+	Updated     uint64 `json:"fragments_updated"`
+	Compactions uint64 `json:"compactions"`
 }
 
 // Stats reads the current snapshot and the maintenance counters. Safe to
@@ -173,6 +272,8 @@ func (l *LiveIndex) Stats() LiveStats {
 		TombstonedRefs: s.NumRefs() - s.NumFragments(),
 		AvgTerms:       s.AvgTermsPerFragment(),
 		DeltasApplied:  l.deltas.Load(),
+		Publishes:      l.publishes.Load(),
+		Queued:         l.Pending(),
 		Inserted:       l.inserted.Load(),
 		Removed:        l.removed.Load(),
 		Updated:        l.updated.Load(),

@@ -13,8 +13,8 @@ import (
 // brute recomputes the O(1) statistics the hard way, straight from the
 // underlying structures, for cross-checking the maintained counters.
 func brute(idx *Index) (frags int, terms int64, kws int) {
-	for _, m := range idx.s.frags {
-		if m.Alive {
+	for ref := 0; ref < idx.s.numRefs; ref++ {
+		if m := idx.s.metaAt(FragRef(ref)); m.Alive {
 			frags++
 			terms += m.Terms
 		}
@@ -22,7 +22,7 @@ func brute(idx *Index) (frags int, terms int64, kws int) {
 	idx.s.eachList(func(_ string, pl *postingList) {
 		live := 0
 		for _, p := range pl.ps {
-			if idx.s.frags[p.Frag].Alive {
+			if idx.s.aliveAt(p.Frag) {
 				live++
 			}
 		}

@@ -26,7 +26,7 @@ type wirePosting struct {
 
 // Save serializes the index. Tombstoned fragments are compacted away.
 func (idx *Index) Save(w io.Writer) error {
-	if idx.NumFragments() != len(idx.s.frags) {
+	if idx.NumFragments() != idx.s.numRefs {
 		compacted, err := idx.Compact()
 		if err != nil {
 			return err
@@ -38,11 +38,12 @@ func (idx *Index) Save(w io.Writer) error {
 		SelAttrs:  src.spec.SelAttrs,
 		EqAttrs:   src.spec.EqAttrs,
 		RangeAttr: src.spec.RangeAttr,
-		FragKeys:  make([]string, len(src.frags)),
-		Terms:     make([]int64, len(src.frags)),
+		FragKeys:  make([]string, src.numRefs),
+		Terms:     make([]int64, src.numRefs),
 		Inverted:  make(map[string][]wirePosting, src.liveKws),
 	}
-	for i, m := range src.frags {
+	for i := 0; i < src.numRefs; i++ {
+		m := src.metaAt(FragRef(i))
 		wire.FragKeys[i] = m.ID.Key()
 		wire.Terms[i] = m.Terms
 	}
@@ -74,9 +75,6 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, err
 	}
 	s := idx.s
-	s.frags = make([]Meta, len(wire.FragKeys))
-	s.memberAt = make([]int, len(wire.FragKeys))
-	s.kwOf = make([][]string, len(wire.FragKeys))
 	for i, key := range wire.FragKeys {
 		id, err := fragment.ParseID(key)
 		if err != nil {
@@ -85,30 +83,30 @@ func Load(r io.Reader) (*Index, error) {
 		if len(id) != len(wire.SelAttrs) {
 			return nil, fmt.Errorf("%w: fragment arity", ErrCorruptIndex)
 		}
-		s.frags[i] = Meta{ID: id, Terms: wire.Terms[i], Alive: true}
-		s.byKey[key] = FragRef(i)
+		idx.appendRef(Meta{ID: id, Terms: wire.Terms[i], Alive: true}, nil, -1)
 		s.liveTerms += wire.Terms[i]
 	}
-	s.liveFrags = len(s.frags)
+	s.liveFrags = s.numRefs
 	// Rebuild groups: identifier-sorted insertion keeps members ordered.
-	order := make([]FragRef, len(s.frags))
+	order := make([]FragRef, s.numRefs)
 	for i := range order {
 		order[i] = FragRef(i)
 	}
 	for i := 1; i < len(order); i++ {
 		// Saved indexes are identifier-sorted by construction; tolerate
 		// arbitrary order anyway by sorting.
-		if s.frags[order[i-1]].ID.Compare(s.frags[order[i]].ID) > 0 {
+		if s.metaAt(order[i-1]).ID.Compare(s.metaAt(order[i]).ID) > 0 {
 			sortRefsByID(s, order)
 			break
 		}
 	}
-	s.groupOf = make([]*group, len(s.frags))
 	for _, ref := range order {
-		g := idx.groupFor(s.frags[ref].ID, true)
-		s.memberAt[ref] = len(g.members)
-		s.groupOf[ref] = g
+		m := s.metaAt(ref)
+		g := idx.groupFor(m.ID, true)
+		idx.setMemberAt(ref, len(g.members))
+		idx.setGroupOf(ref, g)
 		g.members = append(g.members, ref)
+		g.weights = append(g.weights, m.Terms)
 	}
 	for kw, wps := range wire.Inverted {
 		if len(wps) == 0 {
@@ -116,11 +114,11 @@ func Load(r io.Reader) (*Index, error) {
 		}
 		ps := make([]Posting, len(wps))
 		for i, p := range wps {
-			if int(p.Frag) < 0 || int(p.Frag) >= len(s.frags) {
+			if int(p.Frag) < 0 || int(p.Frag) >= s.numRefs {
 				return nil, fmt.Errorf("%w: posting ref out of range", ErrCorruptIndex)
 			}
 			ps[i] = Posting{Frag: FragRef(p.Frag), TF: p.TF}
-			s.kwOf[p.Frag] = append(s.kwOf[p.Frag], kw)
+			idx.appendKw(FragRef(p.Frag), kw)
 		}
 		pl := &postingList{ps: ps}
 		pl.recompute()
@@ -132,7 +130,7 @@ func Load(r io.Reader) (*Index, error) {
 
 func sortRefsByID(s *Snapshot, refs []FragRef) {
 	for i := 1; i < len(refs); i++ {
-		for j := i; j > 0 && s.frags[refs[j-1]].ID.Compare(s.frags[refs[j]].ID) > 0; j-- {
+		for j := i; j > 0 && s.metaAt(refs[j-1]).ID.Compare(s.metaAt(refs[j]).ID) > 0; j-- {
 			refs[j-1], refs[j] = refs[j], refs[j-1]
 		}
 	}

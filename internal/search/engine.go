@@ -27,10 +27,11 @@
 //     no container/heap interface boxing and no per-push allocation.
 //   - Page identity is a packed uint64 of the interval's endpoint refs
 //     (FragRefs are int32), not an fmt.Sprintf string.
-//   - Fragment refs are validated once when a candidate is seeded; the
-//     expansion inner loop then reads fragment weights through the
-//     index's unchecked TermsOf accessor instead of re-error-checking
-//     Meta per step.
+//   - Fragment refs are validated once when a candidate is seeded, and
+//     seeding captures the group path with its parallel node weights
+//     (fragindex.Snapshot.GroupPath); the expansion inner loop walks
+//     members and weights off the path itself, touching no fragment
+//     metadata and re-error-checking nothing per step.
 //
 // Only per-result work (URL formulation, the returned slice) allocates.
 //
@@ -123,6 +124,12 @@ type Request struct {
 	// (0 = all). Inverted lists are TF-descending, so reading only the
 	// "initial part of Lw" (paper §II) trades a bounded amount of recall
 	// for latency on hot keywords. IDF still uses the full DF.
+	//
+	// Contract: the kept prefix is exactly the CandidateLimit postings
+	// that sort highest by (TF descending, ref ascending). The ref
+	// tie-break makes the cut deterministic when many postings share the
+	// cutoff TF — the same snapshot and request always seed the same
+	// candidates, so repeated searches return identical results.
 	CandidateLimit int
 	// RequireAll keeps only pages containing every queried keyword
 	// (conjunctive semantics); the default scores any matching keyword.
@@ -148,9 +155,11 @@ type Result struct {
 }
 
 // candidate is a pending db-page: a contiguous interval of one equality
-// group's members.
+// group's members. weights mirrors members (the group path carries node
+// weights), so expansion reads neighbour sizes off the path itself.
 type candidate struct {
 	members []fragindex.FragRef // the full group, shared
+	weights []int64             // per member: total keyword count, shared
 	lo, hi  int                 // inclusive interval within members
 	occ     []int64             // per query keyword occurrences (arena slice)
 	ord     int32               // dense ordinal of the seeding fragment
@@ -166,15 +175,16 @@ type candidate struct {
 type searchScratch struct {
 	keywords []string
 	idf      []float64
-	refs     []fragindex.FragRef           // candidate ref per ordinal
-	ordOf    map[fragindex.FragRef]int32   // candidate ref → dense ordinal
-	seedOcc  []int64                       // pristine occ vectors, ord-major
-	candOcc  []int64                       // expansion-mutated occ vectors
-	cands    []candidate                   // one per ordinal
-	heap     []*candidate                  // typed priority queue
-	consumed []bool                        // per ordinal: absorbed by expansion
+	refs     []fragindex.FragRef            // candidate ref per ordinal
+	ordOf    map[fragindex.FragRef]int32    // candidate ref → dense ordinal
+	seedOcc  []int64                        // pristine occ vectors, ord-major
+	candOcc  []int64                        // expansion-mutated occ vectors
+	cands    []candidate                    // one per ordinal
+	heap     []*candidate                   // typed priority queue
+	consumed []bool                         // per ordinal: absorbed by expansion
 	used     map[fragindex.FragRef]struct{} // fragments in accepted results
-	seen     map[uint64]struct{}           // emitted page signatures
+	seen     map[uint64]struct{}            // emitted page signatures
+	limited  []fragindex.Posting            // CandidateLimit truncation buffer
 }
 
 func newScratch() *searchScratch {
@@ -195,6 +205,7 @@ func (s *searchScratch) reset() {
 	s.cands = s.cands[:0]
 	s.heap = s.heap[:0]
 	s.consumed = s.consumed[:0]
+	s.limited = s.limited[:0]
 	clear(s.ordOf)
 	clear(s.used)
 	clear(s.seen)
@@ -212,6 +223,62 @@ func growZero(s []int64, n int) []int64 {
 		s = append(s, 0)
 	}
 	return s
+}
+
+// topTFPrefix returns the limit postings that sort highest by
+// (TF descending, ref ascending) from a TF-descending list, without
+// modifying ps (it may be a posting list shared with the snapshot). When
+// the entries tied at the cutoff TF all fit, this is the plain prefix and
+// costs nothing; otherwise the tie band is copied into the reusable
+// scratch buffer and the band's smallest refs are selected (expected
+// O(band), not a sort — the band on a hot keyword can dwarf the limit),
+// so identical snapshots always seed identical candidate sets. Within the
+// tie band the returned order is unspecified; the selected set is what
+// the contract fixes. The result is valid until the next topTFPrefix call
+// on the same scratch.
+func (s *searchScratch) topTFPrefix(ps []fragindex.Posting, limit int) []fragindex.Posting {
+	cut := ps[limit-1].TF
+	// [a, b) is the band of postings tied at the cutoff TF.
+	a := sort.Search(len(ps), func(i int) bool { return ps[i].TF <= cut })
+	b := sort.Search(len(ps), func(i int) bool { return ps[i].TF < cut })
+	if b <= limit {
+		return ps[:limit] // no excess ties; the prefix is already exact
+	}
+	s.limited = append(s.limited[:0], ps[:b]...)
+	selectSmallestRefs(s.limited[a:], limit-a)
+	return s.limited[:limit]
+}
+
+// selectSmallestRefs partially partitions band (all entries tied on TF) so
+// its first need entries are the ones with the smallest refs — Hoare
+// quickselect, expected O(len(band)).
+func selectSmallestRefs(band []fragindex.Posting, need int) {
+	lo, hi := 0, len(band)-1
+	for lo < hi {
+		pivot := band[(lo+hi)/2].Frag
+		i, j := lo, hi
+		for i <= j {
+			for band[i].Frag < pivot {
+				i++
+			}
+			for band[j].Frag > pivot {
+				j--
+			}
+			if i <= j {
+				band[i], band[j] = band[j], band[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case need-1 <= j:
+			hi = j
+		case need-1 >= i:
+			lo = i
+		default:
+			return
+		}
+	}
 }
 
 // candLess orders the priority queue: best score first, then the
@@ -298,8 +365,11 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 		s.idf = append(s.idf, idf)
 		if req.CandidateLimit > 0 && len(ps) > req.CandidateLimit {
 			// TF-descending lists make the prefix the highest-TF
-			// fragments — the paper's partial inverted-list read.
-			ps = ps[:req.CandidateLimit]
+			// fragments — the paper's partial inverted-list read. Ties at
+			// the cutoff TF are broken by ascending ref so the kept set
+			// is a deterministic function of the snapshot (see the
+			// Request.CandidateLimit contract).
+			ps = s.topTFPrefix(ps, req.CandidateLimit)
 		}
 		for _, p := range ps {
 			ord, ok := s.ordOf[p.Frag]
@@ -345,18 +415,19 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 		s.consumed = make([]bool, numOrds)
 	}
 	for ord, ref := range s.refs {
-		members, pos, err := idx.GroupMembers(ref)
+		members, weights, pos, err := idx.GroupPath(ref)
 		if err != nil {
 			return nil, err
 		}
 		c := &s.cands[ord]
 		*c = candidate{
 			members: members,
+			weights: weights,
 			lo:      pos,
 			hi:      pos,
 			occ:     s.candOcc[ord*nk : (ord+1)*nk],
 			ord:     int32(ord),
-			size:    idx.TermsOf(ref),
+			size:    weights[pos],
 			seed:    ref,
 		}
 		c.score = score(c.occ, c.size, s.idf)
@@ -372,7 +443,7 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 			continue // seed absorbed into an earlier expansion (line 8)
 		}
 		if e.expandable(c, req.SizeThreshold) {
-			e.expand(idx, c, s, nk)
+			e.expand(c, s, nk)
 			s.heapPush(c)
 			continue
 		}
@@ -434,27 +505,26 @@ func (e *Engine) gainOf(ref fragindex.FragRef, s *searchScratch, nk int) (float6
 // expand grows the page by its best neighbour: relevant fragments are
 // favoured (highest added weighted occurrence), then smaller fragments.
 // An absorbed relevant seed is marked consumed so its queue entry dies.
-// Neighbour refs come from the candidate's group members — index-issued
-// and validated at seed time — so fragment weights are read through the
-// unchecked TermsOf accessor.
-func (e *Engine) expand(idx *fragindex.Snapshot, c *candidate, s *searchScratch, nk int) {
+// Neighbour refs and weights come straight off the candidate's group path
+// (seeded via GroupPath), so the inner loop never dereferences fragment
+// metadata.
+func (e *Engine) expand(c *candidate, s *searchScratch, nk int) {
 	var (
-		bestRef  fragindex.FragRef
-		bestOrd  int32
-		bestGain float64
-		bestLeft bool
+		bestOrd    int32
+		bestGain   float64
+		bestWeight int64
+		bestLeft   bool
 	)
 	if c.lo > 0 {
-		bestRef = c.members[c.lo-1]
-		bestGain, bestOrd = e.gainOf(bestRef, s, nk)
+		bestGain, bestOrd = e.gainOf(c.members[c.lo-1], s, nk)
+		bestWeight = c.weights[c.lo-1]
 		bestLeft = true
 	}
 	if c.hi < len(c.members)-1 {
-		ref := c.members[c.hi+1]
-		gain, ord := e.gainOf(ref, s, nk)
-		if !bestLeft || gain > bestGain ||
-			(gain == bestGain && idx.TermsOf(ref) < idx.TermsOf(bestRef)) {
-			bestRef, bestOrd, bestGain, bestLeft = ref, ord, gain, false
+		w := c.weights[c.hi+1]
+		gain, ord := e.gainOf(c.members[c.hi+1], s, nk)
+		if !bestLeft || gain > bestGain || (gain == bestGain && w < bestWeight) {
+			bestOrd, bestGain, bestWeight, bestLeft = ord, gain, w, false
 		}
 	}
 	if bestLeft {
@@ -462,7 +532,7 @@ func (e *Engine) expand(idx *fragindex.Snapshot, c *candidate, s *searchScratch,
 	} else {
 		c.hi++
 	}
-	c.size += idx.TermsOf(bestRef)
+	c.size += bestWeight
 	if bestOrd >= 0 {
 		occ := s.seedOcc[int(bestOrd)*nk : int(bestOrd+1)*nk]
 		for i := range c.occ {

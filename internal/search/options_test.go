@@ -1,8 +1,14 @@
 package search
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
+	"repro/internal/fragindex"
+	"repro/internal/fragment"
 	"repro/internal/relation"
 )
 
@@ -52,6 +58,117 @@ func TestCandidateLimitLargerThanListIsNoop(t *testing.T) {
 	for i := range full {
 		if limited[i].URL != full[i].URL || limited[i].Score != full[i].Score {
 			t.Errorf("result %d differs: %v vs %v", i, limited[i], full[i])
+		}
+	}
+}
+
+// TestCandidateLimitDeterministicTies: when the cutoff TF is tied across
+// more postings than the limit admits, the kept prefix is the documented
+// (TF desc, ref asc) total order — not whatever order the tie band happens
+// to sit in — so truncated searches are a deterministic function of the
+// snapshot. The index is built with insertion order deliberately opposed
+// to ref order at equal TF (posting lists tie-break on identifier, so the
+// tie band's ID order is ref-descending here).
+func TestCandidateLimitDeterministicTies(t *testing.T) {
+	idx, err := fragindex.New(fragindex.Spec{
+		SelAttrs: []string{"g", "v"}, EqAttrs: []string{"g"}, RangeAttr: "v",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten single-fragment groups sharing keyword "w" at TF 1; descending
+	// identifier insertion gives ref 0 the largest identifier.
+	const n = 10
+	for i := 0; i < n; i++ {
+		id := fragment.ID{relation.String(fmt.Sprintf("g%d", n-1-i)), relation.Int(0)}
+		if _, err := idx.InsertFragment(id, map[string]int64{"w": 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(idx, nil)
+	req := Request{Keywords: []string{"w"}, K: n, SizeThreshold: 1, CandidateLimit: 3}
+	results, err := e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	seeded := map[fragindex.FragRef]bool{}
+	for _, r := range results {
+		for _, ref := range r.Fragments {
+			seeded[ref] = true
+		}
+	}
+	// The contract keeps the smallest refs of the tie band.
+	for ref := fragindex.FragRef(0); ref < 3; ref++ {
+		if !seeded[ref] {
+			t.Errorf("ref %d missing from the truncated candidate set: %v", ref, seeded)
+		}
+	}
+	// Repeated identical searches return identical results.
+	again, err := e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results, again) {
+		t.Errorf("truncated search not repeatable:\nfirst %+v\nagain %+v", results, again)
+	}
+	// A partial tie band — cutoff TF tied but some higher-TF postings
+	// above it — keeps all higher-TF postings plus the smallest tied refs.
+	top := fragment.ID{relation.String("zz-top"), relation.Int(0)}
+	if _, err := idx.InsertFragment(top, map[string]int64{"w": 5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	topRef, _ := idx.Lookup(top)
+	results, err = e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded = map[fragindex.FragRef]bool{}
+	for _, r := range results {
+		for _, ref := range r.Fragments {
+			seeded[ref] = true
+		}
+	}
+	if !seeded[topRef] || !seeded[0] || !seeded[1] {
+		t.Errorf("partial band kept %v, want {%d, 0, 1}", seeded, topRef)
+	}
+}
+
+// TestSelectSmallestRefsProperty: quickselect keeps exactly the need
+// smallest refs for random bands, matching a reference sort.
+func TestSelectSmallestRefsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + r.Intn(60)
+		band := make([]fragindex.Posting, m)
+		seen := map[fragindex.FragRef]bool{}
+		for i := range band {
+			ref := fragindex.FragRef(r.Intn(1000))
+			for seen[ref] {
+				ref = fragindex.FragRef(r.Intn(1000))
+			}
+			seen[ref] = true
+			band[i] = fragindex.Posting{Frag: ref, TF: 1}
+		}
+		need := 1 + r.Intn(m)
+		sorted := append([]fragindex.Posting(nil), band...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Frag < sorted[j].Frag })
+		want := map[fragindex.FragRef]bool{}
+		for _, p := range sorted[:need] {
+			want[p.Frag] = true
+		}
+		selectSmallestRefs(band, need)
+		for _, p := range band[:need] {
+			if !want[p.Frag] {
+				t.Fatalf("trial %d (m=%d need=%d): ref %d kept, not among smallest",
+					trial, m, need, p.Frag)
+			}
+			delete(want, p.Frag)
+		}
+		if len(want) != 0 {
+			t.Fatalf("trial %d: smallest refs missing: %v", trial, want)
 		}
 	}
 }
