@@ -334,10 +334,12 @@ func BenchmarkLiveMutationUnderLoad(b *testing.B) {
 	}
 }
 
-// syntheticLive builds an n-fragment LiveIndex with a bounded keyword
+// syntheticIndex builds an n-fragment index with a bounded keyword
 // vocabulary (so posting lists, not the vocabulary, grow with n) — the
-// shape that exposes per-publish metadata cost as the index scales.
-func syntheticLive(b *testing.B, n int) (*fragindex.LiveIndex, []fragment.ID) {
+// shape that exposes per-publish metadata cost as the index scales. The
+// many small groups ("g0000000"… of 8 members each) also spread evenly
+// under group-key shard routing.
+func syntheticIndex(b *testing.B, n int) (*fragindex.Index, []fragment.ID) {
 	b.Helper()
 	idx, err := fragindex.New(fragindex.Spec{
 		SelAttrs: []string{"g", "v"}, EqAttrs: []string{"g"}, RangeAttr: "v",
@@ -356,6 +358,13 @@ func syntheticLive(b *testing.B, n int) (*fragindex.LiveIndex, []fragment.ID) {
 			b.Fatal(err)
 		}
 	}
+	return idx, ids
+}
+
+// syntheticLive wraps a synthetic index for online serving.
+func syntheticLive(b *testing.B, n int) (*fragindex.LiveIndex, []fragment.ID) {
+	b.Helper()
+	idx, ids := syntheticIndex(b, n)
 	return fragindex.NewLive(idx), ids
 }
 
@@ -421,6 +430,176 @@ func BenchmarkApplyPublishCost(b *testing.B) {
 			}
 			b.Run("apply=single", func(b *testing.B) { runBatch(b, 1) })
 			b.Run("apply=batch100", func(b *testing.B) { runBatch(b, 100) })
+		})
+	}
+}
+
+// shardedBenchEngine partitions a fresh copy of the workload's index (the
+// cached one stays untouched — NewShardedLive takes ownership).
+func shardedBenchEngine(b *testing.B, st *benchState, shards int) *search.ShardedEngine {
+	b.Helper()
+	bound, err := st.app.Bound()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := fragindex.SpecFromBound(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := fragindex.Build(st.out, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live, err := fragindex.NewShardedLive(idx, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return search.NewSharded(live, st.app)
+}
+
+// BenchmarkShardedSearchThroughput measures partitioned serving reads: the
+// band request mix against a single-index engine (the baseline) and
+// against scatter-gather engines at S = 1/4/16. mode=latency runs one
+// query per op (per-query latency: S=1 should sit at parity with single,
+// since the scatter degenerates to one pinned snapshot); mode=batch runs
+// the whole mix through ParallelSearch and reports aggregate searches/s.
+// On a single-core host higher shard counts pay the fan-out (every
+// relevant shard re-runs seeding) with no cores to spread it over; on
+// multi-core the scatter parallelizes per query.
+func BenchmarkShardedSearchThroughput(b *testing.B) {
+	st := workloadState(b, "Q2")
+	var reqs []search.Request
+	for _, kws := range [][]string{st.band.Cold, st.band.Warm, st.band.Hot} {
+		for _, kw := range kws {
+			reqs = append(reqs, search.Request{Keywords: []string{kw}, K: 10, SizeThreshold: 200})
+		}
+	}
+	if len(reqs) == 0 {
+		b.Fatal("no requests")
+	}
+	type searcher interface {
+		Search(search.Request) ([]search.Result, error)
+		ParallelSearch([]search.Request, int) []search.BatchResult
+	}
+	engines := []struct {
+		name string
+		eng  searcher
+	}{{"single", st.eng}}
+	for _, shards := range []int{1, 4, 16} {
+		engines = append(engines, struct {
+			name string
+			eng  searcher
+		}{fmt.Sprintf("shards=%d", shards), shardedBenchEngine(b, st, shards)})
+	}
+	for _, e := range engines {
+		b.Run("mode=latency/"+e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.eng.Search(reqs[i%len(reqs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, e := range engines {
+		b.Run("mode=batch/"+e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, br := range e.eng.ParallelSearch(reqs, 0) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(reqs)*b.N)/b.Elapsed().Seconds(), "searches/s")
+		})
+	}
+}
+
+// BenchmarkShardedApplyThroughput measures partitioned serving writes on
+// the Q2 corpus: batches of 100 full-fragment updates applied through one
+// LiveIndex (the single-writer baseline) versus routed across S = 1/4/16
+// shards, where each touched shard folds its slice into one publish
+// concurrently with its siblings — no global write lock. ns/change is the
+// number to watch: per-shard posting lists, group directories, and shard
+// maps are S× smaller (so each change's O(list) posting splice and each
+// publish's CoW map clones shrink), and on multi-core the per-shard
+// publishes overlap on top. Real (keyword-dense) fragments are the honest
+// workload here: on a corpus of near-empty fragments the fixed per-shard
+// publish floor dominates instead and routing buys little.
+func BenchmarkShardedApplyThroughput(b *testing.B) {
+	const batch = 100
+	st := workloadState(b, "Q2")
+	bound, err := st.app.Bound()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := fragindex.SpecFromBound(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make(map[string]map[string]int64)
+	for kw, ps := range st.out.Inverted {
+		for _, p := range ps {
+			m, ok := counts[p.FragKey]
+			if !ok {
+				m = make(map[string]int64)
+				counts[p.FragKey] = m
+			}
+			m[kw] = p.TF
+		}
+	}
+	ids, err := st.out.Fragments()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{0, 1, 4, 16} { // 0 = single-index baseline
+		name := "single"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			idx, err := fragindex.Build(st.out, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var (
+				applyFn func([]crawl.Delta) error
+				gcFn    func() error
+			)
+			if shards == 0 {
+				live := fragindex.NewLive(idx)
+				applyFn = func(ds []crawl.Delta) error { _, err := live.ApplyBatch(ds); return err }
+				gcFn = func() error { _, err := live.CompactIfNeeded(0.5); return err }
+			} else {
+				live, err := fragindex.NewShardedLive(idx, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				applyFn = func(ds []crawl.Delta) error { _, err := live.ApplyBatch(ds); return err }
+				gcFn = func() error { _, err := live.CompactIfNeeded(0.5); return err }
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds := make([]crawl.Delta, batch)
+				for j := 0; j < batch; j++ {
+					id := ids[(i*batch+j)%len(ids)]
+					key := id.Key()
+					ds[j] = crawl.Delta{Changes: []crawl.FragmentChange{{
+						Op: crawl.OpUpdateFragment, ID: id,
+						TermCounts: counts[key], TotalTerms: st.out.FragmentTerms[key],
+					}}}
+				}
+				if err := applyFn(ds); err != nil {
+					b.Fatal(err)
+				}
+				// Periodic snapshot GC, as a production apply loop runs it.
+				if i%64 == 63 {
+					if err := gcFn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/change")
 		})
 	}
 }

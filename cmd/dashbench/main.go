@@ -7,6 +7,7 @@
 //	dashbench -experiment table4   # fragment graph build stats
 //	dashbench -experiment fig11    # top-k search latency sweep
 //	dashbench -experiment parallel # concurrent search throughput scaling
+//	dashbench -experiment sharded  # partitioned serving: scatter-gather + routed applies
 //	dashbench -experiment ablation # naive page index vs fragment index
 //	dashbench -experiment all      # everything above
 //
@@ -81,11 +82,12 @@ func run(args []string) error {
 		"table4":   table4,
 		"fig11":    fig11,
 		"parallel": parallelThroughput,
+		"sharded":  shardedThroughput,
 		"ablation": ablation,
 		"coverage": coverage,
 	}
 	if cfg.experiment == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig10", "table4", "fig11", "parallel", "ablation", "coverage"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig10", "table4", "fig11", "parallel", "sharded", "ablation", "coverage"} {
 			if err := experiments[name](ctx, cfg); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -309,6 +311,149 @@ func parallelThroughput(ctx context.Context, cfg config) error {
 			fmt.Fprintf(w, "%d\t%v\t%.0f\t%.2fx\n", workers,
 				elapsed.Round(time.Millisecond),
 				float64(len(reqs))/elapsed.Seconds(), speedup)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardedThroughput measures partitioned serving (Q2): the same request
+// batch evaluated by a single-index engine and by sharded scatter-gather
+// engines at growing shard counts, plus routed apply throughput — the
+// multi-core scaling story in one table. On a single-core host the shard
+// counts land near parity; the structure (per-shard publish cycles, no
+// global write lock) is what scales on real hardware.
+func shardedThroughput(ctx context.Context, cfg config) error {
+	header("Sharded — partitioned serving throughput (Q2)")
+	for _, scale := range cfg.scales {
+		wl := harness.Workload{Scale: scale, Seed: cfg.seed, Query: "Q2"}
+		db, app, err := wl.Setup()
+		if err != nil {
+			return err
+		}
+		out, _, err := harness.RunCrawl(ctx, db, app, crawl.AlgIntegrated,
+			crawl.Options{ReduceTasks: cfg.reduce}, scale.Name)
+		if err != nil {
+			return err
+		}
+		bound, err := app.Bound()
+		if err != nil {
+			return err
+		}
+		spec, err := fragindex.SpecFromBound(bound)
+		if err != nil {
+			return err
+		}
+		buildIndex := func() (*fragindex.Index, error) { return fragindex.Build(out, spec) }
+
+		idx, err := buildIndex()
+		if err != nil {
+			return err
+		}
+		single := search.New(idx, app)
+		bands := harness.KeywordBands(single.Snapshot(), cfg.bandSize)
+		var reqs []search.Request
+		for _, kws := range [][]string{bands.Cold, bands.Warm, bands.Hot} {
+			for _, kw := range kws {
+				reqs = append(reqs, search.Request{Keywords: []string{kw}, K: 10, SizeThreshold: 200})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		for len(reqs) < 256 {
+			reqs = append(reqs, reqs...)
+		}
+		ids, err := out.Fragments()
+		if err != nil {
+			return err
+		}
+		counts := make(map[string]map[string]int64)
+		for kw, ps := range out.Inverted {
+			for _, p := range ps {
+				m, ok := counts[p.FragKey]
+				if !ok {
+					m = make(map[string]int64)
+					counts[p.FragKey] = m
+				}
+				m[kw] = p.TF
+			}
+		}
+		const applyBatch = 100
+		makeDeltas := func(round int) []crawl.Delta {
+			ds := make([]crawl.Delta, applyBatch)
+			for j := range ds {
+				id := ids[(round*applyBatch+j)%len(ids)]
+				key := id.Key()
+				ds[j] = crawl.Delta{Changes: []crawl.FragmentChange{{
+					Op: crawl.OpUpdateFragment, ID: id,
+					TermCounts: counts[key], TotalTerms: out.FragmentTerms[key],
+				}}}
+			}
+			return ds
+		}
+		const applyRounds = 20
+
+		fmt.Printf("dataset %s: %d requests, apply batches of %d updates\n",
+			scale.Name, len(reqs), applyBatch)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "engine\tsearch elapsed\tQPS\tapply elapsed\tchanges/s")
+
+		// Single-index baseline: ParallelSearch + single-writer ApplyBatch.
+		start := time.Now()
+		for _, br := range single.ParallelSearch(reqs, 0) {
+			if br.Err != nil {
+				return br.Err
+			}
+		}
+		searchElapsed := time.Since(start)
+		baseIdx, err := buildIndex()
+		if err != nil {
+			return err
+		}
+		baseLive := fragindex.NewLive(baseIdx)
+		start = time.Now()
+		for r := 0; r < applyRounds; r++ {
+			if _, err := baseLive.ApplyBatch(makeDeltas(r)); err != nil {
+				return err
+			}
+		}
+		applyElapsed := time.Since(start)
+		fmt.Fprintf(w, "single\t%v\t%.0f\t%v\t%.0f\n",
+			searchElapsed.Round(time.Millisecond), float64(len(reqs))/searchElapsed.Seconds(),
+			applyElapsed.Round(time.Millisecond),
+			float64(applyRounds*applyBatch)/applyElapsed.Seconds())
+
+		for _, shards := range []int{1, 4, 16} {
+			sidx, err := buildIndex()
+			if err != nil {
+				return err
+			}
+			live, err := fragindex.NewShardedLive(sidx, shards)
+			if err != nil {
+				return err
+			}
+			se := search.NewSharded(live, app)
+			start := time.Now()
+			for _, br := range se.ParallelSearch(reqs, 0) {
+				if br.Err != nil {
+					return br.Err
+				}
+			}
+			searchElapsed := time.Since(start)
+			start = time.Now()
+			for r := 0; r < applyRounds; r++ {
+				if _, err := live.ApplyBatch(makeDeltas(r)); err != nil {
+					return err
+				}
+			}
+			applyElapsed := time.Since(start)
+			fmt.Fprintf(w, "shards=%d\t%v\t%.0f\t%v\t%.0f\n", shards,
+				searchElapsed.Round(time.Millisecond), float64(len(reqs))/searchElapsed.Seconds(),
+				applyElapsed.Round(time.Millisecond),
+				float64(applyRounds*applyBatch)/applyElapsed.Seconds())
 		}
 		if err := w.Flush(); err != nil {
 			return err

@@ -2,7 +2,7 @@
 // application serving db-pages, and the Dash search endpoint suggesting
 // db-page URLs for keyword queries.
 //
-//	dashserve -addr :8080 -dataset fooddb
+//	dashserve -addr :8080 -dataset fooddb -shards 4
 //
 // Then:
 //
@@ -14,9 +14,8 @@
 //	curl -d '{"batch":[{"changes":[...]},{"recrawl":[...]}]}' \
 //	     http://localhost:8080/admin/apply                  # one publish
 //
-// The index is served through a dash.LiveEngine: every request pins one
-// immutable snapshot (an atomic load), so searches never block on or get
-// torn by index maintenance. /admin/apply folds changes into the next
+// Every request pins immutable snapshots (one atomic load per shard), so
+// searches never block on or get torn by index maintenance. /admin/apply folds changes into the next
 // snapshot — either explicit fragment changes or a targeted re-crawl of
 // the named partitions — and publishes it atomically; its batch mode
 // accepts a list of deltas and coalesces them into a single publish
@@ -29,6 +28,17 @@
 // Malformed numeric query parameters (k, s) are rejected with HTTP 400
 // naming the offending parameter — a typo'd ?k=abc fails loudly instead of
 // quietly serving default-k results.
+//
+// The index is served through a dash.ShardedLiveEngine: -shards N
+// partitions the fragment space by equality-group key across N independent
+// publish cycles (default 1), searches scatter-gather over one pinned
+// snapshot per shard with corpus-wide IDF, and /admin/apply routes deltas
+// to their shards and applies them concurrently. /admin/stats reports the
+// aggregate plus each shard's epoch, pending queue, and publish counters.
+//
+// -pprof opts into net/http/pprof under /debug/pprof/ for profiling the
+// serving path; it is off by default so the profiling surface is never
+// exposed unintentionally.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight searches
 // drain before the process exits.
@@ -43,6 +53,7 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -91,6 +102,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "dataset generator seed")
 	gcInterval := fs.Duration("gc-interval", 30*time.Second, "snapshot GC period (0 disables)")
 	gcRatio := fs.Float64("gc-ratio", 0.25, "tombstoned-ref share that triggers snapshot GC")
+	shards := fs.Int("shards", 1, "serving index shard count (partitioned by equality-group key)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,11 +126,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine := dash.NewLiveEngine(idx, app)
-	snap := engine.Snapshot()
-	log.Printf("index ready: %d fragments, %d keywords", snap.NumFragments(), snap.NumKeywords())
+	engine, err := dash.NewShardedLiveEngine(idx, app, *shards)
+	if err != nil {
+		return err
+	}
+	st := engine.Stats()
+	log.Printf("index ready: %d fragments over %d shard(s)", st.Fragments, st.Shards)
 
-	mux := newMux(engine, app, db, bound.SelAttrKinds())
+	mux := newMux(engine, app, db, bound.SelAttrKinds(), *pprofFlag)
 
 	server := &http.Server{
 		Addr:              *addr,
@@ -139,13 +155,13 @@ func run(args []string) error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					ran, err := engine.Live().CompactIfNeeded(*gcRatio)
+					ran, err := engine.CompactIfNeeded(*gcRatio)
 					if err != nil {
 						log.Printf("snapshot gc: %v", err)
-					} else if ran {
+					} else if ran > 0 {
 						st := engine.Stats()
-						log.Printf("snapshot gc: compacted to %d fragments (epoch %d)",
-							st.Fragments, st.Epoch)
+						log.Printf("snapshot gc: %d shard(s) compacted to %d fragments (max epoch %d)",
+							ran, st.Fragments, st.MaxEpoch)
 					}
 				}
 			}
@@ -171,12 +187,19 @@ func run(args []string) error {
 	return nil
 }
 
-// newMux assembles the demo's HTTP surface over a live engine. Split out
-// of run so handler tests can drive it with httptest against a small
-// dataset.
-func newMux(engine *dash.LiveEngine, app *webapp.Application, db *dash.Database, kinds []relation.Kind) *http.ServeMux {
+// newMux assembles the demo's HTTP surface over a sharded live engine.
+// Split out of run so handler tests can drive it with httptest against a
+// small dataset. withPprof opts the net/http/pprof handlers into the mux.
+func newMux(engine *dash.ShardedLiveEngine, app *webapp.Application, db *dash.Database, kinds []relation.Kind, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/app", app.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" {
@@ -194,15 +217,22 @@ func newMux(engine *dash.LiveEngine, app *webapp.Application, db *dash.Database,
 			return
 		}
 		start := time.Now()
-		// Pin one snapshot for the whole request so the rendered fragment
-		// count and epoch describe exactly the version that was searched.
-		snap := engine.Snapshot()
-		results, err := engine.Engine().SearchSnapshot(snap, search.Request{
+		// Pin one snapshot per shard for the whole request so the rendered
+		// fragment count and epoch describe exactly the versions searched.
+		snaps := engine.Pin()
+		results, err := engine.SearchPinned(snaps, search.Request{
 			Keywords: strings.Fields(q), K: k, SizeThreshold: s,
 		})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		fragments, epoch := 0, uint64(0)
+		for _, snap := range snaps {
+			fragments += snap.NumFragments()
+			if e := snap.Epoch(); e > epoch {
+				epoch = e
+			}
 		}
 		rows := make([]resultRow, 0, len(results))
 		for _, res := range results {
@@ -220,8 +250,8 @@ func newMux(engine *dash.LiveEngine, app *webapp.Application, db *dash.Database,
 			"Query":     q,
 			"Results":   rows,
 			"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
-			"Fragments": snap.NumFragments(),
-			"Epoch":     snap.Epoch(),
+			"Fragments": fragments,
+			"Epoch":     epoch,
 		})
 		if err != nil {
 			log.Printf("render: %v", err)
@@ -341,10 +371,10 @@ type applyRequest struct {
 }
 
 // handleApply parses, derives, and applies one admin maintenance request.
-func handleApply(engine *dash.LiveEngine, db *dash.Database, kinds []relation.Kind, r *http.Request) (dash.ApplyStats, error) {
+func handleApply(engine *dash.ShardedLiveEngine, db *dash.Database, kinds []relation.Kind, r *http.Request) (dash.ShardedApplyStats, error) {
 	var req applyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return dash.ApplyStats{}, fmt.Errorf("bad delta JSON: %w", err)
+		return dash.ShardedApplyStats{}, fmt.Errorf("bad delta JSON: %w", err)
 	}
 	entries := append([]deltaRequest{req.deltaRequest}, req.Batch...)
 	var (
@@ -359,7 +389,7 @@ func handleApply(engine *dash.LiveEngine, db *dash.Database, kinds []relation.Ki
 		empty = false
 		d, err := parseDelta(e.Changes, kinds)
 		if err != nil {
-			return dash.ApplyStats{}, err
+			return dash.ShardedApplyStats{}, err
 		}
 		if len(d.Changes) > 0 {
 			deltas = append(deltas, d)
@@ -367,13 +397,13 @@ func handleApply(engine *dash.LiveEngine, db *dash.Database, kinds []relation.Ki
 		for _, raw := range e.Recrawl {
 			id, err := parseID(raw, kinds)
 			if err != nil {
-				return dash.ApplyStats{}, err
+				return dash.ShardedApplyStats{}, err
 			}
 			ids = append(ids, id)
 		}
 	}
 	if empty {
-		return dash.ApplyStats{}, errors.New("empty delta: provide changes, recrawl, and/or batch")
+		return dash.ShardedApplyStats{}, errors.New("empty delta: provide changes, recrawl, and/or batch")
 	}
 	// The whole request — derivation included — runs under the engine's
 	// maintenance lock, serialized with any concurrent admin request.

@@ -14,8 +14,15 @@ import (
 )
 
 // testMux builds the full handler surface over the fooddb dataset, the
-// same wiring run() performs, small enough for handler tests.
-func testMux(t *testing.T) (*http.ServeMux, *dash.LiveEngine) {
+// same wiring run() performs — two shards, so routing and the sharded
+// stats/apply paths are exercised — small enough for handler tests.
+func testMux(t *testing.T) (*http.ServeMux, *dash.ShardedLiveEngine) {
+	t.Helper()
+	return testMuxPprof(t, false)
+}
+
+// testMuxPprof is testMux with the profiling surface toggled.
+func testMuxPprof(t *testing.T, withPprof bool) (*http.ServeMux, *dash.ShardedLiveEngine) {
 	t.Helper()
 	db, app, err := harness.Fooddb()
 	if err != nil {
@@ -31,8 +38,11 @@ func testMux(t *testing.T) (*http.ServeMux, *dash.LiveEngine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := dash.NewLiveEngine(idx, app)
-	return newMux(engine, app, db, bound.SelAttrKinds()), engine
+	engine, err := dash.NewShardedLiveEngine(idx, app, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newMux(engine, app, db, bound.SelAttrKinds(), withPprof), engine
 }
 
 func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
@@ -151,11 +161,11 @@ func TestApplyHandler(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("update: status %d, body %q", rec.Code, rec.Body.String())
 	}
-	var st dash.ApplyStats
+	var st dash.ShardedApplyStats
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Updated != 1 || st.Deltas != 1 {
+	if st.Total.Updated != 1 || st.Total.Deltas != 1 || len(st.PerShard) != 1 {
 		t.Errorf("update stats = %+v", st)
 	}
 	mid := engine.Stats()
@@ -177,14 +187,47 @@ func TestApplyHandler(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Deltas != 3 || st.Updated != 1 || st.Inserted != 0 || st.Removed != 0 {
+	if st.Total.Deltas != 3 || st.Total.Updated != 1 || st.Total.Inserted != 0 || st.Total.Removed != 0 {
 		t.Errorf("batch stats = %+v (want 3 deltas folded to 1 update)", st)
 	}
 	after := engine.Stats()
 	if after.Publishes != mid.Publishes+1 {
 		t.Errorf("batch publishes %d -> %d, want +1", mid.Publishes, after.Publishes)
 	}
-	if engine.Snapshot().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
+	if engine.Live().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
 		t.Error("cancelled insert reached the index")
+	}
+}
+
+// TestStatsHandler covers /admin/stats on a sharded engine: the aggregate
+// plus one per-shard entry per shard, each carrying its own epoch.
+func TestStatsHandler(t *testing.T) {
+	mux, engine := testMux(t)
+	rec := get(t, mux, "/admin/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rec.Code)
+	}
+	var st dash.ShardedLiveStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if st.Shards != 2 || len(st.PerShard) != 2 {
+		t.Fatalf("stats shards = %d, per_shard = %d, want 2/2", st.Shards, len(st.PerShard))
+	}
+	want := engine.Stats()
+	if st.Fragments != want.Fragments || st.Fragments == 0 {
+		t.Errorf("stats fragments = %d, want %d (> 0)", st.Fragments, want.Fragments)
+	}
+}
+
+// TestPprofOptIn: the profiling surface exists only when the flag opts in.
+func TestPprofOptIn(t *testing.T) {
+	mux, _ := testMuxPprof(t, false)
+	if rec := get(t, mux, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", rec.Code)
+	}
+	withPprof, _ := testMuxPprof(t, true)
+	if rec := get(t, withPprof, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", rec.Code)
 	}
 }

@@ -52,6 +52,19 @@
 // ApplyBatch (or the Queue/Flush pair) coalesces any number of deltas into
 // one published snapshot, paying a single publish — and a single
 // copy-on-write pass over each touched fragment — for the whole batch.
+//
+// # Scaling across cores: sharded serving
+//
+// When one index can no longer absorb the write rate — or one snapshot
+// walk per query leaves cores idle — partition it:
+//
+//	sharded, _ := dash.NewShardedLiveEngine(idx, app, 8)
+//
+// Fragments are routed to shards by their equality-group key, so db-page
+// assembly never crosses shards; searches scatter over one pinned snapshot
+// per shard with corpus-wide IDF and gather a global top-k identical to
+// the single-index answer, while deltas route to their shards and apply
+// concurrently with no global write lock. See ARCHITECTURE.md.
 package dash
 
 import (
@@ -97,6 +110,14 @@ type (
 	Snapshot = fragindex.Snapshot
 	// LiveIndex serves snapshots while absorbing deltas (epoch swap).
 	LiveIndex = fragindex.LiveIndex
+	// ShardedLiveIndex partitions the fragment space across independent
+	// LiveIndex shards (group-key routing, per-shard publish cycles).
+	ShardedLiveIndex = fragindex.ShardedLiveIndex
+	// ShardedApplyStats reports a routed apply: summed totals plus what
+	// each touched shard published.
+	ShardedApplyStats = fragindex.ShardedApplyStats
+	// ShardedLiveStats aggregates per-shard serving statistics.
+	ShardedLiveStats = fragindex.ShardedLiveStats
 	// FragmentID identifies a fragment: its selection-attribute values.
 	FragmentID = fragment.ID
 	// Delta is a batch of fragment changes derived from database updates.
@@ -374,6 +395,159 @@ func (le *LiveEngine) deriveLocked(db *Database, ids []FragmentID) (Delta, error
 		return Delta{}, err
 	}
 	return crawl.DeriveDelta(db, bound, ids, le.live.Snapshot().Has)
+}
+
+// ShardedLiveEngine is the partitioned serving path: the fragment space is
+// split across independent LiveIndex shards (hash of the equality-group
+// key, so db-page assembly never crosses shards), searches scatter-gather
+// over one pinned snapshot per shard with corpus-wide IDF, and maintenance
+// deltas route to their shards and apply concurrently — no global write
+// lock. With shards == 1 it behaves like a LiveEngine; with more it scales
+// both reads and writes across cores. Like LiveEngine, maintenance calls
+// serialize among themselves so delta classification always runs against
+// the latest published state.
+type ShardedLiveEngine struct {
+	mu     sync.Mutex
+	live   *fragindex.ShardedLiveIndex
+	engine *search.ShardedEngine
+	app    *Application
+}
+
+// NewShardedLiveEngine partitions a built index across the given number of
+// shards for online serving. It takes ownership of idx: all further access
+// must go through the ShardedLiveEngine. app may be nil when URL
+// formulation is not needed.
+func NewShardedLiveEngine(idx *Index, app *Application, shards int) (*ShardedLiveEngine, error) {
+	live, err := fragindex.NewShardedLive(idx, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedLiveEngine{live: live, engine: search.NewSharded(live, app), app: app}, nil
+}
+
+// Search answers a top-k query against the shards' current snapshots.
+func (se *ShardedLiveEngine) Search(req Request) ([]Result, error) { return se.engine.Search(req) }
+
+// Pin resolves one snapshot per shard; SearchPinned runs a request against
+// such a pinned set for repeatable reads.
+func (se *ShardedLiveEngine) Pin() []*Snapshot { return se.engine.Pin() }
+
+// SearchPinned answers a top-k query against an explicitly pinned shard
+// snapshot set (from Pin).
+func (se *ShardedLiveEngine) SearchPinned(snaps []*Snapshot, req Request) ([]Result, error) {
+	return se.engine.SearchPinned(snaps, req)
+}
+
+// ParallelSearch evaluates a batch of requests concurrently, all pinned to
+// one shard snapshot set.
+func (se *ShardedLiveEngine) ParallelSearch(reqs []Request, workers int) []search.BatchResult {
+	return se.engine.ParallelSearch(reqs, workers)
+}
+
+// Engine returns the underlying scatter-gather engine.
+func (se *ShardedLiveEngine) Engine() *search.ShardedEngine { return se.engine }
+
+// Live returns the underlying sharded index (per-shard access, stats,
+// compaction).
+func (se *ShardedLiveEngine) Live() *ShardedLiveIndex { return se.live }
+
+// NumShards returns the shard count.
+func (se *ShardedLiveEngine) NumShards() int { return se.live.NumShards() }
+
+// Stats aggregates the per-shard serving statistics.
+func (se *ShardedLiveEngine) Stats() ShardedLiveStats { return se.live.Stats() }
+
+// Apply routes a delta's changes to their shards and applies them
+// concurrently (transactional per shard; see
+// fragindex.ShardedLiveIndex.Apply for the cross-shard contract).
+func (se *ShardedLiveEngine) Apply(d Delta) (ShardedApplyStats, error) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.live.Apply(d)
+}
+
+// ApplyBatch coalesces a sequence of deltas and applies the net changes
+// concurrently across shards — one publish per touched shard for the whole
+// batch.
+func (se *ShardedLiveEngine) ApplyBatch(ds []Delta) (ShardedApplyStats, error) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.live.ApplyBatch(ds)
+}
+
+// CompactIfNeeded runs the snapshot garbage collector on every shard,
+// returning how many compacted.
+func (se *ShardedLiveEngine) CompactIfNeeded(maxDeadRatio float64) (int, error) {
+	return se.live.CompactIfNeeded(maxDeadRatio)
+}
+
+// SetPostingCompaction tunes every shard's posting-list compaction
+// threshold (see fragindex.Index.SetPostingCompaction).
+func (se *ShardedLiveEngine) SetPostingCompaction(num, den int) error {
+	return se.live.SetPostingCompaction(num, den)
+}
+
+// Recrawl re-executes the application query for the given fragment
+// partitions, derives the delta, and applies it routed across shards.
+func (se *ShardedLiveEngine) Recrawl(db *Database, ids []FragmentID) (ShardedApplyStats, error) {
+	return se.RecrawlWith(db, ids, Delta{})
+}
+
+// RecrawlWith combines a targeted re-crawl with explicit extra changes and
+// applies everything as one routed delta. Derivation runs under the
+// maintenance lock and classifies against the latest published shard
+// snapshots.
+func (se *ShardedLiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (ShardedApplyStats, error) {
+	if len(ids) > 0 && se.app == nil {
+		return ShardedApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	d := Delta{
+		SelAttrs: extra.SelAttrs,
+		Changes:  append([]FragmentChange(nil), extra.Changes...),
+	}
+	if len(ids) > 0 {
+		derived, err := se.deriveLocked(db, ids)
+		if err != nil {
+			return ShardedApplyStats{}, err
+		}
+		if d.SelAttrs == nil {
+			d.SelAttrs = derived.SelAttrs
+		}
+		d.Changes = append(d.Changes, derived.Changes...)
+	}
+	return se.live.Apply(d)
+}
+
+// RecrawlBatch combines a targeted re-crawl with a batch of explicit
+// deltas; the whole batch coalesces and each touched shard pays one
+// publish.
+func (se *ShardedLiveEngine) RecrawlBatch(db *Database, ids []FragmentID, ds []Delta) (ShardedApplyStats, error) {
+	if len(ids) > 0 && se.app == nil {
+		return ShardedApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	batch := append([]Delta(nil), ds...)
+	if len(ids) > 0 {
+		derived, err := se.deriveLocked(db, ids)
+		if err != nil {
+			return ShardedApplyStats{}, err
+		}
+		batch = append(batch, derived)
+	}
+	return se.live.ApplyBatch(batch)
+}
+
+// deriveLocked re-crawls the given partitions against the latest published
+// shard snapshots. Caller holds se.mu.
+func (se *ShardedLiveEngine) deriveLocked(db *Database, ids []FragmentID) (Delta, error) {
+	bound, err := se.app.Bound()
+	if err != nil {
+		return Delta{}, err
+	}
+	return crawl.DeriveDelta(db, bound, ids, se.live.Has)
 }
 
 // SaveIndex serializes an index (gob encoding).

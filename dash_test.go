@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/fooddb"
+	"repro/internal/relation"
 )
 
 // TestFacadeEndToEnd runs the package-doc quickstart for every algorithm:
@@ -123,5 +124,80 @@ func TestFacadeMultiEngine(t *testing.T) {
 	}
 	if results[0].AppName != "Search" {
 		t.Errorf("app name = %q", results[0].AppName)
+	}
+}
+
+// TestFacadeShardedLiveEngine drives the partitioned serving path through
+// the facade: build, shard, search (matching the single-index answer),
+// recrawl after a database change, batch-apply, and per-shard stats.
+func TestFacadeShardedLiveEngine(t *testing.T) {
+	db := fooddb.New()
+	app, _ := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Index {
+		idx, _, err := Build(context.Background(), db, app, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	single := NewLiveEngine(build(), app)
+	sharded, err := NewShardedLiveEngine(build(), app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", sharded.NumShards())
+	}
+	req := Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20}
+	want, err := single.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("sharded results = %d, single = %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].URL != got[i].URL || want[i].Score != got[i].Score {
+			t.Errorf("result %d: single %s %v, sharded %s %v",
+				i, want[i].URL, want[i].Score, got[i].URL, got[i].Score)
+		}
+	}
+
+	// Batch apply routes and coalesces through the facade.
+	id := FragmentID{relation.String("Nordic"), relation.Int(3)}
+	st, err := sharded.ApplyBatch([]Delta{
+		{Changes: []FragmentChange{{Op: OpInsertFragment, ID: id,
+			TermCounts: map[string]int64{"herring": 2}, TotalTerms: 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total.Inserted != 1 || len(st.PerShard) != 1 {
+		t.Errorf("apply stats = %+v", st)
+	}
+	if !sharded.Live().Has(id) {
+		t.Error("inserted fragment not visible")
+	}
+	stats := sharded.Stats()
+	if stats.Shards != 3 || len(stats.PerShard) != 3 || stats.Inserted != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// ParallelSearch through the facade, pinned to one shard-snapshot set.
+	batch := sharded.ParallelSearch([]Request{req, req}, 0)
+	for _, br := range batch {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+		if len(br.Results) != len(got) {
+			t.Errorf("batch results = %d, want %d", len(br.Results), len(got))
+		}
 	}
 }

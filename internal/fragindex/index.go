@@ -123,10 +123,14 @@ func (pl *postingList) recompute() {
 	}
 }
 
-// Lists whose tombstones reach compactDeadNum/compactDeadDen of their
-// length are compacted on the spot; below the threshold Postings filters a
-// copy. Each compaction is O(list) after Ω(list) removals, so tombstone
-// reclamation is amortized O(1) per removal.
+// Lists whose tombstones reach the compaction threshold (dead/len >=
+// num/den, default compactDeadNum/compactDeadDen) are compacted on the
+// spot; below the threshold Postings filters a copy. Each compaction is
+// O(list) after Ω(list) removals, so tombstone reclamation is amortized
+// O(1) per removal. The threshold is tunable per index via
+// SetPostingCompaction: a lower ratio keeps lists cleaner (cheaper
+// Postings reads while tombstones linger) at the cost of more frequent
+// O(list) rewrites on removal-heavy churn.
 const (
 	compactDeadNum = 1
 	compactDeadDen = 4
@@ -193,8 +197,11 @@ func (s Spec) indices() (eqIdx []int, rangeIdx int, err error) {
 // a path in the fragment graph. weights mirrors members with each node's
 // total keyword count, so the search expansion loop reads neighbour
 // weights from the path it is already walking instead of dereferencing
-// fragment metadata chunks per step.
+// fragment metadata chunks per step. key is the canonical encoding of
+// eqVals (relation.Key) — the directory key, the shard-routing input, and
+// the content-based identity search tie-breaks use.
 type group struct {
+	key     string
 	eqVals  []relation.Value
 	members []FragRef // sorted ascending by range value
 	weights []int64   // members[i]'s Meta.Terms
@@ -205,6 +212,10 @@ type group struct {
 // later mutations (see the package comment).
 type Index struct {
 	s *Snapshot
+
+	// compactNum/compactDen is the posting-list compaction threshold
+	// (see SetPostingCompaction); defaults to compactDeadNum/Den.
+	compactNum, compactDen int
 
 	// cow is set once Freeze has published a snapshot: from then on every
 	// mutation copies shared structures before writing. The owned* sets
@@ -227,6 +238,8 @@ func New(spec Spec) (*Index, error) {
 		return nil, err
 	}
 	return &Index{
+		compactNum: compactDeadNum,
+		compactDen: compactDeadDen,
 		s: &Snapshot{
 			spec:     spec,
 			eqIdx:    eqIdx,
@@ -235,6 +248,21 @@ func New(spec Spec) (*Index, error) {
 			gshards:  newGroupShards(),
 		},
 	}, nil
+}
+
+// SetPostingCompaction tunes the lazy posting-list compaction threshold:
+// a list is rewritten without its tombstones once dead entries reach
+// num/den of its length. Lower ratios compact more eagerly (cleaner lists
+// for the read path, more O(list) rewrites under removal churn); higher
+// ratios defer the rewrite but make Postings pay a filtered copy while
+// tombstones linger. The default is 1/4. Requires 0 < num <= den. Like any
+// mutation, it must not race with other builder calls.
+func (idx *Index) SetPostingCompaction(num, den int) error {
+	if num <= 0 || den <= 0 || num > den {
+		return fmt.Errorf("fragindex: invalid posting compaction threshold %d/%d", num, den)
+	}
+	idx.compactNum, idx.compactDen = num, den
+	return nil
 }
 
 // Build constructs the index from a crawl output in one pass: fragments are
@@ -484,12 +512,13 @@ func (idx *Index) groupForWrite(g *group) *group {
 	if !idx.cow {
 		return g
 	}
-	key := relation.Key(g.eqVals)
+	key := g.key
 	gi := groupShardIndex(key)
 	if _, ok := idx.ownedGroups[key]; ok {
 		return idx.s.gshards[gi].groups[key]
 	}
 	ng := &group{
+		key:     g.key,
 		eqVals:  g.eqVals,
 		members: append([]FragRef(nil), g.members...),
 		weights: append([]int64(nil), g.weights...),
@@ -517,7 +546,7 @@ func (idx *Index) groupFor(id fragment.ID, create bool) *group {
 		if !create {
 			return nil
 		}
-		g = &group{eqVals: eq}
+		g = &group{key: key, eqVals: eq}
 		idx.gshardForWrite(gi).groups[key] = g
 		if idx.cow {
 			idx.ownedGroups[key] = struct{}{}

@@ -213,6 +213,15 @@ func (l *LiveIndex) Flush() (ApplyStats, error) {
 	return l.ApplyBatch(batch)
 }
 
+// SetPostingCompaction tunes the builder's lazy posting-list compaction
+// threshold (see Index.SetPostingCompaction); it serializes with the
+// writer, so it may be called while the index is serving.
+func (l *LiveIndex) SetPostingCompaction(num, den int) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return l.builder.SetPostingCompaction(num, den)
+}
+
 // CompactIfNeeded is the snapshot garbage collector: removals leave
 // tombstoned refs in the fragment metadata of every later version, and
 // once their share of the ref space reaches maxDeadRatio the index is

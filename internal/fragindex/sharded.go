@@ -1,0 +1,379 @@
+package fragindex
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/crawl"
+	"repro/internal/fragment"
+	"repro/internal/relation"
+)
+
+// ShardedLiveIndex partitions the fragment space across S independent
+// LiveIndex shards so the serving path scales with cores: every shard owns
+// its own freeze-and-swap publish cycle (an apply touching one shard clones
+// and publishes only there), and a scatter-gather search pins one snapshot
+// per shard and runs the read path on all of them concurrently.
+//
+// # Routing
+//
+// A fragment's shard is the FNV-1a hash of its equality-group key (the
+// fragment identifier's equality-attribute values) modulo the shard count.
+// Hashing the group key — not the whole identifier — guarantees an equality
+// group never straddles shards, so the fragment graph's paths stay intact:
+// every db-page a search can assemble lives wholly inside one shard, and
+// per-shard top-k results merge into a global top-k without cross-shard
+// page stitching. (A query with no equality attributes has a single group
+// and therefore degenerates to one busy shard; sharding pays off in
+// proportion to group-key cardinality.)
+//
+// # Concurrency
+//
+// Reads never lock: PinAll is one atomic load per shard, and the pinned set
+// is immutable for the query's lifetime. Writes scale with shards:
+// Apply/ApplyBatch route changes to their shards and run the per-shard
+// applies concurrently — each shard keeps its single-writer discipline
+// behind its own lock, and there is no global write lock. Like LiveIndex,
+// the structure is designed for one logical maintenance writer: concurrent
+// Apply calls are safe structurally, but insert-vs-update classification of
+// the same fragment races at the application level.
+//
+// Each per-shard apply is transactional (a failing shard publishes
+// nothing), but cross-shard atomicity is intentionally not provided: when
+// one shard's changes fail, other shards' publishes stand, and the error
+// names the failing shard. A scatter-gather search is likewise internally
+// consistent per shard — each pinned snapshot is immutable — while the
+// pinned set as a whole is an exact point-in-time cut only between
+// publishes.
+type ShardedLiveIndex struct {
+	spec   Spec
+	eqIdx  []int
+	shards []*LiveIndex
+
+	// deltas counts the logical deltas routed through Apply/ApplyBatch
+	// that published somewhere — the same meaning LiveIndex.Stats reports
+	// for a single index, independent of how many shards each batch
+	// touched (each touched shard's own counter records one shard-local
+	// apply per routed publish).
+	deltas atomic.Uint64
+}
+
+// NewShardedLive partitions a built index across n shards and takes
+// ownership of idx: all further access must go through the returned
+// ShardedLiveIndex. With n == 1 the index is wrapped directly (no copy);
+// for n > 1 the fragments are re-inserted into per-shard builders in
+// identifier order — the same order fragindex.Build uses — so per-shard
+// posting lists and group paths match what building each shard from a
+// routed crawl output would produce.
+func NewShardedLive(idx *Index, n int) (*ShardedLiveIndex, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fragindex: shard count %d, want >= 1", n)
+	}
+	s := idx.s
+	eqIdx, _, err := s.spec.indices()
+	if err != nil {
+		return nil, err
+	}
+	sl := &ShardedLiveIndex{spec: s.spec, eqIdx: eqIdx}
+	if n == 1 {
+		sl.shards = []*LiveIndex{NewLive(idx)}
+		return sl, nil
+	}
+	builders := make([]*Index, n)
+	for i := range builders {
+		b, err := New(s.spec)
+		if err != nil {
+			return nil, err
+		}
+		b.compactNum, b.compactDen = idx.compactNum, idx.compactDen
+		builders[i] = b
+	}
+	// Re-insert the live fragments into their routed shards, in the same
+	// identifier-ordered reconstruction Compact rebuilds from.
+	order, counts := s.liveFragmentsByID()
+	sl.shards = make([]*LiveIndex, n)
+	for _, ref := range order {
+		m := s.metaAt(ref)
+		if _, err := builders[sl.shardOf(m.ID)].InsertFragment(m.ID, counts[ref], m.Terms); err != nil {
+			return nil, fmt.Errorf("fragindex: partitioning %s: %w", m.ID, err)
+		}
+	}
+	for i, b := range builders {
+		sl.shards[i] = NewLive(b)
+	}
+	return sl, nil
+}
+
+// NumShards returns the shard count.
+func (sl *ShardedLiveIndex) NumShards() int { return len(sl.shards) }
+
+// Shard returns shard i's LiveIndex for direct access (per-shard stats,
+// queueing, explicit snapshots).
+func (sl *ShardedLiveIndex) Shard(i int) *LiveIndex { return sl.shards[i] }
+
+// Spec returns the index's selection-attribute structure.
+func (sl *ShardedLiveIndex) Spec() Spec { return sl.spec }
+
+// shardOf routes an identifier of validated arity to its shard.
+func (sl *ShardedLiveIndex) shardOf(id fragment.ID) int {
+	eq := make([]relation.Value, len(sl.eqIdx))
+	for i, j := range sl.eqIdx {
+		eq[i] = id[j]
+	}
+	return int(fnv32(relation.Key(eq)) % uint32(len(sl.shards)))
+}
+
+// ShardFor returns the shard a fragment identifier routes to: the hash of
+// its equality-group key, so all members of one group share a shard.
+func (sl *ShardedLiveIndex) ShardFor(id fragment.ID) (int, error) {
+	if len(id) != len(sl.spec.SelAttrs) {
+		return 0, fmt.Errorf("%w: id %v has %d values, want %d",
+			ErrBadIDArity, id, len(id), len(sl.spec.SelAttrs))
+	}
+	return sl.shardOf(id), nil
+}
+
+// PinAll resolves the current published snapshot of every shard — one
+// atomic load each, no locks. Each snapshot is immutable; the set is the
+// read view a scatter-gather search runs against.
+func (sl *ShardedLiveIndex) PinAll() []*Snapshot {
+	out := make([]*Snapshot, len(sl.shards))
+	for i, sh := range sl.shards {
+		out[i] = sh.Snapshot()
+	}
+	return out
+}
+
+// Has reports whether a live fragment with the given identifier exists in
+// its routed shard's current snapshot.
+func (sl *ShardedLiveIndex) Has(id fragment.ID) bool {
+	si, err := sl.ShardFor(id)
+	if err != nil {
+		return false
+	}
+	return sl.shards[si].Snapshot().Has(id)
+}
+
+// checkSpec rejects deltas whose selection attributes disagree with the
+// index spec (empty SelAttrs skips the check).
+func (sl *ShardedLiveIndex) checkSpec(selAttrs []string) error {
+	if len(selAttrs) > 0 && !slices.Equal(selAttrs, sl.spec.SelAttrs) {
+		return fmt.Errorf("%w: delta %v, index %v", ErrDeltaSpec, selAttrs, sl.spec.SelAttrs)
+	}
+	return nil
+}
+
+// ShardApply is one shard's share of a routed apply. Its embedded stats
+// are the shard's own report: Deltas is 1 (the shard applied one routed,
+// already-coalesced delta), and the clone counters cover that shard's
+// publish only.
+type ShardApply struct {
+	Shard int `json:"shard"`
+	ApplyStats
+}
+
+// ShardedApplyStats reports a routed apply: the summed totals plus what
+// each touched shard published. Total.Deltas is the logical delta count
+// of the call (1 for Apply, the batch size for ApplyBatch) and
+// Total.Epoch the highest epoch across shards after the apply — for a
+// no-op that is the current highest published epoch, matching
+// LiveIndex's no-op contract (shards advance their epochs
+// independently).
+type ShardedApplyStats struct {
+	Total ApplyStats `json:"total"`
+	// PerShard lists only the shards the apply touched, ascending.
+	PerShard []ShardApply `json:"per_shard,omitempty"`
+}
+
+// maxEpoch returns the highest currently published epoch across shards.
+func (sl *ShardedLiveIndex) maxEpoch() uint64 {
+	var max uint64
+	for _, sh := range sl.shards {
+		if e := sh.Snapshot().epoch; e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Apply routes a delta's changes to their shards and applies them
+// concurrently, one transactional publish per touched shard. Changes for
+// the same fragment keep their order (they route to the same shard).
+// Cross-shard atomicity is not provided: on error the failing shard has
+// published nothing, but other shards' publishes stand.
+func (sl *ShardedLiveIndex) Apply(d crawl.Delta) (ShardedApplyStats, error) {
+	if err := sl.checkSpec(d.SelAttrs); err != nil {
+		return ShardedApplyStats{}, err
+	}
+	return sl.applyRouted(d.SelAttrs, d.Changes, 1)
+}
+
+// ApplyBatch coalesces a sequence of deltas (crawl.Coalesce) and routes the
+// net changes to their shards, applying concurrently — each touched shard
+// pays one publish for the whole batch, and untouched shards pay nothing.
+// Like Apply, per-shard applies are transactional but cross-shard atomicity
+// is not provided.
+func (sl *ShardedLiveIndex) ApplyBatch(ds []crawl.Delta) (ShardedApplyStats, error) {
+	for _, d := range ds {
+		if err := sl.checkSpec(d.SelAttrs); err != nil {
+			return ShardedApplyStats{}, err
+		}
+	}
+	folded, err := crawl.Coalesce(ds)
+	if err != nil {
+		return ShardedApplyStats{}, err
+	}
+	return sl.applyRouted(folded.SelAttrs, folded.Changes, len(ds))
+}
+
+// applyRouted partitions changes by shard and applies each shard's slice
+// concurrently. deltas is the logical delta count for stats.
+func (sl *ShardedLiveIndex) applyRouted(selAttrs []string, changes []crawl.FragmentChange, deltas int) (ShardedApplyStats, error) {
+	out := ShardedApplyStats{Total: ApplyStats{Deltas: deltas}}
+	if len(changes) == 0 {
+		out.Total.Epoch = sl.maxEpoch()
+		return out, nil
+	}
+	per := make([][]crawl.FragmentChange, len(sl.shards))
+	for _, ch := range changes {
+		si, err := sl.ShardFor(ch.ID)
+		if err != nil {
+			return ShardedApplyStats{}, err
+		}
+		per[si] = append(per[si], ch)
+	}
+	stats := make([]ApplyStats, len(sl.shards))
+	errs := make([]error, len(sl.shards))
+	var wg sync.WaitGroup
+	for si, chs := range per {
+		if len(chs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, chs []crawl.FragmentChange) {
+			defer wg.Done()
+			stats[si], errs[si] = sl.shards[si].Apply(crawl.Delta{SelAttrs: selAttrs, Changes: chs})
+		}(si, chs)
+	}
+	wg.Wait()
+	for si, err := range errs {
+		if err != nil {
+			return ShardedApplyStats{}, fmt.Errorf("fragindex: shard %d: %w", si, err)
+		}
+	}
+	for si, chs := range per {
+		if len(chs) == 0 {
+			continue
+		}
+		st := stats[si]
+		out.Total.Inserted += st.Inserted
+		out.Total.Removed += st.Removed
+		out.Total.Updated += st.Updated
+		out.Total.ClonedChunks += st.ClonedChunks
+		out.Total.ClonedShards += st.ClonedShards
+		out.Total.ClonedLists += st.ClonedLists
+		out.Total.ClonedGroups += st.ClonedGroups
+		if st.Epoch > out.Total.Epoch {
+			out.Total.Epoch = st.Epoch
+		}
+		out.PerShard = append(out.PerShard, ShardApply{Shard: si, ApplyStats: st})
+	}
+	sl.deltas.Add(uint64(deltas))
+	return out, nil
+}
+
+// CompactIfNeeded runs the snapshot garbage collector on every shard
+// concurrently (see LiveIndex.CompactIfNeeded) and returns how many shards
+// compacted. Shards decide independently — a removal-heavy shard compacts
+// while its siblings keep serving their current lineages untouched.
+func (sl *ShardedLiveIndex) CompactIfNeeded(maxDeadRatio float64) (int, error) {
+	ran := make([]bool, len(sl.shards))
+	errs := make([]error, len(sl.shards))
+	var wg sync.WaitGroup
+	for si, sh := range sl.shards {
+		wg.Add(1)
+		go func(si int, sh *LiveIndex) {
+			defer wg.Done()
+			ran[si], errs[si] = sh.CompactIfNeeded(maxDeadRatio)
+		}(si, sh)
+	}
+	wg.Wait()
+	n := 0
+	for si, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("fragindex: shard %d: %w", si, err)
+		}
+		if ran[si] {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SetPostingCompaction tunes every shard's posting-list compaction
+// threshold (see Index.SetPostingCompaction).
+func (sl *ShardedLiveIndex) SetPostingCompaction(num, den int) error {
+	for _, sh := range sl.shards {
+		if err := sh.SetPostingCompaction(num, den); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardedLiveStats aggregates the per-shard serving statistics. Counters
+// are sums across shards, except DeltasApplied, which counts logical
+// deltas routed through Apply/ApplyBatch — the same meaning a single
+// LiveIndex reports — while each PerShard row's DeltasApplied counts that
+// shard's own applies (one per routed publish). MaxEpoch is the highest
+// per-shard epoch (shards advance independently). KeywordLists counts
+// posting lists across shards — a keyword whose fragments span k shards
+// contributes k lists.
+type ShardedLiveStats struct {
+	Shards         int     `json:"shards"`
+	Fragments      int     `json:"fragments"`
+	KeywordLists   int     `json:"keyword_lists"`
+	TombstonedRefs int     `json:"tombstoned_refs"`
+	AvgTerms       float64 `json:"avg_terms_per_fragment"`
+	MaxEpoch       uint64  `json:"max_epoch"`
+	DeltasApplied  uint64  `json:"deltas_applied"`
+	Publishes      uint64  `json:"publishes"`
+	Queued         int     `json:"queued_deltas"`
+	Inserted       uint64  `json:"fragments_inserted"`
+	Removed        uint64  `json:"fragments_removed"`
+	Updated        uint64  `json:"fragments_updated"`
+	Compactions    uint64  `json:"compactions"`
+	// PerShard carries each shard's own stats (epoch, pending queue,
+	// publish counters) in shard order.
+	PerShard []LiveStats `json:"per_shard"`
+}
+
+// Stats reads every shard's current snapshot and maintenance counters.
+// Safe to call concurrently with searches and applies.
+func (sl *ShardedLiveIndex) Stats() ShardedLiveStats {
+	out := ShardedLiveStats{Shards: len(sl.shards), DeltasApplied: sl.deltas.Load()}
+	var terms float64
+	for _, sh := range sl.shards {
+		st := sh.Stats()
+		out.Fragments += st.Fragments
+		out.KeywordLists += st.Keywords
+		out.TombstonedRefs += st.TombstonedRefs
+		terms += st.AvgTerms * float64(st.Fragments)
+		if st.Epoch > out.MaxEpoch {
+			out.MaxEpoch = st.Epoch
+		}
+		out.Publishes += st.Publishes
+		out.Queued += st.Queued
+		out.Inserted += st.Inserted
+		out.Removed += st.Removed
+		out.Updated += st.Updated
+		out.Compactions += st.Compactions
+		out.PerShard = append(out.PerShard, st)
+	}
+	if out.Fragments > 0 {
+		out.AvgTerms = terms / float64(out.Fragments)
+	}
+	return out
+}

@@ -459,27 +459,29 @@ func (s *Snapshot) Neighbors(ref FragRef) ([]FragRef, error) {
 // GroupMembers returns the full equality group of a fragment in range
 // order. The slice must not be modified.
 func (s *Snapshot) GroupMembers(ref FragRef) ([]FragRef, int, error) {
-	members, _, pos, err := s.GroupPath(ref)
+	members, _, _, pos, err := s.GroupPath(ref)
 	return members, pos, err
 }
 
 // GroupPath returns a live fragment's equality group in range order along
-// with the parallel node weights (each member's total keyword count) and
-// the fragment's position on the path. Neither slice may be modified.
-// This is the search engine's seeding accessor: one chunk lookup hands
-// the expansion loop everything it walks, so growing a db-page along the
-// path reads neighbour weights without touching fragment metadata again.
-func (s *Snapshot) GroupPath(ref FragRef) (members []FragRef, weights []int64, pos int, err error) {
+// with the parallel node weights (each member's total keyword count), the
+// group's canonical equality key, and the fragment's position on the path.
+// Neither slice may be modified. This is the search engine's seeding
+// accessor: one chunk lookup hands the expansion loop everything it walks,
+// so growing a db-page along the path reads neighbour weights without
+// touching fragment metadata again — and the key gives every assembled
+// page a content-based identity independent of ref numbering.
+func (s *Snapshot) GroupPath(ref FragRef) (members []FragRef, weights []int64, key string, pos int, err error) {
 	if int(ref) < 0 || int(ref) >= s.numRefs {
-		return nil, nil, 0, fmt.Errorf("%w: ref %d", ErrNoFragment, ref)
+		return nil, nil, "", 0, fmt.Errorf("%w: ref %d", ErrNoFragment, ref)
 	}
 	c := s.chunks[ref>>chunkShift]
 	i := int(ref) & chunkMask
 	if !c.frags[i].Alive {
-		return nil, nil, 0, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
+		return nil, nil, "", 0, fmt.Errorf("%w: ref %d is removed", ErrNoFragment, ref)
 	}
 	g := c.groupOf[i]
-	return g.members, g.weights, c.memberAt[i], nil
+	return g.members, g.weights, g.key, c.memberAt[i], nil
 }
 
 // Edges enumerates all fragment-graph edges as (smaller, larger) ref pairs,

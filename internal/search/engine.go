@@ -8,8 +8,12 @@
 // materialized, IDF of keyword w is approximated as 1/DF(w) over fragments,
 // and a page's TF for w is its occurrence count divided by its total
 // keyword count. Merging the queue head with a neighbour yields a mediant
-// of fractions, so scores are non-increasing along expansions — the
-// monotonicity Algorithm 1's early termination relies on.
+// of fractions, so a page's score stays bounded by the densest fragment it
+// absorbs — but absorbing a denser neighbour can raise it, so Algorithm
+// 1's early termination is greedy: the first k pages emitted are not
+// always the k best the full enumeration would produce (see the
+// ShardedEngine notes on how the scatter-gather merge interacts with
+// this).
 //
 // # Performance
 //
@@ -152,11 +156,19 @@ type Result struct {
 	// EqValues and RangeLo/RangeHi describe the page's parameter box.
 	EqValues         map[string]relation.Value
 	RangeLo, RangeHi relation.Value
+	// EqKey is the canonical encoding of the page's equality values — the
+	// group identity the ranking tie-break and cross-shard merge use, and
+	// a convenient grouping key for consumers.
+	EqKey string
 }
 
 // candidate is a pending db-page: a contiguous interval of one equality
 // group's members. weights mirrors members (the group path carries node
-// weights), so expansion reads neighbour sizes off the path itself.
+// weights), so expansion reads neighbour sizes off the path itself. gkey
+// gives the priority queue a content-based identity for exact score ties:
+// the queue's order must match the canonical result order (compareResults)
+// so that truncating at K keeps the same pages a merge over shards would
+// keep.
 type candidate struct {
 	members []fragindex.FragRef // the full group, shared
 	weights []int64             // per member: total keyword count, shared
@@ -165,7 +177,7 @@ type candidate struct {
 	ord     int32               // dense ordinal of the seeding fragment
 	size    int64
 	score   float64
-	seed    fragindex.FragRef // originating fragment (for removal tracking)
+	gkey    string // the group's canonical equality key
 }
 
 // searchScratch holds every transient structure one Search needs. It is
@@ -282,7 +294,15 @@ func selectSmallestRefs(band []fragindex.Posting, need int) {
 }
 
 // candLess orders the priority queue: best score first, then the
-// deterministic tie-break (smaller page, then seed order).
+// deterministic content-based tie-break — smaller page, then the group's
+// canonical equality key, then the page's interval position on the group
+// path. The tie-break deliberately mirrors compareResults (group members
+// are range-ordered, so path positions order like range values) and never
+// consults ref numbering: when the K-th result slot falls inside a band of
+// exactly tied pages, the pages kept are a function of page content alone,
+// so a sharded scatter-gather (whose shards number refs independently)
+// truncates to the same top-k a single index does. The key comparison only
+// runs on exact (score, size) ties.
 func candLess(a, b *candidate) bool {
 	if a.score != b.score {
 		return a.score > b.score
@@ -290,7 +310,13 @@ func candLess(a, b *candidate) bool {
 	if a.size != b.size {
 		return a.size < b.size
 	}
-	return a.seed < b.seed
+	if a.gkey != b.gkey {
+		return a.gkey < b.gkey
+	}
+	if a.lo != b.lo {
+		return a.lo < b.lo
+	}
+	return a.hi < b.hi
 }
 
 // heapPush and heapPop implement a typed binary heap over s.heap —
@@ -345,6 +371,16 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 // and callers can hold a snapshot across calls for repeatable reads while
 // later versions are published.
 func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result, error) {
+	return e.searchSnapshot(idx, req, nil)
+}
+
+// searchSnapshot is SearchSnapshot with an optional IDF override:
+// globalIDF, when non-nil, supplies the IDF per normalized keyword —
+// aligned with normalizeKeywords(req.Keywords) order — in place of the
+// snapshot's own 1/DF. The sharded scatter-gather passes corpus-wide IDF
+// aggregated over the pinned shard snapshots here, so per-shard scores are
+// byte-identical to a single-index run over the union of the shards.
+func (e *Engine) searchSnapshot(idx *fragindex.Snapshot, req Request, globalIDF []float64) ([]Result, error) {
 	s := e.scratch.Get().(*searchScratch)
 	defer e.scratch.Put(s)
 	s.reset()
@@ -356,12 +392,19 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 	if req.K <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrBadK, req.K)
 	}
+	if globalIDF != nil && len(globalIDF) != len(s.keywords) {
+		return nil, fmt.Errorf("search: %d IDF overrides for %d normalized keywords",
+			len(globalIDF), len(s.keywords))
+	}
 	nk := len(s.keywords)
 
 	// Line 1: fragments relevant to W, with precomputed IDF weights and
 	// per-fragment occurrence vectors in the flat seed arena.
 	for i, w := range s.keywords {
 		ps, idf := idx.PostingsIDF(w)
+		if globalIDF != nil {
+			idf = globalIDF[i]
+		}
 		s.idf = append(s.idf, idf)
 		if req.CandidateLimit > 0 && len(ps) > req.CandidateLimit {
 			// TF-descending lists make the prefix the highest-TF
@@ -415,7 +458,7 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 		s.consumed = make([]bool, numOrds)
 	}
 	for ord, ref := range s.refs {
-		members, weights, pos, err := idx.GroupPath(ref)
+		members, weights, gkey, pos, err := idx.GroupPath(ref)
 		if err != nil {
 			return nil, err
 		}
@@ -428,7 +471,7 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 			occ:     s.candOcc[ord*nk : (ord+1)*nk],
 			ord:     int32(ord),
 			size:    weights[pos],
-			seed:    ref,
+			gkey:    gkey,
 		}
 		c.score = score(c.occ, c.size, s.idf)
 		s.heapPush(c)
@@ -478,8 +521,51 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 		out = append(out, res)
 	}
 
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	sortResults(out)
 	return out, nil
+}
+
+// compareResults is the canonical result order: score descending, then
+// size ascending, then the page's parameter box (canonical equality key,
+// then range interval). It mirrors candLess exactly — group members are
+// range-ordered, so candLess's path positions order like the interval here
+// — and is a total order over distinct pages that depends only on page
+// content, never on internal ref numbering, so the order is identical
+// across snapshots, compactions, and shard layouts. The sharded
+// scatter-gather relies on this: per-shard top-k lists sorted this way
+// merge into exactly the list a single-index engine over the union of the
+// shards returns. (The one unordered case: distinct intervals over
+// duplicate range values can share a parameter box — but such pages
+// regenerate the same URL, so their relative order is immaterial at the
+// API surface.)
+func compareResults(a, b *Result) int {
+	switch {
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	}
+	switch {
+	case a.Size < b.Size:
+		return -1
+	case a.Size > b.Size:
+		return 1
+	}
+	switch {
+	case a.EqKey < b.EqKey:
+		return -1
+	case a.EqKey > b.EqKey:
+		return 1
+	}
+	if c := a.RangeLo.Compare(b.RangeLo); c != 0 {
+		return c
+	}
+	return a.RangeHi.Compare(b.RangeHi)
+}
+
+// sortResults orders results canonically (see compareResults).
+func sortResults(out []Result) {
+	sort.SliceStable(out, func(i, j int) bool { return compareResults(&out[i], &out[j]) < 0 })
 }
 
 // expandable implements line 6's test:  is smaller than s and a neighbour
@@ -596,6 +682,7 @@ func (e *Engine) resultFor(idx *fragindex.Snapshot, c *candidate) (Result, error
 		EqValues:  eqVals,
 		RangeLo:   lo,
 		RangeHi:   hi,
+		EqKey:     c.gkey,
 	}
 	if e.app != nil {
 		params, err := e.app.PageParams(eqVals, lo, hi)

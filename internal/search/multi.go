@@ -1,7 +1,6 @@
 package search
 
 import (
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -50,10 +49,7 @@ func (m *MultiEngine) Search(req Request) ([]MultiResult, error) {
 	perEngine := make([][]Result, len(m.engines))
 	errs := make([]error, len(m.engines))
 
-	workers := m.MaxFanout
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := clampWorkers(m.MaxFanout)
 	if workers > len(m.engines) {
 		workers = len(m.engines)
 	}

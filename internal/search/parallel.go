@@ -12,6 +12,18 @@ type BatchResult struct {
 	Err     error
 }
 
+// clampWorkers resolves a worker-count knob to an effective pool size:
+// zero and negative values mean "let the runtime decide" (GOMAXPROCS).
+// Every concurrency entry point — ParallelSearch, MultiEngine.Search, the
+// ShardedEngine scatter — resolves its knob through this one helper, so
+// the <= 0 convention cannot drift between call sites.
+func clampWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // ParallelSearch evaluates N requests over at most `workers` goroutines
 // sharing this engine (workers <= 0 means GOMAXPROCS). Results come back
 // positionally — out[i] answers reqs[i] — and each slot is exactly what a
@@ -32,9 +44,7 @@ func (e *Engine) ParallelSearch(reqs []Request, workers int) []BatchResult {
 		return out
 	}
 	snap := e.src.Snapshot()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = clampWorkers(workers)
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
