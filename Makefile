@@ -17,14 +17,16 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the tracked search-path performance snapshot: the
-# Fig. 11 top-k sweep, the parallel-throughput scaling benchmark, the
-# live-mutation-under-load benchmark, the snapshot-publish-cost benchmark
-# (chunked metadata + batched applies), and the sharded serving benchmarks
-# (scatter-gather search + routed applies at S = 1/4/16 vs the
-# single-index baseline), with allocation counts, converted to
-# BENCH_search.json so the perf trajectory is diffable PR over PR.
+# Fig. 11 top-k sweep, the context-overhead guard (the cooperative
+# cancellation poll must sit within noise of a background-ctx run), the
+# parallel-throughput scaling benchmark, the live-mutation-under-load
+# benchmark, the snapshot-publish-cost benchmark (chunked metadata +
+# batched applies), and the sharded serving benchmarks (scatter-gather
+# search + routed applies at S = 1/4/16 vs the single-index baseline),
+# with allocation counts, converted to BENCH_search.json so the perf
+# trajectory is diffable PR over PR.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig11|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost|ShardedSearchThroughput|ShardedApplyThroughput' -benchmem -count 1 . > BENCH_search.txt
+	$(GO) test -run '^$$' -bench 'Fig11|SearchContextOverhead|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost|ShardedSearchThroughput|ShardedApplyThroughput' -benchmem -count 1 . > BENCH_search.txt
 	$(GO) run ./cmd/benchjson -o BENCH_search.json < BENCH_search.txt
 	@rm -f BENCH_search.txt
 	@echo wrote BENCH_search.json

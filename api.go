@@ -1,0 +1,277 @@
+package dash
+
+// This file is the public serving contract: the Searcher/Maintainer
+// interfaces every topology implements, and dash.Open — the one entry
+// point that picks a topology (static, live, or sharded) from functional
+// options, so call sites depend on the contract and swap topologies
+// without rewrites.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/search"
+)
+
+// Searcher is the read contract every serving topology implements:
+// Engine, MultiEngine, LiveEngine, and ShardedLiveEngine all answer the
+// same three calls, so callers written against Searcher swap topologies
+// freely. Every search takes a context first; an already-cancelled ctx
+// returns ctx.Err() without touching a snapshot, and a cancellation or
+// deadline arriving mid-search is honored cooperatively (a bounded number
+// of heap pops after the signal — see the search package docs).
+type Searcher interface {
+	// Search answers one top-k query against the current index state.
+	Search(ctx context.Context, req Request) ([]Result, error)
+	// SearchBatch answers a batch of queries concurrently, all pinned to
+	// one consistent index state; out[i] answers reqs[i]. Slots abandoned
+	// by a cancellation carry ctx.Err().
+	SearchBatch(ctx context.Context, reqs []Request) []BatchResult
+	// Stats summarizes the serving index in the unified shape.
+	Stats() EngineStats
+}
+
+// Maintainer is the write contract of the live topologies (LiveEngine and
+// ShardedLiveEngine — the handles Open returns): fold database changes
+// into the serving index while searches keep running. Every method takes a
+// context and every apply is transactional per publish cycle — a
+// cancellation, like any other error, publishes nothing in the failing
+// cycle (see ShardedLiveIndex for the cross-shard contract).
+type Maintainer interface {
+	// Apply folds one delta into the index and publishes atomically.
+	Apply(ctx context.Context, d Delta) (ApplyReport, error)
+	// ApplyBatch coalesces a sequence of deltas into one publish per
+	// touched publish cycle.
+	ApplyBatch(ctx context.Context, ds []Delta) (ApplyReport, error)
+	// Recrawl re-executes the application query for the given fragment
+	// partitions only, derives the resulting delta, and publishes it.
+	Recrawl(ctx context.Context, db *Database, ids []FragmentID) (ApplyReport, error)
+	// RecrawlWith combines a targeted re-crawl with explicit extra changes
+	// in one transactional delta.
+	RecrawlWith(ctx context.Context, db *Database, ids []FragmentID, extra Delta) (ApplyReport, error)
+	// RecrawlBatch combines a targeted re-crawl with a batch of explicit
+	// deltas; everything coalesces into one publish per touched cycle.
+	RecrawlBatch(ctx context.Context, db *Database, ids []FragmentID, ds []Delta) (ApplyReport, error)
+	// CompactIfNeeded runs the snapshot garbage collector, returning how
+	// many publish cycles compacted.
+	CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (int, error)
+}
+
+// Handle is the full serving contract Open returns: searches and
+// maintenance over one index, whatever topology the options picked.
+type Handle interface {
+	Searcher
+	Maintainer
+}
+
+// ErrReadOnly is returned by every Maintainer method of a handle opened
+// with WithReadOnly.
+var ErrReadOnly = errors.New("dash: read-only handle: maintenance not supported")
+
+// openConfig accumulates functional options; zero values are the
+// defaults.
+type openConfig struct {
+	shards     int // 0 or 1: single live index; > 1: sharded
+	workers    int // <= 0: GOMAXPROCS (the clampWorkers convention)
+	compactNum int // posting-compaction threshold; 0/0: keep the default
+	compactDen int
+	candLimit  int // default Request.CandidateLimit when a request has none
+	readOnly   bool
+}
+
+// Option configures Open.
+type Option func(*openConfig) error
+
+// WithShards partitions the index across n independent publish cycles
+// (n > 1 selects the sharded topology; n == 1, the default, a single live
+// index). See ARCHITECTURE.md for the routing and equivalence contract.
+func WithShards(n int) Option {
+	return func(c *openConfig) error {
+		if n < 1 {
+			return fmt.Errorf("dash: WithShards(%d): shard count must be >= 1", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithWorkers bounds the worker pool batch searches and the sharded
+// scatter fan out over (n <= 0 means GOMAXPROCS, the default).
+func WithWorkers(n int) Option {
+	return func(c *openConfig) error {
+		c.workers = n
+		return nil
+	}
+}
+
+// WithPostingCompaction tunes the lazy posting-list compaction threshold
+// to num/den (default 1/4): a posting list is rewritten once at least
+// num/den of its entries are dead. See Index.SetPostingCompaction.
+func WithPostingCompaction(num, den int) Option {
+	return func(c *openConfig) error {
+		if num < 1 || den < 1 || num > den {
+			return fmt.Errorf("dash: WithPostingCompaction(%d, %d): want 0 < num <= den", num, den)
+		}
+		c.compactNum, c.compactDen = num, den
+		return nil
+	}
+}
+
+// WithCandidateLimit caps postings read per keyword for every request that
+// leaves Request.CandidateLimit at 0 (which otherwise means "read full
+// lists"). A server-side guard against hot-keyword latency. A request can
+// override the handle default either way: any positive CandidateLimit
+// replaces it, and a negative one explicitly requests full posting lists
+// (the engine treats every non-positive limit as unlimited).
+func WithCandidateLimit(n int) Option {
+	return func(c *openConfig) error {
+		if n < 0 {
+			return fmt.Errorf("dash: WithCandidateLimit(%d): limit must be >= 0", n)
+		}
+		c.candLimit = n
+		return nil
+	}
+}
+
+// WithReadOnly opens the static topology: searches run against the index
+// frozen at Open time and every Maintainer method returns ErrReadOnly.
+// The cheapest choice when the corpus never changes (no publish machinery
+// at all). Incompatible with WithShards > 1.
+func WithReadOnly() Option {
+	return func(c *openConfig) error {
+		c.readOnly = true
+		return nil
+	}
+}
+
+// Open wraps a built index for serving behind the one public contract,
+// picking the topology from the options:
+//
+//   - WithReadOnly: a static engine over the index frozen at Open time.
+//   - default (or WithShards(1)): a single LiveEngine — epoch-swap
+//     snapshots, one publish cycle.
+//   - WithShards(n > 1): a ShardedLiveEngine — the fragment space
+//     partitioned by equality-group key, scatter-gather searches,
+//     per-shard publish cycles.
+//
+// Every topology answers Search/SearchBatch/Stats identically (byte-equal
+// results for the same corpus — the equivalence tests pin this down), so
+// the choice is purely operational: write rate and core count.
+//
+// Open takes ownership of idx: all further access must go through the
+// returned Handle. app may be nil when URL formulation is not needed.
+func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
+	var cfg openConfig
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.readOnly && cfg.shards > 1 {
+		return nil, fmt.Errorf("dash: WithReadOnly is incompatible with WithShards(%d)", cfg.shards)
+	}
+	if cfg.compactNum > 0 {
+		if err := idx.SetPostingCompaction(cfg.compactNum, cfg.compactDen); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case cfg.readOnly:
+		return &staticHandle{
+			engine:    search.New(idx.Freeze(), app),
+			workers:   cfg.workers,
+			candLimit: cfg.candLimit,
+		}, nil
+	case cfg.shards > 1:
+		se, err := NewShardedLiveEngine(idx, app, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		se.engine.MaxFanout = cfg.workers
+		se.workers = cfg.workers
+		se.candLimit = cfg.candLimit
+		return se, nil
+	default:
+		le := NewLiveEngine(idx, app)
+		le.workers = cfg.workers
+		le.candLimit = cfg.candLimit
+		return le, nil
+	}
+}
+
+// fillCandidateLimit applies a handle-level default CandidateLimit to
+// requests that leave the field at 0. A negative request value is the
+// explicit opt-out — it passes through untouched, and the engine reads
+// full posting lists for any non-positive limit.
+func fillCandidateLimit(req Request, limit int) Request {
+	if req.CandidateLimit == 0 && limit > 0 {
+		req.CandidateLimit = limit
+	}
+	return req
+}
+
+// fillCandidateLimits is fillCandidateLimit over a batch; it copies only
+// when a request actually changes, so the common no-default path passes
+// the caller's slice through untouched.
+func fillCandidateLimits(reqs []Request, limit int) []Request {
+	if limit <= 0 {
+		return reqs
+	}
+	out := reqs
+	copied := false
+	for i, req := range reqs {
+		if req.CandidateLimit != 0 {
+			continue
+		}
+		if !copied {
+			out = append([]Request(nil), reqs...)
+			copied = true
+		}
+		out[i].CandidateLimit = limit
+	}
+	return out
+}
+
+// staticHandle is the read-only topology behind Open(WithReadOnly): a
+// plain engine over one frozen snapshot, with every Maintainer method
+// refusing.
+type staticHandle struct {
+	engine    *Engine
+	workers   int
+	candLimit int
+}
+
+func (h *staticHandle) Search(ctx context.Context, req Request) ([]Result, error) {
+	return h.engine.Search(ctx, fillCandidateLimit(req, h.candLimit))
+}
+
+func (h *staticHandle) SearchBatch(ctx context.Context, reqs []Request) []BatchResult {
+	return h.engine.ParallelSearch(ctx, fillCandidateLimits(reqs, h.candLimit), h.workers)
+}
+
+func (h *staticHandle) Stats() EngineStats { return h.engine.Stats() }
+
+func (h *staticHandle) Apply(context.Context, Delta) (ApplyReport, error) {
+	return ApplyReport{}, ErrReadOnly
+}
+
+func (h *staticHandle) ApplyBatch(context.Context, []Delta) (ApplyReport, error) {
+	return ApplyReport{}, ErrReadOnly
+}
+
+func (h *staticHandle) Recrawl(context.Context, *Database, []FragmentID) (ApplyReport, error) {
+	return ApplyReport{}, ErrReadOnly
+}
+
+func (h *staticHandle) RecrawlWith(context.Context, *Database, []FragmentID, Delta) (ApplyReport, error) {
+	return ApplyReport{}, ErrReadOnly
+}
+
+func (h *staticHandle) RecrawlBatch(context.Context, *Database, []FragmentID, []Delta) (ApplyReport, error) {
+	return ApplyReport{}, ErrReadOnly
+}
+
+func (h *staticHandle) CompactIfNeeded(context.Context, float64) (int, error) {
+	return 0, ErrReadOnly
+}

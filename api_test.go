@@ -1,0 +1,293 @@
+package dash
+
+// Contract tests for the context-first public API: compile-time
+// interface coverage (the apidiff-style guard CI runs), Open's topology
+// selection and option validation, and the cross-topology equivalence
+// the contract promises.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/fooddb"
+	"repro/internal/relation"
+)
+
+// The apidiff guard: every serving topology implements Searcher, and the
+// live topologies (everything Open returns) implement the full Handle.
+// A signature drift on any engine type breaks the build right here.
+var (
+	_ Searcher = (*Engine)(nil)
+	_ Searcher = (*MultiEngine)(nil)
+	_ Searcher = (*LiveEngine)(nil)
+	_ Searcher = (*ShardedLiveEngine)(nil)
+
+	_ Maintainer = (*LiveEngine)(nil)
+	_ Maintainer = (*ShardedLiveEngine)(nil)
+
+	_ Handle = (*LiveEngine)(nil)
+	_ Handle = (*ShardedLiveEngine)(nil)
+	_ Handle = (*staticHandle)(nil)
+)
+
+// fooddbIndex builds one fresh fooddb index (each serving engine takes
+// ownership of its index, so equivalence tests build one per topology).
+func fooddbIndex(t *testing.T) (*Database, *Application, func() *Index) {
+	t.Helper()
+	db := fooddb.New()
+	app, err := Analyze(fooddb.ServletSource, fooddb.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Bind(db); err != nil {
+		t.Fatal(err)
+	}
+	return db, app, func() *Index {
+		idx, _, err := Build(context.Background(), db, app, BuildOptions{Algorithm: AlgReference})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+}
+
+// TestOpenTopologySelection: the options pick the documented concrete
+// topology.
+func TestOpenTopologySelection(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+
+	h, err := Open(build(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.(*LiveEngine); !ok {
+		t.Errorf("default topology = %T, want *LiveEngine", h)
+	}
+	if st := h.Stats(); st.Topology != "live" || st.Shards != 1 {
+		t.Errorf("default stats = %s/%d shards", st.Topology, st.Shards)
+	}
+
+	h, err = Open(build(), app, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.(*LiveEngine); !ok {
+		t.Errorf("WithShards(1) topology = %T, want *LiveEngine", h)
+	}
+
+	h, err = Open(build(), app, WithShards(4), WithWorkers(2), WithPostingCompaction(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ok := h.(*ShardedLiveEngine)
+	if !ok {
+		t.Fatalf("WithShards(4) topology = %T, want *ShardedLiveEngine", h)
+	}
+	if se.NumShards() != 4 {
+		t.Errorf("NumShards = %d", se.NumShards())
+	}
+	if st := h.Stats(); st.Topology != "sharded" || st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Errorf("sharded stats = %s/%d shards/%d per-shard", st.Topology, st.Shards, len(st.PerShard))
+	}
+
+	h, err = Open(build(), app, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.(*staticHandle); !ok {
+		t.Errorf("WithReadOnly topology = %T, want the static handle", h)
+	}
+	if st := h.Stats(); st.Topology != "static" {
+		t.Errorf("static stats topology = %s", st.Topology)
+	}
+	if _, err := h.Apply(context.Background(), Delta{}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("read-only Apply err = %v, want ErrReadOnly", err)
+	}
+	if _, err := h.Recrawl(context.Background(), nil, nil); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("read-only Recrawl err = %v, want ErrReadOnly", err)
+	}
+	if _, err := h.CompactIfNeeded(context.Background(), 0.5); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("read-only CompactIfNeeded err = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestOpenOptionValidation: malformed options fail Open loudly.
+func TestOpenOptionValidation(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+	for name, opts := range map[string][]Option{
+		"shards=0":            {WithShards(0)},
+		"shards=-3":           {WithShards(-3)},
+		"candidate limit < 0": {WithCandidateLimit(-1)},
+		"compaction 0/4":      {WithPostingCompaction(0, 4)},
+		"compaction 5/4":      {WithPostingCompaction(5, 4)},
+		"readonly+sharded":    {WithReadOnly(), WithShards(3)},
+	} {
+		if _, err := Open(build(), app, opts...); err == nil {
+			t.Errorf("%s: Open accepted invalid options", name)
+		}
+	}
+}
+
+// TestOpenEquivalence is the cross-topology contract: dash.Open with
+// WithShards(1), the deprecated NewLiveEngine/NewEngine constructors, the
+// sharded topology, and the read-only topology all return byte-identical
+// results on the fooddb corpus for a full keyword × k × s sweep.
+func TestOpenEquivalence(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+
+	ctx := context.Background()
+	reference := NewEngine(build(), app)
+	searchers := map[string]Searcher{
+		"NewLiveEngine": NewLiveEngine(build(), app),
+	}
+	for name, opts := range map[string][]Option{
+		"Open(default)":       nil,
+		"Open(WithShards(1))": {WithShards(1)},
+		"Open(WithShards(3))": {WithShards(3)},
+		"Open(WithReadOnly)":  {WithReadOnly()},
+	} {
+		h, err := Open(build(), app, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		searchers[name] = h
+	}
+
+	// FragRefs are internal identifiers, only meaningful within one
+	// snapshot — a sharded topology numbers them per shard. Equivalence is
+	// over page content: URL, scores, sizes, parameter boxes, and how many
+	// fragments each page assembled.
+	stripRefs := func(rs []Result) []Result {
+		out := append([]Result(nil), rs...)
+		for i := range out {
+			out[i].Fragments = make([]FragRef, len(out[i].Fragments))
+		}
+		return out
+	}
+
+	keywords := append(reference.Snapshot().Keywords(), "nosuchword")
+	if len(keywords) < 5 {
+		t.Fatalf("fooddb vocabulary too small: %d", len(keywords))
+	}
+	for _, kw := range keywords {
+		for _, k := range []int{1, 2, 5} {
+			for _, s := range []int{1, 20, 100} {
+				req := Request{Keywords: []string{kw}, K: k, SizeThreshold: s}
+				rawWant, err := reference.Search(ctx, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := stripRefs(rawWant)
+				for name, sr := range searchers {
+					got, err := sr.Search(ctx, req)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if !reflect.DeepEqual(stripRefs(got), want) {
+						t.Fatalf("%s diverges from NewEngine on %q k=%d s=%d:\n%+v\nvs\n%+v",
+							name, kw, k, s, got, rawWant)
+					}
+					// The batch form answers each slot identically.
+					batch := sr.SearchBatch(ctx, []Request{req, req})
+					for _, br := range batch {
+						if br.Err != nil || !reflect.DeepEqual(stripRefs(br.Results), want) {
+							t.Fatalf("%s SearchBatch diverges on %q: %v / %+v",
+								name, kw, br.Err, br.Results)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOpenCandidateLimitDefault: WithCandidateLimit is exactly a default
+// for Request.CandidateLimit — the handle answers what an explicit
+// per-request limit answers, and an explicit request limit overrides the
+// handle default.
+func TestOpenCandidateLimitDefault(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+	ctx := context.Background()
+	explicit := NewEngine(build(), app)
+	limited, err := Open(build(), app, WithCandidateLimit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20}
+
+	want, err := explicit.Search(ctx, Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20, CandidateLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := limited.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("handle default limit diverges from explicit request limit:\n%+v\nvs\n%+v", got, want)
+	}
+
+	// An explicit request-level limit wins over the handle default.
+	full, err := explicit.Search(ctx, Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20, CandidateLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	override, err := limited.Search(ctx, Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20, CandidateLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(override, full) {
+		t.Errorf("request-level limit did not override the handle default")
+	}
+
+	// A negative request limit is the explicit opt-out: full posting
+	// lists despite the handle default.
+	unlimited, err := explicit.Search(ctx, Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optOut, err := limited.Search(ctx, Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20, CandidateLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(optOut, unlimited) {
+		t.Errorf("CandidateLimit=-1 did not opt out of the handle default:\n%+v\nvs\n%+v", optOut, unlimited)
+	}
+}
+
+// TestHandleMaintenanceCancellation: a cancelled maintenance ctx through
+// the facade publishes nothing, for both live topologies.
+func TestHandleMaintenanceCancellation(t *testing.T) {
+	db, app, build := fooddbIndex(t)
+	for _, shards := range []int{1, 3} {
+		h, err := Open(build(), app, WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := h.Stats()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		d := Delta{Changes: []FragmentChange{{
+			Op: OpInsertFragment, ID: FragmentID{relation.String("Nordic"), relation.Int(3)},
+			TermCounts: map[string]int64{"herring": 1}, TotalTerms: 1,
+		}}}
+		if _, err := h.Apply(ctx, d); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: cancelled Apply err = %v", shards, err)
+		}
+		if _, err := h.Recrawl(ctx, db, []FragmentID{{relation.String("American"), relation.Int(10)}}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: cancelled Recrawl err = %v", shards, err)
+		}
+		if _, err := h.CompactIfNeeded(ctx, 0); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: cancelled CompactIfNeeded err = %v", shards, err)
+		}
+		if after := h.Stats(); after.Publishes != before.Publishes || after.MaxEpoch != before.MaxEpoch {
+			t.Errorf("shards=%d: cancelled maintenance published (%+v -> %+v)", shards, before, after)
+		}
+		// The same delta applies cleanly with a live ctx.
+		if _, err := h.Apply(context.Background(), d); err != nil {
+			t.Fatalf("shards=%d: apply after cancellation: %v", shards, err)
+		}
+	}
+}

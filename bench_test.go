@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/crawl"
@@ -191,7 +192,7 @@ func BenchmarkFig11_TopKSearch(b *testing.B) {
 				b.Run(fmt.Sprintf("%s/s=%d/k=%d", band.name, s, k), func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
 						kw := band.kws[i%len(band.kws)]
-						_, err := st.eng.Search(search.Request{
+						_, err := st.eng.Search(context.Background(), search.Request{
 							Keywords: []string{kw}, K: k, SizeThreshold: s,
 						})
 						if err != nil {
@@ -202,6 +203,44 @@ func BenchmarkFig11_TopKSearch(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkSearchContextOverhead pins the cost of the cooperative
+// cancellation check the context-first API added to the expansion loop
+// (one ctx.Err() poll per ctxCheckInterval heap pops, plus one per
+// keyword at seeding). The three variants must sit within noise of each
+// other: ctx=background polls a context whose Err is a nil return,
+// ctx=cancellable an atomic-load cancelCtx — the serving path's real
+// shape — and ctx=deadline a timerCtx that never fires. The request mix
+// is the Fig11 hot band at the grid's expensive corner, where the loop
+// runs longest and a per-pop cost would show first.
+func BenchmarkSearchContextOverhead(b *testing.B) {
+	st := workloadState(b, "Q2")
+	if len(st.band.Hot) == 0 {
+		b.Fatal("no hot keywords")
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		for i := 0; i < b.N; i++ {
+			kw := st.band.Hot[i%len(st.band.Hot)]
+			_, err := st.eng.Search(ctx, search.Request{
+				Keywords: []string{kw}, K: 20, SizeThreshold: 1000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("ctx=background", func(b *testing.B) { run(b, context.Background()) })
+	b.Run("ctx=cancellable", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		run(b, ctx)
+	})
+	b.Run("ctx=deadline", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		run(b, ctx)
+	})
 }
 
 // BenchmarkParallelSearchThroughput measures batch search over a shared
@@ -223,7 +262,7 @@ func BenchmarkParallelSearchThroughput(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				for _, br := range st.eng.ParallelSearch(reqs, workers) {
+				for _, br := range st.eng.ParallelSearch(context.Background(), reqs, workers) {
 					if br.Err != nil {
 						b.Fatal(br.Err)
 					}
@@ -291,7 +330,7 @@ func BenchmarkLiveMutationUnderLoad(b *testing.B) {
 							return
 						default:
 						}
-						_, err := eng.Search(search.Request{
+						_, err := eng.Search(context.Background(), search.Request{
 							Keywords:      []string{kws[(r+i)%len(kws)]},
 							K:             10,
 							SizeThreshold: 200,
@@ -311,14 +350,14 @@ func BenchmarkLiveMutationUnderLoad(b *testing.B) {
 					Op: crawl.OpUpdateFragment, ID: id,
 					TermCounts: counts[key], TotalTerms: st.out.FragmentTerms[key],
 				}}}
-				if _, err := live.Apply(d); err != nil {
+				if _, err := live.Apply(context.Background(), d); err != nil {
 					b.Fatal(err)
 				}
 				// Periodic snapshot GC, as a production apply loop runs it:
 				// updates tombstone one ref each, and unbounded tombstones
 				// would turn the metadata copy quadratic.
 				if i%512 == 511 {
-					if _, err := live.CompactIfNeeded(0.5); err != nil {
+					if _, err := live.CompactIfNeeded(context.Background(), 0.5); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -406,9 +445,9 @@ func BenchmarkApplyPublishCost(b *testing.B) {
 					var st fragindex.ApplyStats
 					var err error
 					if batch == 1 {
-						st, err = live.Apply(ds[0])
+						st, err = live.Apply(context.Background(), ds[0])
 					} else {
-						st, err = live.ApplyBatch(ds)
+						st, err = live.ApplyBatch(context.Background(), ds)
 					}
 					if err != nil {
 						b.Fatal(err)
@@ -419,7 +458,7 @@ func BenchmarkApplyPublishCost(b *testing.B) {
 					// it: every update tombstones one ref, and unbounded
 					// tombstones would grow the ref space without limit.
 					if i%512 == 511 {
-						if _, err := live.CompactIfNeeded(0.5); err != nil {
+						if _, err := live.CompactIfNeeded(context.Background(), 0.5); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -478,8 +517,8 @@ func BenchmarkShardedSearchThroughput(b *testing.B) {
 		b.Fatal("no requests")
 	}
 	type searcher interface {
-		Search(search.Request) ([]search.Result, error)
-		ParallelSearch([]search.Request, int) []search.BatchResult
+		Search(context.Context, search.Request) ([]search.Result, error)
+		ParallelSearch(context.Context, []search.Request, int) []search.BatchResult
 	}
 	engines := []struct {
 		name string
@@ -494,7 +533,7 @@ func BenchmarkShardedSearchThroughput(b *testing.B) {
 	for _, e := range engines {
 		b.Run("mode=latency/"+e.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := e.eng.Search(reqs[i%len(reqs)]); err != nil {
+				if _, err := e.eng.Search(context.Background(), reqs[i%len(reqs)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -503,7 +542,7 @@ func BenchmarkShardedSearchThroughput(b *testing.B) {
 	for _, e := range engines {
 		b.Run("mode=batch/"+e.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				for _, br := range e.eng.ParallelSearch(reqs, 0) {
+				for _, br := range e.eng.ParallelSearch(context.Background(), reqs, 0) {
 					if br.Err != nil {
 						b.Fatal(br.Err)
 					}
@@ -567,15 +606,15 @@ func BenchmarkShardedApplyThroughput(b *testing.B) {
 			)
 			if shards == 0 {
 				live := fragindex.NewLive(idx)
-				applyFn = func(ds []crawl.Delta) error { _, err := live.ApplyBatch(ds); return err }
-				gcFn = func() error { _, err := live.CompactIfNeeded(0.5); return err }
+				applyFn = func(ds []crawl.Delta) error { _, err := live.ApplyBatch(context.Background(), ds); return err }
+				gcFn = func() error { _, err := live.CompactIfNeeded(context.Background(), 0.5); return err }
 			} else {
 				live, err := fragindex.NewShardedLive(idx, shards)
 				if err != nil {
 					b.Fatal(err)
 				}
-				applyFn = func(ds []crawl.Delta) error { _, err := live.ApplyBatch(ds); return err }
-				gcFn = func() error { _, err := live.CompactIfNeeded(0.5); return err }
+				applyFn = func(ds []crawl.Delta) error { _, err := live.ApplyBatch(context.Background(), ds); return err }
+				gcFn = func() error { _, err := live.CompactIfNeeded(context.Background(), 0.5); return err }
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -729,7 +768,7 @@ func BenchmarkAblation_CandidateLimit(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				kw := st.band.Hot[i%len(st.band.Hot)]
-				_, err := st.eng.Search(search.Request{
+				_, err := st.eng.Search(context.Background(), search.Request{
 					Keywords: []string{kw}, K: 10, SizeThreshold: 200,
 					CandidateLimit: limit,
 				})
@@ -771,7 +810,7 @@ func BenchmarkExample7_Fooddb(b *testing.B) {
 	engine := search.New(idx, app)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := engine.Search(search.Request{
+		results, err := engine.Search(context.Background(), search.Request{
 			Keywords: []string{"burger"}, K: 2, SizeThreshold: 20,
 		})
 		if err != nil {

@@ -298,7 +298,7 @@ func parallelThroughput(ctx context.Context, cfg config) error {
 		}
 		for _, workers := range workerCounts {
 			start := time.Now()
-			for _, br := range engine.ParallelSearch(reqs, workers) {
+			for _, br := range engine.ParallelSearch(context.Background(), reqs, workers) {
 				if br.Err != nil {
 					return br.Err
 				}
@@ -403,7 +403,7 @@ func shardedThroughput(ctx context.Context, cfg config) error {
 
 		// Single-index baseline: ParallelSearch + single-writer ApplyBatch.
 		start := time.Now()
-		for _, br := range single.ParallelSearch(reqs, 0) {
+		for _, br := range single.ParallelSearch(context.Background(), reqs, 0) {
 			if br.Err != nil {
 				return br.Err
 			}
@@ -416,7 +416,7 @@ func shardedThroughput(ctx context.Context, cfg config) error {
 		baseLive := fragindex.NewLive(baseIdx)
 		start = time.Now()
 		for r := 0; r < applyRounds; r++ {
-			if _, err := baseLive.ApplyBatch(makeDeltas(r)); err != nil {
+			if _, err := baseLive.ApplyBatch(context.Background(), makeDeltas(r)); err != nil {
 				return err
 			}
 		}
@@ -437,7 +437,7 @@ func shardedThroughput(ctx context.Context, cfg config) error {
 			}
 			se := search.NewSharded(live, app)
 			start := time.Now()
-			for _, br := range se.ParallelSearch(reqs, 0) {
+			for _, br := range se.ParallelSearch(context.Background(), reqs, 0) {
 				if br.Err != nil {
 					return br.Err
 				}
@@ -445,7 +445,7 @@ func shardedThroughput(ctx context.Context, cfg config) error {
 			searchElapsed := time.Since(start)
 			start = time.Now()
 			for r := 0; r < applyRounds; r++ {
-				if _, err := live.ApplyBatch(makeDeltas(r)); err != nil {
+				if _, err := live.ApplyBatch(context.Background(), makeDeltas(r)); err != nil {
 					return err
 				}
 			}
@@ -521,7 +521,7 @@ func ablation(ctx context.Context, cfg config) error {
 		fmt.Printf("naive top-10 redundancy (keyword %q): %.2f (Jaccard)\n",
 			kw, baseline.Redundancy(naiveTop))
 		engine := search.New(idx, app)
-		rs, err := engine.Search(search.Request{Keywords: []string{kw}, K: 10, SizeThreshold: 100})
+		rs, err := engine.Search(context.Background(), search.Request{Keywords: []string{kw}, K: 10, SizeThreshold: 100})
 		if err != nil {
 			return err
 		}

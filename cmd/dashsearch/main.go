@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,7 +63,7 @@ func run(args []string) error {
 	engine := search.New(idx, app)
 
 	start := time.Now()
-	results, err := engine.Search(search.Request{
+	results, err := engine.Search(context.Background(), search.Request{
 		Keywords: keywords, K: *k, SizeThreshold: *s,
 	})
 	if err != nil {

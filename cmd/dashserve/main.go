@@ -1,40 +1,55 @@
 // Command dashserve hosts the full Dash demo in one process: the target web
-// application serving db-pages, and the Dash search endpoint suggesting
-// db-page URLs for keyword queries.
+// application serving db-pages, and the Dash search API suggesting db-page
+// URLs for keyword queries.
 //
 //	dashserve -addr :8080 -dataset fooddb -shards 4
 //
 // Then:
 //
-//	curl 'http://localhost:8080/app?c=American&l=10&u=15'   # a db-page
-//	curl 'http://localhost:8080/search?q=burger&k=2&s=20'   # Dash results
-//	curl 'http://localhost:8080/batch?q=burger&q=coffee'    # JSON batch
-//	curl 'http://localhost:8080/admin/stats'                # serving index stats
-//	curl -d '{"recrawl":[["American","9"]]}' http://localhost:8080/admin/apply
+//	curl 'http://localhost:8080/app?c=American&l=10&u=15'      # a db-page
+//	curl 'http://localhost:8080/v1/search?q=burger&k=2&s=20'   # Dash results
+//	curl 'http://localhost:8080/v1/search:batch?q=burger&q=coffee'
+//	curl 'http://localhost:8080/v1/admin/stats'                # serving index stats
+//	curl -d '{"recrawl":[["American","9"]]}' http://localhost:8080/v1/admin/apply
 //	curl -d '{"batch":[{"changes":[...]},{"recrawl":[...]}]}' \
-//	     http://localhost:8080/admin/apply                  # one publish
+//	     http://localhost:8080/v1/admin/apply                  # one publish
+//	open 'http://localhost:8080/?q=burger'                     # human demo page
+//
+// # The /v1 JSON API
+//
+// Every /v1 endpoint speaks JSON and maps failures to a structured error
+// envelope {"error":{"code","message"}}: 400 invalid_argument for
+// malformed syntax (bad numeric parameters, unparseable JSON), 422
+// validation_failed for well-formed requests the engine rejects (no
+// keywords, unknown delta op, a change that cannot apply), 499
+// client_closed_request when the caller goes away mid-request, and 504
+// deadline_exceeded when the per-request budget runs out. Searches are
+// cancellable end to end: the handler context carries a deadline —
+// -search-timeout is the server ceiling, ?timeout_ms= may shrink a
+// request's budget below it (never raise it) — and
+// the engine stops cooperatively when it fires, so a runaway hot-keyword
+// query cannot hold the connection past its budget.
+//
+// The pre-/v1 routes (/search, /batch, /admin/stats, /admin/apply) remain
+// as thin delegates to the same handlers and answer with a
+// "Deprecation: true" header plus a Link to their successor.
+//
+// Every request passes one middleware: an X-Request-ID response header, an
+// access-log line, and panic-to-500 recovery — a panicking handler answers
+// a structured 500 instead of killing the connection silently.
 //
 // Every request pins immutable snapshots (one atomic load per shard), so
-// searches never block on or get torn by index maintenance. /admin/apply folds changes into the next
-// snapshot — either explicit fragment changes or a targeted re-crawl of
-// the named partitions — and publishes it atomically; its batch mode
-// accepts a list of deltas and coalesces them into a single publish
-// (changes to the same fragment fold first: an insert a later delta
-// removes never touches the index). /admin/stats reports the serving
-// epoch, publish counters, and maintenance history. A background goroutine
-// periodically garbage-collects tombstoned refs by publishing a compacted
-// snapshot once enough removals accumulate.
+// searches never block on or get torn by index maintenance. /v1/admin/apply
+// folds changes into the next snapshot — explicit fragment changes and/or a
+// targeted re-crawl of the named partitions — and publishes atomically; its
+// batch mode coalesces a list of deltas into a single publish. A background
+// goroutine periodically garbage-collects tombstoned refs by publishing a
+// compacted snapshot once enough removals accumulate.
 //
-// Malformed numeric query parameters (k, s) are rejected with HTTP 400
-// naming the offending parameter — a typo'd ?k=abc fails loudly instead of
-// quietly serving default-k results.
-//
-// The index is served through a dash.ShardedLiveEngine: -shards N
-// partitions the fragment space by equality-group key across N independent
-// publish cycles (default 1), searches scatter-gather over one pinned
-// snapshot per shard with corpus-wide IDF, and /admin/apply routes deltas
-// to their shards and applies them concurrently. /admin/stats reports the
-// aggregate plus each shard's epoch, pending queue, and publish counters.
+// The index is served through dash.Open — the engine behind the handlers is
+// the portable Searcher/Maintainer contract, so the handlers never name a
+// topology: -shards N picks the sharded engine (default 1, the single live
+// index), and /v1/admin/stats reports whichever shape is serving.
 //
 // -pprof opts into net/http/pprof under /debug/pprof/ for profiling the
 // serving path; it is off by default so the profiling surface is never
@@ -46,18 +61,12 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"html/template"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -65,7 +74,6 @@ import (
 	"repro/internal/crawl"
 	"repro/internal/harness"
 	"repro/internal/relation"
-	"repro/internal/search"
 	"repro/internal/tpch"
 	"repro/internal/webapp"
 )
@@ -77,23 +85,6 @@ func main() {
 	}
 }
 
-var resultsTemplate = template.Must(template.New("results").Parse(`<!DOCTYPE html>
-<html><head><title>Dash results for {{.Query}}</title></head><body>
-<h1>Dash: db-pages for “{{.Query}}”</h1>
-<ol>
-{{range .Results}}<li><a href="{{.Href}}">{{.Label}}</a> — score {{printf "%.6f" .Score}}, {{.Size}} keywords</li>
-{{end}}</ol>
-<p>{{.Elapsed}} over {{.Fragments}} fragments (epoch {{.Epoch}})</p>
-</body></html>
-`))
-
-type resultRow struct {
-	Href  string
-	Label string
-	Score float64
-	Size  int64
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("dashserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
@@ -103,6 +94,8 @@ func run(args []string) error {
 	gcInterval := fs.Duration("gc-interval", 30*time.Second, "snapshot GC period (0 disables)")
 	gcRatio := fs.Float64("gc-ratio", 0.25, "tombstoned-ref share that triggers snapshot GC")
 	shards := fs.Int("shards", 1, "serving index shard count (partitioned by equality-group key)")
+	searchTimeout := fs.Duration("search-timeout", 10*time.Second,
+		"per-request search budget (0 disables; ?timeout_ms= may shrink it per request, never raise it)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,18 +119,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := dash.NewShardedLiveEngine(idx, app, *shards)
+	// The handlers only ever see the Searcher/Maintainer contract; the
+	// shard count is a construction-time concern.
+	engine, err := dash.Open(idx, app, dash.WithShards(*shards))
 	if err != nil {
 		return err
 	}
 	st := engine.Stats()
-	log.Printf("index ready: %d fragments over %d shard(s)", st.Fragments, st.Shards)
+	log.Printf("index ready: %d fragments, topology %s over %d shard(s)",
+		st.Fragments, st.Topology, st.Shards)
 
-	mux := newMux(engine, app, db, bound.SelAttrKinds(), *pprofFlag)
+	handler := newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{
+		withPprof:     *pprofFlag,
+		searchTimeout: *searchTimeout,
+	})
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -155,7 +154,7 @@ func run(args []string) error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					ran, err := engine.CompactIfNeeded(*gcRatio)
+					ran, err := engine.CompactIfNeeded(ctx, *gcRatio)
 					if err != nil {
 						log.Printf("snapshot gc: %v", err)
 					} else if ran > 0 {
@@ -170,7 +169,7 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (web app at /app, search at /search?q=…, batch at /batch?q=…&q=…, admin at /admin/stats and /admin/apply)", *addr)
+		log.Printf("serving on %s (web app at /app, JSON API under /v1, demo page at /?q=…)", *addr)
 		errc <- server.ListenAndServe()
 	}()
 	select {
@@ -185,294 +184,6 @@ func run(args []string) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	return nil
-}
-
-// newMux assembles the demo's HTTP surface over a sharded live engine.
-// Split out of run so handler tests can drive it with httptest against a
-// small dataset. withPprof opts the net/http/pprof handlers into the mux.
-func newMux(engine *dash.ShardedLiveEngine, app *webapp.Application, db *dash.Database, kinds []relation.Kind, withPprof bool) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/app", app.Handler())
-	if withPprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		if q == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
-		}
-		k, err := intParam(r, "k", 5)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		s, err := intParam(r, "s", 100)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		start := time.Now()
-		// Pin one snapshot per shard for the whole request so the rendered
-		// fragment count and epoch describe exactly the versions searched.
-		snaps := engine.Pin()
-		results, err := engine.SearchPinned(snaps, search.Request{
-			Keywords: strings.Fields(q), K: k, SizeThreshold: s,
-		})
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		fragments, epoch := 0, uint64(0)
-		for _, snap := range snaps {
-			fragments += snap.NumFragments()
-			if e := snap.Epoch(); e > epoch {
-				epoch = e
-			}
-		}
-		rows := make([]resultRow, 0, len(results))
-		for _, res := range results {
-			rows = append(rows, resultRow{
-				// Rewrite the application's base URL onto this server
-				// so links work in the demo.
-				Href:  "/app?" + res.QueryString,
-				Label: res.URL,
-				Score: res.Score,
-				Size:  res.Size,
-			})
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		err = resultsTemplate.Execute(w, map[string]any{
-			"Query":     q,
-			"Results":   rows,
-			"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
-			"Fragments": fragments,
-			"Epoch":     epoch,
-		})
-		if err != nil {
-			log.Printf("render: %v", err)
-		}
-	})
-
-	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
-		queries := r.URL.Query()["q"]
-		if len(queries) == 0 {
-			http.Error(w, "missing q parameters", http.StatusBadRequest)
-			return
-		}
-		k, err := intParam(r, "k", 5)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		s, err := intParam(r, "s", 100)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		reqs := make([]search.Request, len(queries))
-		for i, q := range queries {
-			reqs[i] = search.Request{Keywords: strings.Fields(q), K: k, SizeThreshold: s}
-		}
-		start := time.Now()
-		batch := engine.ParallelSearch(reqs, 0)
-		type pageJSON struct {
-			URL   string  `json:"url"`
-			Query string  `json:"query_string"`
-			Score float64 `json:"score"`
-			Size  int64   `json:"size"`
-		}
-		type entryJSON struct {
-			Query   string     `json:"query"`
-			Error   string     `json:"error,omitempty"`
-			Results []pageJSON `json:"results"`
-		}
-		entries := make([]entryJSON, len(batch))
-		for i, br := range batch {
-			entries[i].Query = queries[i]
-			entries[i].Results = make([]pageJSON, 0, len(br.Results))
-			if br.Err != nil {
-				entries[i].Error = br.Err.Error()
-				continue
-			}
-			for _, res := range br.Results {
-				entries[i].Results = append(entries[i].Results, pageJSON{
-					URL: res.URL, Query: res.QueryString, Score: res.Score, Size: res.Size,
-				})
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		err = json.NewEncoder(w).Encode(map[string]any{
-			"elapsed": time.Since(start).String(),
-			"queries": entries,
-		})
-		if err != nil {
-			log.Printf("encode: %v", err)
-		}
-	})
-
-	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(engine.Stats()); err != nil {
-			log.Printf("encode: %v", err)
-		}
-	})
-
-	mux.HandleFunc("/admin/apply", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST a JSON delta", http.StatusMethodNotAllowed)
-			return
-		}
-		stats, err := handleApply(engine, db, kinds, r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(stats); err != nil {
-			log.Printf("encode: %v", err)
-		}
-	})
-
-	return mux
-}
-
-// changeJSON is one explicit fragment mutation with precomputed statistics.
-type changeJSON struct {
-	Op    string           `json:"op"` // insert | remove | update
-	ID    []string         `json:"id"` // selection values, WHERE order
-	Terms map[string]int64 `json:"terms,omitempty"`
-	Total int64            `json:"total,omitempty"`
-}
-
-// deltaRequest is one delta's worth of maintenance: explicit fragment
-// changes and/or partitions to re-crawl.
-type deltaRequest struct {
-	Changes []changeJSON `json:"changes"`
-	// Recrawl lists fragment identifiers whose partitions should be
-	// re-executed against the database; the op (insert/remove/update) is
-	// derived from what the partition and the index currently hold.
-	Recrawl [][]string `json:"recrawl"`
-}
-
-// applyRequest is the /admin/apply body: one delta at the top level,
-// and/or a batch of deltas coalesced into a single publish.
-type applyRequest struct {
-	deltaRequest
-	// Batch holds additional deltas. When present, everything in the
-	// request — the top-level delta included — is folded into one
-	// published snapshot (changes to the same fragment coalesce; see
-	// dash.LiveEngine.ApplyBatch).
-	Batch []deltaRequest `json:"batch"`
-}
-
-// handleApply parses, derives, and applies one admin maintenance request.
-func handleApply(engine *dash.ShardedLiveEngine, db *dash.Database, kinds []relation.Kind, r *http.Request) (dash.ShardedApplyStats, error) {
-	var req applyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return dash.ShardedApplyStats{}, fmt.Errorf("bad delta JSON: %w", err)
-	}
-	entries := append([]deltaRequest{req.deltaRequest}, req.Batch...)
-	var (
-		deltas []dash.Delta
-		ids    []dash.FragmentID
-		empty  = true
-	)
-	for _, e := range entries {
-		if len(e.Changes) == 0 && len(e.Recrawl) == 0 {
-			continue
-		}
-		empty = false
-		d, err := parseDelta(e.Changes, kinds)
-		if err != nil {
-			return dash.ShardedApplyStats{}, err
-		}
-		if len(d.Changes) > 0 {
-			deltas = append(deltas, d)
-		}
-		for _, raw := range e.Recrawl {
-			id, err := parseID(raw, kinds)
-			if err != nil {
-				return dash.ShardedApplyStats{}, err
-			}
-			ids = append(ids, id)
-		}
-	}
-	if empty {
-		return dash.ShardedApplyStats{}, errors.New("empty delta: provide changes, recrawl, and/or batch")
-	}
-	// The whole request — derivation included — runs under the engine's
-	// maintenance lock, serialized with any concurrent admin request.
-	if len(req.Batch) > 0 {
-		// Batch mode: every delta folds into one published snapshot.
-		return engine.RecrawlBatch(db, ids, deltas)
-	}
-	var extra dash.Delta
-	if len(deltas) > 0 {
-		extra = deltas[0]
-	}
-	return engine.RecrawlWith(db, ids, extra)
-}
-
-// parseDelta converts explicit JSON changes into a typed delta.
-func parseDelta(changes []changeJSON, kinds []relation.Kind) (dash.Delta, error) {
-	var d dash.Delta
-	for _, ch := range changes {
-		id, err := parseID(ch.ID, kinds)
-		if err != nil {
-			return dash.Delta{}, err
-		}
-		fc := dash.FragmentChange{ID: id, TermCounts: ch.Terms, TotalTerms: ch.Total}
-		switch ch.Op {
-		case "insert":
-			fc.Op = dash.OpInsertFragment
-		case "remove":
-			fc.Op = dash.OpRemoveFragment
-		case "update":
-			fc.Op = dash.OpUpdateFragment
-		default:
-			return dash.Delta{}, fmt.Errorf("unknown op %q", ch.Op)
-		}
-		d.Changes = append(d.Changes, fc)
-	}
-	return d, nil
-}
-
-// parseID converts string selection values into a typed fragment
-// identifier using the query's selection-attribute kinds.
-func parseID(raw []string, kinds []relation.Kind) (dash.FragmentID, error) {
-	if len(raw) != len(kinds) {
-		return nil, fmt.Errorf("id %v has %d values, want %d", raw, len(raw), len(kinds))
-	}
-	id := make(dash.FragmentID, len(raw))
-	for i, s := range raw {
-		v, err := relation.ParseAs(s, kinds[i])
-		if err != nil {
-			return nil, fmt.Errorf("id value %q: %w", s, err)
-		}
-		id[i] = v
-	}
-	return id, nil
-}
-
-// intParam reads a positive integer query parameter, returning def when it
-// is absent. A malformed or non-positive value is an error naming the
-// parameter, which handlers surface as HTTP 400 — silently substituting
-// the default would serve wrong-shaped results for a typo'd request.
-func intParam(r *http.Request, name string, def int) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return def, nil
-	}
-	n, err := strconv.Atoi(raw)
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf("invalid %s parameter %q: want a positive integer", name, raw)
-	}
-	return n, nil
 }
 
 func setup(dataset, query string, seed int64) (*relation.Database, *webapp.Application, error) {

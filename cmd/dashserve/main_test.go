@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	dash "repro"
 	"repro/internal/harness"
@@ -14,15 +15,16 @@ import (
 )
 
 // testMux builds the full handler surface over the fooddb dataset, the
-// same wiring run() performs — two shards, so routing and the sharded
-// stats/apply paths are exercised — small enough for handler tests.
-func testMux(t *testing.T) (*http.ServeMux, *dash.ShardedLiveEngine) {
+// same wiring run() performs — two shards through dash.Open, so routing
+// and the sharded stats/apply paths are exercised — small enough for
+// handler tests.
+func testMux(t *testing.T) (http.Handler, dash.Handle) {
 	t.Helper()
-	return testMuxPprof(t, false)
+	return testMuxCfg(t, serveConfig{searchTimeout: 5 * time.Second})
 }
 
-// testMuxPprof is testMux with the profiling surface toggled.
-func testMuxPprof(t *testing.T, withPprof bool) (*http.ServeMux, *dash.ShardedLiveEngine) {
+// testMuxCfg is testMux with explicit serve configuration.
+func testMuxCfg(t *testing.T, cfg serveConfig) (http.Handler, dash.Handle) {
 	t.Helper()
 	db, app, err := harness.Fooddb()
 	if err != nil {
@@ -38,21 +40,21 @@ func testMuxPprof(t *testing.T, withPprof bool) (*http.ServeMux, *dash.ShardedLi
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := dash.NewShardedLiveEngine(idx, app, 2)
+	engine, err := dash.Open(idx, app, dash.WithShards(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newMux(engine, app, db, bound.SelAttrKinds(), withPprof), engine
+	return newMux(engine, app, db, bound.SelAttrKinds(), cfg), engine
 }
 
-func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+func get(t *testing.T, mux http.Handler, url string) *httptest.ResponseRecorder {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
 	return rec
 }
 
-func postJSON(t *testing.T, mux *http.ServeMux, url, body string) *httptest.ResponseRecorder {
+func postJSON(t *testing.T, mux http.Handler, url, body string) *httptest.ResponseRecorder {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
@@ -61,45 +63,209 @@ func postJSON(t *testing.T, mux *http.ServeMux, url, body string) *httptest.Resp
 	return rec
 }
 
-// TestSearchHandler covers the HTML search endpoint: a good query renders
-// results; malformed or non-positive numeric parameters are 400s naming
-// the parameter instead of silently serving default-k results.
-func TestSearchHandler(t *testing.T) {
+// errorCode extracts the structured envelope's code, failing if the body
+// is not an envelope.
+func errorCode(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body not an envelope: %v (%q)", err, rec.Body.String())
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("envelope missing code/message: %q", rec.Body.String())
+	}
+	return body.Error.Code
+}
+
+type searchResponse struct {
+	Query   string `json:"query"`
+	Count   int    `json:"count"`
+	Results []struct {
+		URL   string  `json:"url"`
+		Query string  `json:"query_string"`
+		Score float64 `json:"score"`
+	} `json:"results"`
+}
+
+// TestV1SearchHandler covers /v1/search: a good query returns JSON
+// results; malformed parameters are 400 invalid_argument envelopes naming
+// the parameter; a request with no usable keywords is a 422.
+func TestV1SearchHandler(t *testing.T) {
 	mux, _ := testMux(t)
 
-	if rec := get(t, mux, "/search?q=burger&k=2&s=20"); rec.Code != http.StatusOK {
+	rec := get(t, mux, "/v1/search?q=burger&k=2&s=20")
+	if rec.Code != http.StatusOK {
 		t.Fatalf("good search: status %d, body %q", rec.Code, rec.Body.String())
-	} else if !strings.Contains(rec.Body.String(), "db-pages") {
-		t.Errorf("search response missing results page: %q", rec.Body.String())
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("response missing X-Request-ID")
+	}
+	if rec.Header().Get("Deprecation") != "" {
+		t.Error("/v1 route carries a Deprecation header")
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("search response not JSON: %v", err)
+	}
+	if resp.Query != "burger" || resp.Count != 2 || len(resp.Results) != 2 {
+		t.Fatalf("search response = %+v, want 2 burger results", resp)
+	}
+	if !strings.Contains(resp.Results[0].URL, "c=American") {
+		t.Errorf("top URL = %q", resp.Results[0].URL)
 	}
 
-	if rec := get(t, mux, "/search"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, mux, "/v1/search"); rec.Code != http.StatusBadRequest {
 		t.Errorf("missing q: status %d, want 400", rec.Code)
+	} else if errorCode(t, rec) != "invalid_argument" {
+		t.Errorf("missing q: code %q", errorCode(t, rec))
 	}
 
 	for _, bad := range []struct{ url, param string }{
-		{"/search?q=burger&k=abc", "k"},
-		{"/search?q=burger&k=0", "k"},
-		{"/search?q=burger&s=-5", "s"},
-		{"/search?q=burger&s=12x", "s"},
+		{"/v1/search?q=burger&k=abc", "k"},
+		{"/v1/search?q=burger&k=0", "k"},
+		{"/v1/search?q=burger&s=-5", "s"},
+		{"/v1/search?q=burger&s=12x", "s"},
+		{"/v1/search?q=burger&limit=x", "limit"},
+		{"/v1/search?q=burger&timeout_ms=abc", "timeout_ms"},
+		{"/v1/search?q=burger&timeout_ms=0", "timeout_ms"},
 	} {
 		rec := get(t, mux, bad.url)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", bad.url, rec.Code)
 			continue
 		}
-		if body := rec.Body.String(); !strings.Contains(body, bad.param+" parameter") {
-			t.Errorf("%s: body %q does not name parameter %q", bad.url, body, bad.param)
+		var body errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: not an envelope: %q", bad.url, rec.Body.String())
 		}
+		if body.Error.Code != "invalid_argument" || !strings.Contains(body.Error.Message, bad.param+" parameter") {
+			t.Errorf("%s: envelope %+v does not name parameter %q", bad.url, body.Error, bad.param)
+		}
+	}
+
+	// limit=0 is the engine's documented "full posting lists" sentinel —
+	// explicitly serializing it must not 400.
+	if rec := get(t, mux, "/v1/search?q=burger&k=2&s=20&limit=0"); rec.Code != http.StatusOK {
+		t.Errorf("limit=0: status %d, want 200 (%s)", rec.Code, rec.Body.String())
+	}
+
+	// Whitespace-only q is well-formed HTTP but yields no keywords: the
+	// engine rejects it, mapped to 422.
+	rec = get(t, mux, "/v1/search?q=%20%20")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("blank q: status %d, want 422 (%s)", rec.Code, rec.Body.String())
+	} else if errorCode(t, rec) != "validation_failed" {
+		t.Errorf("blank q: code %q", errorCode(t, rec))
 	}
 }
 
-// TestBatchHandler covers the JSON batch endpoint, including parameter
-// validation shared with /search.
-func TestBatchHandler(t *testing.T) {
+// TestV1SearchTimeouts covers the context mappings: a request whose
+// deadline already fired answers 504 deadline_exceeded, an abandoned
+// client answers 499.
+func TestV1SearchTimeouts(t *testing.T) {
 	mux, _ := testMux(t)
 
-	rec := get(t, mux, "/batch?q=burger&q=coffee&k=3")
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/search?q=burger", nil).WithContext(expired))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("expired deadline: status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	} else if errorCode(t, rec) != "deadline_exceeded" {
+		t.Errorf("expired deadline: code %q", errorCode(t, rec))
+	}
+
+	gone, cancelGone := context.WithCancel(context.Background())
+	cancelGone()
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/search?q=burger", nil).WithContext(gone))
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("cancelled client: status %d, want 499 (%s)", rec.Code, rec.Body.String())
+	} else if errorCode(t, rec) != "client_closed_request" {
+		t.Errorf("cancelled client: code %q", errorCode(t, rec))
+	}
+}
+
+// TestRequestContextClamp: ?timeout_ms= may shrink the per-request
+// budget but never raise it past the server's — otherwise one query
+// parameter would void the -search-timeout protection. With no budget
+// (the admin apply path), the client value is taken as-is.
+func TestRequestContextClamp(t *testing.T) {
+	s := &server{cfg: serveConfig{searchTimeout: 100 * time.Millisecond}}
+	deadlineWithin := func(raw string, budget, max time.Duration) {
+		t.Helper()
+		r := httptest.NewRequest(http.MethodGet, "/v1/search?q=x"+raw, nil)
+		ctx, cancel, err := s.requestContext(r, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		defer cancel()
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Fatalf("%s: no deadline", raw)
+		}
+		if remaining := time.Until(dl); remaining > max {
+			t.Errorf("%s: deadline %v out, want <= %v", raw, remaining, max)
+		}
+	}
+	deadlineWithin("", s.cfg.searchTimeout, 100*time.Millisecond)
+	deadlineWithin("&timeout_ms=10", s.cfg.searchTimeout, 10*time.Millisecond)
+	// A client asking for an hour still gets the server's 100ms ceiling.
+	deadlineWithin("&timeout_ms=3600000", s.cfg.searchTimeout, 100*time.Millisecond)
+	// No budget (admin): the explicit value is honored.
+	deadlineWithin("&timeout_ms=3600000", 0, time.Hour)
+	r := httptest.NewRequest(http.MethodGet, "/v1/admin/apply", nil)
+	ctx, cancel, err := s.requestContext(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("no-budget request without timeout_ms carries a deadline")
+	}
+}
+
+// TestLegacyRoutesDelegate: the pre-/v1 routes answer byte-identical
+// payloads through the same handlers and carry the deprecation headers.
+func TestLegacyRoutesDelegate(t *testing.T) {
+	mux, _ := testMux(t)
+	for _, route := range []struct{ legacy, v1 string }{
+		{"/search?q=burger&k=2&s=20", "/v1/search?q=burger&k=2&s=20"},
+		{"/batch?q=burger&q=coffee&k=3", "/v1/search:batch?q=burger&q=coffee&k=3"},
+		{"/admin/stats", "/v1/admin/stats"},
+	} {
+		legacy := get(t, mux, route.legacy)
+		v1 := get(t, mux, route.v1)
+		if legacy.Code != http.StatusOK || v1.Code != http.StatusOK {
+			t.Fatalf("%s/%s: status %d/%d", route.legacy, route.v1, legacy.Code, v1.Code)
+		}
+		if legacy.Body.String() != v1.Body.String() {
+			t.Errorf("%s and %s disagree:\n%s\nvs\n%s",
+				route.legacy, route.v1, legacy.Body.String(), v1.Body.String())
+		}
+		if legacy.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", route.legacy)
+		}
+		if link := legacy.Header().Get("Link"); !strings.Contains(link, "successor-version") {
+			t.Errorf("%s: Link header = %q", route.legacy, link)
+		}
+		if v1.Header().Get("Deprecation") != "" {
+			t.Errorf("%s: v1 route carries Deprecation", route.v1)
+		}
+	}
+	// The legacy apply route delegates too (checked separately: POST).
+	rec := postJSON(t, mux, "/admin/apply", "{}")
+	if rec.Code != http.StatusUnprocessableEntity || rec.Header().Get("Deprecation") != "true" {
+		t.Errorf("legacy apply: status %d, Deprecation %q", rec.Code, rec.Header().Get("Deprecation"))
+	}
+}
+
+// TestV1BatchHandler covers the JSON batch endpoint, including parameter
+// validation shared with /v1/search and the per-entry error shape.
+func TestV1BatchHandler(t *testing.T) {
+	mux, _ := testMux(t)
+
+	rec := get(t, mux, "/v1/search:batch?q=burger&q=coffee&k=3")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("good batch: status %d, body %q", rec.Code, rec.Body.String())
 	}
@@ -122,10 +288,10 @@ func TestBatchHandler(t *testing.T) {
 		t.Errorf("burger entry = %+v", resp.Queries[0])
 	}
 
-	if rec := get(t, mux, "/batch"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, mux, "/v1/search:batch"); rec.Code != http.StatusBadRequest {
 		t.Errorf("missing q: status %d, want 400", rec.Code)
 	}
-	rec = get(t, mux, "/batch?q=burger&k=nope")
+	rec = get(t, mux, "/v1/search:batch?q=burger&k=nope")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("bad k: status %d, want 400", rec.Code)
 	} else if !strings.Contains(rec.Body.String(), "k parameter") {
@@ -133,35 +299,39 @@ func TestBatchHandler(t *testing.T) {
 	}
 }
 
-// TestApplyHandler covers /admin/apply: method and body validation, a
-// plain single-delta apply, and batch mode coalescing several deltas into
-// one publish.
-func TestApplyHandler(t *testing.T) {
+// TestV1ApplyHandler covers /v1/admin/apply: method and body validation
+// with the structured codes, a plain single-delta apply, and batch mode
+// coalescing several deltas into one publish.
+func TestV1ApplyHandler(t *testing.T) {
 	mux, engine := testMux(t)
 
-	rec := get(t, mux, "/admin/apply")
+	rec := get(t, mux, "/v1/admin/apply")
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET: status %d, want 405", rec.Code)
 	}
-	if rec := postJSON(t, mux, "/admin/apply", "{not json"); rec.Code != http.StatusBadRequest {
+	if rec := postJSON(t, mux, "/v1/admin/apply", "{not json"); rec.Code != http.StatusBadRequest {
 		t.Errorf("bad JSON: status %d, want 400", rec.Code)
+	} else if errorCode(t, rec) != "invalid_argument" {
+		t.Errorf("bad JSON: code %q", errorCode(t, rec))
 	}
-	if rec := postJSON(t, mux, "/admin/apply", "{}"); rec.Code != http.StatusBadRequest {
-		t.Errorf("empty delta: status %d, want 400", rec.Code)
+	if rec := postJSON(t, mux, "/v1/admin/apply", "{}"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("empty delta: status %d, want 422", rec.Code)
+	} else if errorCode(t, rec) != "validation_failed" {
+		t.Errorf("empty delta: code %q", errorCode(t, rec))
 	}
 	bad := `{"changes":[{"op":"sideways","id":["American","10"]}]}`
-	if rec := postJSON(t, mux, "/admin/apply", bad); rec.Code != http.StatusBadRequest {
-		t.Errorf("unknown op: status %d, want 400", rec.Code)
+	if rec := postJSON(t, mux, "/v1/admin/apply", bad); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown op: status %d, want 422", rec.Code)
 	}
 
 	// One explicit update publishes one snapshot.
 	before := engine.Stats()
 	upd := `{"changes":[{"op":"update","id":["American","10"],"terms":{"burger":3},"total":3}]}`
-	rec = postJSON(t, mux, "/admin/apply", upd)
+	rec = postJSON(t, mux, "/v1/admin/apply", upd)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("update: status %d, body %q", rec.Code, rec.Body.String())
 	}
-	var st dash.ShardedApplyStats
+	var st dash.ApplyReport
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +350,7 @@ func TestApplyHandler(t *testing.T) {
 		{"changes":[{"op":"insert","id":["Nordic","3"],"terms":{"herring":1},"total":1}]},
 		{"changes":[{"op":"remove","id":["Nordic","3"]}]}
 	]}`
-	rec = postJSON(t, mux, "/admin/apply", batch)
+	rec = postJSON(t, mux, "/v1/admin/apply", batch)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("batch apply: status %d, body %q", rec.Code, rec.Body.String())
 	}
@@ -194,25 +364,26 @@ func TestApplyHandler(t *testing.T) {
 	if after.Publishes != mid.Publishes+1 {
 		t.Errorf("batch publishes %d -> %d, want +1", mid.Publishes, after.Publishes)
 	}
-	if engine.Live().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
+	if engine.(*dash.ShardedLiveEngine).Live().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
 		t.Error("cancelled insert reached the index")
 	}
 }
 
-// TestStatsHandler covers /admin/stats on a sharded engine: the aggregate
-// plus one per-shard entry per shard, each carrying its own epoch.
-func TestStatsHandler(t *testing.T) {
+// TestV1StatsHandler covers /v1/admin/stats: the unified EngineStats
+// shape with topology, aggregate, and one per-shard entry per shard.
+func TestV1StatsHandler(t *testing.T) {
 	mux, engine := testMux(t)
-	rec := get(t, mux, "/admin/stats")
+	rec := get(t, mux, "/v1/admin/stats")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("stats: status %d", rec.Code)
 	}
-	var st dash.ShardedLiveStats
+	var st dash.EngineStats
 	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
 		t.Fatalf("stats not JSON: %v", err)
 	}
-	if st.Shards != 2 || len(st.PerShard) != 2 {
-		t.Fatalf("stats shards = %d, per_shard = %d, want 2/2", st.Shards, len(st.PerShard))
+	if st.Topology != "sharded" || st.Shards != 2 || len(st.PerShard) != 2 {
+		t.Fatalf("stats topology/shards/per_shard = %s/%d/%d, want sharded/2/2",
+			st.Topology, st.Shards, len(st.PerShard))
 	}
 	want := engine.Stats()
 	if st.Fragments != want.Fragments || st.Fragments == 0 {
@@ -220,13 +391,53 @@ func TestStatsHandler(t *testing.T) {
 	}
 }
 
+// TestHomePage: the human demo moved to / — a form without q, rendered
+// results with q, and a structured 404 for unknown routes.
+func TestHomePage(t *testing.T) {
+	mux, _ := testMux(t)
+	if rec := get(t, mux, "/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "<form") {
+		t.Errorf("home form: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	rec := get(t, mux, "/?q=burger&k=2&s=20")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("home search: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "db-pages") {
+		t.Errorf("home search response missing results page: %q", rec.Body.String())
+	}
+	if rec := get(t, mux, "/no/such/route"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown route: status %d, want 404", rec.Code)
+	} else if errorCode(t, rec) != "not_found" {
+		t.Errorf("unknown route: code %q", errorCode(t, rec))
+	}
+}
+
+// TestMiddlewareRecovery: a panicking handler answers a structured 500
+// with the request id instead of killing the connection silently.
+func TestMiddlewareRecovery(t *testing.T) {
+	h := withRequestMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
+	}
+	if errorCode(t, rec) != "internal" {
+		t.Errorf("panic envelope code = %q", errorCode(t, rec))
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("panic response missing X-Request-ID")
+	}
+}
+
 // TestPprofOptIn: the profiling surface exists only when the flag opts in.
 func TestPprofOptIn(t *testing.T) {
-	mux, _ := testMuxPprof(t, false)
+	mux, _ := testMuxCfg(t, serveConfig{searchTimeout: 5 * time.Second})
 	if rec := get(t, mux, "/debug/pprof/"); rec.Code != http.StatusNotFound {
 		t.Errorf("pprof off: status %d, want 404", rec.Code)
 	}
-	withPprof, _ := testMuxPprof(t, true)
+	withPprof, _ := testMuxCfg(t, serveConfig{withPprof: true, searchTimeout: 5 * time.Second})
 	if rec := get(t, withPprof, "/debug/pprof/"); rec.Code != http.StatusOK {
 		t.Errorf("pprof on: status %d, want 200", rec.Code)
 	}

@@ -1,0 +1,81 @@
+package main
+
+// middleware.go is the one request-scoped middleware every dashserve
+// request passes: an X-Request-ID response header, an access-log line,
+// and panic-to-500 recovery, so a panicking handler answers a structured
+// 500 instead of killing the connection silently.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures what a handler wrote so the access log and the
+// panic recovery know where the response stands.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.code, sr.wrote = code, true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.wrote {
+		sr.code, sr.wrote = http.StatusOK, true
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// newRequestID returns a 16-hex-char random identifier — unique enough to
+// correlate one access-log line with one client-reported failure.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000" // degraded, never fatal
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestMiddleware wraps the whole mux. Ordering matters: the
+// recovery must see the panic before the connection unwinds, and the log
+// line must record the status the handler (or the recovery) settled on.
+func withRequestMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := newRequestID()
+		w.Header().Set("X-Request-ID", id)
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// The standard way for a handler to abort the
+					// connection on purpose; not ours to swallow.
+					panic(p)
+				}
+				log.Printf("panic id=%s %s %s: %v\n%s",
+					id, r.Method, r.URL.RequestURI(), p, debug.Stack())
+				if !sr.wrote {
+					writeError(sr, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			code := sr.code
+			if !sr.wrote {
+				code = http.StatusOK
+			}
+			log.Printf("%s %s -> %d (%s) id=%s",
+				r.Method, r.URL.RequestURI(), code,
+				time.Since(start).Round(time.Microsecond), id)
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}

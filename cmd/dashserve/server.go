@@ -1,0 +1,562 @@
+package main
+
+// server.go is dashserve's HTTP surface: the versioned /v1 JSON API over
+// the dash.Handle contract, the deprecated unversioned delegates, and the
+// human-facing HTML demo page at /.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	dash "repro"
+	"repro/internal/relation"
+	"repro/internal/webapp"
+)
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request abandoned by its own client before the response was ready.
+const statusClientClosedRequest = 499
+
+// serveConfig carries the handler-level knobs from flags to newMux.
+type serveConfig struct {
+	withPprof bool
+	// searchTimeout is the default per-request search budget; 0 disables
+	// the server-side deadline. ?timeout_ms= overrides it per request.
+	searchTimeout time.Duration
+}
+
+// server binds the handlers to the serving contract. Handlers only ever
+// use dash.Handle — Searcher for reads, Maintainer for admin writes — so
+// the surface is identical whatever topology Open picked.
+type server struct {
+	eng   dash.Handle
+	app   *webapp.Application
+	db    *dash.Database
+	kinds []relation.Kind
+	cfg   serveConfig
+}
+
+// newMux assembles the full HTTP surface over a serving handle and wraps
+// it in the request middleware (X-Request-ID, access log, panic-to-500).
+// Split out of run so handler tests can drive it with httptest against a
+// small dataset.
+func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds []relation.Kind, cfg serveConfig) http.Handler {
+	s := &server{eng: eng, app: app, db: db, kinds: kinds, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.Handle("/app", app.Handler())
+	if cfg.withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	// The versioned JSON API.
+	mux.HandleFunc("/v1/search", s.v1Search)
+	mux.HandleFunc("/v1/search:batch", s.v1SearchBatch)
+	mux.HandleFunc("/v1/admin/stats", s.v1AdminStats)
+	mux.HandleFunc("/v1/admin/apply", s.v1AdminApply)
+
+	// Pre-/v1 routes delegate to the same handlers under a deprecation
+	// header: existing JSON clients keep working byte-for-byte and see
+	// where to migrate. One deliberate break, per the API redesign:
+	// /search now answers the same JSON as /v1/search — the HTML demo it
+	// used to render lives at / instead — and /batch lost its top-level
+	// "elapsed" field (timing moved to the X-Elapsed header so bodies are
+	// deterministic).
+	mux.HandleFunc("/search", deprecated(s.v1Search, "/v1/search"))
+	mux.HandleFunc("/batch", deprecated(s.v1SearchBatch, "/v1/search:batch"))
+	mux.HandleFunc("/admin/stats", deprecated(s.v1AdminStats, "/v1/admin/stats"))
+	mux.HandleFunc("/admin/apply", deprecated(s.v1AdminApply, "/v1/admin/apply"))
+
+	// The human demo page.
+	mux.HandleFunc("/", s.home)
+
+	return withRequestMiddleware(mux)
+}
+
+// deprecated marks a legacy route: same handler, plus the standard
+// deprecation headers pointing at the successor.
+func deprecated(h http.HandlerFunc, successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// errorBody is the /v1 structured error envelope.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(errorBody{Error: errorInfo{Code: code, Message: message}}); err != nil {
+		log.Printf("encode error body: %v", err)
+	}
+}
+
+// writeEngineError maps an engine or context error onto the envelope:
+// context errors are the caller's own signals (504 when the per-request
+// budget fired, 499 when the client went away); everything else from a
+// well-formed request is a validation failure.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "client_closed_request", err.Error())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "validation_failed", err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// requestContext derives the handler context: the client's own context
+// (so a dropped connection cancels the request) bounded by ?timeout_ms=
+// or, absent that, the given budget (0: no server-side deadline).
+// timeout_ms must be a positive integer when present, and when the
+// handler has a budget it is a ceiling — a client may shrink its own
+// deadline but never raise it past the server's, otherwise one query
+// parameter would void the -search-timeout latency protection. Search
+// handlers pass the -search-timeout budget; the admin apply handler
+// passes 0 — a long recrawl is legitimate maintenance work, and imposing
+// the search budget on it would routinely abort applies mid-flight
+// (leaving sharded applies partially published, per the documented
+// per-shard atomicity).
+func (s *server) requestContext(r *http.Request, budget time.Duration) (context.Context, context.CancelFunc, error) {
+	timeout := budget
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout_ms parameter %q: want a positive integer", raw)
+		}
+		asked := time.Duration(ms) * time.Millisecond
+		if budget <= 0 || asked < budget {
+			timeout = asked
+		}
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// pageJSON is one suggested db-page in API responses.
+type pageJSON struct {
+	URL   string  `json:"url"`
+	Query string  `json:"query_string"`
+	Score float64 `json:"score"`
+	Size  int64   `json:"size"`
+}
+
+func pagesJSON(results []dash.Result) []pageJSON {
+	out := make([]pageJSON, 0, len(results))
+	for _, res := range results {
+		out = append(out, pageJSON{
+			URL: res.URL, Query: res.QueryString, Score: res.Score, Size: res.Size,
+		})
+	}
+	return out
+}
+
+// searchParams parses the shared q/k/s/limit search parameters. k and s
+// must be positive; limit accepts 0, the engine's documented "read full
+// posting lists" sentinel.
+func searchParams(r *http.Request) (queries []string, req dash.Request, err error) {
+	k, err := intParam(r, "k", 5, 1)
+	if err != nil {
+		return nil, dash.Request{}, err
+	}
+	sz, err := intParam(r, "s", 100, 1)
+	if err != nil {
+		return nil, dash.Request{}, err
+	}
+	limit, err := intParam(r, "limit", 0, 0)
+	if err != nil {
+		return nil, dash.Request{}, err
+	}
+	return r.URL.Query()["q"], dash.Request{K: k, SizeThreshold: sz, CandidateLimit: limit}, nil
+}
+
+// v1Search answers GET /v1/search?q=…&k=…&s=…&limit=…&timeout_ms=….
+// The response body is deterministic for a given index state (timing goes
+// to the X-Elapsed header), so the legacy delegate answers byte-identical
+// payloads.
+func (s *server) v1Search(w http.ResponseWriter, r *http.Request) {
+	queries, base, err := searchParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	if len(queries) == 0 || queries[0] == "" {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "missing q parameter")
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, s.cfg.searchTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	defer cancel()
+	base.Keywords = strings.Fields(queries[0])
+	start := time.Now()
+	results, err := s.eng.Search(ctx, base)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.Header().Set("X-Elapsed", time.Since(start).Round(time.Microsecond).String())
+	writeJSON(w, map[string]any{
+		"query":   queries[0],
+		"count":   len(results),
+		"results": pagesJSON(results),
+	})
+}
+
+// v1SearchBatch answers GET /v1/search:batch?q=…&q=…&k=…&s=… — every q is
+// one search, all pinned to the same index state via SearchBatch. Per-query
+// engine failures are reported per entry; a request-level cancellation or
+// deadline fails the whole call with 499/504.
+func (s *server) v1SearchBatch(w http.ResponseWriter, r *http.Request) {
+	queries, base, err := searchParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	if len(queries) == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_argument", "missing q parameters")
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, s.cfg.searchTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	defer cancel()
+	reqs := make([]dash.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = base
+		reqs[i].Keywords = strings.Fields(q)
+	}
+	start := time.Now()
+	batch := s.eng.SearchBatch(ctx, reqs)
+	// A deadline or disconnect that actually cost results shows up in the
+	// per-entry errors (abandoned slots carry ctx.Err()); a deadline that
+	// fires after the last slot completed lost nothing, so re-polling ctx
+	// here would throw away a fully successful batch. Fail the whole call
+	// only when some entry was genuinely cut short by the context.
+	for _, br := range batch {
+		if br.Err != nil && (errors.Is(br.Err, context.DeadlineExceeded) || errors.Is(br.Err, context.Canceled)) {
+			writeEngineError(w, br.Err)
+			return
+		}
+	}
+	type entryJSON struct {
+		Query   string     `json:"query"`
+		Error   string     `json:"error,omitempty"`
+		Results []pageJSON `json:"results"`
+	}
+	entries := make([]entryJSON, len(batch))
+	for i, br := range batch {
+		entries[i].Query = queries[i]
+		if br.Err != nil {
+			entries[i].Error = br.Err.Error()
+			entries[i].Results = []pageJSON{}
+			continue
+		}
+		entries[i].Results = pagesJSON(br.Results)
+	}
+	w.Header().Set("X-Elapsed", time.Since(start).Round(time.Microsecond).String())
+	writeJSON(w, map[string]any{"queries": entries})
+}
+
+// v1AdminStats answers GET /v1/admin/stats with the unified EngineStats
+// shape (topology, aggregate counters, per-shard detail when sharded).
+func (s *server) v1AdminStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.eng.Stats())
+}
+
+// v1AdminApply answers POST /v1/admin/apply: explicit fragment changes
+// and/or targeted partition re-crawls, optionally batched into one
+// publish. Malformed JSON is a 400; a well-formed request the engine
+// cannot apply is a 422.
+func (s *server) v1AdminApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST a JSON delta")
+		return
+	}
+	// No default budget for maintenance: only an explicit ?timeout_ms=
+	// bounds an apply (see requestContext).
+	ctx, cancel, err := s.requestContext(r, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", err.Error())
+		return
+	}
+	defer cancel()
+	var req applyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", fmt.Sprintf("bad delta JSON: %v", err))
+		return
+	}
+	stats, err := s.handleApply(ctx, req)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, stats)
+}
+
+// changeJSON is one explicit fragment mutation with precomputed statistics.
+type changeJSON struct {
+	Op    string           `json:"op"` // insert | remove | update
+	ID    []string         `json:"id"` // selection values, WHERE order
+	Terms map[string]int64 `json:"terms,omitempty"`
+	Total int64            `json:"total,omitempty"`
+}
+
+// deltaRequest is one delta's worth of maintenance: explicit fragment
+// changes and/or partitions to re-crawl.
+type deltaRequest struct {
+	Changes []changeJSON `json:"changes"`
+	// Recrawl lists fragment identifiers whose partitions should be
+	// re-executed against the database; the op (insert/remove/update) is
+	// derived from what the partition and the index currently hold.
+	Recrawl [][]string `json:"recrawl"`
+}
+
+// applyRequest is the /v1/admin/apply body: one delta at the top level,
+// and/or a batch of deltas coalesced into a single publish.
+type applyRequest struct {
+	deltaRequest
+	// Batch holds additional deltas. When present, everything in the
+	// request — the top-level delta included — is folded into one
+	// published snapshot (changes to the same fragment coalesce; see
+	// dash.Maintainer.ApplyBatch).
+	Batch []deltaRequest `json:"batch"`
+}
+
+// handleApply validates, derives, and applies one admin maintenance
+// request through the Maintainer contract. The whole request — derivation
+// included — runs under the engine's maintenance serialization.
+func (s *server) handleApply(ctx context.Context, req applyRequest) (dash.ApplyReport, error) {
+	entries := append([]deltaRequest{req.deltaRequest}, req.Batch...)
+	var (
+		deltas []dash.Delta
+		ids    []dash.FragmentID
+		empty  = true
+	)
+	for _, e := range entries {
+		if len(e.Changes) == 0 && len(e.Recrawl) == 0 {
+			continue
+		}
+		empty = false
+		d, err := parseDelta(e.Changes, s.kinds)
+		if err != nil {
+			return dash.ApplyReport{}, err
+		}
+		if len(d.Changes) > 0 {
+			deltas = append(deltas, d)
+		}
+		for _, raw := range e.Recrawl {
+			id, err := parseID(raw, s.kinds)
+			if err != nil {
+				return dash.ApplyReport{}, err
+			}
+			ids = append(ids, id)
+		}
+	}
+	if empty {
+		return dash.ApplyReport{}, errors.New("empty delta: provide changes, recrawl, and/or batch")
+	}
+	if len(req.Batch) > 0 {
+		// Batch mode: every delta folds into one published snapshot.
+		return s.eng.RecrawlBatch(ctx, s.db, ids, deltas)
+	}
+	var extra dash.Delta
+	if len(deltas) > 0 {
+		extra = deltas[0]
+	}
+	return s.eng.RecrawlWith(ctx, s.db, ids, extra)
+}
+
+// parseDelta converts explicit JSON changes into a typed delta.
+func parseDelta(changes []changeJSON, kinds []relation.Kind) (dash.Delta, error) {
+	var d dash.Delta
+	for _, ch := range changes {
+		id, err := parseID(ch.ID, kinds)
+		if err != nil {
+			return dash.Delta{}, err
+		}
+		fc := dash.FragmentChange{ID: id, TermCounts: ch.Terms, TotalTerms: ch.Total}
+		switch ch.Op {
+		case "insert":
+			fc.Op = dash.OpInsertFragment
+		case "remove":
+			fc.Op = dash.OpRemoveFragment
+		case "update":
+			fc.Op = dash.OpUpdateFragment
+		default:
+			return dash.Delta{}, fmt.Errorf("unknown op %q", ch.Op)
+		}
+		d.Changes = append(d.Changes, fc)
+	}
+	return d, nil
+}
+
+// parseID converts string selection values into a typed fragment
+// identifier using the query's selection-attribute kinds.
+func parseID(raw []string, kinds []relation.Kind) (dash.FragmentID, error) {
+	if len(raw) != len(kinds) {
+		return nil, fmt.Errorf("id %v has %d values, want %d", raw, len(raw), len(kinds))
+	}
+	id := make(dash.FragmentID, len(raw))
+	for i, s := range raw {
+		v, err := relation.ParseAs(s, kinds[i])
+		if err != nil {
+			return nil, fmt.Errorf("id value %q: %w", s, err)
+		}
+		id[i] = v
+	}
+	return id, nil
+}
+
+// intParam reads an integer query parameter of at least min, returning
+// def when it is absent. A malformed or out-of-range value is an error
+// naming the parameter, which handlers surface as HTTP 400 — silently
+// substituting the default would serve wrong-shaped results for a typo'd
+// request.
+func intParam(r *http.Request, name string, def, min int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < min {
+		kind := "positive"
+		if min == 0 {
+			kind = "non-negative"
+		}
+		return 0, fmt.Errorf("invalid %s parameter %q: want a %s integer", name, raw, kind)
+	}
+	return n, nil
+}
+
+var resultsTemplate = template.Must(template.New("results").Parse(`<!DOCTYPE html>
+<html><head><title>Dash results for {{.Query}}</title></head><body>
+<h1>Dash: db-pages for “{{.Query}}”</h1>
+<ol>
+{{range .Results}}<li><a href="{{.Href}}">{{.Label}}</a> — score {{printf "%.6f" .Score}}, {{.Size}} keywords</li>
+{{end}}</ol>
+<p>{{.Elapsed}} over {{.Fragments}} fragments (epoch {{.Epoch}})</p>
+</body></html>
+`))
+
+var homeTemplate = template.Must(template.New("home").Parse(`<!DOCTYPE html>
+<html><head><title>Dash</title></head><body>
+<h1>Dash: search db-pages</h1>
+<form action="/" method="get">
+<input type="text" name="q" placeholder="keywords…" autofocus>
+<input type="submit" value="Search">
+</form>
+<p>JSON API under <code>/v1</code>: <code>/v1/search?q=…</code>,
+<code>/v1/search:batch?q=…&amp;q=…</code>, <code>/v1/admin/stats</code>,
+<code>/v1/admin/apply</code>.</p>
+</body></html>
+`))
+
+type resultRow struct {
+	Href  string
+	Label string
+	Score float64
+	Size  int64
+}
+
+// home renders the human demo page: a search form at /, results for /?q=….
+func (s *server) home(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, "not_found", "no such route (JSON API lives under /v1)")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if q == "" {
+		if err := homeTemplate.Execute(w, nil); err != nil {
+			log.Printf("render: %v", err)
+		}
+		return
+	}
+	queries, base, err := searchParams(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, s.cfg.searchTimeout)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	base.Keywords = strings.Fields(queries[0])
+	start := time.Now()
+	results, err := s.eng.Search(ctx, base)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	rows := make([]resultRow, 0, len(results))
+	for _, res := range results {
+		rows = append(rows, resultRow{
+			// Rewrite the application's base URL onto this server
+			// so links work in the demo.
+			Href:  "/app?" + res.QueryString,
+			Label: res.URL,
+			Score: res.Score,
+			Size:  res.Size,
+		})
+	}
+	// The portable Handle contract has no snapshot pinning, so the
+	// footer's fragment count and epoch describe the serving index around
+	// the request, not the exact versions the search pinned — a publish
+	// landing mid-request can skew them by one version. The JSON API
+	// carries no such footer; this is demo-page garnish.
+	st := s.eng.Stats()
+	err = resultsTemplate.Execute(w, map[string]any{
+		"Query":     q,
+		"Results":   rows,
+		"Elapsed":   time.Since(start).Round(time.Microsecond).String(),
+		"Fragments": st.Fragments,
+		"Epoch":     st.MaxEpoch,
+	})
+	if err != nil {
+		log.Printf("render: %v", err)
+	}
+}

@@ -17,36 +17,49 @@
 //	app, _ := dash.Analyze(servletSource, "http://example.com/Search")
 //	_ = app.Bind(db)
 //	idx, stats, _ := dash.Build(ctx, db, app, dash.BuildOptions{})
-//	engine := dash.NewEngine(idx, app)
-//	results, _ := engine.Search(dash.Request{
+//	eng, _ := dash.Open(idx, app) // takes ownership of idx
+//	results, _ := eng.Search(ctx, dash.Request{
 //	    Keywords: []string{"burger"}, K: 2, SizeThreshold: 20,
 //	})
 //	for _, r := range results {
 //	    fmt.Println(r.URL) // e.g. http://example.com/Search?c=American&l=10&u=12
 //	}
 //
+// # One contract, three topologies
+//
+// Open returns a Handle — the Searcher + Maintainer contract — and picks
+// the serving topology from its options: a read-only engine over a frozen
+// snapshot (WithReadOnly), a single live index absorbing deltas under
+// query traffic (the default), or a sharded index scattering searches and
+// routing writes across independent publish cycles (WithShards(n)). Call
+// sites written against the contract swap topologies without rewrites,
+// and every topology returns byte-identical results for the same corpus.
+// Every method takes a context.Context first: searches honor cancellation
+// cooperatively mid-assembly, batch fan-outs abandon queued work, and a
+// cancelled apply publishes nothing in the failing cycle.
+//
 // # Serving while the database changes
 //
 // A db-page index is only useful while it tracks the database, so the
-// production serving path is the LiveEngine: searches run lock-free
-// against immutable epoch-swap snapshots while a writer folds database
-// changes into the next snapshot and publishes it atomically. Searches
-// in flight keep their pinned snapshot; new searches see the new version.
+// default topology serves lock-free searches against immutable epoch-swap
+// snapshots while a writer folds database changes into the next snapshot
+// and publishes it atomically. Searches in flight keep their pinned
+// snapshot; new searches see the new version.
 //
-//	live := dash.NewLiveEngine(idx, app) // takes ownership of idx
-//	go serve(live)                       // live.Search from any goroutine
+//	live, _ := dash.Open(idx, app) // takes ownership of idx
+//	go serve(live)                 // live.Search from any goroutine
 //
 //	// Rows changed in the database: re-crawl only the affected
 //	// partitions and swap in the patched index version.
-//	stats, _ := live.Recrawl(db, []dash.FragmentID{
+//	report, _ := live.Recrawl(ctx, db, []dash.FragmentID{
 //	    {relation.String("American"), relation.Int(9)},
 //	})
-//	fmt.Println(stats.Updated, "fragments refreshed")
+//	fmt.Println(report.Total.Updated, "fragments refreshed")
 //
 // Recrawl derives a Delta (insert/remove/update per fragment) by executing
 // the application query pinned to each affected partition; Apply publishes
-// a Delta built by any other means. Both are transactional: on error the
-// serving snapshot is unchanged.
+// a Delta built by any other means. Both are transactional: on error —
+// a cancelled context included — the serving snapshot is unchanged.
 //
 // When changes arrive faster than they must become visible, batch them:
 // ApplyBatch (or the Queue/Flush pair) coalesces any number of deltas into
@@ -58,13 +71,14 @@
 // When one index can no longer absorb the write rate — or one snapshot
 // walk per query leaves cores idle — partition it:
 //
-//	sharded, _ := dash.NewShardedLiveEngine(idx, app, 8)
+//	sharded, _ := dash.Open(idx, app, dash.WithShards(8))
 //
 // Fragments are routed to shards by their equality-group key, so db-page
 // assembly never crosses shards; searches scatter over one pinned snapshot
 // per shard with corpus-wide IDF and gather a global top-k identical to
 // the single-index answer, while deltas route to their shards and apply
-// concurrently with no global write lock. See ARCHITECTURE.md.
+// concurrently with no global write lock. See ARCHITECTURE.md's "Public
+// API" section for the full topology-selection rules.
 package dash
 
 import (
@@ -103,6 +117,14 @@ type (
 	Request = search.Request
 	// Result is one suggested db-page with its URL and relevance score.
 	Result = search.Result
+	// BatchResult is one request's outcome within a SearchBatch.
+	BatchResult = search.BatchResult
+	// MultiResult pairs a Result with the application that produced it
+	// (MultiEngine.SearchApps).
+	MultiResult = search.MultiResult
+	// EngineStats is the unified serving-stats shape every topology's
+	// Stats() answers.
+	EngineStats = search.Stats
 	// FragRef identifies a fragment within an Index.
 	FragRef = fragindex.FragRef
 	// Snapshot is one immutable version of a fragment index; the whole
@@ -126,6 +148,10 @@ type (
 	FragmentChange = crawl.FragmentChange
 	// ApplyStats reports what one delta application did and cost.
 	ApplyStats = fragindex.ApplyStats
+	// ApplyReport is the Maintainer contract's uniform apply result:
+	// summed totals plus, for sharded topologies, what each touched shard
+	// published (PerShard is nil for a single publish cycle).
+	ApplyReport = fragindex.ShardedApplyStats
 	// LiveStats summarizes a serving index and its maintenance history.
 	LiveStats = fragindex.LiveStats
 )
@@ -243,6 +269,10 @@ func Build(ctx context.Context, db *Database, app *Application, opts BuildOption
 
 // NewEngine creates a search engine over a built index. app may be nil when
 // URL formulation is not needed.
+//
+// Deprecated: construct serving engines through Open — NewEngine remains
+// for direct, mutable-index use (tests, offline tooling) and for callers
+// that need the concrete type.
 func NewEngine(idx *Index, app *Application) *Engine {
 	return search.New(idx, app)
 }
@@ -252,6 +282,10 @@ func NewEngine(idx *Index, app *Application) *Engine {
 func NewMultiEngine(engines ...*Engine) *MultiEngine {
 	return search.NewMulti(engines...)
 }
+
+// report lifts a single-cycle ApplyStats into the Maintainer contract's
+// uniform shape (no per-shard breakdown: there is one publish cycle).
+func report(st ApplyStats) ApplyReport { return ApplyReport{Total: st} }
 
 // LiveEngine pairs a LiveIndex with a search engine: lock-free top-k
 // searches against the current published snapshot, plus the single-writer
@@ -267,23 +301,38 @@ type LiveEngine struct {
 	live   *fragindex.LiveIndex
 	engine *search.Engine
 	app    *Application
+	// workers and candLimit carry Open's WithWorkers/WithCandidateLimit
+	// defaults (zero: runtime-chosen workers, full posting lists).
+	workers   int
+	candLimit int
 }
 
 // NewLiveEngine wraps a built index for online serving. It takes ownership
 // of idx: all further access must go through the LiveEngine. app may be
 // nil when URL formulation is not needed.
+//
+// Deprecated: construct through Open, which picks this topology by
+// default and configures it with functional options.
 func NewLiveEngine(idx *Index, app *Application) *LiveEngine {
 	live := fragindex.NewLive(idx)
 	return &LiveEngine{live: live, engine: search.New(live, app), app: app}
 }
 
 // Search answers a top-k query against the current snapshot.
-func (le *LiveEngine) Search(req Request) ([]Result, error) { return le.engine.Search(req) }
+func (le *LiveEngine) Search(ctx context.Context, req Request) ([]Result, error) {
+	return le.engine.Search(ctx, fillCandidateLimit(req, le.candLimit))
+}
 
-// ParallelSearch evaluates a batch of requests concurrently, all pinned to
-// one snapshot.
-func (le *LiveEngine) ParallelSearch(reqs []Request, workers int) []search.BatchResult {
-	return le.engine.ParallelSearch(reqs, workers)
+// SearchBatch evaluates a batch of requests concurrently over the
+// handle's worker pool, all pinned to one snapshot.
+func (le *LiveEngine) SearchBatch(ctx context.Context, reqs []Request) []BatchResult {
+	return le.engine.ParallelSearch(ctx, fillCandidateLimits(reqs, le.candLimit), le.workers)
+}
+
+// ParallelSearch evaluates a batch of requests concurrently over an
+// explicit worker count, all pinned to one snapshot.
+func (le *LiveEngine) ParallelSearch(ctx context.Context, reqs []Request, workers int) []BatchResult {
+	return le.engine.ParallelSearch(ctx, fillCandidateLimits(reqs, le.candLimit), workers)
 }
 
 // Engine returns the underlying search engine (for MultiEngine federation
@@ -298,19 +347,28 @@ func (le *LiveEngine) Live() *LiveIndex { return le.live }
 func (le *LiveEngine) Snapshot() *Snapshot { return le.live.Snapshot() }
 
 // Apply folds a delta into the index and atomically publishes the result.
-func (le *LiveEngine) Apply(d Delta) (ApplyStats, error) {
+// A cancelled ctx publishes nothing and returns ctx.Err().
+func (le *LiveEngine) Apply(ctx context.Context, d Delta) (ApplyReport, error) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
-	return le.live.Apply(d)
+	st, err := le.live.Apply(ctx, d)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return report(st), nil
 }
 
 // ApplyBatch coalesces a sequence of deltas and publishes their net effect
 // as one snapshot — one publish for the whole batch instead of one per
 // delta (see fragindex.LiveIndex.ApplyBatch for the folding rules).
-func (le *LiveEngine) ApplyBatch(ds []Delta) (ApplyStats, error) {
+func (le *LiveEngine) ApplyBatch(ctx context.Context, ds []Delta) (ApplyReport, error) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
-	return le.live.ApplyBatch(ds)
+	st, err := le.live.ApplyBatch(ctx, ds)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return report(st), nil
 }
 
 // Queue buffers a delta for a later batched publish without applying it,
@@ -318,32 +376,61 @@ func (le *LiveEngine) ApplyBatch(ds []Delta) (ApplyStats, error) {
 func (le *LiveEngine) Queue(d Delta) int { return le.live.Queue(d) }
 
 // Flush applies every queued delta as one batched publish.
-func (le *LiveEngine) Flush() (ApplyStats, error) {
+func (le *LiveEngine) Flush(ctx context.Context) (ApplyReport, error) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
-	return le.live.Flush()
+	st, err := le.live.Flush(ctx)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return report(st), nil
 }
 
-// Stats summarizes the serving index and its maintenance history.
-func (le *LiveEngine) Stats() LiveStats { return le.live.Stats() }
+// Stats summarizes the serving index and its maintenance history in the
+// unified shape; LiveStats has the single-index report.
+func (le *LiveEngine) Stats() EngineStats { return le.engine.Stats() }
+
+// LiveStats is the single-index maintenance report (the unified Stats
+// carries the same numbers).
+func (le *LiveEngine) LiveStats() LiveStats { return le.live.Stats() }
+
+// CompactIfNeeded runs the snapshot garbage collector, returning 1 when
+// the publish cycle compacted.
+func (le *LiveEngine) CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (int, error) {
+	ran, err := le.live.CompactIfNeeded(ctx, maxDeadRatio)
+	if err != nil {
+		return 0, err
+	}
+	if ran {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// SetPostingCompaction tunes the posting-list compaction threshold (see
+// fragindex.Index.SetPostingCompaction).
+func (le *LiveEngine) SetPostingCompaction(num, den int) error {
+	return le.live.SetPostingCompaction(num, den)
+}
 
 // Recrawl re-executes the application query for the given fragment
 // partitions only — not the whole database — derives the resulting Delta
 // (inserts, removals, updates), and publishes it. This is the paper's
 // §VIII "efficient update mechanism" end to end: after database rows
 // change, pass every fragment identifier whose partition is affected.
-func (le *LiveEngine) Recrawl(db *Database, ids []FragmentID) (ApplyStats, error) {
-	return le.RecrawlWith(db, ids, Delta{})
+func (le *LiveEngine) Recrawl(ctx context.Context, db *Database, ids []FragmentID) (ApplyReport, error) {
+	return le.RecrawlWith(ctx, db, ids, Delta{})
 }
 
 // RecrawlWith combines a targeted re-crawl with explicit extra changes and
 // applies everything as one transactional delta. Derivation runs under the
 // same lock as the apply and classifies against the latest published
 // snapshot, so concurrent maintenance calls observe each other's results
-// instead of racing.
-func (le *LiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (ApplyStats, error) {
+// instead of racing. A ctx cancelled during derivation or apply publishes
+// nothing.
+func (le *LiveEngine) RecrawlWith(ctx context.Context, db *Database, ids []FragmentID, extra Delta) (ApplyReport, error) {
 	if len(ids) > 0 && le.app == nil {
-		return ApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+		return ApplyReport{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
 	}
 	le.mu.Lock()
 	defer le.mu.Unlock()
@@ -352,16 +439,20 @@ func (le *LiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (
 		Changes:  append([]FragmentChange(nil), extra.Changes...),
 	}
 	if len(ids) > 0 {
-		derived, err := le.deriveLocked(db, ids)
+		derived, err := le.deriveLocked(ctx, db, ids)
 		if err != nil {
-			return ApplyStats{}, err
+			return ApplyReport{}, err
 		}
 		if d.SelAttrs == nil {
 			d.SelAttrs = derived.SelAttrs
 		}
 		d.Changes = append(d.Changes, derived.Changes...)
 	}
-	return le.live.Apply(d)
+	st, err := le.live.Apply(ctx, d)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return report(st), nil
 }
 
 // RecrawlBatch combines a targeted re-crawl with a batch of explicit
@@ -370,31 +461,35 @@ func (le *LiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (
 // Unlike sequential Apply calls, changes to the same fragment across the
 // batch are folded first (an insert a later delta removes never touches
 // the index). Derivation runs under the maintenance lock like RecrawlWith.
-func (le *LiveEngine) RecrawlBatch(db *Database, ids []FragmentID, ds []Delta) (ApplyStats, error) {
+func (le *LiveEngine) RecrawlBatch(ctx context.Context, db *Database, ids []FragmentID, ds []Delta) (ApplyReport, error) {
 	if len(ids) > 0 && le.app == nil {
-		return ApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+		return ApplyReport{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
 	}
 	le.mu.Lock()
 	defer le.mu.Unlock()
 	batch := append([]Delta(nil), ds...)
 	if len(ids) > 0 {
-		derived, err := le.deriveLocked(db, ids)
+		derived, err := le.deriveLocked(ctx, db, ids)
 		if err != nil {
-			return ApplyStats{}, err
+			return ApplyReport{}, err
 		}
 		batch = append(batch, derived)
 	}
-	return le.live.ApplyBatch(batch)
+	st, err := le.live.ApplyBatch(ctx, batch)
+	if err != nil {
+		return ApplyReport{}, err
+	}
+	return report(st), nil
 }
 
 // deriveLocked re-crawls the given partitions against the latest published
 // snapshot. Caller holds le.mu.
-func (le *LiveEngine) deriveLocked(db *Database, ids []FragmentID) (Delta, error) {
+func (le *LiveEngine) deriveLocked(ctx context.Context, db *Database, ids []FragmentID) (Delta, error) {
 	bound, err := le.app.Bound()
 	if err != nil {
 		return Delta{}, err
 	}
-	return crawl.DeriveDelta(db, bound, ids, le.live.Snapshot().Has)
+	return crawl.DeriveDelta(ctx, db, bound, ids, le.live.Snapshot().Has)
 }
 
 // ShardedLiveEngine is the partitioned serving path: the fragment space is
@@ -411,12 +506,18 @@ type ShardedLiveEngine struct {
 	live   *fragindex.ShardedLiveIndex
 	engine *search.ShardedEngine
 	app    *Application
+	// workers and candLimit carry Open's WithWorkers/WithCandidateLimit
+	// defaults (zero: runtime-chosen workers, full posting lists).
+	workers   int
+	candLimit int
 }
 
 // NewShardedLiveEngine partitions a built index across the given number of
 // shards for online serving. It takes ownership of idx: all further access
 // must go through the ShardedLiveEngine. app may be nil when URL
 // formulation is not needed.
+//
+// Deprecated: construct through Open(idx, app, WithShards(n)).
 func NewShardedLiveEngine(idx *Index, app *Application, shards int) (*ShardedLiveEngine, error) {
 	live, err := fragindex.NewShardedLive(idx, shards)
 	if err != nil {
@@ -426,7 +527,9 @@ func NewShardedLiveEngine(idx *Index, app *Application, shards int) (*ShardedLiv
 }
 
 // Search answers a top-k query against the shards' current snapshots.
-func (se *ShardedLiveEngine) Search(req Request) ([]Result, error) { return se.engine.Search(req) }
+func (se *ShardedLiveEngine) Search(ctx context.Context, req Request) ([]Result, error) {
+	return se.engine.Search(ctx, fillCandidateLimit(req, se.candLimit))
+}
 
 // Pin resolves one snapshot per shard; SearchPinned runs a request against
 // such a pinned set for repeatable reads.
@@ -434,14 +537,20 @@ func (se *ShardedLiveEngine) Pin() []*Snapshot { return se.engine.Pin() }
 
 // SearchPinned answers a top-k query against an explicitly pinned shard
 // snapshot set (from Pin).
-func (se *ShardedLiveEngine) SearchPinned(snaps []*Snapshot, req Request) ([]Result, error) {
-	return se.engine.SearchPinned(snaps, req)
+func (se *ShardedLiveEngine) SearchPinned(ctx context.Context, snaps []*Snapshot, req Request) ([]Result, error) {
+	return se.engine.SearchPinned(ctx, snaps, fillCandidateLimit(req, se.candLimit))
 }
 
-// ParallelSearch evaluates a batch of requests concurrently, all pinned to
-// one shard snapshot set.
-func (se *ShardedLiveEngine) ParallelSearch(reqs []Request, workers int) []search.BatchResult {
-	return se.engine.ParallelSearch(reqs, workers)
+// SearchBatch evaluates a batch of requests concurrently over the
+// handle's worker pool, all pinned to one shard snapshot set.
+func (se *ShardedLiveEngine) SearchBatch(ctx context.Context, reqs []Request) []BatchResult {
+	return se.engine.ParallelSearch(ctx, fillCandidateLimits(reqs, se.candLimit), se.workers)
+}
+
+// ParallelSearch evaluates a batch of requests concurrently over an
+// explicit worker count, all pinned to one shard snapshot set.
+func (se *ShardedLiveEngine) ParallelSearch(ctx context.Context, reqs []Request, workers int) []BatchResult {
+	return se.engine.ParallelSearch(ctx, fillCandidateLimits(reqs, se.candLimit), workers)
 }
 
 // Engine returns the underlying scatter-gather engine.
@@ -454,31 +563,36 @@ func (se *ShardedLiveEngine) Live() *ShardedLiveIndex { return se.live }
 // NumShards returns the shard count.
 func (se *ShardedLiveEngine) NumShards() int { return se.live.NumShards() }
 
-// Stats aggregates the per-shard serving statistics.
-func (se *ShardedLiveEngine) Stats() ShardedLiveStats { return se.live.Stats() }
+// Stats aggregates the per-shard serving statistics in the unified shape
+// (PerShard carries each shard's own report).
+func (se *ShardedLiveEngine) Stats() EngineStats { return se.engine.Stats() }
+
+// ShardStats is the sharded-index maintenance report (the unified Stats
+// carries the same numbers).
+func (se *ShardedLiveEngine) ShardStats() ShardedLiveStats { return se.live.Stats() }
 
 // Apply routes a delta's changes to their shards and applies them
 // concurrently (transactional per shard; see
 // fragindex.ShardedLiveIndex.Apply for the cross-shard contract).
-func (se *ShardedLiveEngine) Apply(d Delta) (ShardedApplyStats, error) {
+func (se *ShardedLiveEngine) Apply(ctx context.Context, d Delta) (ApplyReport, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.live.Apply(d)
+	return se.live.Apply(ctx, d)
 }
 
 // ApplyBatch coalesces a sequence of deltas and applies the net changes
 // concurrently across shards — one publish per touched shard for the whole
 // batch.
-func (se *ShardedLiveEngine) ApplyBatch(ds []Delta) (ShardedApplyStats, error) {
+func (se *ShardedLiveEngine) ApplyBatch(ctx context.Context, ds []Delta) (ApplyReport, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return se.live.ApplyBatch(ds)
+	return se.live.ApplyBatch(ctx, ds)
 }
 
 // CompactIfNeeded runs the snapshot garbage collector on every shard,
 // returning how many compacted.
-func (se *ShardedLiveEngine) CompactIfNeeded(maxDeadRatio float64) (int, error) {
-	return se.live.CompactIfNeeded(maxDeadRatio)
+func (se *ShardedLiveEngine) CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (int, error) {
+	return se.live.CompactIfNeeded(ctx, maxDeadRatio)
 }
 
 // SetPostingCompaction tunes every shard's posting-list compaction
@@ -489,17 +603,17 @@ func (se *ShardedLiveEngine) SetPostingCompaction(num, den int) error {
 
 // Recrawl re-executes the application query for the given fragment
 // partitions, derives the delta, and applies it routed across shards.
-func (se *ShardedLiveEngine) Recrawl(db *Database, ids []FragmentID) (ShardedApplyStats, error) {
-	return se.RecrawlWith(db, ids, Delta{})
+func (se *ShardedLiveEngine) Recrawl(ctx context.Context, db *Database, ids []FragmentID) (ApplyReport, error) {
+	return se.RecrawlWith(ctx, db, ids, Delta{})
 }
 
 // RecrawlWith combines a targeted re-crawl with explicit extra changes and
 // applies everything as one routed delta. Derivation runs under the
 // maintenance lock and classifies against the latest published shard
 // snapshots.
-func (se *ShardedLiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra Delta) (ShardedApplyStats, error) {
+func (se *ShardedLiveEngine) RecrawlWith(ctx context.Context, db *Database, ids []FragmentID, extra Delta) (ApplyReport, error) {
 	if len(ids) > 0 && se.app == nil {
-		return ShardedApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+		return ApplyReport{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
 	}
 	se.mu.Lock()
 	defer se.mu.Unlock()
@@ -508,46 +622,46 @@ func (se *ShardedLiveEngine) RecrawlWith(db *Database, ids []FragmentID, extra D
 		Changes:  append([]FragmentChange(nil), extra.Changes...),
 	}
 	if len(ids) > 0 {
-		derived, err := se.deriveLocked(db, ids)
+		derived, err := se.deriveLocked(ctx, db, ids)
 		if err != nil {
-			return ShardedApplyStats{}, err
+			return ApplyReport{}, err
 		}
 		if d.SelAttrs == nil {
 			d.SelAttrs = derived.SelAttrs
 		}
 		d.Changes = append(d.Changes, derived.Changes...)
 	}
-	return se.live.Apply(d)
+	return se.live.Apply(ctx, d)
 }
 
 // RecrawlBatch combines a targeted re-crawl with a batch of explicit
 // deltas; the whole batch coalesces and each touched shard pays one
 // publish.
-func (se *ShardedLiveEngine) RecrawlBatch(db *Database, ids []FragmentID, ds []Delta) (ShardedApplyStats, error) {
+func (se *ShardedLiveEngine) RecrawlBatch(ctx context.Context, db *Database, ids []FragmentID, ds []Delta) (ApplyReport, error) {
 	if len(ids) > 0 && se.app == nil {
-		return ShardedApplyStats{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
+		return ApplyReport{}, fmt.Errorf("dash: Recrawl needs an application bound to the engine")
 	}
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	batch := append([]Delta(nil), ds...)
 	if len(ids) > 0 {
-		derived, err := se.deriveLocked(db, ids)
+		derived, err := se.deriveLocked(ctx, db, ids)
 		if err != nil {
-			return ShardedApplyStats{}, err
+			return ApplyReport{}, err
 		}
 		batch = append(batch, derived)
 	}
-	return se.live.ApplyBatch(batch)
+	return se.live.ApplyBatch(ctx, batch)
 }
 
 // deriveLocked re-crawls the given partitions against the latest published
 // shard snapshots. Caller holds se.mu.
-func (se *ShardedLiveEngine) deriveLocked(db *Database, ids []FragmentID) (Delta, error) {
+func (se *ShardedLiveEngine) deriveLocked(ctx context.Context, db *Database, ids []FragmentID) (Delta, error) {
 	bound, err := se.app.Bound()
 	if err != nil {
 		return Delta{}, err
 	}
-	return crawl.DeriveDelta(db, bound, ids, se.live.Has)
+	return crawl.DeriveDelta(ctx, db, bound, ids, se.live.Has)
 }
 
 // SaveIndex serializes an index (gob encoding).

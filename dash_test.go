@@ -44,7 +44,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		}
 
 		engine := NewEngine(idx, app)
-		results, err := engine.Search(Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
+		results, err := engine.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
 		if err != nil {
 			t.Fatalf("%s: Search: %v", alg, err)
 		}
@@ -95,7 +95,7 @@ func TestFacadeSaveLoad(t *testing.T) {
 		t.Fatalf("LoadIndex: %v", err)
 	}
 	engine := NewEngine(loaded, app)
-	results, err := engine.Search(Request{Keywords: []string{"coffee"}, K: 1, SizeThreshold: 5})
+	results, err := engine.Search(context.Background(), Request{Keywords: []string{"coffee"}, K: 1, SizeThreshold: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestFacadeMultiEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewMultiEngine(NewEngine(idx, app))
-	results, err := m.Search(Request{Keywords: []string{"burger"}, K: 3, SizeThreshold: 1})
+	results, err := m.SearchApps(context.Background(), Request{Keywords: []string{"burger"}, K: 3, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,6 +124,16 @@ func TestFacadeMultiEngine(t *testing.T) {
 	}
 	if results[0].AppName != "Search" {
 		t.Errorf("app name = %q", results[0].AppName)
+	}
+	// The Searcher-contract form answers the same pages without the
+	// attribution.
+	plain, err := m.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 3, SizeThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(results) || plain[0].URL != results[0].URL {
+		t.Errorf("Search = %d results (top %q), SearchApps = %d (top %q)",
+			len(plain), plain[0].URL, len(results), results[0].URL)
 	}
 }
 
@@ -152,11 +162,11 @@ func TestFacadeShardedLiveEngine(t *testing.T) {
 		t.Fatalf("NumShards = %d", sharded.NumShards())
 	}
 	req := Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20}
-	want, err := single.Search(req)
+	want, err := single.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := sharded.Search(req)
+	got, err := sharded.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +182,7 @@ func TestFacadeShardedLiveEngine(t *testing.T) {
 
 	// Batch apply routes and coalesces through the facade.
 	id := FragmentID{relation.String("Nordic"), relation.Int(3)}
-	st, err := sharded.ApplyBatch([]Delta{
+	st, err := sharded.ApplyBatch(context.Background(), []Delta{
 		{Changes: []FragmentChange{{Op: OpInsertFragment, ID: id,
 			TermCounts: map[string]int64{"herring": 2}, TotalTerms: 2}}},
 	})
@@ -191,7 +201,7 @@ func TestFacadeShardedLiveEngine(t *testing.T) {
 	}
 
 	// ParallelSearch through the facade, pinned to one shard-snapshot set.
-	batch := sharded.ParallelSearch([]Request{req, req}, 0)
+	batch := sharded.ParallelSearch(context.Background(), []Request{req, req}, 0)
 	for _, br := range batch {
 		if br.Err != nil {
 			t.Fatal(br.Err)

@@ -47,10 +47,18 @@ func run() error {
 	}
 	fmt.Printf("initial index: %d fragments, %d keywords\n", stats.Fragments, stats.Keywords)
 
-	engine := dash.NewLiveEngine(idx, app)
+	ctx := context.Background()
+	// Open picks the live (epoch-swap) topology by default; the concrete
+	// type is asserted because this example also demonstrates explicit
+	// snapshot pinning, which is outside the portable Handle contract.
+	opened, err := dash.Open(idx, app)
+	if err != nil {
+		return err
+	}
+	engine := opened.(*dash.LiveEngine)
 	froyo := dash.Request{Keywords: []string{"froyo"}, K: 5, SizeThreshold: 5}
 
-	before, err := engine.Search(froyo)
+	before, err := engine.Search(ctx, froyo)
 	if err != nil {
 		return err
 	}
@@ -73,7 +81,7 @@ func run() error {
 		go func() {
 			defer searcherWG.Done()
 			for i := 0; i < 500; i++ {
-				rs, err := engine.Search(froyo)
+				rs, err := engine.Search(context.Background(), froyo)
 				if err != nil {
 					panic(err)
 				}
@@ -104,12 +112,12 @@ func run() error {
 	// application query pinned to it, derives the delta, and swaps in the
 	// patched snapshot — while the searchers above keep running.
 	affected := dash.FragmentID{relation.String("American"), relation.Int(9)}
-	applied, err := engine.Recrawl(db, []dash.FragmentID{affected})
+	applied, err := engine.Recrawl(ctx, db, []dash.FragmentID{affected})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("recrawled partition %s: %d updated, cloned %d posting lists in %d shards (epoch %d)\n",
-		affected, applied.Updated, applied.ClonedLists, applied.ClonedShards, applied.Epoch)
+		affected, applied.Total.Updated, applied.Total.ClonedLists, applied.Total.ClonedShards, applied.Total.Epoch)
 	st := engine.Stats()
 	fmt.Printf("index still has %d fragments — only one partition touched\n", st.Fragments)
 
@@ -118,7 +126,7 @@ func run() error {
 		searches.Load(), sawFresh.Load())
 
 	// New searches see the fresh comment instantly…
-	after, err := engine.Search(froyo)
+	after, err := engine.Search(ctx, froyo)
 	if err != nil {
 		return err
 	}
@@ -129,7 +137,7 @@ func run() error {
 
 	// …while the pinned pre-update snapshot still answers with the old
 	// contents (repeatable reads across index versions).
-	old, err := engine.Engine().SearchSnapshot(pinned, froyo)
+	old, err := engine.Engine().SearchSnapshot(ctx, pinned, froyo)
 	if err != nil {
 		return err
 	}

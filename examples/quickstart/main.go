@@ -60,7 +60,7 @@ func run() error {
 
 	// 3. Top-k search (paper §VI, Example 7): keyword "burger", k=2, s=20.
 	engine := dash.NewEngine(idx, app)
-	results, err := engine.Search(dash.Request{
+	results, err := engine.Search(context.Background(), dash.Request{
 		Keywords: []string{"burger"}, K: 2, SizeThreshold: 20,
 	})
 	if err != nil {

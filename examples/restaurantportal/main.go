@@ -64,7 +64,7 @@ func run() error {
 	// Keyword search: the result is a URL on the live server.
 	engine := dash.NewEngine(idx, app)
 	const keyword = "burger"
-	results, err := engine.Search(dash.Request{
+	results, err := engine.Search(context.Background(), dash.Request{
 		Keywords: []string{keyword}, K: 2, SizeThreshold: 20,
 	})
 	if err != nil {

@@ -70,7 +70,7 @@ func run() error {
 		var results int
 		for _, kw := range band.kws {
 			start := time.Now()
-			rs, err := engine.Search(dash.Request{
+			rs, err := engine.Search(context.Background(), dash.Request{
 				Keywords: []string{kw}, K: 10, SizeThreshold: 200,
 			})
 			if err != nil {
@@ -87,7 +87,7 @@ func run() error {
 
 	// One concrete search, URLs included.
 	kw := bands.Hot[0]
-	results, err := engine.Search(dash.Request{Keywords: []string{kw}, K: 3, SizeThreshold: 200})
+	results, err := engine.Search(context.Background(), dash.Request{Keywords: []string{kw}, K: 3, SizeThreshold: 200})
 	if err != nil {
 		return err
 	}

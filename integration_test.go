@@ -49,7 +49,7 @@ func TestIntegrationTPCHAllQueriesAllAlgorithms(t *testing.T) {
 				engine := NewEngine(idx, app)
 				bands := harness.KeywordBands(idx.Snapshot(), 3)
 				for _, kw := range bands.Warm {
-					results, err := engine.Search(Request{
+					results, err := engine.Search(context.Background(), Request{
 						Keywords: []string{kw}, K: 3, SizeThreshold: 50,
 					})
 					if err != nil {
@@ -108,11 +108,11 @@ func TestIntegrationSearchResultsConsistentAcrossAlgorithms(t *testing.T) {
 	for _, kw := range all {
 		for _, s := range []int{50, 500} {
 			req := Request{Keywords: []string{kw}, K: 5, SizeThreshold: s}
-			a, err := eSW.Search(req)
+			a, err := eSW.Search(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := eINT.Search(req)
+			b, err := eINT.Search(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,7 +159,7 @@ func TestIntegrationSaveLoadServeRoundTrip(t *testing.T) {
 	engine := NewEngine(loaded, app)
 	bands := harness.KeywordBands(loaded.Snapshot(), 2)
 	kw := bands.Hot[0]
-	results, err := engine.Search(Request{Keywords: []string{kw}, K: 2, SizeThreshold: 100})
+	results, err := engine.Search(context.Background(), Request{Keywords: []string{kw}, K: 2, SizeThreshold: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestIntegrationUpdateFlow(t *testing.T) {
 	engine := NewEngine(idx, app)
 
 	// No results for a made-up keyword yet.
-	if rs, err := engine.Search(Request{Keywords: []string{"xyzzynew"}, K: 3, SizeThreshold: 10}); err != nil || len(rs) != 0 {
+	if rs, err := engine.Search(context.Background(), Request{Keywords: []string{"xyzzynew"}, K: 3, SizeThreshold: 10}); err != nil || len(rs) != 0 {
 		t.Fatalf("pre-update search = %v, %v", rs, err)
 	}
 
@@ -297,7 +297,7 @@ func TestIntegrationUpdateFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rs, err := engine.Search(Request{Keywords: []string{"xyzzynew"}, K: 3, SizeThreshold: 10})
+	rs, err := engine.Search(context.Background(), Request{Keywords: []string{"xyzzynew"}, K: 3, SizeThreshold: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestIntegrationStaleDeriveApply(t *testing.T) {
 	id := FragmentID{relation.String("American"), relation.Int(10)}
 	// Derivation sees the fragment live and classifies its change as an
 	// update.
-	stale, err := crawl.DeriveDelta(db, bound, []fragment.ID{id}, live.Snapshot().Has)
+	stale, err := crawl.DeriveDelta(context.Background(), db, bound, []fragment.ID{id}, live.Snapshot().Has)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,13 +344,13 @@ func TestIntegrationStaleDeriveApply(t *testing.T) {
 		t.Fatalf("derived delta = %+v, want one update", stale.Changes)
 	}
 	// Concurrent maintenance deletes the fragment before the apply lands.
-	if _, err := live.Apply(Delta{Changes: []FragmentChange{
+	if _, err := live.Apply(context.Background(), Delta{Changes: []FragmentChange{
 		{Op: OpRemoveFragment, ID: id},
 	}}); err != nil {
 		t.Fatal(err)
 	}
 	s1 := live.Snapshot()
-	if _, err := live.Apply(stale); !errors.Is(err, fragindex.ErrNoFragment) {
+	if _, err := live.Apply(context.Background(), stale); !errors.Is(err, fragindex.ErrNoFragment) {
 		t.Fatalf("stale apply err = %v, want ErrNoFragment", err)
 	}
 	if live.Snapshot() != s1 {
@@ -358,11 +358,11 @@ func TestIntegrationStaleDeriveApply(t *testing.T) {
 	}
 	// Recrawl derives under the maintenance lock against the latest
 	// snapshot: the same partition now classifies as insert and applies.
-	st, err := live.Recrawl(db, []FragmentID{id})
+	st, err := live.Recrawl(context.Background(), db, []FragmentID{id})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Inserted != 1 || st.Updated != 0 {
+	if st.Total.Inserted != 1 || st.Total.Updated != 0 {
 		t.Errorf("recrawl after removal stats = %+v, want one insert", st)
 	}
 	if !live.Snapshot().Has(id) {
@@ -401,7 +401,7 @@ func TestIntegrationNaiveAgreesWithDashOnTopPage(t *testing.T) {
 	bands := harness.KeywordBands(idx.Snapshot(), 3)
 	kw := bands.Cold[0]
 
-	dashTop, err := engine.Search(search.Request{Keywords: []string{kw}, K: 1, SizeThreshold: 1})
+	dashTop, err := engine.Search(context.Background(), search.Request{Keywords: []string{kw}, K: 1, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

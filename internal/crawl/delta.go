@@ -1,6 +1,7 @@
 package crawl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -210,9 +211,17 @@ func RecrawlFragment(db *relation.Database, b *psj.Bound, id fragment.ID) (count
 // each against the serving index via have, which reports whether a live
 // fragment with that identifier currently exists. Identifiers whose
 // partition is empty and unknown to the index are dropped as no-ops.
-func DeriveDelta(db *relation.Database, b *psj.Bound, ids []fragment.ID, have func(fragment.ID) bool) (Delta, error) {
+// Derivation re-executes one query per identifier, so the ctx is checked
+// between partitions; a cancellation returns ctx.Err() with no delta.
+func DeriveDelta(ctx context.Context, db *relation.Database, b *psj.Bound, ids []fragment.ID, have func(fragment.ID) bool) (Delta, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	d := Delta{SelAttrs: append([]string(nil), b.SelAttrs...)}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return Delta{}, err
+		}
 		counts, total, exists, err := RecrawlFragment(db, b, id)
 		if err != nil {
 			return Delta{}, err

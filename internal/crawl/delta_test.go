@@ -1,6 +1,7 @@
 package crawl
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -116,7 +117,7 @@ func TestDeriveDeltaClassifies(t *testing.T) {
 	have := func(id fragment.ID) bool {
 		return id.Key() == updated.Key() || id.Key() == removed.Key()
 	}
-	d, err := DeriveDelta(db, b, []fragment.ID{updated, inserted, removed, noop}, have)
+	d, err := DeriveDelta(context.Background(), db, b, []fragment.ID{updated, inserted, removed, noop}, have)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -54,7 +55,7 @@ func TestLiveApplyEmptyDeltaNoOp(t *testing.T) {
 	s0 := l.Snapshot()
 	before := l.Stats()
 
-	st, err := l.Apply(crawl.Delta{})
+	st, err := l.Apply(context.Background(), crawl.Delta{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestLiveApplyEmptyDeltaNoOp(t *testing.T) {
 	}
 	// Batched form: a batch whose net effect is empty is equally a no-op.
 	id := fragment.ID{relation.String("Nordic"), relation.Int(3)}
-	st, err = l.ApplyBatch([]crawl.Delta{
+	st, err = l.ApplyBatch(context.Background(), []crawl.Delta{
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpInsertFragment, ID: id,
 			TermCounts: map[string]int64{"herring": 1}, TotalTerms: 1}}},
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpRemoveFragment, ID: id}}},
@@ -115,12 +116,12 @@ func TestApplyBatchMatchesSequential(t *testing.T) {
 
 	seq := liveFooddb(t)
 	for i, d := range ds {
-		if _, err := seq.Apply(d); err != nil {
+		if _, err := seq.Apply(context.Background(), d); err != nil {
 			t.Fatalf("sequential apply %d: %v", i, err)
 		}
 	}
 	batched := liveFooddb(t)
-	st, err := batched.ApplyBatch(ds)
+	st, err := batched.ApplyBatch(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestApplyBatchMatchesSequential(t *testing.T) {
 func TestApplyBatchTransactional(t *testing.T) {
 	l := liveFooddb(t)
 	s0 := l.Snapshot()
-	_, err := l.ApplyBatch([]crawl.Delta{
+	_, err := l.ApplyBatch(context.Background(), []crawl.Delta{
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpInsertFragment,
 			ID:         fragment.ID{relation.String("Nordic"), relation.Int(3)},
 			TermCounts: map[string]int64{"herring": 1}, TotalTerms: 1}}},
@@ -160,7 +161,7 @@ func TestApplyBatchTransactional(t *testing.T) {
 	// Conflicting batches are rejected by coalescing before touching
 	// anything.
 	dup := fragment.ID{relation.String("Nordic"), relation.Int(4)}
-	_, err = l.ApplyBatch([]crawl.Delta{
+	_, err = l.ApplyBatch(context.Background(), []crawl.Delta{
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpInsertFragment, ID: dup,
 			TermCounts: map[string]int64{"a": 1}, TotalTerms: 1}}},
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpInsertFragment, ID: dup,
@@ -192,7 +193,7 @@ func TestQueueFlush(t *testing.T) {
 	if l.Pending() != 3 {
 		t.Errorf("Pending = %d, want 3", l.Pending())
 	}
-	st, err := l.Flush()
+	st, err := l.Flush(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestQueueFlush(t *testing.T) {
 	}
 	// Flushing an empty queue is a no-op.
 	sBefore := l.Snapshot()
-	if st, err := l.Flush(); err != nil || l.Snapshot() != sBefore {
+	if st, err := l.Flush(context.Background()); err != nil || l.Snapshot() != sBefore {
 		t.Errorf("empty flush: stats %+v err %v, snapshot changed=%v", st, err, l.Snapshot() != sBefore)
 	}
 }
@@ -232,14 +233,14 @@ func TestStalePlanApplyFails(t *testing.T) {
 	// "DeriveDelta" ran while the fragment existed: classified as update.
 	stale := updateDelta(id, map[string]int64{"burger": 5}, 5)
 	// Another writer removes the fragment between derive and apply.
-	if _, err := l.Apply(crawl.Delta{Changes: []crawl.FragmentChange{
+	if _, err := l.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{
 		{Op: crawl.OpRemoveFragment, ID: id},
 	}}); err != nil {
 		t.Fatal(err)
 	}
 	s1 := l.Snapshot()
 	before := logicalState(s1)
-	if _, err := l.Apply(stale); !errors.Is(err, ErrNoFragment) {
+	if _, err := l.Apply(context.Background(), stale); !errors.Is(err, ErrNoFragment) {
 		t.Fatalf("stale update err = %v, want ErrNoFragment", err)
 	}
 	if l.Snapshot() != s1 {
@@ -250,7 +251,7 @@ func TestStalePlanApplyFails(t *testing.T) {
 	}
 	// The same race inside a batch: the good leading change rolls back too.
 	extra := fragment.ID{relation.String("Fusion"), relation.Int(42)}
-	_, err := l.ApplyBatch([]crawl.Delta{
+	_, err := l.ApplyBatch(context.Background(), []crawl.Delta{
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpInsertFragment, ID: extra,
 			TermCounts: map[string]int64{"fusion": 1}, TotalTerms: 1}}},
 		stale,
@@ -289,7 +290,7 @@ func TestBatchPublishCostSharesUntouchedChunks(t *testing.T) {
 		id := fragment.ID{relation.String(fmt.Sprintf("g%06d", i)), relation.Int(0)}
 		ds = append(ds, updateDelta(id, map[string]int64{fmt.Sprintf("w%d", i): 2}, 2))
 	}
-	st, err := l.ApplyBatch(ds)
+	st, err := l.ApplyBatch(context.Background(), ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestChunkBoundaryUpdateRemoveInsert(t *testing.T) {
 			beforeTerms := before.TermsOf(beforeRef)
 
 			// Update with fresh statistics.
-			st, err := live.Apply(crawl.Delta{Changes: []crawl.FragmentChange{{
+			st, err := live.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{{
 				Op: crawl.OpUpdateFragment, ID: id,
 				TermCounts: map[string]int64{fmt.Sprintf("u%d", i): 7}, TotalTerms: 7,
 			}}})
@@ -107,7 +108,7 @@ func TestChunkBoundaryUpdateRemoveInsert(t *testing.T) {
 
 			// Remove, then verify the old version still serves it.
 			mid := live.Snapshot()
-			if _, err := live.Apply(crawl.Delta{Changes: []crawl.FragmentChange{{
+			if _, err := live.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{{
 				Op: crawl.OpRemoveFragment, ID: id,
 			}}}); err != nil {
 				t.Fatal(err)
@@ -118,7 +119,7 @@ func TestChunkBoundaryUpdateRemoveInsert(t *testing.T) {
 			checkFragment(t, mid, i, 7)
 
 			// Re-insert; the fragment returns under a fresh tail ref.
-			if _, err := live.Apply(crawl.Delta{Changes: []crawl.FragmentChange{{
+			if _, err := live.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{{
 				Op: crawl.OpInsertFragment, ID: id,
 				TermCounts: map[string]int64{fmt.Sprintf("u%d", i): int64(1 + i%3), fmt.Sprintf("s%d", i%97): 1},
 				TotalTerms: int64(2 + i%3),
@@ -204,10 +205,10 @@ func TestChunkBoundaryCompact(t *testing.T) {
 		removed[i] = true
 		changes = append(changes, crawl.FragmentChange{Op: crawl.OpRemoveFragment, ID: chunkID(i)})
 	}
-	if _, err := live.Apply(crawl.Delta{Changes: changes}); err != nil {
+	if _, err := live.Apply(context.Background(), crawl.Delta{Changes: changes}); err != nil {
 		t.Fatal(err)
 	}
-	ran, err := live.CompactIfNeeded(0.000001) // any tombstone triggers
+	ran, err := live.CompactIfNeeded(context.Background(), 0.000001) // any tombstone triggers
 	if err != nil {
 		t.Fatal(err)
 	}

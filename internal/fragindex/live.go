@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -8,6 +9,15 @@ import (
 
 	"repro/internal/crawl"
 )
+
+// orBackground tolerates a nil context at the API boundary so a forgotten
+// ctx degrades to "not cancellable" instead of a panic mid-apply.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // LiveIndex serves an index that keeps absorbing database changes while
 // queries run against it — the epoch-swap scheme behind Dash's online
@@ -108,7 +118,16 @@ func (l *LiveIndex) checkSpec(selAttrs []string) error {
 // the serving snapshot is unchanged (the failed build is discarded in
 // constant time). An empty delta is a no-op: it publishes nothing, clones
 // nothing, and returns the current epoch.
-func (l *LiveIndex) Apply(d crawl.Delta) (ApplyStats, error) {
+//
+// Cancelling ctx is an error like any other: a cancellation observed
+// before or during the fold rolls the builder back and publishes nothing,
+// returning ctx.Err(). A delta is never partially visible — the atomic
+// swap is all-or-nothing regardless of when the cancellation lands.
+func (l *LiveIndex) Apply(ctx context.Context, d crawl.Delta) (ApplyStats, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return ApplyStats{}, err
+	}
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
 	if err := l.checkSpec(d.SelAttrs); err != nil {
@@ -117,7 +136,7 @@ func (l *LiveIndex) Apply(d crawl.Delta) (ApplyStats, error) {
 	if len(d.Changes) == 0 {
 		return ApplyStats{Epoch: l.cur.Load().epoch}, nil
 	}
-	return l.applyLocked(d.Changes, 1)
+	return l.applyLocked(ctx, d.Changes, 1)
 }
 
 // ApplyBatch coalesces a sequence of deltas (crawl.Coalesce) and publishes
@@ -127,7 +146,11 @@ func (l *LiveIndex) Apply(d crawl.Delta) (ApplyStats, error) {
 // changes, a change that cannot apply) nothing is published. A batch whose
 // net effect is empty — no deltas, or every change cancelled out — is a
 // no-op returning the current epoch.
-func (l *LiveIndex) ApplyBatch(ds []crawl.Delta) (ApplyStats, error) {
+func (l *LiveIndex) ApplyBatch(ctx context.Context, ds []crawl.Delta) (ApplyStats, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return ApplyStats{}, err
+	}
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
 	for _, d := range ds {
@@ -142,15 +165,20 @@ func (l *LiveIndex) ApplyBatch(ds []crawl.Delta) (ApplyStats, error) {
 	if len(folded.Changes) == 0 {
 		return ApplyStats{Deltas: len(ds), Epoch: l.cur.Load().epoch}, nil
 	}
-	return l.applyLocked(folded.Changes, len(ds))
+	return l.applyLocked(ctx, folded.Changes, len(ds))
 }
 
 // applyLocked folds changes into the next version and publishes it.
-// Caller holds writeMu and guarantees len(changes) > 0.
-func (l *LiveIndex) applyLocked(changes []crawl.FragmentChange, deltas int) (ApplyStats, error) {
+// Caller holds writeMu and guarantees len(changes) > 0. A cancellation
+// observed between changes rolls back and publishes nothing.
+func (l *LiveIndex) applyLocked(ctx context.Context, changes []crawl.FragmentChange, deltas int) (ApplyStats, error) {
 	published := l.cur.Load()
 	st := ApplyStats{Deltas: deltas}
 	for _, ch := range changes {
+		if err := ctx.Err(); err != nil {
+			l.builder.discardTo(published)
+			return ApplyStats{}, err
+		}
 		var err error
 		switch ch.Op {
 		case crawl.OpInsertFragment:
@@ -202,15 +230,21 @@ func (l *LiveIndex) Pending() int {
 
 // Flush drains the queue and applies everything as one batched publish
 // (see ApplyBatch). With an empty queue it is a no-op returning the
-// current epoch. On error the drained batch is discarded — nothing was
-// published, and the queue holds only deltas enqueued after the drain —
-// so the caller decides whether to re-derive or re-queue.
-func (l *LiveIndex) Flush() (ApplyStats, error) {
+// current epoch. An already-cancelled ctx fails before the drain, so the
+// queue survives intact for a later Flush. On an error after the drain —
+// a cancellation landing mid-apply included — the drained batch is
+// discarded: nothing was published, and the queue holds only deltas
+// enqueued after the drain — so the caller decides whether to re-derive
+// or re-queue.
+func (l *LiveIndex) Flush(ctx context.Context) (ApplyStats, error) {
+	if err := orBackground(ctx).Err(); err != nil {
+		return ApplyStats{}, err
+	}
 	l.pendMu.Lock()
 	batch := l.pending
 	l.pending = nil
 	l.pendMu.Unlock()
-	return l.ApplyBatch(batch)
+	return l.ApplyBatch(ctx, batch)
 }
 
 // SetPostingCompaction tunes the builder's lazy posting-list compaction
@@ -229,8 +263,13 @@ func (l *LiveIndex) SetPostingCompaction(num, den int) error {
 // renumbered; FragRefs are only meaningful within one snapshot anyway).
 // Previously published snapshots stay valid for the readers still holding
 // them and are reclaimed by the runtime once released. Returns whether a
-// compaction ran.
-func (l *LiveIndex) CompactIfNeeded(maxDeadRatio float64) (bool, error) {
+// compaction ran. The ctx is checked before the rebuild starts — a
+// compaction is one indivisible reconstruction, so a cancellation landing
+// mid-rebuild is observed at the next call instead.
+func (l *LiveIndex) CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (bool, error) {
+	if err := orBackground(ctx).Err(); err != nil {
+		return false, err
+	}
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
 	refs := l.builder.NumRefs()

@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -202,12 +203,15 @@ func (sl *ShardedLiveIndex) maxEpoch() uint64 {
 // concurrently, one transactional publish per touched shard. Changes for
 // the same fragment keep their order (they route to the same shard).
 // Cross-shard atomicity is not provided: on error the failing shard has
-// published nothing, but other shards' publishes stand.
-func (sl *ShardedLiveIndex) Apply(d crawl.Delta) (ShardedApplyStats, error) {
+// published nothing, but other shards' publishes stand. A cancelled ctx
+// behaves the same way — each shard's apply observes the cancellation
+// independently and rolls its own slice back; an already-cancelled ctx
+// publishes nowhere.
+func (sl *ShardedLiveIndex) Apply(ctx context.Context, d crawl.Delta) (ShardedApplyStats, error) {
 	if err := sl.checkSpec(d.SelAttrs); err != nil {
 		return ShardedApplyStats{}, err
 	}
-	return sl.applyRouted(d.SelAttrs, d.Changes, 1)
+	return sl.applyRouted(ctx, d.SelAttrs, d.Changes, 1)
 }
 
 // ApplyBatch coalesces a sequence of deltas (crawl.Coalesce) and routes the
@@ -215,7 +219,7 @@ func (sl *ShardedLiveIndex) Apply(d crawl.Delta) (ShardedApplyStats, error) {
 // pays one publish for the whole batch, and untouched shards pay nothing.
 // Like Apply, per-shard applies are transactional but cross-shard atomicity
 // is not provided.
-func (sl *ShardedLiveIndex) ApplyBatch(ds []crawl.Delta) (ShardedApplyStats, error) {
+func (sl *ShardedLiveIndex) ApplyBatch(ctx context.Context, ds []crawl.Delta) (ShardedApplyStats, error) {
 	for _, d := range ds {
 		if err := sl.checkSpec(d.SelAttrs); err != nil {
 			return ShardedApplyStats{}, err
@@ -225,12 +229,16 @@ func (sl *ShardedLiveIndex) ApplyBatch(ds []crawl.Delta) (ShardedApplyStats, err
 	if err != nil {
 		return ShardedApplyStats{}, err
 	}
-	return sl.applyRouted(folded.SelAttrs, folded.Changes, len(ds))
+	return sl.applyRouted(ctx, folded.SelAttrs, folded.Changes, len(ds))
 }
 
 // applyRouted partitions changes by shard and applies each shard's slice
 // concurrently. deltas is the logical delta count for stats.
-func (sl *ShardedLiveIndex) applyRouted(selAttrs []string, changes []crawl.FragmentChange, deltas int) (ShardedApplyStats, error) {
+func (sl *ShardedLiveIndex) applyRouted(ctx context.Context, selAttrs []string, changes []crawl.FragmentChange, deltas int) (ShardedApplyStats, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return ShardedApplyStats{}, err
+	}
 	out := ShardedApplyStats{Total: ApplyStats{Deltas: deltas}}
 	if len(changes) == 0 {
 		out.Total.Epoch = sl.maxEpoch()
@@ -254,7 +262,7 @@ func (sl *ShardedLiveIndex) applyRouted(selAttrs []string, changes []crawl.Fragm
 		wg.Add(1)
 		go func(si int, chs []crawl.FragmentChange) {
 			defer wg.Done()
-			stats[si], errs[si] = sl.shards[si].Apply(crawl.Delta{SelAttrs: selAttrs, Changes: chs})
+			stats[si], errs[si] = sl.shards[si].Apply(ctx, crawl.Delta{SelAttrs: selAttrs, Changes: chs})
 		}(si, chs)
 	}
 	wg.Wait()
@@ -287,8 +295,9 @@ func (sl *ShardedLiveIndex) applyRouted(selAttrs []string, changes []crawl.Fragm
 // CompactIfNeeded runs the snapshot garbage collector on every shard
 // concurrently (see LiveIndex.CompactIfNeeded) and returns how many shards
 // compacted. Shards decide independently — a removal-heavy shard compacts
-// while its siblings keep serving their current lineages untouched.
-func (sl *ShardedLiveIndex) CompactIfNeeded(maxDeadRatio float64) (int, error) {
+// while its siblings keep serving their current lineages untouched. A
+// cancelled ctx stops shards that have not started their rebuild yet.
+func (sl *ShardedLiveIndex) CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (int, error) {
 	ran := make([]bool, len(sl.shards))
 	errs := make([]error, len(sl.shards))
 	var wg sync.WaitGroup
@@ -296,7 +305,7 @@ func (sl *ShardedLiveIndex) CompactIfNeeded(maxDeadRatio float64) (int, error) {
 		wg.Add(1)
 		go func(si int, sh *LiveIndex) {
 			defer wg.Done()
-			ran[si], errs[si] = sh.CompactIfNeeded(maxDeadRatio)
+			ran[si], errs[si] = sh.CompactIfNeeded(ctx, maxDeadRatio)
 		}(si, sh)
 	}
 	wg.Wait()

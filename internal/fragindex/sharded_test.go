@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -150,7 +151,7 @@ func TestShardedApplyRoutesConcurrently(t *testing.T) {
 	if len(touched) < 2 {
 		t.Fatalf("test corpus routed everything to one shard: %v", touched)
 	}
-	st, err := sl.Apply(crawl.Delta{Changes: changes})
+	st, err := sl.Apply(context.Background(), crawl.Delta{Changes: changes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestShardedApplyBatchCoalesces(t *testing.T) {
 	}
 	before := sl.PinAll()
 	id := synthID(99, 0)
-	st, err := sl.ApplyBatch([]crawl.Delta{
+	st, err := sl.ApplyBatch(context.Background(), []crawl.Delta{
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpInsertFragment, ID: id, TermCounts: synthCounts(99, 0), TotalTerms: 4}}},
 		{Changes: []crawl.FragmentChange{{Op: crawl.OpRemoveFragment, ID: id}}},
 	})
@@ -245,7 +246,7 @@ func TestShardedApplyTransactionalPerShard(t *testing.T) {
 		t.Fatal("corpus routed to a single shard")
 	}
 	before := sl.PinAll()
-	_, err = sl.Apply(crawl.Delta{Changes: []crawl.FragmentChange{
+	_, err = sl.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{
 		{Op: crawl.OpUpdateFragment, ID: synthID(gOK, 0), TermCounts: synthCounts(gOK, 5), TotalTerms: 5},
 		// Fails: removing a fragment that does not exist.
 		{Op: crawl.OpRemoveFragment, ID: synthID(gBad, 77)},
@@ -269,7 +270,7 @@ func TestShardedSpecCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sl.Apply(crawl.Delta{SelAttrs: []string{"wrong"}, Changes: []crawl.FragmentChange{
+	_, err = sl.Apply(context.Background(), crawl.Delta{SelAttrs: []string{"wrong"}, Changes: []crawl.FragmentChange{
 		{Op: crawl.OpRemoveFragment, ID: synthID(0, 0)},
 	}})
 	if !errors.Is(err, ErrDeltaSpec) {
@@ -292,14 +293,14 @@ func TestShardedCompactIfNeeded(t *testing.T) {
 			changes = append(changes, crawl.FragmentChange{Op: crawl.OpRemoveFragment, ID: synthID(g, v)})
 		}
 	}
-	if _, err := sl.Apply(crawl.Delta{Changes: changes}); err != nil {
+	if _, err := sl.Apply(context.Background(), crawl.Delta{Changes: changes}); err != nil {
 		t.Fatal(err)
 	}
 	st := sl.Stats()
 	if st.TombstonedRefs == 0 {
 		t.Fatal("removals left no tombstones")
 	}
-	n, err := sl.CompactIfNeeded(0.25)
+	n, err := sl.CompactIfNeeded(context.Background(), 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestShardedStatsAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sl.Apply(crawl.Delta{Changes: []crawl.FragmentChange{
+	if _, err := sl.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{
 		{Op: crawl.OpUpdateFragment, ID: synthID(0, 0), TermCounts: synthCounts(0, 9), TotalTerms: 4},
 		{Op: crawl.OpUpdateFragment, ID: synthID(11, 0), TermCounts: synthCounts(11, 9), TotalTerms: 4},
 	}}); err != nil {

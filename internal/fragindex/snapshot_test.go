@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -96,7 +97,7 @@ func TestLiveApplyPublishesAtomically(t *testing.T) {
 	before := snapState(s0)
 
 	id := fragment.ID{relation.String("American"), relation.Int(10)}
-	st, err := l.Apply(updateDelta(id, map[string]int64{"burger": 1, "espresso": 4}, 5))
+	st, err := l.Apply(context.Background(), updateDelta(id, map[string]int64{"burger": 1, "espresso": 4}, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestLiveApplyTransactional(t *testing.T) {
 		// Fails: fragment does not exist.
 		{Op: crawl.OpRemoveFragment, ID: fragment.ID{relation.String("Klingon"), relation.Int(7)}},
 	}}
-	if _, err := l.Apply(d); !errors.Is(err, ErrNoFragment) {
+	if _, err := l.Apply(context.Background(), d); !errors.Is(err, ErrNoFragment) {
 		t.Fatalf("err = %v, want ErrNoFragment", err)
 	}
 	if l.Snapshot() != s0 {
@@ -150,7 +151,7 @@ func TestLiveApplyTransactional(t *testing.T) {
 	}
 	// The builder rolled back too: the half-applied insert is gone, and a
 	// following good delta applies cleanly on the published state.
-	st, err := l.Apply(updateDelta(fragment.ID{relation.String("Thai"), relation.Int(10)},
+	st, err := l.Apply(context.Background(), updateDelta(fragment.ID{relation.String("Thai"), relation.Int(10)},
 		map[string]int64{"thai": 2}, 2))
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +169,7 @@ func TestLiveApplyTransactional(t *testing.T) {
 func TestLiveDeltaSpecMismatch(t *testing.T) {
 	l := liveFooddb(t)
 	d := crawl.Delta{SelAttrs: []string{"wrong", "attrs"}}
-	if _, err := l.Apply(d); !errors.Is(err, ErrDeltaSpec) {
+	if _, err := l.Apply(context.Background(), d); !errors.Is(err, ErrDeltaSpec) {
 		t.Errorf("err = %v, want ErrDeltaSpec", err)
 	}
 }
@@ -190,7 +191,7 @@ func TestLiveCompactIfNeeded(t *testing.T) {
 		}
 	}
 	l := NewLive(idx)
-	if ran, _ := l.CompactIfNeeded(0.5); ran {
+	if ran, _ := l.CompactIfNeeded(context.Background(), 0.5); ran {
 		t.Fatal("compacted with zero tombstones")
 	}
 	var removes []crawl.FragmentChange
@@ -200,7 +201,7 @@ func TestLiveCompactIfNeeded(t *testing.T) {
 			ID: fragment.ID{relation.String("g"), relation.Int(int64(i))},
 		})
 	}
-	if _, err := l.Apply(crawl.Delta{Changes: removes}); err != nil {
+	if _, err := l.Apply(context.Background(), crawl.Delta{Changes: removes}); err != nil {
 		t.Fatal(err)
 	}
 	tombstoned := l.Snapshot()
@@ -208,7 +209,7 @@ func TestLiveCompactIfNeeded(t *testing.T) {
 		t.Fatalf("tombstoned refs = %d, want %d", got, n/2)
 	}
 	epochBefore := tombstoned.Epoch()
-	ran, err := l.CompactIfNeeded(0.5)
+	ran, err := l.CompactIfNeeded(context.Background(), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestLiveConcurrentReadersAndWriter(t *testing.T) {
 	extra := fragment.ID{relation.String("Fusion"), relation.Int(42)}
 	for i := 0; i < writes; i++ {
 		kw := fmt.Sprintf("special%d", i%7)
-		if _, err := l.Apply(updateDelta(id, map[string]int64{"burger": 2, kw: 1}, 3)); err != nil {
+		if _, err := l.Apply(context.Background(), updateDelta(id, map[string]int64{"burger": 2, kw: 1}, 3)); err != nil {
 			t.Fatal(err)
 		}
 		switch i % 4 {
@@ -293,17 +294,17 @@ func TestLiveConcurrentReadersAndWriter(t *testing.T) {
 				Op: crawl.OpInsertFragment, ID: extra,
 				TermCounts: map[string]int64{"fusion": 1}, TotalTerms: 1,
 			}}}
-			if _, err := l.Apply(d); err != nil {
+			if _, err := l.Apply(context.Background(), d); err != nil {
 				t.Fatal(err)
 			}
 		case 2:
 			d := crawl.Delta{Changes: []crawl.FragmentChange{{
 				Op: crawl.OpRemoveFragment, ID: extra,
 			}}}
-			if _, err := l.Apply(d); err != nil {
+			if _, err := l.Apply(context.Background(), d); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := l.CompactIfNeeded(0.3); err != nil {
+			if _, err := l.CompactIfNeeded(context.Background(), 0.3); err != nil {
 				t.Fatal(err)
 			}
 		}

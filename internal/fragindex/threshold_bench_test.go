@@ -1,6 +1,7 @@
 package fragindex
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,7 @@ func BenchmarkPostingCompactionThreshold(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				at := i % frags
-				_, err := live.Apply(crawl.Delta{Changes: []crawl.FragmentChange{{
+				_, err := live.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{{
 					Op: crawl.OpUpdateFragment, ID: synthID(at/8, at%8),
 					TermCounts: counts(at, i+1), TotalTerms: 3,
 				}}})
@@ -56,7 +57,7 @@ func BenchmarkPostingCompactionThreshold(b *testing.B) {
 					}
 				}
 				if i%1024 == 1023 {
-					if _, err := live.CompactIfNeeded(0.5); err != nil {
+					if _, err := live.CompactIfNeeded(context.Background(), 0.5); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -222,7 +222,7 @@ func RunSearchSweep(engine *search.Engine, bands Bands, ks, ss []int) ([]SearchP
 				var total time.Duration
 				for _, kw := range band.kws {
 					start := time.Now()
-					if _, err := engine.Search(search.Request{
+					if _, err := engine.Search(context.Background(), search.Request{
 						Keywords: []string{kw}, K: k, SizeThreshold: s,
 					}); err != nil {
 						return nil, fmt.Errorf("harness: search %q: %w", kw, err)

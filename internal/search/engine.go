@@ -39,6 +39,19 @@
 //
 // Only per-result work (URL formulation, the returned slice) allocates.
 //
+// # Cancellation
+//
+// Every search takes a context.Context first, like every other method on
+// the serving path. A context that is already cancelled when Search is
+// called returns ctx.Err() before the snapshot is even resolved; a
+// cancellation or deadline that arrives mid-search is observed
+// cooperatively — the assembly loop polls ctx.Err() once every
+// ctxCheckInterval heap pops, so a runaway query on a hot keyword stops
+// within a bounded amount of work after the deadline instead of running to
+// completion. The poll allocates nothing, so the scoring core stays
+// alloc-free, and the interval keeps its cost below measurement noise on
+// the hottest queries (see BenchmarkSearchContextOverhead).
+//
 // # Snapshot pinning
 //
 // An Engine reads the index through a Source, which resolves the current
@@ -53,6 +66,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -124,8 +138,12 @@ type Request struct {
 	// accepted results. The default (false) excludes them, following the
 	// paper's observation that fragment-sharing pages are redundant.
 	AllowOverlap bool
-	// CandidateLimit caps how many postings are read per keyword
-	// (0 = all). Inverted lists are TF-descending, so reading only the
+	// CandidateLimit caps how many postings are read per keyword when
+	// positive; any non-positive value reads full lists. (0 is the
+	// ordinary "unlimited" default; a negative value means the same to
+	// the engine but survives handle-level defaults — dash.Open's
+	// WithCandidateLimit only fills requests whose limit is exactly 0.)
+	// Inverted lists are TF-descending, so reading only the
 	// "initial part of Lw" (paper §II) trades a bounded amount of recall
 	// for latency on hot keywords. IDF still uses the full DF.
 	//
@@ -360,18 +378,42 @@ func (s *searchScratch) heapPop() *candidate {
 	return top
 }
 
+// ctxCheckInterval is how many heap pops the assembly loop runs between
+// cooperative ctx.Err() polls. A poll is cheap but not free — the standard
+// cancelCtx takes an uncontended mutex in Err() — and a pop is a few
+// nanoseconds, so polling too densely shows up on the Fig11 hot band.
+// 1024 keeps the poll below measurement noise (BenchmarkSearchContextOverhead
+// pins this) while still bounding how far past a cancellation a search can
+// run to microseconds of expansion work.
+const ctxCheckInterval = 1024
+
+// orBackground tolerates a nil context at the API boundary so a forgotten
+// ctx degrades to "not cancellable" instead of a panic deep in the loop.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // Search runs Algorithm 1 against the source's current snapshot and
-// returns at most req.K results ordered by descending relevance.
-func (e *Engine) Search(req Request) ([]Result, error) {
-	return e.SearchSnapshot(e.src.Snapshot(), req)
+// returns at most req.K results ordered by descending relevance. An
+// already-cancelled ctx returns ctx.Err() without resolving the snapshot;
+// a cancellation mid-search is honored within ctxCheckInterval heap pops.
+func (e *Engine) Search(ctx context.Context, req Request) ([]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.searchSnapshot(ctx, e.src.Snapshot(), req, nil)
 }
 
 // SearchSnapshot runs Algorithm 1 pinned to an explicit snapshot — the
 // batch APIs use it to keep multi-query requests internally consistent,
 // and callers can hold a snapshot across calls for repeatable reads while
-// later versions are published.
-func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result, error) {
-	return e.searchSnapshot(idx, req, nil)
+// later versions are published. Cancellation behaves as in Search.
+func (e *Engine) SearchSnapshot(ctx context.Context, idx *fragindex.Snapshot, req Request) ([]Result, error) {
+	return e.searchSnapshot(orBackground(ctx), idx, req, nil)
 }
 
 // searchSnapshot is SearchSnapshot with an optional IDF override:
@@ -380,7 +422,10 @@ func (e *Engine) SearchSnapshot(idx *fragindex.Snapshot, req Request) ([]Result,
 // snapshot's own 1/DF. The sharded scatter-gather passes corpus-wide IDF
 // aggregated over the pinned shard snapshots here, so per-shard scores are
 // byte-identical to a single-index run over the union of the shards.
-func (e *Engine) searchSnapshot(idx *fragindex.Snapshot, req Request, globalIDF []float64) ([]Result, error) {
+func (e *Engine) searchSnapshot(ctx context.Context, idx *fragindex.Snapshot, req Request, globalIDF []float64) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := e.scratch.Get().(*searchScratch)
 	defer e.scratch.Put(s)
 	s.reset()
@@ -399,8 +444,13 @@ func (e *Engine) searchSnapshot(idx *fragindex.Snapshot, req Request, globalIDF 
 	nk := len(s.keywords)
 
 	// Line 1: fragments relevant to W, with precomputed IDF weights and
-	// per-fragment occurrence vectors in the flat seed arena.
+	// per-fragment occurrence vectors in the flat seed arena. Seeding a hot
+	// keyword walks its whole posting list, so the ctx is polled once per
+	// keyword here too.
 	for i, w := range s.keywords {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ps, idf := idx.PostingsIDF(w)
 		if globalIDF != nil {
 			idf = globalIDF[i]
@@ -479,8 +529,18 @@ func (e *Engine) searchSnapshot(idx *fragindex.Snapshot, req Request, globalIDF 
 
 	var out []Result
 
-	// Lines 4-9: assemble pages best-first.
+	// Lines 4-9: assemble pages best-first. The loop is where an expensive
+	// query spends its time (a pop either expands a page or emits one), so
+	// this is where cancellation is polled: once every ctxCheckInterval
+	// pops.
+	pops := 0
 	for len(s.heap) > 0 && len(out) < req.K {
+		pops++
+		if pops%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		c := s.heapPop()
 		if c.lo == c.hi && s.consumed[c.ord] {
 			continue // seed absorbed into an earlier expansion (line 8)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -68,12 +69,12 @@ func TestConcurrentSearchWithLiveApply(t *testing.T) {
 			for it := 0; it < iters; it++ {
 				req := queries[(g+it)%len(queries)]
 				snap := live.Snapshot()
-				rs, err := e.SearchSnapshot(snap, req)
+				rs, err := e.SearchSnapshot(context.Background(), snap, req)
 				if err != nil {
 					errc <- fmt.Errorf("searcher %d: %v", g, err)
 					return
 				}
-				again, err := e.SearchSnapshot(snap, req)
+				again, err := e.SearchSnapshot(context.Background(), snap, req)
 				if err != nil {
 					errc <- fmt.Errorf("searcher %d re-run: %v", g, err)
 					return
@@ -104,7 +105,7 @@ func TestConcurrentSearchWithLiveApply(t *testing.T) {
 				TermCounts: map[string]int64{"burger": 2, "queen": 1, fmt.Sprintf("v%d", i%5): 1},
 				TotalTerms: 4,
 			}}}
-			if _, err := live.Apply(d); err != nil {
+			if _, err := live.Apply(context.Background(), d); err != nil {
 				errc <- fmt.Errorf("writer: %v", err)
 				return
 			}
@@ -119,12 +120,12 @@ func TestConcurrentSearchWithLiveApply(t *testing.T) {
 			if op == crawl.OpRemoveFragment {
 				d.Changes[0].TermCounts, d.Changes[0].TotalTerms = nil, 0
 			}
-			if _, err := live.Apply(d); err != nil {
+			if _, err := live.Apply(context.Background(), d); err != nil {
 				errc <- fmt.Errorf("writer: %v", err)
 				return
 			}
 			if i%8 == 7 {
-				if _, err := live.CompactIfNeeded(0.3); err != nil {
+				if _, err := live.CompactIfNeeded(context.Background(), 0.3); err != nil {
 					errc <- fmt.Errorf("writer compact: %v", err)
 					return
 				}
@@ -154,7 +155,7 @@ func TestPinnedSnapshotPropertyIdenticalResults(t *testing.T) {
 	pinned := live.Snapshot()
 	want := make([][]Result, len(queries))
 	for i, q := range queries {
-		rs, err := e.SearchSnapshot(pinned, q)
+		rs, err := e.SearchSnapshot(context.Background(), pinned, q)
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -172,7 +173,7 @@ func TestPinnedSnapshotPropertyIdenticalResults(t *testing.T) {
 			Op: crawl.OpUpdateFragment, ID: m.ID,
 			TermCounts: map[string]int64{"rewritten": 3, "burger": 1}, TotalTerms: 4,
 		}}}
-		if _, err := live.Apply(d); err != nil {
+		if _, err := live.Apply(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -181,15 +182,15 @@ func TestPinnedSnapshotPropertyIdenticalResults(t *testing.T) {
 			TermCounts: map[string]int64{"burger": 9}, TotalTerms: 9},
 		{Op: crawl.OpRemoveFragment, ID: fragment.ID{relation.String("Thai"), relation.Int(10)}},
 	}}
-	if _, err := live.Apply(d); err != nil {
+	if _, err := live.Apply(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := live.CompactIfNeeded(0.01); err != nil {
+	if _, err := live.CompactIfNeeded(context.Background(), 0.01); err != nil {
 		t.Fatal(err)
 	}
 
 	for i, q := range queries {
-		rs, err := e.SearchSnapshot(pinned, q)
+		rs, err := e.SearchSnapshot(context.Background(), pinned, q)
 		if err != nil {
 			t.Fatalf("query %d after mutations: %v", i, err)
 		}
@@ -198,14 +199,14 @@ func TestPinnedSnapshotPropertyIdenticalResults(t *testing.T) {
 		}
 	}
 	// Sanity: the live view did change.
-	fresh, err := e.Search(Request{Keywords: []string{"rewritten"}, K: 10, SizeThreshold: 1})
+	fresh, err := e.Search(context.Background(), Request{Keywords: []string{"rewritten"}, K: 10, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(fresh) == 0 {
 		t.Error("published mutations invisible to fresh snapshots")
 	}
-	if got, _ := e.SearchSnapshot(pinned, Request{Keywords: []string{"rewritten"}, K: 10, SizeThreshold: 1}); len(got) != 0 {
+	if got, _ := e.SearchSnapshot(context.Background(), pinned, Request{Keywords: []string{"rewritten"}, K: 10, SizeThreshold: 1}); len(got) != 0 {
 		t.Error("pinned snapshot sees post-pin keyword")
 	}
 }

@@ -1,10 +1,11 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/fragindex"
 )
 
 // MultiEngine federates top-k search across several web applications that
@@ -13,13 +14,15 @@ import (
 // applications expose overlapping selection attributes; MultiEngine
 // eliminates such duplicates by the pages' selection-value composition.
 //
-// Search fans out to the per-application engines concurrently over a
+// SearchApps fans out to the per-application engines concurrently over a
 // bounded worker pool (at most MaxFanout goroutines, default GOMAXPROCS)
 // and merges deterministically: per-engine result sets are collected in
 // engine registration order before the cross-application rank/dedup pass,
 // so the output is identical to a sequential evaluation. Each per-engine
 // search pins its own index snapshot, so every application's results are
 // internally consistent even under concurrent index maintenance.
+// Cancelling ctx abandons engines still queued; in-flight engine searches
+// stop at their next cooperative check and the call returns ctx.Err().
 type MultiEngine struct {
 	engines []*Engine
 	// MaxFanout bounds the number of engines searched concurrently
@@ -40,43 +43,101 @@ type MultiResult struct {
 	AppName string
 }
 
-// Search runs the request against every application concurrently and
+// Search runs the request against every application and merges the
+// results — the Searcher-contract form of SearchApps, dropping the
+// per-application attribution.
+func (m *MultiEngine) Search(ctx context.Context, req Request) ([]Result, error) {
+	merged, err := m.SearchApps(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return stripAppNames(merged), nil
+}
+
+func stripAppNames(merged []MultiResult) []Result {
+	out := make([]Result, len(merged))
+	for i, r := range merged {
+		out[i] = r.Result
+	}
+	return out
+}
+
+// SearchBatch evaluates a batch of requests, each a full federated
+// search, concurrently over a MaxFanout-bounded pool. Like the other
+// SearchBatch implementations, the whole batch observes one consistent
+// index state: every engine's snapshot is pinned once up front, so two
+// identical requests in one batch answer identically even while writers
+// publish. out[i] answers reqs[i]; slots abandoned by a cancellation
+// carry ctx.Err().
+func (m *MultiEngine) SearchBatch(ctx context.Context, reqs []Request) []BatchResult {
+	ctx = orBackground(ctx)
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	snaps := m.pin()
+	runPool(len(reqs), clampWorkers(m.MaxFanout), func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		// Each request fans out serially inside its worker so the total
+		// goroutine count stays bounded by the batch pool.
+		merged, err := m.searchAppsPinned(ctx, snaps, reqs[i], 1)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Results = stripAppNames(merged)
+	})
+	return out
+}
+
+// pin resolves one snapshot per federated engine — the consistent read
+// view a batch runs against.
+func (m *MultiEngine) pin() []*fragindex.Snapshot {
+	snaps := make([]*fragindex.Snapshot, len(m.engines))
+	for i, e := range m.engines {
+		snaps[i] = e.Snapshot()
+	}
+	return snaps
+}
+
+// SearchApps runs the request against every application concurrently and
 // merges the results: pages are ranked by score across applications, and
 // when two applications derive pages from the same fragment composition
 // (identical selection attribute values), only the higher-scoring one is
 // kept.
-func (m *MultiEngine) Search(req Request) ([]MultiResult, error) {
+func (m *MultiEngine) SearchApps(ctx context.Context, req Request) ([]MultiResult, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m.searchAppsPinned(ctx, m.pin(), req, clampWorkers(m.MaxFanout))
+}
+
+// searchAppsPinned runs one federated request against an explicit
+// per-engine snapshot set (from pin).
+func (m *MultiEngine) searchAppsPinned(ctx context.Context, snaps []*fragindex.Snapshot, req Request, workers int) ([]MultiResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	perEngine := make([][]Result, len(m.engines))
 	errs := make([]error, len(m.engines))
 
-	workers := clampWorkers(m.MaxFanout)
-	if workers > len(m.engines) {
-		workers = len(m.engines)
-	}
-	if workers <= 1 {
-		for i, e := range m.engines {
-			perEngine[i], errs[i] = e.Search(req)
+	runPool(len(m.engines), workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err // abandoned: queued behind the cancellation
+			return
 		}
-	} else {
-		// Same worker-pool shape as ParallelSearch: exactly `workers`
-		// goroutines pulling engine indices from a shared counter.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(m.engines) {
-						return
-					}
-					perEngine[i], errs[i] = m.engines[i].Search(req)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+		perEngine[i], errs[i] = m.engines[i].SearchSnapshot(ctx, snaps[i], req)
+	})
 	// Deterministic merge: engine order first, then the stable rank sort —
 	// byte-for-byte the sequential evaluation's output.
 	var all []MultiResult

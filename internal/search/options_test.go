@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -16,7 +17,7 @@ import (
 // highest-TF fragment per keyword as a seed.
 func TestCandidateLimitPrefix(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{
+	results, err := e.Search(context.Background(), Request{
 		Keywords: []string{"burger"}, K: 10, SizeThreshold: 1, CandidateLimit: 1,
 	})
 	if err != nil {
@@ -31,7 +32,7 @@ func TestCandidateLimitPrefix(t *testing.T) {
 	}
 	// IDF still reflects the full DF (3 fragments), so the score matches
 	// the unlimited run's top score.
-	full, err := e.Search(Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
+	full, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,13 +43,13 @@ func TestCandidateLimitPrefix(t *testing.T) {
 
 func TestCandidateLimitLargerThanListIsNoop(t *testing.T) {
 	e := fooddbEngine(t)
-	limited, err := e.Search(Request{
+	limited, err := e.Search(context.Background(), Request{
 		Keywords: []string{"burger"}, K: 5, SizeThreshold: 20, CandidateLimit: 100,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := e.Search(Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20})
+	full, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestCandidateLimitDeterministicTies(t *testing.T) {
 	}
 	e := New(idx, nil)
 	req := Request{Keywords: []string{"w"}, K: n, SizeThreshold: 1, CandidateLimit: 3}
-	results, err := e.Search(req)
+	results, err := e.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCandidateLimitDeterministicTies(t *testing.T) {
 		}
 	}
 	// Repeated identical searches return identical results.
-	again, err := e.Search(req)
+	again, err := e.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestCandidateLimitDeterministicTies(t *testing.T) {
 		t.Fatal(err)
 	}
 	topRef, _ := idx.Lookup(top)
-	results, err = e.Search(req)
+	results, err = e.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestSelectSmallestRefsProperty(t *testing.T) {
 // pages containing both; (Thai,10) has burger but no fries.
 func TestRequireAllConjunctive(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{
+	results, err := e.Search(context.Background(), Request{
 		Keywords: []string{"burger", "fries"}, K: 10, SizeThreshold: 1, RequireAll: true,
 	})
 	if err != nil {
@@ -192,7 +193,7 @@ func TestRequireAllConjunctive(t *testing.T) {
 	}
 
 	// Without RequireAll the burger-only pages come back too.
-	loose, err := e.Search(Request{
+	loose, err := e.Search(context.Background(), Request{
 		Keywords: []string{"burger", "fries"}, K: 10, SizeThreshold: 1,
 	})
 	if err != nil {
@@ -208,7 +209,7 @@ func TestRequireAllConjunctive(t *testing.T) {
 // 9..10 does — expansion can satisfy conjunctive queries.
 func TestRequireAllSatisfiedByExpansion(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{
+	results, err := e.Search(context.Background(), Request{
 		Keywords: []string{"burger", "coffee"}, K: 5, SizeThreshold: 17, RequireAll: true,
 	})
 	if err != nil {

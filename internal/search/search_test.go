@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -50,7 +51,7 @@ func fooddbEngine(t *testing.T) *Engine {
 // fragment page (Thai,10), with exactly the URLs of Example 7.
 func TestExample7(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
 	if err != nil {
 		t.Fatalf("Search: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestExample7(t *testing.T) {
 // relevant (American,12) over irrelevant (American,9).
 func TestExpansionPrefersRelevantNeighbor(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"burger"}, K: 1, SizeThreshold: 20})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 1, SizeThreshold: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestExpansionPrefersRelevantNeighbor(t *testing.T) {
 // returned as its own page.
 func TestSmallThresholdNoExpansion(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSmallThresholdNoExpansion(t *testing.T) {
 // merges completely (9..18) and Thai merges its single fragment.
 func TestLargeThresholdMergesWholeGroup(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 10000})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestLargeThresholdMergesWholeGroup(t *testing.T) {
 // never appears in two results; with AllowOverlap, it may.
 func TestOverlapExclusion(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"burger", "fries", "coffee"}, K: 10, SizeThreshold: 15})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger", "fries", "coffee"}, K: 10, SizeThreshold: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestOverlapExclusion(t *testing.T) {
 
 func TestMultipleKeywords(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"burger", "fries"}, K: 1, SizeThreshold: 1})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger", "fries"}, K: 1, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestMultipleKeywords(t *testing.T) {
 
 func TestNoMatches(t *testing.T) {
 	e := fooddbEngine(t)
-	results, err := e.Search(Request{Keywords: []string{"zanzibar"}, K: 3, SizeThreshold: 10})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"zanzibar"}, K: 3, SizeThreshold: 10})
 	if err != nil {
 		t.Fatalf("Search: %v", err)
 	}
@@ -213,24 +214,24 @@ func TestNoMatches(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	e := fooddbEngine(t)
-	if _, err := e.Search(Request{K: 3, SizeThreshold: 1}); !errors.Is(err, ErrNoKeywords) {
+	if _, err := e.Search(context.Background(), Request{K: 3, SizeThreshold: 1}); !errors.Is(err, ErrNoKeywords) {
 		t.Errorf("no keywords err = %v", err)
 	}
-	if _, err := e.Search(Request{Keywords: []string{" "}, K: 3}); !errors.Is(err, ErrNoKeywords) {
+	if _, err := e.Search(context.Background(), Request{Keywords: []string{" "}, K: 3}); !errors.Is(err, ErrNoKeywords) {
 		t.Errorf("blank keywords err = %v", err)
 	}
-	if _, err := e.Search(Request{Keywords: []string{"burger"}, K: 0}); !errors.Is(err, ErrBadK) {
+	if _, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 0}); !errors.Is(err, ErrBadK) {
 		t.Errorf("k=0 err = %v", err)
 	}
 }
 
 func TestKeywordNormalization(t *testing.T) {
 	e := fooddbEngine(t)
-	a, err := e.Search(Request{Keywords: []string{"BURGER"}, K: 2, SizeThreshold: 20})
+	a, err := e.Search(context.Background(), Request{Keywords: []string{"BURGER"}, K: 2, SizeThreshold: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.Search(Request{Keywords: []string{" burger  burger "}, K: 2, SizeThreshold: 20})
+	b, err := e.Search(context.Background(), Request{Keywords: []string{" burger  burger "}, K: 2, SizeThreshold: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestPropScoresMonotoneNonIncreasing(t *testing.T) {
 		kw := kws[r.Intn(len(kws))]
 		k := 1 + r.Intn(4)
 		s := 1 + r.Intn(50)
-		results, err := e.Search(Request{Keywords: []string{kw}, K: k, SizeThreshold: s})
+		results, err := e.Search(context.Background(), Request{Keywords: []string{kw}, K: k, SizeThreshold: s})
 		if err != nil {
 			t.Fatalf("Search(%q,k=%d,s=%d): %v", kw, k, s, err)
 		}
@@ -304,7 +305,7 @@ func TestSearchAfterIndexUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.Search(Request{Keywords: []string{"burger"}, K: 3, SizeThreshold: 1})
+	results, err := e.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 3, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ public class Listing extends HttpServlet {
 	if len(m.Engines()) != 2 {
 		t.Fatal("engines not registered")
 	}
-	results, err := m.Search(Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
+	results, err := m.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,9 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/fragindex"
 	"repro/internal/webapp"
@@ -121,20 +121,30 @@ func (se *ShardedEngine) NumShards() int { return len(se.engines) }
 func (se *ShardedEngine) Pin() []*fragindex.Snapshot { return se.live.PinAll() }
 
 // Search pins every shard's current snapshot and runs the request against
-// the pinned set (see SearchPinned).
-func (se *ShardedEngine) Search(req Request) ([]Result, error) {
-	return se.SearchPinned(se.Pin(), req)
+// the pinned set (see SearchPinned). An already-cancelled ctx returns
+// ctx.Err() without pinning.
+func (se *ShardedEngine) Search(ctx context.Context, req Request) ([]Result, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return se.SearchPinned(ctx, se.Pin(), req)
 }
 
 // SearchPinned runs one request against an explicitly pinned shard
 // snapshot set (from Pin): seeds global IDF over the set, scatters the
 // scoring core across shards on the worker pool, and merges the per-shard
-// top-k lists into the canonical global top-k.
-func (se *ShardedEngine) SearchPinned(snaps []*fragindex.Snapshot, req Request) ([]Result, error) {
-	return se.searchPinned(snaps, req, clampWorkers(se.MaxFanout))
+// top-k lists into the canonical global top-k. A cancelled ctx abandons
+// the shards still queued — in-flight shard runs stop at their next
+// cooperative check — and the call returns ctx.Err().
+func (se *ShardedEngine) SearchPinned(ctx context.Context, snaps []*fragindex.Snapshot, req Request) ([]Result, error) {
+	return se.searchPinned(orBackground(ctx), snaps, req, clampWorkers(se.MaxFanout))
 }
 
-func (se *ShardedEngine) searchPinned(snaps []*fragindex.Snapshot, req Request, workers int) ([]Result, error) {
+func (se *ShardedEngine) searchPinned(ctx context.Context, snaps []*fragindex.Snapshot, req Request, workers int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(snaps) != len(se.engines) {
 		return nil, fmt.Errorf("search: pinned %d snapshots for %d shards", len(snaps), len(se.engines))
 	}
@@ -205,36 +215,21 @@ func (se *ShardedEngine) searchPinned(snaps []*fragindex.Snapshot, req Request, 
 		errs = errs[:n]
 	}
 	s.errs = errs
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i, si := range active {
-			per[i], errs[i] = se.engines[si].searchSnapshot(snaps[si], req, idf)
+	runPool(n, workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err // abandoned: this shard was queued behind the cancellation
+			return
 		}
-	} else {
-		// Same worker-pool shape as MultiEngine.Search: exactly `workers`
-		// goroutines pulling shard indices from a shared counter.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					si := active[i]
-					per[i], errs[i] = se.engines[si].searchSnapshot(snaps[si], req, idf)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+		si := active[i]
+		per[i], errs[i] = se.engines[si].searchSnapshot(ctx, snaps[si], req, idf)
+	})
 	for i, err := range errs {
 		if err != nil {
+			// A cancellation is the caller's own signal, not a shard
+			// failure — return it unwrapped so errors.Is works directly.
+			if err == context.Canceled || err == context.DeadlineExceeded || err == ctx.Err() {
+				return nil, err
+			}
 			return nil, fmt.Errorf("search: shard %d: %w", active[i], err)
 		}
 	}
@@ -263,44 +258,41 @@ func (se *ShardedEngine) searchPinned(snaps []*fragindex.Snapshot, req Request, 
 	return all, nil
 }
 
+// SearchBatch evaluates a batch of requests concurrently with a
+// runtime-chosen worker count — the Searcher-contract form of
+// ParallelSearch. out[i] answers reqs[i]; the whole batch is pinned to one
+// shard snapshot set.
+func (se *ShardedEngine) SearchBatch(ctx context.Context, reqs []Request) []BatchResult {
+	return se.ParallelSearch(ctx, reqs, 0)
+}
+
 // ParallelSearch evaluates N requests over at most `workers` goroutines
 // (workers <= 0 means GOMAXPROCS). The whole batch is pinned to one shard
 // snapshot set, so every request observes the same index state; out[i]
 // answers reqs[i] exactly as a serial Search would have. Parallelism comes
 // from the batch — each request's scatter runs sequentially inside its
 // worker, which keeps the goroutine count bounded by `workers` and the
-// merge deterministic.
-func (se *ShardedEngine) ParallelSearch(reqs []Request, workers int) []BatchResult {
+// merge deterministic. Cancelling ctx abandons queued requests; abandoned
+// slots carry ctx.Err().
+func (se *ShardedEngine) ParallelSearch(ctx context.Context, reqs []Request, workers int) []BatchResult {
+	ctx = orBackground(ctx)
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
-	snaps := se.Pin()
-	workers = clampWorkers(workers)
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	if workers == 1 {
-		for i := range reqs {
-			out[i].Results, out[i].Err = se.searchPinned(snaps, reqs[i], 1)
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
 		}
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
-					return
-				}
-				out[i].Results, out[i].Err = se.searchPinned(snaps, reqs[i], 1)
-			}
-		}()
-	}
-	wg.Wait()
+	snaps := se.Pin()
+	runPool(len(reqs), clampWorkers(workers), func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Results, out[i].Err = se.searchPinned(ctx, snaps, reqs[i], 1)
+	})
 	return out
 }

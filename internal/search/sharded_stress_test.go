@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -61,7 +62,7 @@ func TestConcurrentShardedSearchWithWriters(t *testing.T) {
 						TotalTerms: int64(3 + it%5),
 					}}})
 				}
-				if _, err := live.ApplyBatch(ds); err != nil {
+				if _, err := live.ApplyBatch(context.Background(), ds); err != nil {
 					errc <- fmt.Errorf("writer %d: %v", wr, err)
 					return
 				}
@@ -77,12 +78,12 @@ func TestConcurrentShardedSearchWithWriters(t *testing.T) {
 			for it := 0; it < iters; it++ {
 				req := queries[(g+it)%len(queries)]
 				snaps := se.Pin()
-				first, err := se.SearchPinned(snaps, req)
+				first, err := se.SearchPinned(context.Background(), snaps, req)
 				if err != nil {
 					errc <- fmt.Errorf("searcher %d: %v", g, err)
 					return
 				}
-				again, err := se.SearchPinned(snaps, req)
+				again, err := se.SearchPinned(context.Background(), snaps, req)
 				if err != nil {
 					errc <- fmt.Errorf("searcher %d re-run: %v", g, err)
 					return
@@ -91,7 +92,7 @@ func TestConcurrentShardedSearchWithWriters(t *testing.T) {
 					errc <- fmt.Errorf("searcher %d: pinned set not repeatable: %s", g, d)
 					return
 				}
-				if _, err := se.Search(req); err != nil {
+				if _, err := se.Search(context.Background(), req); err != nil {
 					errc <- fmt.Errorf("searcher %d live: %v", g, err)
 					return
 				}
@@ -111,7 +112,7 @@ func TestConcurrentShardedSearchWithWriters(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := live.CompactIfNeeded(0.2); err != nil {
+			if _, err := live.CompactIfNeeded(context.Background(), 0.2); err != nil {
 				errc <- fmt.Errorf("compactor: %v", err)
 				return
 			}
@@ -131,7 +132,7 @@ func TestConcurrentShardedSearchWithWriters(t *testing.T) {
 	if st := live.Stats(); st.Fragments != len(changes) {
 		t.Errorf("fragments after stress = %d, want %d", st.Fragments, len(changes))
 	}
-	if _, err := se.Search(queries[0]); err != nil {
+	if _, err := se.Search(context.Background(), queries[0]); err != nil {
 		t.Errorf("post-stress search: %v", err)
 	}
 }

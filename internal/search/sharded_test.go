@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -143,13 +144,13 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 					AllowOverlap:  r.Intn(2) == 0,
 					RequireAll:    r.Intn(4) == 0,
 				}
-				exhaustive, err := single.Search(req)
+				exhaustive, err := single.Search(context.Background(), req)
 				if err != nil {
 					t.Fatalf("trial %d round %d: single: %v", trial, round, err)
 				}
 				// Non-truncating K: byte-identical at every shard count.
 				for i, se := range shardeds {
-					got, err := se.Search(req)
+					got, err := se.Search(context.Background(), req)
 					if err != nil {
 						t.Fatalf("trial %d round %d: shards=%d: %v", trial, round, shardCounts[i], err)
 					}
@@ -163,7 +164,7 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 				// pages drawn from the exhaustive list with exact scores.
 				small := req
 				small.K = 1 + r.Intn(6)
-				want, err := single.Search(small)
+				want, err := single.Search(context.Background(), small)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -172,7 +173,7 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 					inExhaustive[resultKey(res)] = true
 				}
 				for i, se := range shardeds {
-					got, err := se.Search(small)
+					got, err := se.Search(context.Background(), small)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -239,11 +240,11 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 					}}})
 				}
 			}
-			if _, err := single.Source().(*fragindex.LiveIndex).ApplyBatch(ds); err != nil {
+			if _, err := single.Source().(*fragindex.LiveIndex).ApplyBatch(context.Background(), ds); err != nil {
 				t.Fatalf("trial %d: single apply: %v", trial, err)
 			}
 			for _, se := range shardeds {
-				if _, err := se.Live().ApplyBatch(ds); err != nil {
+				if _, err := se.Live().ApplyBatch(context.Background(), ds); err != nil {
 					t.Fatalf("trial %d: shards=%d apply: %v", trial, se.NumShards(), err)
 				}
 			}
@@ -303,11 +304,11 @@ func TestShardedFooddbMatchesSingle(t *testing.T) {
 		{Keywords: []string{"burger", "fries"}, K: 10, SizeThreshold: 1, RequireAll: true},
 		{Keywords: []string{"zanzibar"}, K: 3, SizeThreshold: 10},
 	} {
-		want, err := single.Search(req)
+		want, err := single.Search(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := sharded.Search(req)
+		got, err := sharded.Search(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -325,7 +326,7 @@ func TestShardedFooddbMatchesSingle(t *testing.T) {
 	// Example 7's arithmetic: the merged American page scores
 	// (3/25)·IDF(burger) with IDF = 1/3 over the whole corpus, no matter
 	// how the three burger fragments split across shards.
-	results, err := sharded.Search(Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
+	results, err := sharded.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestShardedGlobalIDF(t *testing.T) {
 		t.Fatal(err)
 	}
 	se := NewSharded(live, nil)
-	results, err := se.Search(Request{Keywords: []string{"w"}, K: 9, SizeThreshold: 1})
+	results, err := se.Search(context.Background(), Request{Keywords: []string{"w"}, K: 9, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,13 +380,13 @@ func TestShardedValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	se := NewSharded(live, nil)
-	if _, err := se.Search(Request{K: 3, SizeThreshold: 1}); !errors.Is(err, ErrNoKeywords) {
+	if _, err := se.Search(context.Background(), Request{K: 3, SizeThreshold: 1}); !errors.Is(err, ErrNoKeywords) {
 		t.Errorf("no keywords err = %v", err)
 	}
-	if _, err := se.Search(Request{Keywords: []string{"ale"}, K: 0}); !errors.Is(err, ErrBadK) {
+	if _, err := se.Search(context.Background(), Request{Keywords: []string{"ale"}, K: 0}); !errors.Is(err, ErrBadK) {
 		t.Errorf("k=0 err = %v", err)
 	}
-	if _, err := se.SearchPinned(se.Pin()[:1], Request{Keywords: []string{"ale"}, K: 1, SizeThreshold: 1}); err == nil {
+	if _, err := se.SearchPinned(context.Background(), se.Pin()[:1], Request{Keywords: []string{"ale"}, K: 1, SizeThreshold: 1}); err == nil {
 		t.Error("short pinned set accepted")
 	}
 }
@@ -405,14 +406,14 @@ func TestShardedParallelSearchMatchesSearch(t *testing.T) {
 	}
 	var want [][]Result
 	for _, req := range reqs {
-		rs, err := se.Search(req)
+		rs, err := se.Search(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want = append(want, rs)
 	}
 	for _, workers := range []int{-1, 1, 3, 16} {
-		for i, br := range se.ParallelSearch(reqs, workers) {
+		for i, br := range se.ParallelSearch(context.Background(), reqs, workers) {
 			if br.Err != nil {
 				t.Fatalf("workers=%d req %d: %v", workers, i, br.Err)
 			}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -35,7 +36,7 @@ func TestConcurrentSearchStress(t *testing.T) {
 	// Serial ground truth, computed before any concurrency.
 	want := make([][]Result, len(queries))
 	for i, q := range queries {
-		rs, err := e.Search(q)
+		rs, err := e.Search(context.Background(), q)
 		if err != nil {
 			t.Fatalf("serial %d: %v", i, err)
 		}
@@ -52,7 +53,7 @@ func TestConcurrentSearchStress(t *testing.T) {
 			defer wg.Done()
 			for it := 0; it < iters; it++ {
 				i := (g + it) % len(queries)
-				rs, err := e.Search(queries[i])
+				rs, err := e.Search(context.Background(), queries[i])
 				if err != nil {
 					errc <- fmt.Errorf("goroutine %d query %d: %v", g, i, err)
 					return
@@ -77,7 +78,7 @@ func TestConcurrentSearchStress(t *testing.T) {
 func TestConcurrentMultiEngineStress(t *testing.T) {
 	m := NewMulti(fooddbEngine(t), fooddbEngine(t))
 	req := Request{Keywords: []string{"burger"}, K: 10, SizeThreshold: 1}
-	want, err := m.Search(req)
+	want, err := m.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestConcurrentMultiEngineStress(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for it := 0; it < 25; it++ {
-				rs, err := m.Search(req)
+				rs, err := m.Search(context.Background(), req)
 				if err != nil {
 					errc <- fmt.Errorf("goroutine %d: %v", g, err)
 					return
@@ -116,14 +117,14 @@ func TestParallelSearchMatchesSerial(t *testing.T) {
 	queries := stressQueries()
 	want := make([][]Result, len(queries))
 	for i, q := range queries {
-		rs, err := e.Search(q)
+		rs, err := e.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = rs
 	}
 	for _, workers := range []int{0, 1, 2, 7, 64} {
-		batch := e.ParallelSearch(queries, workers)
+		batch := e.ParallelSearch(context.Background(), queries, workers)
 		if len(batch) != len(queries) {
 			t.Fatalf("workers=%d: %d results for %d requests", workers, len(batch), len(queries))
 		}
@@ -136,11 +137,11 @@ func TestParallelSearchMatchesSerial(t *testing.T) {
 			}
 		}
 	}
-	if got := e.ParallelSearch(nil, 4); len(got) != 0 {
+	if got := e.ParallelSearch(context.Background(), nil, 4); len(got) != 0 {
 		t.Errorf("empty batch returned %d results", len(got))
 	}
 	// Request errors surface per slot, not as a batch failure.
-	batch := e.ParallelSearch([]Request{{Keywords: []string{"burger"}, K: 0}}, 2)
+	batch := e.ParallelSearch(context.Background(), []Request{{Keywords: []string{"burger"}, K: 0}}, 2)
 	if batch[0].Err == nil {
 		t.Error("bad request did not surface its error")
 	}
@@ -155,11 +156,16 @@ func TestSearchAllocsRegression(t *testing.T) {
 	e := fooddbEngine(t)
 	req := Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20}
 	// Warm the scratch pool.
-	if _, err := e.Search(req); err != nil {
+	if _, err := e.Search(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
+	// Measure with a real cancellable context — the serving path always
+	// carries one — so the cooperative ctx polling is part of what the
+	// budget pins.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	avg := testing.AllocsPerRun(200, func() {
-		if _, err := e.Search(req); err != nil {
+		if _, err := e.Search(ctx, req); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"testing"
 )
@@ -29,9 +30,9 @@ func TestParallelSearchNegativeWorkers(t *testing.T) {
 		{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20},
 		{Keywords: []string{"coffee"}, K: 3, SizeThreshold: 10},
 	}
-	want := e.ParallelSearch(reqs, 1)
+	want := e.ParallelSearch(context.Background(), reqs, 1)
 	for _, workers := range []int{0, -5} {
-		got := e.ParallelSearch(reqs, workers)
+		got := e.ParallelSearch(context.Background(), reqs, workers)
 		for i := range want {
 			if got[i].Err != nil || want[i].Err != nil {
 				t.Fatalf("workers=%d: errs %v %v", workers, got[i].Err, want[i].Err)
@@ -54,7 +55,7 @@ func TestParallelSearchNegativeWorkers(t *testing.T) {
 func TestMultiEngineNegativeFanout(t *testing.T) {
 	m := NewMulti(fooddbEngine(t), fooddbEngine(t))
 	m.MaxFanout = -3
-	results, err := m.Search(Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 1})
+	results, err := m.Search(context.Background(), Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
