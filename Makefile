@@ -21,12 +21,13 @@ vet:
 # cancellation poll must sit within noise of a background-ctx run), the
 # parallel-throughput scaling benchmark, the live-mutation-under-load
 # benchmark, the snapshot-publish-cost benchmark (chunked metadata +
-# batched applies), and the sharded serving benchmarks (scatter-gather
+# batched applies), the sharded serving benchmarks (scatter-gather
 # search + routed applies at S = 1/4/16 vs the single-index baseline),
+# and the durable apply benchmark (journal off vs interval vs always),
 # with allocation counts, converted to BENCH_search.json so the perf
 # trajectory is diffable PR over PR.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig11|SearchContextOverhead|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost|ShardedSearchThroughput|ShardedApplyThroughput' -benchmem -count 1 . > BENCH_search.txt
+	$(GO) test -run '^$$' -bench 'Fig11|SearchContextOverhead|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost|ShardedSearchThroughput|ShardedApplyThroughput|DurableApplyThroughput' -benchmem -count 1 . > BENCH_search.txt
 	$(GO) run ./cmd/benchjson -o BENCH_search.json < BENCH_search.txt
 	@rm -f BENCH_search.txt
 	@echo wrote BENCH_search.json

@@ -78,6 +78,8 @@ type openConfig struct {
 	compactDen int
 	candLimit  int // default Request.CandidateLimit when a request has none
 	readOnly   bool
+	dataDir    string // non-empty: durable serving rooted here
+	syncPolicy SyncPolicy
 }
 
 // Option configures Open.
@@ -145,6 +147,34 @@ func WithReadOnly() Option {
 	}
 }
 
+// WithDataDir makes the handle durable, rooted at dir: every publish
+// journals its delta to disk before the swap that acknowledges it, and
+// reopening the same directory recovers exactly the last acknowledged
+// state. A fresh directory is seeded from the index passed to Open; an
+// initialized one is recovered, idx must be nil, and the committed shard
+// count pins the topology (see IsInitialized). Incompatible with
+// WithReadOnly. The returned handle additionally implements Checkpointer,
+// DurabilityReporter, and io.Closer.
+func WithDataDir(dir string) Option {
+	return func(c *openConfig) error {
+		if dir == "" {
+			return fmt.Errorf("dash: WithDataDir: empty directory")
+		}
+		c.dataDir = dir
+		return nil
+	}
+}
+
+// WithSyncPolicy selects the journal sync discipline for WithDataDir
+// (default: SyncAlways). SyncInterval trades the durability of the last
+// interval's acknowledgements for append throughput.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *openConfig) error {
+		c.syncPolicy = p
+		return nil
+	}
+}
+
 // Open wraps a built index for serving behind the one public contract,
 // picking the topology from the options:
 //
@@ -170,6 +200,20 @@ func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
 	}
 	if cfg.readOnly && cfg.shards > 1 {
 		return nil, fmt.Errorf("dash: WithReadOnly is incompatible with WithShards(%d)", cfg.shards)
+	}
+	if cfg.dataDir != "" {
+		if cfg.readOnly {
+			return nil, fmt.Errorf("dash: WithDataDir is incompatible with WithReadOnly")
+		}
+		if cfg.compactNum > 0 && idx != nil {
+			if err := idx.SetPostingCompaction(cfg.compactNum, cfg.compactDen); err != nil {
+				return nil, err
+			}
+		}
+		return openDurable(idx, app, cfg)
+	}
+	if idx == nil {
+		return nil, fmt.Errorf("dash: Open with a nil index (only a durable reopen serves without one)")
 	}
 	if cfg.compactNum > 0 {
 		if err := idx.SetPostingCompaction(cfg.compactNum, cfg.compactDen); err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/crawl"
+	"repro/internal/durable"
 	"repro/internal/fooddb"
 	"repro/internal/fragindex"
 	"repro/internal/fragment"
@@ -835,5 +836,55 @@ func BenchmarkRelationalKeywordBaseline(b *testing.B) {
 		if len(results) != 3 {
 			b.Fatalf("results = %d", len(results))
 		}
+	}
+}
+
+// BenchmarkDurableApplyThroughput prices the write-ahead journal: the same
+// single-fragment update stream applied through a LiveIndex with no
+// journal (the in-memory ceiling), with an interval-synced journal (an
+// append per publish, fsync amortized on a timer), and with SyncAlways (an
+// fsync inside every publish — the full crash-safety contract). applies/sec
+// is the headline; the gap between interval and always is what one fsync
+// per acknowledged publish costs on this disk.
+func BenchmarkDurableApplyThroughput(b *testing.B) {
+	const n = 100_000
+	modes := []struct {
+		name   string
+		policy *durable.SyncPolicy
+	}{
+		{"journal=off", nil},
+		{"journal=interval", &durable.SyncPolicy{Mode: durable.SyncInterval, Interval: 50 * time.Millisecond}},
+		{"journal=always", &durable.SyncPolicy{Mode: durable.SyncAlways}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			live, ids := syntheticLive(b, n)
+			if m.policy != nil {
+				st, err := durable.Open(b.TempDir(), *m.policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Init([]*fragindex.Dump{live.Dump()}); err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				live.SetPublishHook(func(d crawl.Delta, epoch uint64) error {
+					return st.Append(0, d, epoch)
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := i % len(ids)
+				_, err := live.Apply(context.Background(), crawl.Delta{Changes: []crawl.FragmentChange{{
+					Op: crawl.OpUpdateFragment, ID: ids[at],
+					TermCounts: syntheticCounts(at, i+1), TotalTerms: 3,
+				}}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "applies/sec")
+		})
 	}
 }

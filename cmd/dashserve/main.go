@@ -51,6 +51,21 @@
 // topology: -shards N picks the sharded engine (default 1, the single live
 // index), and /v1/admin/stats reports whichever shape is serving.
 //
+// # Durable serving
+//
+// -data-dir makes serving crash-safe: every published delta is journaled
+// to a per-shard write-ahead log before the snapshot swap acknowledges it,
+// and each shard's state is checkpointed as a versioned, checksummed
+// snapshot generation. On a fresh directory the index is built from
+// -dataset and seeded to disk; on an initialized directory the crawl is
+// skipped entirely and serving resumes from the recovered state — exactly
+// the last acknowledged publish, surviving kill -9. -sync picks the
+// journal discipline ("always" fsyncs inside every publish, the default;
+// "interval" batches fsyncs every -sync-interval), /v1/admin/apply's
+// "mode":"queue"/"flush" defers publishes into one journaled batch, and
+// /v1/admin/stats grows a "durability" block (journal, checkpoint, and
+// recovery counters) when -data-dir is set.
+//
 // -pprof opts into net/http/pprof under /debug/pprof/ for profiling the
 // serving path; it is off by default so the profiling surface is never
 // exposed unintentionally.
@@ -63,6 +78,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -97,17 +113,22 @@ func run(args []string) error {
 	searchTimeout := fs.Duration("search-timeout", 10*time.Second,
 		"per-request search budget (0 disables; ?timeout_ms= may shrink it per request, never raise it)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in profiling)")
+	dataDir := fs.String("data-dir", "",
+		"durable data directory: publishes journal to disk before acknowledging and restarts recover the last acknowledged state (empty: in-memory only)")
+	syncMode := fs.String("sync", "always", "journal sync policy with -data-dir: always | interval")
+	syncEvery := fs.Duration("sync-interval", 100*time.Millisecond,
+		"background journal fsync period for -sync interval")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 
 	db, app, err := setup(*dataset, *query, *seed)
-	if err != nil {
-		return err
-	}
-	log.Printf("crawling %s…", db.Name)
-	out, _, err := harness.RunCrawl(context.Background(), db, app,
-		crawl.AlgIntegrated, crawl.Options{}, *dataset)
 	if err != nil {
 		return err
 	}
@@ -115,19 +136,59 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	idx, _, err := harness.BuildGraph(out, bound, app.Name)
+
+	// The handlers only ever see the Searcher/Maintainer contract; the
+	// shard count is a construction-time concern. With -data-dir an
+	// initialized directory recovers the persisted index — no crawl at all,
+	// and its committed shard count pins the topology unless -shards
+	// explicitly disagrees (which is an error, not a silent repartition).
+	var opts []dash.Option
+	recovering := *dataDir != "" && dash.IsInitialized(*dataDir)
+	if !recovering || shardsSet {
+		opts = append(opts, dash.WithShards(*shards))
+	}
+	if *dataDir != "" {
+		opts = append(opts,
+			dash.WithDataDir(*dataDir),
+			dash.WithSyncPolicy(dash.SyncPolicy{Mode: dash.SyncMode(*syncMode), Interval: *syncEvery}))
+	}
+	var idx *dash.Index
+	if recovering {
+		log.Printf("recovering index from %s…", *dataDir)
+	} else {
+		log.Printf("crawling %s…", db.Name)
+		out, _, err := harness.RunCrawl(context.Background(), db, app,
+			crawl.AlgIntegrated, crawl.Options{}, *dataset)
+		if err != nil {
+			return err
+		}
+		idx, _, err = harness.BuildGraph(out, bound, app.Name)
+		if err != nil {
+			return err
+		}
+	}
+	engine, err := dash.Open(idx, app, opts...)
 	if err != nil {
 		return err
 	}
-	// The handlers only ever see the Searcher/Maintainer contract; the
-	// shard count is a construction-time concern.
-	engine, err := dash.Open(idx, app, dash.WithShards(*shards))
-	if err != nil {
-		return err
+	if closer, ok := engine.(io.Closer); ok {
+		defer closer.Close()
 	}
 	st := engine.Stats()
 	log.Printf("index ready: %d fragments, topology %s over %d shard(s)",
 		st.Fragments, st.Topology, st.Shards)
+	if dr, ok := engine.(dash.DurabilityReporter); ok {
+		ds := dr.DurabilityStats()
+		if ds.Recovered {
+			for _, ri := range ds.Recovery {
+				log.Printf("recovery: shard %d at epoch %d (snapshot %d, %d journal records replayed, fallback=%v, truncated_tail=%v)",
+					ri.Shard, ri.FinalEpoch, ri.SnapshotEpoch, ri.ReplayedRecords, ri.Fallback, ri.TruncatedTail)
+			}
+		} else {
+			log.Printf("durability: seeded fresh data dir %s (%d shard(s), sync=%s)",
+				ds.Dir, ds.Shards, ds.SyncMode)
+		}
+	}
 
 	handler := newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{
 		withPprof:     *pprofFlag,

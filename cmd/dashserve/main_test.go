@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -440,5 +441,134 @@ func TestPprofOptIn(t *testing.T) {
 	withPprof, _ := testMuxCfg(t, serveConfig{withPprof: true, searchTimeout: 5 * time.Second})
 	if rec := get(t, withPprof, "/debug/pprof/"); rec.Code != http.StatusOK {
 		t.Errorf("pprof on: status %d, want 200", rec.Code)
+	}
+}
+
+// TestV1ApplyQueueFlush covers the deferred maintenance modes on
+// /v1/admin/apply: "queue" buffers without publishing, "flush" publishes
+// the whole queue as one coalesced batch, and the malformed combinations
+// (queue+recrawl, flush+deltas, empty queue, unknown mode) are 422s.
+func TestV1ApplyQueueFlush(t *testing.T) {
+	mux, engine := testMux(t)
+	before := engine.Stats()
+
+	rec := postJSON(t, mux, "/v1/admin/apply",
+		`{"mode":"queue","changes":[{"op":"insert","id":["Nordic","3"],"terms":{"herring":2},"total":2}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("queue: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	var q struct {
+		Queued  int `json:"queued"`
+		Pending int `json:"pending"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Queued != 1 || q.Pending != 1 {
+		t.Errorf("queue response %+v, want 1 queued / 1 pending", q)
+	}
+	rec = postJSON(t, mux, "/v1/admin/apply",
+		`{"mode":"queue","changes":[{"op":"update","id":["American","10"],"terms":{"burger":5},"total":5}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("queue #2: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	json.Unmarshal(rec.Body.Bytes(), &q)
+	if q.Pending != 2 {
+		t.Errorf("queue #2 pending = %d, want 2", q.Pending)
+	}
+
+	// Nothing published yet: the queued insert is invisible and the
+	// publish counter is unchanged.
+	mid := engine.Stats()
+	if mid.Publishes != before.Publishes || mid.Queued != 2 {
+		t.Errorf("after queueing: publishes %d->%d, queued %d", before.Publishes, mid.Publishes, mid.Queued)
+	}
+	if engine.(*dash.ShardedLiveEngine).Live().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
+		t.Error("queued insert reached the served index before flush")
+	}
+
+	for name, body := range map[string]string{
+		"queue with recrawl": `{"mode":"queue","recrawl":[["American","10"]]}`,
+		"empty queue":        `{"mode":"queue"}`,
+		"flush with deltas":  `{"mode":"flush","changes":[{"op":"remove","id":["Nordic","3"]}]}`,
+		"unknown mode":       `{"mode":"sideways","changes":[{"op":"remove","id":["Nordic","3"]}]}`,
+	} {
+		if rec := postJSON(t, mux, "/v1/admin/apply", body); rec.Code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422 (body %q)", name, rec.Code, rec.Body.String())
+		} else if errorCode(t, rec) != "validation_failed" {
+			t.Errorf("%s: code %q", name, errorCode(t, rec))
+		}
+	}
+
+	rec = postJSON(t, mux, "/v1/admin/apply", `{"mode":"flush"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("flush: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	var st dash.ApplyReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total.Deltas != 2 || st.Total.Inserted != 1 || st.Total.Updated != 1 {
+		t.Errorf("flush report %+v, want 2 deltas / 1 insert / 1 update", st.Total)
+	}
+	after := engine.Stats()
+	if after.Queued != 0 {
+		t.Errorf("post-flush queued = %d, want 0", after.Queued)
+	}
+	if !engine.(*dash.ShardedLiveEngine).Live().Has(dash.FragmentID{relation.String("Nordic"), relation.Int(3)}) {
+		t.Error("flushed insert missing from the served index")
+	}
+}
+
+// durableMux is testMux over a durable engine rooted in a temp data dir.
+func durableMux(t *testing.T) (http.Handler, dash.Handle) {
+	t.Helper()
+	db, app, err := harness.Fooddb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := dash.Build(context.Background(), db, app, dash.BuildOptions{Algorithm: dash.AlgReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := app.Bound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := dash.Open(idx, app, dash.WithShards(2), dash.WithDataDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.(io.Closer).Close() })
+	return newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{searchTimeout: 5 * time.Second}), engine
+}
+
+// TestV1StatsDurability: /v1/admin/stats grows a "durability" block only
+// when the serving handle is durable; the legacy payload stays
+// byte-identical otherwise.
+func TestV1StatsDurability(t *testing.T) {
+	plain, _ := testMux(t)
+	if body := get(t, plain, "/v1/admin/stats").Body.String(); strings.Contains(body, "durability") {
+		t.Errorf("plain stats leak a durability block: %q", body)
+	}
+
+	mux, _ := durableMux(t)
+	rec := postJSON(t, mux, "/v1/admin/apply",
+		`{"changes":[{"op":"update","id":["American","10"],"terms":{"burger":3},"total":3}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("durable apply: status %d, body %q", rec.Code, rec.Body.String())
+	}
+	var st struct {
+		dash.EngineStats
+		Durability *dash.DurabilityStats `json:"durability"`
+	}
+	if err := json.Unmarshal(get(t, mux, "/v1/admin/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability == nil {
+		t.Fatal("durable stats missing the durability block")
+	}
+	if st.Durability.Shards != 2 || st.Durability.SyncMode != string(dash.SyncAlways) || st.Durability.JournalRecords != 1 {
+		t.Errorf("durability block %+v, want 2 shards / always / 1 journal record", st.Durability)
 	}
 }

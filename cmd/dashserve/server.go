@@ -295,10 +295,25 @@ func (s *server) v1SearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"queries": entries})
 }
 
+// statsResponse is the /v1/admin/stats body: the unified EngineStats
+// shape, plus the durability report when the serving handle is durable.
+// Without -data-dir the extra field is omitted entirely, so legacy
+// payloads are byte-identical.
+type statsResponse struct {
+	dash.EngineStats
+	Durability *dash.DurabilityStats `json:"durability,omitempty"`
+}
+
 // v1AdminStats answers GET /v1/admin/stats with the unified EngineStats
-// shape (topology, aggregate counters, per-shard detail when sharded).
+// shape (topology, aggregate counters, per-shard detail when sharded) and,
+// for durable handles, journal/checkpoint/recovery counters.
 func (s *server) v1AdminStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.eng.Stats())
+	resp := statsResponse{EngineStats: s.eng.Stats()}
+	if dr, ok := s.eng.(dash.DurabilityReporter); ok {
+		ds := dr.DurabilityStats()
+		resp.Durability = &ds
+	}
+	writeJSON(w, resp)
 }
 
 // v1AdminApply answers POST /v1/admin/apply: explicit fragment changes
@@ -358,12 +373,20 @@ type applyRequest struct {
 	// published snapshot (changes to the same fragment coalesce; see
 	// dash.Maintainer.ApplyBatch).
 	Batch []deltaRequest `json:"batch"`
+	// Mode selects deferred maintenance: "" (or "apply") publishes now,
+	// "queue" buffers the request's explicit changes for a later flush
+	// without publishing, and "flush" publishes everything queued so far as
+	// one coalesced batch. Queued deltas flow through the same (journaled,
+	// when durable) publish path at flush time.
+	Mode string `json:"mode,omitempty"`
 }
 
 // handleApply validates, derives, and applies one admin maintenance
 // request through the Maintainer contract. The whole request — derivation
-// included — runs under the engine's maintenance serialization.
-func (s *server) handleApply(ctx context.Context, req applyRequest) (dash.ApplyReport, error) {
+// included — runs under the engine's maintenance serialization. The
+// deferred modes ("queue"/"flush") require a topology implementing
+// dash.Queuer — both live topologies do.
+func (s *server) handleApply(ctx context.Context, req applyRequest) (any, error) {
 	entries := append([]deltaRequest{req.deltaRequest}, req.Batch...)
 	var (
 		deltas []dash.Delta
@@ -377,7 +400,7 @@ func (s *server) handleApply(ctx context.Context, req applyRequest) (dash.ApplyR
 		empty = false
 		d, err := parseDelta(e.Changes, s.kinds)
 		if err != nil {
-			return dash.ApplyReport{}, err
+			return nil, err
 		}
 		if len(d.Changes) > 0 {
 			deltas = append(deltas, d)
@@ -385,13 +408,43 @@ func (s *server) handleApply(ctx context.Context, req applyRequest) (dash.ApplyR
 		for _, raw := range e.Recrawl {
 			id, err := parseID(raw, s.kinds)
 			if err != nil {
-				return dash.ApplyReport{}, err
+				return nil, err
 			}
 			ids = append(ids, id)
 		}
 	}
+	switch req.Mode {
+	case "", "apply":
+	case "queue":
+		q, ok := s.eng.(dash.Queuer)
+		if !ok {
+			return nil, errors.New("serving topology does not support queued deltas")
+		}
+		if len(ids) > 0 {
+			return nil, errors.New(`"mode":"queue" takes explicit changes only: a recrawl derives against the current index, which defeats deferral`)
+		}
+		if empty {
+			return nil, errors.New("empty delta: provide changes to queue")
+		}
+		n := 0
+		for _, d := range deltas {
+			n = q.Queue(d)
+		}
+		return map[string]any{"queued": len(deltas), "pending": n}, nil
+	case "flush":
+		q, ok := s.eng.(dash.Queuer)
+		if !ok {
+			return nil, errors.New("serving topology does not support queued deltas")
+		}
+		if !empty {
+			return nil, errors.New(`"mode":"flush" takes no deltas: it publishes what is already queued`)
+		}
+		return q.Flush(ctx)
+	default:
+		return nil, fmt.Errorf("unknown mode %q: want apply, queue, or flush", req.Mode)
+	}
 	if empty {
-		return dash.ApplyReport{}, errors.New("empty delta: provide changes, recrawl, and/or batch")
+		return nil, errors.New("empty delta: provide changes, recrawl, and/or batch")
 	}
 	if len(req.Batch) > 0 {
 		// Batch mode: every delta folds into one published snapshot.

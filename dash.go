@@ -510,6 +510,10 @@ type ShardedLiveEngine struct {
 	// defaults (zero: runtime-chosen workers, full posting lists).
 	workers   int
 	candLimit int
+	// pendMu guards the engine-level delta queue (Queue/Flush); deltas are
+	// buffered unrouted and partition across shards only at Flush.
+	pendMu  sync.Mutex
+	pending []Delta
 }
 
 // NewShardedLiveEngine partitions a built index across the given number of
@@ -564,8 +568,13 @@ func (se *ShardedLiveEngine) Live() *ShardedLiveIndex { return se.live }
 func (se *ShardedLiveEngine) NumShards() int { return se.live.NumShards() }
 
 // Stats aggregates the per-shard serving statistics in the unified shape
-// (PerShard carries each shard's own report).
-func (se *ShardedLiveEngine) Stats() EngineStats { return se.engine.Stats() }
+// (PerShard carries each shard's own report). Queued includes the
+// engine-level queue, which buffers unrouted deltas until Flush.
+func (se *ShardedLiveEngine) Stats() EngineStats {
+	st := se.engine.Stats()
+	st.Queued += se.Pending()
+	return st
+}
 
 // ShardStats is the sharded-index maintenance report (the unified Stats
 // carries the same numbers).
@@ -587,6 +596,42 @@ func (se *ShardedLiveEngine) ApplyBatch(ctx context.Context, ds []Delta) (ApplyR
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	return se.live.ApplyBatch(ctx, ds)
+}
+
+// Queue buffers a delta for a later batched publish without applying it,
+// returning the queue length. Like LiveEngine.Queue it never blocks on
+// the writer — only the short queue lock — so producers can enqueue while
+// an earlier Flush is still publishing.
+func (se *ShardedLiveEngine) Queue(d Delta) int {
+	se.pendMu.Lock()
+	defer se.pendMu.Unlock()
+	se.pending = append(se.pending, d)
+	return len(se.pending)
+}
+
+// Pending returns the number of queued deltas awaiting Flush.
+func (se *ShardedLiveEngine) Pending() int {
+	se.pendMu.Lock()
+	defer se.pendMu.Unlock()
+	return len(se.pending)
+}
+
+// Flush drains the queue and applies everything as one coalesced, routed
+// batch — each touched shard pays one publish. An already-cancelled ctx
+// fails before the drain, leaving the queue intact; after the drain the
+// batch is gone whether or not the apply succeeds (the LiveIndex.Flush
+// contract).
+func (se *ShardedLiveEngine) Flush(ctx context.Context) (ApplyReport, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return ApplyReport{}, err
+		}
+	}
+	se.pendMu.Lock()
+	batch := se.pending
+	se.pending = nil
+	se.pendMu.Unlock()
+	return se.ApplyBatch(ctx, batch)
 }
 
 // CompactIfNeeded runs the snapshot garbage collector on every shard,

@@ -1,0 +1,241 @@
+package dash
+
+// Durable serving: dash.Open(..., WithDataDir(dir)) layers the
+// internal/durable store under the live topologies. Every publish journals
+// its folded delta before the snapshot swap (the fragindex.PublishHook
+// seam), CompactIfNeeded doubles as a checkpoint, and reopening the same
+// directory recovers exactly the last acknowledged durable publish.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/durable"
+	"repro/internal/fragindex"
+	"repro/internal/search"
+)
+
+// Durability re-exports: the public surface of the durable layer.
+type (
+	// SyncPolicy configures when journal appends reach stable storage
+	// (WithSyncPolicy).
+	SyncPolicy = durable.SyncPolicy
+	// SyncMode names a journal sync discipline.
+	SyncMode = durable.SyncMode
+	// DurabilityStats is the journal/checkpoint/recovery report a durable
+	// handle answers (DurabilityReporter).
+	DurabilityStats = durable.Stats
+	// RecoveryInfo reports what recovering one shard took.
+	RecoveryInfo = durable.RecoveryInfo
+)
+
+// Journal sync modes for WithSyncPolicy.
+const (
+	// SyncAlways fsyncs every journal append before the publish swap: an
+	// acknowledged apply is durable, full stop. The default.
+	SyncAlways = durable.SyncAlways
+	// SyncInterval batches fsyncs on a timer: applies acknowledged within
+	// the last interval may be lost to a crash — the throughput trade.
+	SyncInterval = durable.SyncInterval
+)
+
+// IsInitialized reports whether dir already holds a committed durable data
+// directory. Callers use it to decide whether Open needs a built index
+// (fresh directory) or a nil one (recover the persisted state).
+func IsInitialized(dir string) bool { return durable.IsInitialized(dir) }
+
+// Queuer is the deferred-apply surface of the live topologies: Queue
+// buffers a delta without applying it and Flush publishes the whole queue
+// as one coalesced batch. LiveEngine, ShardedLiveEngine, and the durable
+// handles implement it; flushed batches flow through the same journaled
+// publish path as Apply.
+type Queuer interface {
+	Queue(d Delta) int
+	Flush(ctx context.Context) (ApplyReport, error)
+}
+
+// Checkpointer is implemented by durable handles: Checkpoint persists the
+// current state as a fresh snapshot generation and truncates the journal
+// (per shard). CompactIfNeeded on a durable handle checkpoints implicitly.
+type Checkpointer interface {
+	Checkpoint(ctx context.Context) error
+}
+
+// DurabilityReporter is implemented by durable handles; non-durable
+// handles simply do not satisfy it.
+type DurabilityReporter interface {
+	DurabilityStats() DurabilityStats
+}
+
+// openDurable is Open's WithDataDir branch. A fresh directory is seeded
+// from the caller's built index (after topology partitioning, so each
+// shard persists exactly what it serves); an initialized directory is
+// recovered — the persisted state wins, and a non-nil idx is rejected
+// rather than silently discarded.
+func openDurable(idx *Index, app *Application, cfg openConfig) (h Handle, err error) {
+	st, err := durable.Open(cfg.dataDir, cfg.syncPolicy)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			st.Close()
+		}
+	}()
+	if st.Fresh() {
+		return seedDurable(st, idx, app, cfg)
+	}
+	if idx != nil {
+		return nil, fmt.Errorf("dash: WithDataDir(%q): directory is already initialized; pass a nil index to serve its recovered state", cfg.dataDir)
+	}
+	if cfg.shards != 0 && cfg.shards != st.NumShards() {
+		return nil, fmt.Errorf("dash: WithShards(%d) disagrees with the data dir's committed %d shards", cfg.shards, st.NumShards())
+	}
+	builders, _, err := st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.compactNum > 0 {
+		for _, b := range builders {
+			if err := b.SetPostingCompaction(cfg.compactNum, cfg.compactDen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(builders) > 1 {
+		sl, err := fragindex.NewShardedLiveFrom(builders)
+		if err != nil {
+			return nil, err
+		}
+		se := &ShardedLiveEngine{live: sl, engine: search.NewSharded(sl, app), app: app}
+		se.engine.MaxFanout = cfg.workers
+		se.workers = cfg.workers
+		se.candLimit = cfg.candLimit
+		installHooks(st, nil, sl)
+		return &durableHandle{Handle: se, queuer: se, store: st, sharded: sl}, nil
+	}
+	live := fragindex.NewLive(builders[0])
+	le := &LiveEngine{live: live, engine: search.New(live, app), app: app,
+		workers: cfg.workers, candLimit: cfg.candLimit}
+	installHooks(st, live, nil)
+	return &durableHandle{Handle: le, queuer: le, store: st, live: live}, nil
+}
+
+// seedDurable initializes a fresh data directory from a built index: the
+// serving topology is constructed first (sharded partitioning included),
+// each publish cycle's canonical dump is written as its shard's first
+// snapshot generation, and only then does the MANIFEST commit the
+// directory.
+func seedDurable(st *durable.Store, idx *Index, app *Application, cfg openConfig) (Handle, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("dash: WithDataDir(%q): a fresh data dir needs a built index to seed", cfg.dataDir)
+	}
+	if cfg.shards > 1 {
+		se, err := NewShardedLiveEngine(idx, app, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		se.engine.MaxFanout = cfg.workers
+		se.workers = cfg.workers
+		se.candLimit = cfg.candLimit
+		sl := se.live
+		dumps := make([]*fragindex.Dump, sl.NumShards())
+		for i := range dumps {
+			dumps[i] = sl.Shard(i).Dump()
+		}
+		if err := st.Init(dumps); err != nil {
+			return nil, err
+		}
+		installHooks(st, nil, sl)
+		return &durableHandle{Handle: se, queuer: se, store: st, sharded: sl}, nil
+	}
+	le := NewLiveEngine(idx, app)
+	le.workers = cfg.workers
+	le.candLimit = cfg.candLimit
+	if err := st.Init([]*fragindex.Dump{le.live.Dump()}); err != nil {
+		return nil, err
+	}
+	installHooks(st, le.live, nil)
+	return &durableHandle{Handle: le, queuer: le, store: st, live: le.live}, nil
+}
+
+// installHooks wires every publish cycle's write-ahead hook to its shard's
+// journal: the folded delta is appended (and, policy permitting, fsynced)
+// before the snapshot swap acknowledges the publish.
+func installHooks(st *durable.Store, live *fragindex.LiveIndex, sl *fragindex.ShardedLiveIndex) {
+	if live != nil {
+		live.SetPublishHook(func(d Delta, epoch uint64) error {
+			return st.Append(0, d, epoch)
+		})
+	}
+	if sl != nil {
+		for i := 0; i < sl.NumShards(); i++ {
+			shard := i
+			sl.Shard(shard).SetPublishHook(func(d Delta, epoch uint64) error {
+				return st.Append(shard, d, epoch)
+			})
+		}
+	}
+}
+
+// durableHandle wraps a live topology with its durable store: maintenance
+// flows through the wrapped handle (journaled via the publish hooks),
+// CompactIfNeeded additionally checkpoints, and Close flushes and releases
+// the journals. Exactly one of live/sharded is non-nil.
+type durableHandle struct {
+	Handle
+	queuer  Queuer
+	store   *durable.Store
+	live    *fragindex.LiveIndex
+	sharded *fragindex.ShardedLiveIndex
+}
+
+// CompactIfNeeded runs the snapshot garbage collector and then checkpoints
+// every publish cycle — compacted or not — so the journal is truncated and
+// the on-disk generation reflects the served state (the durable layer's
+// "compaction doubles as checkpoint" contract).
+func (h *durableHandle) CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (int, error) {
+	n, err := h.Handle.CompactIfNeeded(ctx, maxDeadRatio)
+	if err != nil {
+		return n, err
+	}
+	return n, h.Checkpoint(ctx)
+}
+
+// Checkpoint writes each shard's current state as a new snapshot
+// generation and rotates its journal. Concurrent applies keep their
+// write-ahead guarantee throughout.
+func (h *durableHandle) Checkpoint(ctx context.Context) error {
+	if h.live != nil {
+		return h.store.Checkpoint(0, h.live.Dump())
+	}
+	for i := 0; i < h.sharded.NumShards(); i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := h.store.Checkpoint(i, h.sharded.Shard(i).Dump()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Queue buffers a delta for a later batched, journaled publish.
+func (h *durableHandle) Queue(d Delta) int { return h.queuer.Queue(d) }
+
+// Flush publishes the queued deltas as one coalesced batch through the
+// journaled publish path.
+func (h *durableHandle) Flush(ctx context.Context) (ApplyReport, error) {
+	return h.queuer.Flush(ctx)
+}
+
+// DurabilityStats reports the store's journal, checkpoint, and recovery
+// counters.
+func (h *durableHandle) DurabilityStats() DurabilityStats { return h.store.Stats() }
+
+// Close flushes unsynced journal appends and releases the data directory.
+// The handle keeps serving searches afterwards, but further applies fail:
+// close it last.
+func (h *durableHandle) Close() error { return h.store.Close() }

@@ -1,0 +1,748 @@
+package durable
+
+// Package durable persists the serving index: versioned snapshot files
+// plus a per-shard write-ahead journal of publish deltas, with recovery
+// that survives kill -9 at any point.
+//
+// Layout under the data directory:
+//
+//	MANIFEST            format version, shard count, index spec (JSON)
+//	shard-0000/
+//	    snap-<epoch>.snap   versioned snapshot generations
+//	    wal-<epoch>.wal     journal extending the same-epoch snapshot
+//	shard-0001/ ...
+//
+// The MANIFEST is written last during initialization — it is the commit
+// point; a directory without one is re-initialized from scratch. Each
+// checkpoint writes a new snapshot generation and rotates the journal; the
+// two newest generations are retained so a corrupt newest snapshot falls
+// back to its predecessor and replays the full journal chain across both.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crawl"
+	"repro/internal/fragindex"
+)
+
+// crashPoint is the crash-injection seam the recovery tests drive: named
+// points bracket every durability-critical step (journal append around its
+// fsync, snapshot write, checkpoint rotation). In production it is a no-op
+// closure; when DASH_CRASHPOINT=<name>:<n> is set in the environment, the
+// n-th arrival at the named point dies on the spot — no deferred cleanup,
+// no flushes — so the test harness can kill a child process at any chosen
+// instant and assert recovery from exactly the bytes that had reached the
+// filesystem.
+var crashPoint = crashPointFromEnv(os.Getenv("DASH_CRASHPOINT"))
+
+func crashPointFromEnv(spec string) func(string) {
+	name, nstr, ok := strings.Cut(spec, ":")
+	if !ok || name == "" {
+		return func(string) {}
+	}
+	n, err := strconv.Atoi(nstr)
+	if err != nil || n < 1 {
+		return func(string) {}
+	}
+	var hits atomic.Int64
+	return func(point string) {
+		if point == name && hits.Add(1) == int64(n) {
+			// Exit without running any Go cleanup — the closest portable
+			// stand-in for kill -9 (kernel-level file state is identical).
+			os.Exit(137)
+		}
+	}
+}
+
+// SyncMode selects when journal appends reach stable storage.
+type SyncMode string
+
+const (
+	// SyncAlways fsyncs every journal append before the publish swap: an
+	// acknowledged apply is durable, full stop.
+	SyncAlways SyncMode = "always"
+	// SyncInterval batches fsyncs on a timer: acknowledged applies within
+	// the last interval may be lost to a crash — the throughput trade.
+	SyncInterval SyncMode = "interval"
+)
+
+// SyncPolicy configures journal durability.
+type SyncPolicy struct {
+	Mode SyncMode
+	// Interval is the background fsync period for SyncInterval
+	// (default 100ms); ignored by SyncAlways.
+	Interval time.Duration
+}
+
+func (p SyncPolicy) withDefaults() (SyncPolicy, error) {
+	if p.Mode == "" {
+		p.Mode = SyncAlways
+	}
+	if p.Mode != SyncAlways && p.Mode != SyncInterval {
+		return p, fmt.Errorf("durable: unknown sync mode %q (want %q or %q)", p.Mode, SyncAlways, SyncInterval)
+	}
+	if p.Interval <= 0 {
+		p.Interval = 100 * time.Millisecond
+	}
+	return p, nil
+}
+
+const (
+	manifestName   = "MANIFEST"
+	manifestFormat = 1
+	snapPrefix     = "snap-"
+	snapSuffix     = ".snap"
+	walPrefix      = "wal-"
+	walSuffix      = ".wal"
+	corruptSuffix  = ".corrupt"
+	// keepSnapshots is the retained generation count: the newest snapshot
+	// plus one fallback, with every journal covering them.
+	keepSnapshots = 2
+)
+
+type manifest struct {
+	Format    int      `json:"format"`
+	Shards    int      `json:"shards"`
+	SelAttrs  []string `json:"sel_attrs"`
+	EqAttrs   []string `json:"eq_attrs"`
+	RangeAttr string   `json:"range_attr,omitempty"`
+}
+
+// ErrNotInitialized marks a data directory with no committed MANIFEST.
+var ErrNotInitialized = errors.New("durable: data dir not initialized")
+
+// RecoveryInfo reports what recovering one shard took.
+type RecoveryInfo struct {
+	Shard int `json:"shard"`
+	// SnapshotEpoch is the epoch of the snapshot generation that loaded.
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	// Fallback is true when the newest snapshot failed verification and an
+	// older generation served instead.
+	Fallback         bool `json:"fallback"`
+	CorruptSnapshots int  `json:"corrupt_snapshots,omitempty"`
+	ReplayedRecords  int  `json:"replayed_records"`
+	// TruncatedTail is true when a torn final journal record was cut.
+	TruncatedTail bool `json:"truncated_tail,omitempty"`
+	// FinalEpoch is the epoch the shard serves at after replay — the last
+	// acknowledged durable publish.
+	FinalEpoch uint64 `json:"final_epoch"`
+}
+
+// Stats is the durability report surfaced through admin stats.
+type Stats struct {
+	Dir                 string         `json:"dir"`
+	Shards              int            `json:"shards"`
+	SyncMode            string         `json:"sync_mode"`
+	SyncIntervalMS      int64          `json:"sync_interval_ms,omitempty"`
+	JournalBytes        int64          `json:"journal_bytes"`
+	JournalRecords      uint64         `json:"journal_records"`
+	Checkpoints         uint64         `json:"checkpoints"`
+	LastCheckpointEpoch uint64         `json:"last_checkpoint_epoch"`
+	Recovered           bool           `json:"recovered"`
+	Recovery            []RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// Store owns one data directory: per-shard snapshot generations and open
+// journals. Append and Checkpoint are safe for concurrent use across
+// shards; within a shard they serialize on the shard lock.
+type Store struct {
+	dir    string
+	policy SyncPolicy
+
+	man    *manifest
+	shards []*shardStore
+
+	recovered bool
+	recovery  []RecoveryInfo
+
+	checkpoints atomic.Uint64
+	lastCkpt    atomic.Uint64
+
+	syncOnce  sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+type shardStore struct {
+	mu  sync.Mutex
+	dir string
+	j   *journal
+}
+
+// IsInitialized reports whether dir holds a committed data directory (a
+// MANIFEST exists). Callers use it to decide between seeding a fresh
+// directory with a built index and recovering the persisted one.
+func IsInitialized(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Open opens (or creates) a data directory. A directory without a
+// committed MANIFEST comes back fresh: NumShards reports 0 and Init must
+// seed it before appends. An initialized directory is ready for Recover.
+func Open(dir string, policy SyncPolicy) (*Store, error) {
+	policy, err := policy.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, policy: policy, stop: make(chan struct{})}
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("durable: corrupt MANIFEST: %v", err)
+	}
+	if man.Format != manifestFormat {
+		return nil, fmt.Errorf("durable: unsupported MANIFEST format %d", man.Format)
+	}
+	if man.Shards < 1 {
+		return nil, fmt.Errorf("durable: corrupt MANIFEST: shard count %d", man.Shards)
+	}
+	s.man = &man
+	s.shards = make([]*shardStore, man.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shardStore{dir: s.shardDir(i)}
+	}
+	return s, nil
+}
+
+// Fresh reports whether the directory still needs Init.
+func (s *Store) Fresh() bool { return s.man == nil }
+
+// NumShards returns the committed shard count (0 while fresh). A data
+// directory pins its topology: reopening must serve the same shard count
+// it journaled, since routing is part of what the per-shard files mean.
+func (s *Store) NumShards() int {
+	if s.man == nil {
+		return 0
+	}
+	return s.man.Shards
+}
+
+// Spec returns the committed index spec (zero while fresh).
+func (s *Store) Spec() fragindex.Spec {
+	if s.man == nil {
+		return fragindex.Spec{}
+	}
+	return fragindex.Spec{
+		SelAttrs:  s.man.SelAttrs,
+		EqAttrs:   s.man.EqAttrs,
+		RangeAttr: s.man.RangeAttr,
+	}
+}
+
+func (s *Store) shardDir(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%04d", i))
+}
+
+func snapName(epoch uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, epoch, snapSuffix)
+}
+
+func walName(epoch uint64) string {
+	return fmt.Sprintf("%s%016x%s", walPrefix, epoch, walSuffix)
+}
+
+// Init seeds a fresh directory: one snapshot + empty journal per dump
+// (dump order is shard order), then the MANIFEST as commit point. Any
+// half-written state from a previously interrupted Init is wiped first —
+// without a MANIFEST nothing was ever acknowledged from this directory.
+func (s *Store) Init(dumps []*fragindex.Dump) error {
+	if s.man != nil {
+		return fmt.Errorf("durable: %s is already initialized", s.dir)
+	}
+	if len(dumps) == 0 {
+		return fmt.Errorf("durable: Init with no shard dumps")
+	}
+	shards := make([]*shardStore, len(dumps))
+	for i, d := range dumps {
+		sd := s.shardDir(i)
+		if err := os.RemoveAll(sd); err != nil {
+			return err
+		}
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return err
+		}
+		if err := WriteSnapshot(filepath.Join(sd, snapName(d.Epoch)), d); err != nil {
+			return err
+		}
+		j, err := createJournal(filepath.Join(sd, walName(d.Epoch)), d.Epoch)
+		if err != nil {
+			return err
+		}
+		if err := syncDir(sd); err != nil {
+			return err
+		}
+		shards[i] = &shardStore{dir: sd, j: j}
+	}
+	man := &manifest{
+		Format:    manifestFormat,
+		Shards:    len(dumps),
+		SelAttrs:  dumps[0].SelAttrs,
+		EqAttrs:   dumps[0].EqAttrs,
+		RangeAttr: dumps[0].RangeAttr,
+	}
+	if err := s.writeManifest(man); err != nil {
+		return err
+	}
+	s.man = man
+	s.shards = shards
+	s.lastCkpt.Store(maxDumpEpoch(dumps))
+	s.startSyncLoop()
+	return nil
+}
+
+func maxDumpEpoch(dumps []*fragindex.Dump) uint64 {
+	var e uint64
+	for _, d := range dumps {
+		if d.Epoch > e {
+			e = d.Epoch
+		}
+	}
+	return e
+}
+
+func (s *Store) writeManifest(man *manifest) error {
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// Recover rebuilds every shard's index: newest verifiable snapshot (with
+// fallback to the previous generation on corruption), then the journal
+// chain replayed in epoch order, with a torn final record truncated away.
+// On success the journals are open for appends and the returned builders
+// (in shard order) serve exactly the last acknowledged durable publish.
+// Unrecoverable corruption — every snapshot generation bad, a journal
+// record damaged mid-chain, a replay that cannot apply — returns an error
+// and the store must not serve.
+func (s *Store) Recover() ([]*fragindex.Index, []RecoveryInfo, error) {
+	if s.man == nil {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotInitialized, s.dir)
+	}
+	if s.recovered {
+		return nil, nil, fmt.Errorf("durable: %s already recovered", s.dir)
+	}
+	idxs := make([]*fragindex.Index, len(s.shards))
+	infos := make([]RecoveryInfo, len(s.shards))
+	for i := range s.shards {
+		idx, info, err := s.recoverShard(i)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: shard %d: %w", i, err)
+		}
+		idxs[i] = idx
+		infos[i] = info
+	}
+	s.recovered = true
+	s.recovery = infos
+	var maxSnap uint64
+	for _, info := range infos {
+		if info.SnapshotEpoch > maxSnap {
+			maxSnap = info.SnapshotEpoch
+		}
+	}
+	s.lastCkpt.Store(maxSnap)
+	s.startSyncLoop()
+	return idxs, infos, nil
+}
+
+// gen is one generation file (snapshot or journal) keyed by epoch.
+type gen struct {
+	epoch uint64
+	path  string
+}
+
+func listGens(dir, prefix, suffix string) ([]gen, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []gen
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		epoch, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, gen{epoch: epoch, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].epoch < out[j].epoch })
+	return out, nil
+}
+
+// sweepTemps removes stale temp files a crash mid-write left behind.
+func sweepTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+func (s *Store) recoverShard(i int) (*fragindex.Index, RecoveryInfo, error) {
+	ss := s.shards[i]
+	info := RecoveryInfo{Shard: i}
+	sweepTemps(ss.dir)
+
+	snaps, err := listGens(ss.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, info, err
+	}
+	if len(snaps) == 0 {
+		return nil, info, fmt.Errorf("%w: no snapshot generations", ErrCorruptSnapshot)
+	}
+	// Newest verifiable snapshot wins; a corrupt generation is set aside
+	// (renamed for post-mortem) and the previous one tried.
+	var idx *fragindex.Index
+	var snapEpoch uint64
+	var snapErrs []error
+	for k := len(snaps) - 1; k >= 0; k-- {
+		d, rerr := ReadSnapshot(snaps[k].path)
+		if rerr == nil {
+			var built *fragindex.Index
+			if built, rerr = fragindex.Restore(d); rerr == nil {
+				idx = built
+				snapEpoch = d.Epoch
+				break
+			}
+		}
+		snapErrs = append(snapErrs, rerr)
+		info.CorruptSnapshots++
+		os.Rename(snaps[k].path, snaps[k].path+corruptSuffix)
+	}
+	if idx == nil {
+		return nil, info, fmt.Errorf("unrecoverable: every snapshot generation failed verification: %v", errors.Join(snapErrs...))
+	}
+	info.SnapshotEpoch = snapEpoch
+	info.Fallback = info.CorruptSnapshots > 0
+
+	// Replay the whole retained journal chain in ascending epoch order,
+	// skipping records the snapshot already contains. Only the newest
+	// journal may carry a torn tail; older journals were sealed by the
+	// checkpoint that rotated them.
+	wals, err := listGens(ss.dir, walPrefix, walSuffix)
+	if err != nil {
+		return nil, info, err
+	}
+	cur := snapEpoch
+	for k, w := range wals {
+		newest := k == len(wals)-1
+		scan, serr := readJournal(w.path, newest)
+		if serr != nil {
+			return nil, info, serr
+		}
+		for _, rec := range scan.records {
+			if rec.epoch <= cur {
+				continue
+			}
+			if aerr := applyToBuilder(idx, rec.delta); aerr != nil {
+				return nil, info, fmt.Errorf("%w: %s: replaying epoch %d: %v",
+					ErrCorruptJournal, filepath.Base(w.path), rec.epoch, aerr)
+			}
+			cur = rec.epoch
+			info.ReplayedRecords++
+		}
+		if !newest {
+			continue
+		}
+		// Seal the tail: cut a torn suffix, then reopen for appends.
+		if scan.torn {
+			info.TruncatedTail = true
+		}
+		if scan.validSize < walHeaderSize {
+			// Torn during creation — recreate with the epoch from its name.
+			j, jerr := createJournal(w.path, w.epoch)
+			if jerr != nil {
+				return nil, info, jerr
+			}
+			ss.j = j
+		} else {
+			if scan.torn {
+				if terr := os.Truncate(w.path, scan.validSize); terr != nil {
+					return nil, info, terr
+				}
+			}
+			j, jerr := openJournal(w.path, scan.baseEpoch, scan.validSize, uint64(len(scan.records)))
+			if jerr != nil {
+				return nil, info, jerr
+			}
+			if scan.torn {
+				if serr := j.f.Sync(); serr != nil {
+					j.f.Close()
+					return nil, info, serr
+				}
+			}
+			ss.j = j
+		}
+	}
+	if ss.j == nil {
+		// No journal survived (possible only through external deletion);
+		// open a fresh one at the recovered epoch so appends can proceed.
+		j, jerr := createJournal(filepath.Join(ss.dir, walName(cur)), cur)
+		if jerr != nil {
+			return nil, info, jerr
+		}
+		ss.j = j
+	}
+	if err := syncDir(ss.dir); err != nil {
+		return nil, info, err
+	}
+	idx.SetEpoch(cur)
+	info.FinalEpoch = cur
+	return idx, info, nil
+}
+
+// applyToBuilder replays one journaled delta against a recovering builder.
+// Journaled deltas folded successfully before they were written, so any
+// replay failure indicates the journal does not match the snapshot chain.
+func applyToBuilder(idx *fragindex.Index, del crawl.Delta) error {
+	for _, ch := range del.Changes {
+		var err error
+		switch ch.Op {
+		case crawl.OpInsertFragment:
+			_, err = idx.InsertFragment(ch.ID, ch.TermCounts, ch.TotalTerms)
+		case crawl.OpRemoveFragment:
+			err = idx.RemoveFragment(ch.ID)
+		case crawl.OpUpdateFragment:
+			err = idx.UpdateFragment(ch.ID, ch.TermCounts, ch.TotalTerms)
+		default:
+			err = fmt.Errorf("unknown op %v", ch.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append journals one publish's folded delta for a shard — the write-ahead
+// half of the publish hook. Under SyncAlways the record is on stable
+// storage when Append returns.
+func (s *Store) Append(shard int, del crawl.Delta, epoch uint64) error {
+	ss := s.shards[shard]
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.j == nil {
+		return fmt.Errorf("durable: shard %d has no open journal", shard)
+	}
+	return ss.j.append(del, epoch, s.policy.Mode == SyncAlways)
+}
+
+// Checkpoint writes a shard's current state as a new snapshot generation,
+// rotates its journal, and prunes generations beyond the retained two.
+// A checkpoint at the journal's own base epoch (nothing published since
+// the last one) is a no-op.
+//
+// Appends for the shard block for the duration; the write-ahead contract
+// is never relaxed mid-checkpoint. Crash-safe at every step: the snapshot
+// appears atomically, the old journal stays replayable until pruning, and
+// pruning never touches the retained generations.
+func (s *Store) Checkpoint(shard int, d *fragindex.Dump) error {
+	ss := s.shards[shard]
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.j == nil {
+		return fmt.Errorf("durable: shard %d has no open journal", shard)
+	}
+	if d.Epoch <= ss.j.baseEpoch && ss.j.records == 0 {
+		return nil
+	}
+	if err := WriteSnapshot(filepath.Join(ss.dir, snapName(d.Epoch)), d); err != nil {
+		return err
+	}
+	crashPoint("checkpoint.after-snapshot")
+	nj, err := createJournal(filepath.Join(ss.dir, walName(d.Epoch)), d.Epoch)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(ss.dir); err != nil {
+		nj.f.Close()
+		return err
+	}
+	old := ss.j
+	ss.j = nj
+	if err := old.close(); err != nil {
+		return err
+	}
+	crashPoint("checkpoint.before-prune")
+	if err := pruneGenerations(ss.dir); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	for {
+		cur := s.lastCkpt.Load()
+		if d.Epoch <= cur || s.lastCkpt.CompareAndSwap(cur, d.Epoch) {
+			break
+		}
+	}
+	return nil
+}
+
+// pruneGenerations removes snapshot generations beyond the newest
+// keepSnapshots and every journal older than the oldest retained
+// snapshot (the journal chain must reach back to any snapshot recovery
+// may fall back to).
+func pruneGenerations(dir string) error {
+	snaps, err := listGens(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return err
+	}
+	if len(snaps) <= keepSnapshots {
+		return nil
+	}
+	oldestKept := snaps[len(snaps)-keepSnapshots].epoch
+	for _, g := range snaps[:len(snaps)-keepSnapshots] {
+		if err := os.Remove(g.path); err != nil {
+			return err
+		}
+	}
+	wals, err := listGens(dir, walPrefix, walSuffix)
+	if err != nil {
+		return err
+	}
+	for _, g := range wals {
+		if g.epoch < oldestKept {
+			if err := os.Remove(g.path); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}
+
+// Sync flushes every shard's unsynced journal appends — the interval
+// policy's sweep, also usable as an explicit barrier.
+func (s *Store) Sync() error {
+	for _, ss := range s.shards {
+		ss.mu.Lock()
+		err := error(nil)
+		if ss.j != nil {
+			err = ss.j.sync()
+		}
+		ss.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) startSyncLoop() {
+	if s.policy.Mode != SyncInterval {
+		return
+	}
+	s.syncOnce.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(s.policy.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.Sync()
+				}
+			}
+		}()
+	})
+}
+
+// Recovery returns the per-shard recovery report (nil when the directory
+// was freshly initialized).
+func (s *Store) Recovery() []RecoveryInfo { return s.recovery }
+
+// Stats reports journal sizes and checkpoint/recovery counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Dir:                 s.dir,
+		Shards:              s.NumShards(),
+		SyncMode:            string(s.policy.Mode),
+		Checkpoints:         s.checkpoints.Load(),
+		LastCheckpointEpoch: s.lastCkpt.Load(),
+		Recovered:           s.recovered,
+		Recovery:            s.recovery,
+	}
+	if s.policy.Mode == SyncInterval {
+		st.SyncIntervalMS = s.policy.Interval.Milliseconds()
+	}
+	for _, ss := range s.shards {
+		ss.mu.Lock()
+		if ss.j != nil {
+			st.JournalBytes += ss.j.size
+			st.JournalRecords += ss.j.records
+		}
+		ss.mu.Unlock()
+	}
+	return st
+}
+
+// Close stops the sync loop and closes every journal, flushing unsynced
+// appends first. The store must not be used afterwards.
+func (s *Store) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		for _, ss := range s.shards {
+			ss.mu.Lock()
+			if ss.j != nil {
+				if cerr := ss.j.close(); cerr != nil && err == nil {
+					err = cerr
+				}
+				ss.j = nil
+			}
+			ss.mu.Unlock()
+		}
+	})
+	return err
+}

@@ -53,6 +53,11 @@ type LiveIndex struct {
 	builder *Index     // writer-side copy-on-write builder
 	cur     atomic.Pointer[Snapshot]
 
+	// hook, when set, runs between a successful fold and the atomic
+	// publish swap (see SetPublishHook) — the durable layer's write-ahead
+	// seam.
+	hook PublishHook
+
 	// pending buffers queued deltas between publishes (Queue/Flush).
 	pendMu  sync.Mutex
 	pending []crawl.Delta
@@ -80,6 +85,38 @@ func NewLive(idx *Index) *LiveIndex {
 // observes a perfectly stable index for its whole lifetime, regardless of
 // concurrent Apply calls.
 func (l *LiveIndex) Snapshot() *Snapshot { return l.cur.Load() }
+
+// PublishHook runs after a delta has folded successfully and before the
+// snapshot swap that makes it visible: d holds the folded (coalesced)
+// changes the publish applies, and epoch the epoch the new snapshot will
+// report. Returning an error aborts the publish — the builder rolls back
+// and the serving snapshot is unchanged, exactly as if the fold itself had
+// failed. This is the write-ahead discipline the durable layer hangs off:
+// journal the delta (and fsync it) in the hook, and no acknowledged publish
+// can exist that the journal does not record.
+type PublishHook func(d crawl.Delta, epoch uint64) error
+
+// SetPublishHook installs (or, with nil, removes) the pre-publish hook. It
+// serializes with the writer, so it may be called while the index is
+// serving; publishes already past their fold observe the previous hook.
+// Snapshot-GC compactions (CompactIfNeeded) do not run the hook: they
+// renumber refs but change no logical state, so a delta journal stays
+// complete without a record of them.
+func (l *LiveIndex) SetPublishHook(fn PublishHook) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.hook = fn
+}
+
+// Dump captures the serving index's current logical state in canonical form
+// (see Index.Dump). It serializes with the writer, so the dump is a
+// publish-consistent cut: exactly the state of the latest published
+// snapshot, never a half-applied delta.
+func (l *LiveIndex) Dump() *Dump {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return l.builder.Dump()
+}
 
 // ApplyStats reports what one publish did and what it physically cost.
 type ApplyStats struct {
@@ -136,7 +173,7 @@ func (l *LiveIndex) Apply(ctx context.Context, d crawl.Delta) (ApplyStats, error
 	if len(d.Changes) == 0 {
 		return ApplyStats{Epoch: l.cur.Load().epoch}, nil
 	}
-	return l.applyLocked(ctx, d.Changes, 1)
+	return l.applyLocked(ctx, d.SelAttrs, d.Changes, 1)
 }
 
 // ApplyBatch coalesces a sequence of deltas (crawl.Coalesce) and publishes
@@ -165,13 +202,14 @@ func (l *LiveIndex) ApplyBatch(ctx context.Context, ds []crawl.Delta) (ApplyStat
 	if len(folded.Changes) == 0 {
 		return ApplyStats{Deltas: len(ds), Epoch: l.cur.Load().epoch}, nil
 	}
-	return l.applyLocked(ctx, folded.Changes, len(ds))
+	return l.applyLocked(ctx, folded.SelAttrs, folded.Changes, len(ds))
 }
 
 // applyLocked folds changes into the next version and publishes it.
 // Caller holds writeMu and guarantees len(changes) > 0. A cancellation
-// observed between changes rolls back and publishes nothing.
-func (l *LiveIndex) applyLocked(ctx context.Context, changes []crawl.FragmentChange, deltas int) (ApplyStats, error) {
+// observed between changes rolls back and publishes nothing; so does a
+// publish-hook failure after the fold.
+func (l *LiveIndex) applyLocked(ctx context.Context, selAttrs []string, changes []crawl.FragmentChange, deltas int) (ApplyStats, error) {
 	published := l.cur.Load()
 	st := ApplyStats{Deltas: deltas}
 	for _, ch := range changes {
@@ -201,6 +239,16 @@ func (l *LiveIndex) applyLocked(ctx context.Context, changes []crawl.FragmentCha
 	st.ClonedChunks, st.ClonedShards, st.ClonedLists, st.ClonedGroups = l.builder.pendingClones()
 	snap := l.builder.Freeze()
 	st.Epoch = snap.epoch
+	if l.hook != nil {
+		// Write-ahead: the journal record must be durable before the swap
+		// makes the publish visible (and acknowledgeable). A hook failure
+		// aborts the publish — the frozen-but-unpublished snapshot is
+		// abandoned and the builder resumes from the serving version.
+		if err := l.hook(crawl.Delta{SelAttrs: selAttrs, Changes: changes}, snap.epoch); err != nil {
+			l.builder.discardTo(published)
+			return ApplyStats{}, fmt.Errorf("fragindex: publish hook: %w", err)
+		}
+	}
 	l.cur.Store(snap)
 	l.deltas.Add(uint64(deltas))
 	l.publishes.Add(1)

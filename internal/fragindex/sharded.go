@@ -107,6 +107,34 @@ func NewShardedLive(idx *Index, n int) (*ShardedLiveIndex, error) {
 	return sl, nil
 }
 
+// NewShardedLiveFrom assembles a sharded index from per-shard builders that
+// were already partitioned — the durable layer's recovery path, where each
+// shard's builder is restored from its own snapshot + journal and must NOT be
+// re-routed (re-partitioning would move fragments whose routed shard already
+// journaled them). The builders must share one spec and their order is the
+// shard order; ownership transfers to the returned index.
+func NewShardedLiveFrom(builders []*Index) (*ShardedLiveIndex, error) {
+	if len(builders) == 0 {
+		return nil, fmt.Errorf("fragindex: no shard builders")
+	}
+	spec := builders[0].s.spec
+	eqIdx, _, err := spec.indices()
+	if err != nil {
+		return nil, err
+	}
+	sl := &ShardedLiveIndex{spec: spec, eqIdx: eqIdx, shards: make([]*LiveIndex, len(builders))}
+	for i, b := range builders {
+		bs := b.s.spec
+		if !slices.Equal(bs.SelAttrs, spec.SelAttrs) ||
+			!slices.Equal(bs.EqAttrs, spec.EqAttrs) || bs.RangeAttr != spec.RangeAttr {
+			return nil, fmt.Errorf("fragindex: shard %d spec %v disagrees with shard 0 spec %v",
+				i, bs.SelAttrs, spec.SelAttrs)
+		}
+		sl.shards[i] = NewLive(b)
+	}
+	return sl, nil
+}
+
 // NumShards returns the shard count.
 func (sl *ShardedLiveIndex) NumShards() int { return len(sl.shards) }
 
