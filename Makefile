@@ -11,7 +11,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/search/ ./internal/fragindex/
+	$(GO) test -race ./internal/search/ ./internal/fragindex/ ./cmd/dashserve/
 
 vet:
 	$(GO) vet ./...
@@ -23,11 +23,13 @@ vet:
 # benchmark, the snapshot-publish-cost benchmark (chunked metadata +
 # batched applies), the sharded serving benchmarks (scatter-gather
 # search + routed applies at S = 1/4/16 vs the single-index baseline),
-# and the durable apply benchmark (journal off vs interval vs always),
+# the durable apply benchmark (journal off vs interval vs always), and
+# the serving-under-load benchmark (result-cache hit-rate sweep, cached
+# vs uncached hot path, open-loop 2x-overload shedding percentiles),
 # with allocation counts, converted to BENCH_search.json so the perf
 # trajectory is diffable PR over PR.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig11|SearchContextOverhead|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost|ShardedSearchThroughput|ShardedApplyThroughput|DurableApplyThroughput' -benchmem -count 1 . > BENCH_search.txt
+	$(GO) test -run '^$$' -bench 'Fig11|SearchContextOverhead|ParallelSearchThroughput|LiveMutationUnderLoad|ApplyPublishCost|ShardedSearchThroughput|ShardedApplyThroughput|DurableApplyThroughput|ServeOverload' -benchmem -count 1 . > BENCH_search.txt
 	$(GO) run ./cmd/benchjson -o BENCH_search.json < BENCH_search.txt
 	@rm -f BENCH_search.txt
 	@echo wrote BENCH_search.json

@@ -80,6 +80,8 @@ type openConfig struct {
 	readOnly   bool
 	dataDir    string // non-empty: durable serving rooted here
 	syncPolicy SyncPolicy
+	cacheBytes int64                    // > 0: epoch-keyed result cache budget
+	admission  *search.AdmissionOptions // non-nil: deadline-aware shedding
 }
 
 // Option configures Open.
@@ -210,7 +212,11 @@ func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
 				return nil, err
 			}
 		}
-		return openDurable(idx, app, cfg)
+		h, err := openDurable(idx, app, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return wrapServing(h, cfg)
 	}
 	if idx == nil {
 		return nil, fmt.Errorf("dash: Open with a nil index (only a durable reopen serves without one)")
@@ -220,13 +226,14 @@ func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
 			return nil, err
 		}
 	}
+	var h Handle
 	switch {
 	case cfg.readOnly:
-		return &staticHandle{
+		h = &staticHandle{
 			engine:    search.New(idx.Freeze(), app),
 			workers:   cfg.workers,
 			candLimit: cfg.candLimit,
-		}, nil
+		}
 	case cfg.shards > 1:
 		se, err := NewShardedLiveEngine(idx, app, cfg.shards)
 		if err != nil {
@@ -235,13 +242,14 @@ func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
 		se.engine.MaxFanout = cfg.workers
 		se.workers = cfg.workers
 		se.candLimit = cfg.candLimit
-		return se, nil
+		h = se
 	default:
 		le := NewLiveEngine(idx, app)
 		le.workers = cfg.workers
 		le.candLimit = cfg.candLimit
-		return le, nil
+		h = le
 	}
+	return wrapServing(h, cfg)
 }
 
 // fillCandidateLimit applies a handle-level default CandidateLimit to

@@ -18,7 +18,11 @@ package dash
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -885,6 +889,234 @@ func BenchmarkDurableApplyThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "applies/sec")
+		})
+	}
+}
+
+// serveBenchHandle opens a serving handle (the dash.Open surface) over the
+// bench corpus with the given shard count and serving options.
+func serveBenchHandle(b *testing.B, st *benchState, shards int, opts ...Option) Handle {
+	b.Helper()
+	h, err := Open(st.idx, st.app, append([]Option{WithShards(shards)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// servePairs builds a large population of two-keyword requests from the
+// band keywords — enough distinct queries that a "cold" stream can run for
+// the whole benchmark without re-touching an earlier key.
+func servePairs(st *benchState) []Request {
+	var kws []string
+	kws = append(kws, st.band.Hot...)
+	kws = append(kws, st.band.Warm...)
+	kws = append(kws, st.band.Cold...)
+	var reqs []Request
+	for i := 0; i < len(kws); i++ {
+		for j := i + 1; j < len(kws); j++ {
+			reqs = append(reqs, Request{Keywords: []string{kws[i], kws[j]}, K: 10, SizeThreshold: 200})
+		}
+	}
+	return reqs
+}
+
+// zipfCum precomputes the cumulative 1/rank weights a Zipf-skewed pick
+// samples against.
+func zipfCum(n int) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+	return cum
+}
+
+func zipfPick(rng *rand.Rand, cum []float64) int {
+	x := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if x <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// p99ms reports the 99th-percentile latency in milliseconds.
+func p99ms(d []time.Duration) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return float64(d[int(float64(len(d)-1)*0.99)]) / 1e6
+}
+
+// BenchmarkServeOverload measures the serving layer under load on the Q2
+// corpus, S = 1 and 4:
+//
+//   - mix/hit=P: a Zipf-skewed stream where P% of requests target a warm
+//     working set (cache hits) and the rest are never-repeating queries —
+//     the ns/op curve across P is the cache's value on a skewed workload.
+//   - hot/cached vs hot/uncached: the same single hot query with and
+//     without the result cache — the cached hot path must be >=10x faster
+//     while staying byte-identical (asserted by the serving tests).
+//   - overload: an open-loop arrival stream offered at ~2x the measured
+//     serving capacity, every request under a deadline, admission control
+//     capped at GOMAXPROCS — reports accepted_p99_ms (bounded by the
+//     deadline), rejected_p99_ms (shedding must be fast, <5ms), and
+//     shed_frac (~half the offered load under 2x overload).
+func BenchmarkServeOverload(b *testing.B) {
+	st := workloadState(b, "Q2")
+	pool := servePairs(st)
+	if len(pool) < 256 {
+		b.Fatal("request population too small")
+	}
+	ctx := context.Background()
+
+	for _, shards := range []int{1, 4} {
+		hot := pool[:32]
+		cold := pool[32:]
+		cum := zipfCum(len(hot))
+
+		for _, hitPct := range []int{0, 50, 95} {
+			b.Run(fmt.Sprintf("mix/shards=%d/hit=%d", shards, hitPct), func(b *testing.B) {
+				h := serveBenchHandle(b, st, shards, WithResultCache(64<<20))
+				cs := h.(CachedSearcher)
+				for _, r := range hot {
+					if _, _, err := cs.SearchStatus(ctx, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rng := rand.New(rand.NewSource(7))
+				next := 0
+				hits := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var req Request
+					if rng.Intn(100) < hitPct {
+						req = hot[zipfPick(rng, cum)]
+					} else {
+						// Cycle the cold pool but make every pass key-distinct:
+						// a huge, never-binding CandidateLimit changes the cache
+						// key without changing the work, so cold stays cold.
+						req = cold[next%len(cold)]
+						req.CandidateLimit = 1<<20 + next
+						next++
+					}
+					_, status, err := cs.SearchStatus(ctx, req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if status == CacheHit {
+						hits++
+					}
+				}
+				b.ReportMetric(float64(hits)/float64(b.N), "hit_frac")
+			})
+		}
+
+		hotReq := hot[0]
+		b.Run(fmt.Sprintf("hot/shards=%d/cached", shards), func(b *testing.B) {
+			h := serveBenchHandle(b, st, shards, WithResultCache(64<<20))
+			cs := h.(CachedSearcher)
+			if _, _, err := cs.SearchStatus(ctx, hotReq); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cs.SearchStatus(ctx, hotReq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("hot/shards=%d/uncached", shards), func(b *testing.B) {
+			h := serveBenchHandle(b, st, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Search(ctx, hotReq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("overload/shards=%d", shards), func(b *testing.B) {
+			procs := runtime.GOMAXPROCS(0)
+			h := serveBenchHandle(b, st, shards,
+				WithResultCache(64<<20),
+				WithAdmissionControl(AdmissionOptions{MaxInFlight: procs, MinBudget: 50 * time.Microsecond}))
+			cs := h.(CachedSearcher)
+
+			// Calibrate mean uncached latency to set the offered rate at
+			// ~2x capacity and the per-request deadline at 8x the mean.
+			calStart := time.Now()
+			const calN = 64
+			for i := 0; i < calN; i++ {
+				req := cold[i%len(cold)]
+				req.CandidateLimit = 1 << 19 // distinct key region from the run below
+				if _, err := h.Search(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mean := time.Since(calStart) / calN
+			if mean < 50*time.Microsecond {
+				mean = 50 * time.Microsecond
+			}
+			deadline := 8 * mean
+			workers := 2 * procs
+			// Each worker offers one request per mean service time:
+			// aggregate arrival rate = workers/mean = 2x what GOMAXPROCS
+			// cores can serve — open-loop, arrivals never wait on completions.
+			interval := mean
+			per := b.N/workers + 1
+
+			var nonce atomic.Int64
+			lats := make([][2][]time.Duration, workers) // [accepted, rejected]
+			var timeouts atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					start := time.Now()
+					for j := 0; j < per; j++ {
+						if d := time.Until(start.Add(time.Duration(j) * interval)); d > 0 {
+							time.Sleep(d)
+						}
+						n := int(nonce.Add(1))
+						req := cold[n%len(cold)]
+						req.CandidateLimit = 1<<21 + n
+						rctx, cancel := context.WithTimeout(ctx, deadline)
+						q0 := time.Now()
+						_, _, err := cs.SearchStatus(rctx, req)
+						lat := time.Since(q0)
+						cancel()
+						switch {
+						case err == nil:
+							lats[w][0] = append(lats[w][0], lat)
+						case errors.Is(err, ErrOverloaded):
+							lats[w][1] = append(lats[w][1], lat)
+						default:
+							timeouts.Add(1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+
+			var accepted, rejected []time.Duration
+			for w := range lats {
+				accepted = append(accepted, lats[w][0]...)
+				rejected = append(rejected, lats[w][1]...)
+			}
+			total := len(accepted) + len(rejected) + int(timeouts.Load())
+			b.ReportMetric(p99ms(accepted), "accepted_p99_ms")
+			b.ReportMetric(p99ms(rejected), "rejected_p99_ms")
+			b.ReportMetric(float64(len(rejected))/float64(total), "shed_frac")
+			b.ReportMetric(float64(timeouts.Load())/float64(total), "timeout_frac")
+			b.ReportMetric(float64(deadline)/1e6, "deadline_ms")
 		})
 	}
 }

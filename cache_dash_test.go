@@ -1,0 +1,406 @@
+package dash
+
+// Tests for the serving-layer result cache and admission control: cached
+// responses are byte-identical to uncached ones on every topology, a
+// publish is never served stale results, the wrapper preserves exactly
+// the inner handle's capability set, and shed requests surface
+// ErrOverloaded.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Compile-time capability coverage for the cached wrappers.
+var (
+	_ Handle         = (*cachedHandle)(nil)
+	_ CachedSearcher = (*cachedHandle)(nil)
+	_ Handle         = (*cachedQueuer)(nil)
+	_ Queuer         = (*cachedQueuer)(nil)
+	_ Handle         = (*cachedDurable)(nil)
+	_ Queuer         = (*cachedDurable)(nil)
+	_ Checkpointer   = (*cachedDurable)(nil)
+	_ io.Closer      = (*cachedDurable)(nil)
+
+	_ DurabilityReporter = (*cachedDurable)(nil)
+)
+
+// stripFragRefs blanks the snapshot-internal fragment identifiers so
+// result comparison is over page content (the equivalence-test idiom —
+// sharded topologies number refs per shard).
+func stripFragRefs(rs []Result) []Result {
+	out := append([]Result(nil), rs...)
+	for i := range out {
+		out[i].Fragments = make([]FragRef, len(out[i].Fragments))
+	}
+	return out
+}
+
+// TestCachedResponsesByteIdentical is the tentpole property: on every
+// topology, a handle opened with WithResultCache answers exactly what the
+// same handle answers without it — on the miss that populates the cache
+// AND on the hit served from it — across a keyword × k × s sweep.
+func TestCachedResponsesByteIdentical(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+	ctx := context.Background()
+	reference := NewEngine(build(), app)
+
+	for name, opts := range map[string][]Option{
+		"live":    nil,
+		"sharded": {WithShards(3)},
+		"static":  {WithReadOnly()},
+	} {
+		h, err := Open(build(), app, append([]Option{WithResultCache(1 << 20)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, ok := h.(CachedSearcher)
+		if !ok {
+			t.Fatalf("%s: WithResultCache handle %T does not implement CachedSearcher", name, h)
+		}
+		keywords := append(reference.Snapshot().Keywords(), "nosuchword")
+		for _, kw := range keywords {
+			for _, k := range []int{1, 3} {
+				req := Request{Keywords: []string{kw}, K: k, SizeThreshold: 20}
+				want, err := reference.Search(ctx, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				miss, st1, err := cs.SearchStatus(ctx, req)
+				if err != nil {
+					t.Fatalf("%s %q: %v", name, kw, err)
+				}
+				hit, st2, err := cs.SearchStatus(ctx, req)
+				if err != nil {
+					t.Fatalf("%s %q: %v", name, kw, err)
+				}
+				if st1 != CacheMiss || st2 != CacheHit {
+					t.Fatalf("%s %q: statuses %s/%s, want miss/hit", name, kw, st1, st2)
+				}
+				if !reflect.DeepEqual(stripFragRefs(miss), stripFragRefs(want)) {
+					t.Fatalf("%s %q k=%d: uncached-path divergence:\n%+v\nvs\n%+v", name, kw, k, miss, want)
+				}
+				if !reflect.DeepEqual(hit, miss) {
+					t.Fatalf("%s %q k=%d: cached hit diverges from its own miss:\n%+v\nvs\n%+v", name, kw, k, hit, miss)
+				}
+				// Keyword order must not matter: the canonical key makes a
+				// permuted spelling the same entry.
+				perm, st3, err := cs.SearchStatus(ctx, Request{Keywords: []string{kw, kw}, K: k, SizeThreshold: 20})
+				if err != nil || st3 != CacheHit || !reflect.DeepEqual(perm, hit) {
+					t.Fatalf("%s %q: duplicated-keyword spelling status %s err %v", name, kw, st3, err)
+				}
+			}
+		}
+		// The batch form: first batch misses, identical second batch hits,
+		// both answer what the reference answers.
+		reqs := []Request{
+			{Keywords: []string{keywords[0]}, K: 2, SizeThreshold: 20},
+			{Keywords: []string{keywords[1]}, K: 2, SizeThreshold: 20},
+		}
+		b1, bst1 := cs.SearchBatchStatus(ctx, reqs)
+		b2, bst2 := cs.SearchBatchStatus(ctx, reqs)
+		if bst2 != CacheHit {
+			t.Fatalf("%s: repeat batch status %s/%s, want second hit", name, bst1, bst2)
+		}
+		for i := range reqs {
+			if b1[i].Err != nil || b2[i].Err != nil {
+				t.Fatalf("%s batch errs: %v / %v", name, b1[i].Err, b2[i].Err)
+			}
+			want, _ := reference.Search(ctx, reqs[i])
+			if !reflect.DeepEqual(stripFragRefs(b1[i].Results), stripFragRefs(want)) ||
+				!reflect.DeepEqual(b1[i].Results, b2[i].Results) {
+				t.Fatalf("%s batch slot %d diverges", name, i)
+			}
+		}
+		// Hit/miss counters surface through the unified stats.
+		st := h.Stats()
+		if st.Cache == nil || st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+			t.Fatalf("%s: stats cache block = %+v", name, st.Cache)
+		}
+	}
+}
+
+// burgerDelta inserts one synthetic fragment heavy in "burger" — a
+// single-group change, so on a sharded topology it publishes on exactly
+// one shard. Inserting changes every burger result (new page + DF shift).
+func burgerDelta() Delta {
+	return Delta{Changes: []FragmentChange{{
+		Op: OpInsertFragment, ID: FragmentID{relation.String("Nordic"), relation.Int(3)},
+		TermCounts: map[string]int64{"burger": 50}, TotalTerms: 50,
+	}}}
+}
+
+// TestCacheCrossEpochStaleness: a publish must never serve a pre-publish
+// result for a post-publish epoch — the next search after Apply reflects
+// the new snapshot (and is a miss under the new epoch), on both live and
+// sharded topologies.
+func TestCacheCrossEpochStaleness(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+	ctx := context.Background()
+
+	for name, opts := range map[string][]Option{
+		"live":    nil,
+		"sharded": {WithShards(3)},
+	} {
+		h, err := Open(build(), app, append([]Option{WithResultCache(1 << 20)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := h.(CachedSearcher)
+		req := Request{Keywords: []string{"burger"}, K: 5, SizeThreshold: 20}
+
+		before, st1, err := cs.SearchStatus(ctx, req)
+		if err != nil || st1 != CacheMiss {
+			t.Fatalf("%s: warmup %s err %v", name, st1, err)
+		}
+		if _, st2, _ := cs.SearchStatus(ctx, req); st2 != CacheHit {
+			t.Fatalf("%s: second search %s, want hit", name, st2)
+		}
+		if len(before) == 0 {
+			t.Fatalf("%s: no burger results to invalidate", name)
+		}
+
+		if _, err := h.Apply(ctx, burgerDelta()); err != nil {
+			t.Fatalf("%s apply: %v", name, err)
+		}
+
+		after, st3, err := cs.SearchStatus(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st3 != CacheMiss {
+			t.Fatalf("%s: post-publish search was a %s — served under a stale epoch", name, st3)
+		}
+		if reflect.DeepEqual(after, before) {
+			t.Fatalf("%s: post-publish results identical to pre-publish — stale", name)
+		}
+		// And the fresh result is itself cached under the new epoch.
+		if again, st4, _ := cs.SearchStatus(ctx, req); st4 != CacheHit || !reflect.DeepEqual(again, after) {
+			t.Fatalf("%s: new-epoch entry not cached (status %s)", name, st4)
+		}
+	}
+}
+
+// shardEpochs reads the per-shard serving epochs from the unified stats.
+func shardEpochs(h Handle) []uint64 {
+	st := h.Stats()
+	out := make([]uint64, len(st.PerShard))
+	for i, ls := range st.PerShard {
+		out[i] = ls.Epoch
+	}
+	return out
+}
+
+// bumpedShard returns the single shard whose epoch advanced, failing the
+// test if zero or several did.
+func bumpedShard(t *testing.T, before, after []uint64) int {
+	t.Helper()
+	bumped := -1
+	for i := range after {
+		if after[i] != before[i] {
+			if bumped >= 0 {
+				t.Fatalf("publish touched shards %d and %d, want one", bumped, i)
+			}
+			bumped = i
+		}
+	}
+	if bumped < 0 {
+		t.Fatal("publish touched no shard")
+	}
+	return bumped
+}
+
+// TestCachePerShardPrecision: on a sharded topology a publish on one
+// shard invalidates only the entries that pinned it — an entry for a
+// keyword living wholly on another shard keeps answering as a hit.
+func TestCachePerShardPrecision(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+	ctx := context.Background()
+	h, err := Open(build(), app, WithShards(3), WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := h.(CachedSearcher)
+
+	// Plant two synthetic fragments with unique keywords in groups that
+	// route to different shards (found by probing which shard's epoch each
+	// publish bumps — routing hashes the equality-group key, not something
+	// to hardcode).
+	insert := func(cuisine, kw string) int {
+		t.Helper()
+		epochs := shardEpochs(h)
+		d := Delta{Changes: []FragmentChange{{
+			Op: OpInsertFragment, ID: FragmentID{relation.String(cuisine), relation.Int(1)},
+			TermCounts: map[string]int64{kw: 10}, TotalTerms: 25,
+		}}}
+		if _, err := h.Apply(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+		return bumpedShard(t, epochs, shardEpochs(h))
+	}
+	shardA := insert("SynthA", "zzzalpha")
+	// Each probe uses a distinct keyword so rejected attempts (which still
+	// inserted a fragment, possibly on shard A) cannot widen B's pin set.
+	kwB, shardB := "", -1
+	for i := 0; i < 40; i++ {
+		kwB = fmt.Sprintf("zzzbeta%d", i)
+		if shardB = insert(fmt.Sprintf("SynthB%d", i), kwB); shardB != shardA {
+			break
+		}
+	}
+	if shardB == shardA {
+		t.Fatal("could not place two groups on distinct shards")
+	}
+
+	reqA := Request{Keywords: []string{"zzzalpha"}, K: 3, SizeThreshold: 20}
+	reqB := Request{Keywords: []string{kwB}, K: 3, SizeThreshold: 20}
+	for _, req := range []Request{reqA, reqB} {
+		if _, st, err := cs.SearchStatus(ctx, req); err != nil || st != CacheMiss {
+			t.Fatalf("warm %v: %s %v", req.Keywords, st, err)
+		}
+		if _, st, _ := cs.SearchStatus(ctx, req); st != CacheHit {
+			t.Fatalf("warm repeat %v: %s", req.Keywords, st)
+		}
+	}
+
+	// Touch only shard A (update the planted fragment's counts).
+	epochs := shardEpochs(h)
+	upd := Delta{Changes: []FragmentChange{{
+		Op: OpUpdateFragment, ID: FragmentID{relation.String("SynthA"), relation.Int(1)},
+		TermCounts: map[string]int64{"zzzalpha": 11}, TotalTerms: 26,
+	}}}
+	if _, err := h.Apply(ctx, upd); err != nil {
+		t.Fatal(err)
+	}
+	if got := bumpedShard(t, epochs, shardEpochs(h)); got != shardA {
+		t.Fatalf("update bumped shard %d, want %d", got, shardA)
+	}
+
+	if _, st, _ := cs.SearchStatus(ctx, reqA); st != CacheMiss {
+		t.Errorf("touched-shard entry answered %s, want miss", st)
+	}
+	if _, st, _ := cs.SearchStatus(ctx, reqB); st != CacheHit {
+		t.Errorf("untouched-shard entry answered %s, want hit — epoch keying is not per-shard", st)
+	}
+}
+
+// TestCachedHandleCapabilities: the wrapper claims exactly the inner
+// handle's optional interfaces — no Queuer on static, the full durable
+// set on durable — and plain Open (no cache, no admission) keeps
+// returning the unwrapped concrete types.
+func TestCachedHandleCapabilities(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+
+	plain, err := Open(build(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.(CachedSearcher); ok {
+		t.Error("uncached handle claims CachedSearcher")
+	}
+	if _, ok := plain.(*LiveEngine); !ok {
+		t.Errorf("default Open = %T, want unwrapped *LiveEngine", plain)
+	}
+
+	static, err := Open(build(), app, WithReadOnly(), WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := static.(Queuer); ok {
+		t.Error("cached static handle claims Queuer")
+	}
+	if _, ok := static.(CachedSearcher); !ok {
+		t.Error("cached static handle lacks CachedSearcher")
+	}
+	if _, err := static.Apply(context.Background(), Delta{}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("cached static Apply err = %v, want ErrReadOnly", err)
+	}
+
+	live, err := Open(build(), app, WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := live.(Queuer); !ok {
+		t.Error("cached live handle lost Queuer")
+	}
+	if _, ok := live.(Checkpointer); ok {
+		t.Error("cached in-memory handle claims Checkpointer")
+	}
+
+	dir := t.TempDir()
+	durable, err := Open(build(), app, WithDataDir(dir), WithShards(2), WithResultCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := durable.(Queuer); !ok {
+		t.Error("cached durable handle lost Queuer")
+	}
+	if _, ok := durable.(Checkpointer); !ok {
+		t.Error("cached durable handle lost Checkpointer")
+	}
+	dr, ok := durable.(DurabilityReporter)
+	if !ok {
+		t.Fatal("cached durable handle lost DurabilityReporter")
+	}
+	if ds := dr.DurabilityStats(); ds.Shards != 2 {
+		t.Errorf("durability stats through the wrapper: %+v", ds)
+	}
+	cs, ok := durable.(CachedSearcher)
+	if !ok {
+		t.Fatal("cached durable handle lacks CachedSearcher")
+	}
+	ctx := context.Background()
+	req := Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20}
+	if _, st, err := cs.SearchStatus(ctx, req); err != nil || st != CacheMiss {
+		t.Fatalf("durable cached search: %s, %v", st, err)
+	}
+	if _, st, err := cs.SearchStatus(ctx, req); err != nil || st != CacheHit {
+		t.Fatalf("durable cached repeat: %s, %v", st, err)
+	}
+	if err := durable.(io.Closer).Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionControlHandle: a request whose deadline budget is below
+// the floor sheds with ErrOverloaded before touching the engine; ample
+// budgets serve normally; counters surface through Stats.
+func TestAdmissionControlHandle(t *testing.T) {
+	_, app, build := fooddbIndex(t)
+	h, err := Open(build(), app, WithAdmissionControl(AdmissionOptions{MinBudget: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Keywords: []string{"burger"}, K: 2, SizeThreshold: 20}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := h.Search(ctx, req); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("doomed-budget search err = %v, want ErrOverloaded", err)
+	}
+	// The batch form sheds every slot.
+	batch := h.SearchBatch(ctx, []Request{req, req})
+	for i, br := range batch {
+		if !errors.Is(br.Err, ErrOverloaded) {
+			t.Fatalf("shed batch slot %d err = %v", i, br.Err)
+		}
+	}
+
+	if res, err := h.Search(context.Background(), req); err != nil || len(res) == 0 {
+		t.Fatalf("deadline-free search: %v (%d results)", err, len(res))
+	}
+	st := h.Stats()
+	if st.Admission == nil || st.Admission.ShedBudget < 2 || st.Admission.Admitted < 1 {
+		t.Fatalf("admission stats = %+v", st.Admission)
+	}
+	if st.Cache != nil {
+		t.Error("admission-only handle reports a cache block")
+	}
+}

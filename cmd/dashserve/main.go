@@ -22,8 +22,12 @@
 // malformed syntax (bad numeric parameters, unparseable JSON), 422
 // validation_failed for well-formed requests the engine rejects (no
 // keywords, unknown delta op, a change that cannot apply), 499
-// client_closed_request when the caller goes away mid-request, and 504
-// deadline_exceeded when the per-request budget runs out. Searches are
+// client_closed_request when the caller goes away mid-request, 504
+// deadline_exceeded when the per-request budget runs out, 503 overloaded
+// (with Retry-After) when admission control sheds a search the engine
+// cannot serve inside its deadline, and 429 too_many_requests (with
+// Retry-After) when one client exceeds its -per-client-inflight cap.
+// Searches are
 // cancellable end to end: the handler context carries a deadline —
 // -search-timeout is the server ceiling, ?timeout_ms= may shrink a
 // request's budget below it (never raise it) — and
@@ -33,6 +37,20 @@
 // The pre-/v1 routes (/search, /batch, /admin/stats, /admin/apply) remain
 // as thin delegates to the same handlers and answer with a
 // "Deprecation: true" header plus a Link to their successor.
+//
+// # Serving under load
+//
+// -cache-bytes (default 32 MiB) puts an epoch-keyed result cache in front
+// of the engine: hot queries are answered without re-running the search,
+// responses are byte-identical to uncached ones (the cache key pins the
+// exact snapshot epochs), and a publish invalidates only the entries it
+// supersedes. Search responses carry X-Cache: hit|miss|bypass, the
+// access log records it, and /v1/admin/stats grows a "cache" block.
+// -max-inflight adds deadline-aware admission control (searches that
+// cannot finish inside their remaining budget, or beyond the cap, shed
+// fast with 503), and -per-client-inflight caps each client's concurrent
+// searches in the middleware (429). See ARCHITECTURE.md "Serving under
+// load".
 //
 // Every request passes one middleware: an X-Request-ID response header, an
 // access-log line, and panic-to-500 recovery — a panicking handler answers
@@ -118,6 +136,12 @@ func run(args []string) error {
 	syncMode := fs.String("sync", "always", "journal sync policy with -data-dir: always | interval")
 	syncEvery := fs.Duration("sync-interval", 100*time.Millisecond,
 		"background journal fsync period for -sync interval")
+	cacheBytes := fs.Int64("cache-bytes", 32<<20,
+		"epoch-keyed result cache byte budget (0 disables; responses carry X-Cache: hit|miss|bypass)")
+	maxInflight := fs.Int("max-inflight", 0,
+		"process-wide concurrent search cap with deadline-aware shedding: excess or doomed searches answer 503 + Retry-After (0 disables)")
+	perClient := fs.Int("per-client-inflight", 0,
+		"concurrent search cap per client (X-Client-ID header, else remote host): excess answers 429 + Retry-After (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +175,12 @@ func run(args []string) error {
 		opts = append(opts,
 			dash.WithDataDir(*dataDir),
 			dash.WithSyncPolicy(dash.SyncPolicy{Mode: dash.SyncMode(*syncMode), Interval: *syncEvery}))
+	}
+	if *cacheBytes > 0 {
+		opts = append(opts, dash.WithResultCache(*cacheBytes))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, dash.WithAdmissionControl(dash.AdmissionOptions{MaxInFlight: *maxInflight}))
 	}
 	var idx *dash.Index
 	if recovering {
@@ -191,8 +221,9 @@ func run(args []string) error {
 	}
 
 	handler := newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{
-		withPprof:     *pprofFlag,
-		searchTimeout: *searchTimeout,
+		withPprof:         *pprofFlag,
+		searchTimeout:     *searchTimeout,
+		perClientInFlight: *perClient,
 	})
 
 	server := &http.Server{

@@ -24,8 +24,9 @@ func testMux(t *testing.T) (http.Handler, dash.Handle) {
 	return testMuxCfg(t, serveConfig{searchTimeout: 5 * time.Second})
 }
 
-// testMuxCfg is testMux with explicit serve configuration.
-func testMuxCfg(t *testing.T, cfg serveConfig) (http.Handler, dash.Handle) {
+// testMuxCfg is testMux with explicit serve configuration and optional
+// extra engine options (result cache, admission control).
+func testMuxCfg(t *testing.T, cfg serveConfig, extra ...dash.Option) (http.Handler, dash.Handle) {
 	t.Helper()
 	db, app, err := harness.Fooddb()
 	if err != nil {
@@ -41,7 +42,7 @@ func testMuxCfg(t *testing.T, cfg serveConfig) (http.Handler, dash.Handle) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := dash.Open(idx, app, dash.WithShards(2))
+	engine, err := dash.Open(idx, app, append([]dash.Option{dash.WithShards(2)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestHomePage(t *testing.T) {
 func TestMiddlewareRecovery(t *testing.T) {
 	h := withRequestMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("handler exploded")
-	}))
+	}), nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
 	if rec.Code != http.StatusInternalServerError {

@@ -1,7 +1,8 @@
 package main
 
 // middleware.go is the one request-scoped middleware every dashserve
-// request passes: an X-Request-ID response header, an access-log line,
+// request passes: an X-Request-ID response header, a per-client in-flight
+// cap on search routes (429 + Retry-After past it), an access-log line,
 // and panic-to-500 recovery, so a panicking handler answers a structured
 // 500 instead of killing the connection silently.
 
@@ -9,8 +10,11 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"log"
+	"net"
 	"net/http"
 	"runtime/debug"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -36,6 +40,70 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return sr.ResponseWriter.Write(b)
 }
 
+// clientLimiter caps concurrently served search requests per client — the
+// per-client half of overload protection (the process-wide half lives in
+// dash.WithAdmissionControl). One greedy client saturating its cap gets
+// 429s while everyone else keeps their full budget; the engine-level cap
+// alone would let that client crowd the others out.
+type clientLimiter struct {
+	max      int
+	mu       sync.Mutex
+	inflight map[string]int
+}
+
+// newClientLimiter returns nil for max <= 0 — the "no cap" sentinel the
+// middleware checks.
+func newClientLimiter(max int) *clientLimiter {
+	if max <= 0 {
+		return nil
+	}
+	return &clientLimiter{max: max, inflight: make(map[string]int)}
+}
+
+// acquire admits one request for the client, reporting false at the cap.
+func (cl *clientLimiter) acquire(key string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.inflight[key] >= cl.max {
+		return false
+	}
+	cl.inflight[key]++
+	return true
+}
+
+func (cl *clientLimiter) release(key string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if n := cl.inflight[key] - 1; n > 0 {
+		cl.inflight[key] = n
+	} else {
+		delete(cl.inflight, key)
+	}
+}
+
+// clientKey identifies the requesting client: an explicit X-Client-ID
+// header when present (load balancers and tests set it), else the remote
+// host without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// isSearchRoute reports whether the path is a search endpoint (versioned
+// or legacy) — the per-client cap covers the query-serving routes only;
+// admin and demo routes stay uncapped so operators can always inspect an
+// overloaded server.
+func isSearchRoute(path string) bool {
+	return strings.HasPrefix(path, "/v1/search") ||
+		path == "/search" || path == "/batch"
+}
+
 // newRequestID returns a 16-hex-char random identifier — unique enough to
 // correlate one access-log line with one client-reported failure.
 func newRequestID() string {
@@ -47,9 +115,12 @@ func newRequestID() string {
 }
 
 // withRequestMiddleware wraps the whole mux. Ordering matters: the
-// recovery must see the panic before the connection unwinds, and the log
-// line must record the status the handler (or the recovery) settled on.
-func withRequestMiddleware(next http.Handler) http.Handler {
+// recovery must see the panic before the connection unwinds, the log
+// line must record the status the handler (or the recovery) settled on,
+// and the per-client cap rejects before the handler allocates anything —
+// a capped-out client's requests cost map lookups, nothing more. limiter
+// may be nil (no per-client cap).
+func withRequestMiddleware(next http.Handler, limiter *clientLimiter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := newRequestID()
 		w.Header().Set("X-Request-ID", id)
@@ -72,10 +143,24 @@ func withRequestMiddleware(next http.Handler) http.Handler {
 			if !sr.wrote {
 				code = http.StatusOK
 			}
-			log.Printf("%s %s -> %d (%s) id=%s",
+			cache := sr.Header().Get("X-Cache")
+			if cache == "" {
+				cache = "-"
+			}
+			log.Printf("%s %s -> %d (%s) id=%s cache=%s",
 				r.Method, r.URL.RequestURI(), code,
-				time.Since(start).Round(time.Microsecond), id)
+				time.Since(start).Round(time.Microsecond), id, cache)
 		}()
+		if limiter != nil && isSearchRoute(r.URL.Path) {
+			key := clientKey(r)
+			if !limiter.acquire(key) {
+				sr.Header().Set("Retry-After", "1")
+				writeError(sr, http.StatusTooManyRequests, "too_many_requests",
+					"per-client in-flight search limit reached; retry later")
+				return
+			}
+			defer limiter.release(key)
+		}
 		next.ServeHTTP(sr, r)
 	})
 }

@@ -32,6 +32,10 @@ type serveConfig struct {
 	// searchTimeout is the default per-request search budget; 0 disables
 	// the server-side deadline. ?timeout_ms= overrides it per request.
 	searchTimeout time.Duration
+	// perClientInFlight caps concurrently served search requests per
+	// client (X-Client-ID header, else remote host); 0 disables the cap.
+	// Excess requests answer 429 with Retry-After (see middleware.go).
+	perClientInFlight int
 }
 
 // server binds the handlers to the serving contract. Handlers only ever
@@ -82,7 +86,7 @@ func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds [
 	// The human demo page.
 	mux.HandleFunc("/", s.home)
 
-	return withRequestMiddleware(mux)
+	return withRequestMiddleware(mux, newClientLimiter(cfg.perClientInFlight))
 }
 
 // deprecated marks a legacy route: same handler, plus the standard
@@ -115,10 +119,15 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 
 // writeEngineError maps an engine or context error onto the envelope:
 // context errors are the caller's own signals (504 when the per-request
-// budget fired, 499 when the client went away); everything else from a
-// well-formed request is a validation failure.
+// budget fired, 499 when the client went away), an admission-control shed
+// is a 503 with a Retry-After hint (the engine is overloaded — nothing is
+// wrong with the request), and everything else from a well-formed request
+// is a validation failure.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, dash.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
 	case errors.Is(err, context.Canceled):
@@ -225,7 +234,8 @@ func (s *server) v1Search(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	base.Keywords = strings.Fields(queries[0])
 	start := time.Now()
-	results, err := s.eng.Search(ctx, base)
+	results, status, err := s.search(ctx, base)
+	w.Header().Set("X-Cache", string(status))
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -236,6 +246,27 @@ func (s *server) v1Search(w http.ResponseWriter, r *http.Request) {
 		"count":   len(results),
 		"results": pagesJSON(results),
 	})
+}
+
+// search runs one query through the handle, reporting the cache outcome:
+// handles opened with a result cache answer hit/miss per request, others
+// always "bypass" — so the X-Cache header is present either way and a
+// client can tell "no cache configured" from "missed".
+func (s *server) search(ctx context.Context, req dash.Request) ([]dash.Result, dash.CacheStatus, error) {
+	if cs, ok := s.eng.(dash.CachedSearcher); ok {
+		return cs.SearchStatus(ctx, req)
+	}
+	results, err := s.eng.Search(ctx, req)
+	return results, dash.CacheBypass, err
+}
+
+// searchBatch is search's batch form; the aggregate status is "hit" only
+// when every entry was answered from the cache.
+func (s *server) searchBatch(ctx context.Context, reqs []dash.Request) ([]dash.BatchResult, dash.CacheStatus) {
+	if cs, ok := s.eng.(dash.CachedSearcher); ok {
+		return cs.SearchBatchStatus(ctx, reqs)
+	}
+	return s.eng.SearchBatch(ctx, reqs), dash.CacheBypass
 }
 
 // v1SearchBatch answers GET /v1/search:batch?q=…&q=…&k=…&s=… — every q is
@@ -264,14 +295,17 @@ func (s *server) v1SearchBatch(w http.ResponseWriter, r *http.Request) {
 		reqs[i].Keywords = strings.Fields(q)
 	}
 	start := time.Now()
-	batch := s.eng.SearchBatch(ctx, reqs)
+	batch, status := s.searchBatch(ctx, reqs)
+	w.Header().Set("X-Cache", string(status))
 	// A deadline or disconnect that actually cost results shows up in the
 	// per-entry errors (abandoned slots carry ctx.Err()); a deadline that
 	// fires after the last slot completed lost nothing, so re-polling ctx
 	// here would throw away a fully successful batch. Fail the whole call
-	// only when some entry was genuinely cut short by the context.
+	// only when some entry was genuinely cut short by the context — or
+	// when admission control shed the batch outright (every slot carries
+	// ErrOverloaded, which must answer 503, not a 200 of error entries).
 	for _, br := range batch {
-		if br.Err != nil && (errors.Is(br.Err, context.DeadlineExceeded) || errors.Is(br.Err, context.Canceled)) {
+		if br.Err != nil && (errors.Is(br.Err, context.DeadlineExceeded) || errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, dash.ErrOverloaded)) {
 			writeEngineError(w, br.Err)
 			return
 		}

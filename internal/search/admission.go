@@ -1,0 +1,149 @@
+package search
+
+// Deadline-aware admission control (the policy behind dash.Open's
+// WithAdmissionControl). Under overload, queueing a search that cannot
+// finish inside its deadline wastes the engine's time twice: the doomed
+// search holds a worker until the deadline fires, and the work it did is
+// thrown away. The controller sheds instead: a request is rejected with
+// ErrOverloaded — cheaply, before any pinning or seeding — when either
+//
+//   - the process-wide in-flight cap is reached (capacity shedding), or
+//   - the request's remaining deadline budget is below the estimated cost
+//     of one uncached search (budget shedding) — it would time out anyway,
+//     so fail it in microseconds and let the client retry against a
+//     less-loaded moment.
+//
+// The cost estimate is an EWMA of observed uncached search latencies,
+// floored by MinBudget so a cold or idly-fast estimator doesn't admit
+// requests with effectively no budget. Shed requests never touch the
+// search path, which is what keeps rejected-request latency flat (the
+// "fail fast" half of the overload criterion) while admitted requests
+// keep the whole engine to themselves.
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded reports that admission control shed the search — the
+// engine is at capacity or the request's deadline budget cannot cover an
+// expected search. The caller should retry later (the HTTP layer maps
+// this to 503 + Retry-After).
+var ErrOverloaded = errors.New("search: overloaded")
+
+// AdmissionOptions configures an AdmissionController.
+type AdmissionOptions struct {
+	// MaxInFlight caps concurrently admitted searches; <= 0 means no cap.
+	MaxInFlight int
+	// MinBudget floors the estimated-cost threshold: a request whose
+	// remaining deadline is below max(MinBudget, estimated search cost)
+	// is shed. <= 0 uses DefaultMinBudget.
+	MinBudget time.Duration
+}
+
+// DefaultMinBudget is the floor under the budget threshold when
+// AdmissionOptions.MinBudget is unset: even with a cold (zero) latency
+// estimate, a request with under 1ms of remaining deadline is shed.
+const DefaultMinBudget = time.Millisecond
+
+// AdmissionStats is the counter snapshot an AdmissionController reports.
+type AdmissionStats struct {
+	Admitted     uint64 `json:"admitted"`
+	ShedBudget   uint64 `json:"shed_budget"`
+	ShedCapacity uint64 `json:"shed_capacity"`
+	InFlight     int64  `json:"in_flight"`
+	// EstCostNs is the current EWMA estimate of one uncached search, in
+	// nanoseconds (0 until the first observation).
+	EstCostNs int64 `json:"est_cost_ns"`
+}
+
+// AdmissionController implements the shedding policy. The zero value is
+// not usable; construct with NewAdmissionController. Safe for concurrent
+// use.
+type AdmissionController struct {
+	maxInFlight int64
+	minBudget   int64 // ns
+
+	inFlight atomic.Int64
+	estNs    atomic.Int64 // EWMA of uncached search latency
+
+	admitted     atomic.Uint64
+	shedBudget   atomic.Uint64
+	shedCapacity atomic.Uint64
+}
+
+// NewAdmissionController builds a controller from opts.
+func NewAdmissionController(opts AdmissionOptions) *AdmissionController {
+	min := opts.MinBudget
+	if min <= 0 {
+		min = DefaultMinBudget
+	}
+	return &AdmissionController{
+		maxInFlight: int64(opts.MaxInFlight),
+		minBudget:   int64(min),
+	}
+}
+
+// Admit decides one search. deadline is the request's absolute deadline
+// (ok=false when it has none — such requests are never budget-shed). On
+// admission it returns a release func the caller must invoke when the
+// search finishes; on shedding it returns ErrOverloaded and no release.
+func (ac *AdmissionController) Admit(deadline time.Time, ok bool) (release func(), err error) {
+	if ok {
+		floor := ac.estNs.Load()
+		if floor < ac.minBudget {
+			floor = ac.minBudget
+		}
+		if time.Until(deadline) < time.Duration(floor) {
+			ac.shedBudget.Add(1)
+			return nil, ErrOverloaded
+		}
+	}
+	if ac.maxInFlight > 0 {
+		// Optimistic increment: briefly overshooting the cap between the
+		// Add and the check is harmless — the loser decrements and sheds.
+		if ac.inFlight.Add(1) > ac.maxInFlight {
+			ac.inFlight.Add(-1)
+			ac.shedCapacity.Add(1)
+			return nil, ErrOverloaded
+		}
+		ac.admitted.Add(1)
+		return func() { ac.inFlight.Add(-1) }, nil
+	}
+	ac.inFlight.Add(1)
+	ac.admitted.Add(1)
+	return func() { ac.inFlight.Add(-1) }, nil
+}
+
+// Observe feeds one finished *uncached* search's wall time into the cost
+// estimator (est ← est·7/8 + d/8). Cache hits must not be observed —
+// they would drag the estimate toward microseconds and admit doomed
+// searches. The load-store race between concurrent observers loses an
+// update occasionally, which an estimator can afford; a CAS loop cannot
+// be justified on this path.
+func (ac *AdmissionController) Observe(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	old := ac.estNs.Load()
+	if old == 0 {
+		ac.estNs.Store(int64(d))
+		return
+	}
+	ac.estNs.Store(old - old/8 + int64(d)/8)
+}
+
+// Stats snapshots the controller's counters.
+func (ac *AdmissionController) Stats() AdmissionStats {
+	if ac == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Admitted:     ac.admitted.Load(),
+		ShedBudget:   ac.shedBudget.Load(),
+		ShedCapacity: ac.shedCapacity.Load(),
+		InFlight:     ac.inFlight.Load(),
+		EstCostNs:    ac.estNs.Load(),
+	}
+}

@@ -1,0 +1,100 @@
+package search
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionCapacity: the in-flight cap admits exactly MaxInFlight
+// concurrent searches; releases free slots.
+func TestAdmissionCapacity(t *testing.T) {
+	ac := NewAdmissionController(AdmissionOptions{MaxInFlight: 2})
+	rel1, err := ac.Admit(time.Time{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := ac.Admit(time.Time{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Admit(time.Time{}, false); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third admit err = %v, want ErrOverloaded", err)
+	}
+	rel1()
+	rel3, err := ac.Admit(time.Time{}, false)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	rel2()
+	rel3()
+	st := ac.Stats()
+	if st.Admitted != 3 || st.ShedCapacity != 1 || st.InFlight != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestAdmissionBudget: a request whose remaining deadline is below the
+// cost floor is shed; deadline-free requests are never budget-shed; the
+// EWMA estimate raises the floor past MinBudget.
+func TestAdmissionBudget(t *testing.T) {
+	ac := NewAdmissionController(AdmissionOptions{MinBudget: 10 * time.Millisecond})
+
+	if _, err := ac.Admit(time.Now().Add(time.Millisecond), true); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("1ms budget under a 10ms floor admitted: %v", err)
+	}
+	if rel, err := ac.Admit(time.Now().Add(time.Second), true); err != nil {
+		t.Errorf("ample budget shed: %v", err)
+	} else {
+		rel()
+	}
+	if rel, err := ac.Admit(time.Time{}, false); err != nil {
+		t.Errorf("deadline-free request shed: %v", err)
+	} else {
+		rel()
+	}
+
+	// Observed slow searches raise the floor above MinBudget.
+	for i := 0; i < 64; i++ {
+		ac.Observe(200 * time.Millisecond)
+	}
+	if est := ac.Stats().EstCostNs; est < int64(100*time.Millisecond) {
+		t.Fatalf("EWMA estimate %dns did not converge toward observations", est)
+	}
+	if _, err := ac.Admit(time.Now().Add(50*time.Millisecond), true); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("50ms budget under a ~200ms estimate admitted: %v", err)
+	}
+	if st := ac.Stats(); st.ShedBudget < 2 {
+		t.Errorf("shed_budget = %d, want >= 2", st.ShedBudget)
+	}
+}
+
+// TestAdmissionConcurrent exercises the atomic in-flight accounting under
+// churn (run with -race): the cap is never exceeded observably, and the
+// counter returns to zero.
+func TestAdmissionConcurrent(t *testing.T) {
+	const cap = 4
+	ac := NewAdmissionController(AdmissionOptions{MaxInFlight: cap})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel, err := ac.Admit(time.Time{}, false)
+				if err != nil {
+					continue
+				}
+				if n := ac.Stats().InFlight; n > cap {
+					t.Errorf("in-flight %d exceeds cap %d", n, cap)
+				}
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := ac.Stats(); st.InFlight != 0 {
+		t.Errorf("in-flight %d after drain, want 0", st.InFlight)
+	}
+}

@@ -768,14 +768,27 @@ func packRefs(lo, hi fragindex.FragRef) uint64 {
 	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
 }
 
-// normalizeKeywords lower-cases, splits, and deduplicates query keywords
-// into dst (reused across queries). Typical queries are a handful of
-// words, where a linear-scan dedup is allocation-free; past
-// dedupScanLimit distinct keywords it falls back to a map so a huge
-// user-supplied query string stays linear, not quadratic.
+// normalizeKeywords lower-cases, splits, deduplicates, and sorts query
+// keywords into dst (reused across queries) — the one canonical keyword
+// form the whole serving path agrees on. Sorting makes the internal
+// keyword order (and with it every occurrence vector and floating-point
+// score summation) a function of the keyword *set*, never the order the
+// caller happened to write, so any permutation of the same keywords
+// returns byte-identical results — the property the epoch-keyed result
+// cache relies on to collapse equal-meaning requests onto one entry
+// (see NormalizeRequest). Typical queries are a handful of words, where
+// a linear-scan dedup is allocation-free; past dedupScanLimit distinct
+// keywords it falls back to a map so a huge user-supplied query string
+// stays linear, not quadratic.
 const dedupScanLimit = 24
 
 func normalizeKeywords(dst []string, words []string) []string {
+	dst = dedupKeywords(dst, words)
+	sort.Strings(dst)
+	return dst
+}
+
+func dedupKeywords(dst []string, words []string) []string {
 	var seen map[string]struct{}
 	for _, w := range words {
 		for _, f := range strings.Fields(strings.ToLower(w)) {

@@ -196,8 +196,8 @@ func (se *ShardedEngine) searchPinned(ctx context.Context, snaps []*fragindex.Sn
 		}
 	}
 	// Hand the shards the already-normalized keywords: normalization is
-	// idempotent and order-preserving, so each shard's scratch aligns with
-	// the idf slice.
+	// idempotent (a canonical — deduped, sorted — list normalizes to
+	// itself), so each shard's scratch aligns with the idf slice.
 	req.Keywords = kws
 
 	n := len(active)

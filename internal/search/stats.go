@@ -37,6 +37,11 @@ type Stats struct {
 	// queue, publish counters) in shard order; nil for unsharded
 	// topologies.
 	PerShard []fragindex.LiveStats `json:"per_shard,omitempty"`
+	// Cache and Admission report the serving-layer result cache and
+	// admission controller when the handle was opened with them
+	// (dash.WithResultCache / WithAdmissionControl); nil otherwise.
+	Cache     *CacheStats     `json:"cache,omitempty"`
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // statsFromLive maps a LiveIndex report onto the unified shape.
