@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet lint bench
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs dashvet — the project's invariant analyzers (snapshotescape,
+# ctxfirst, atomicfield, droppederr; see internal/lint and
+# ARCHITECTURE.md "Static analysis & invariants") — together with the
+# stock go vet suite. Any finding fails the target.
+lint:
+	$(GO) run ./cmd/dashvet ./...
 
 # bench regenerates the tracked search-path performance snapshot: the
 # Fig. 11 top-k sweep, the context-overhead guard (the cooperative

@@ -193,7 +193,12 @@ func WithSyncPolicy(p SyncPolicy) Option {
 //
 // Open takes ownership of idx: all further access must go through the
 // returned Handle. app may be nil when URL formulation is not needed.
-func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
+//
+// ctx bounds the open itself — chiefly durable recovery and seeding, which
+// read and replay on-disk state shard by shard. A nil ctx is tolerated and
+// degrades to "not cancellable". ctx is not retained by the handle.
+func Open(ctx context.Context, idx *Index, app *Application, opts ...Option) (Handle, error) {
+	ctx = orBackground(ctx)
 	var cfg openConfig
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
@@ -212,7 +217,7 @@ func Open(idx *Index, app *Application, opts ...Option) (Handle, error) {
 				return nil, err
 			}
 		}
-		h, err := openDurable(idx, app, cfg)
+		h, err := openDurable(ctx, idx, app, cfg)
 		if err != nil {
 			return nil, err
 		}

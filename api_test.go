@@ -58,7 +58,7 @@ func fooddbIndex(t *testing.T) (*Database, *Application, func() *Index) {
 func TestOpenTopologySelection(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 
-	h, err := Open(build(), app)
+	h, err := Open(context.Background(), build(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestOpenTopologySelection(t *testing.T) {
 		t.Errorf("default stats = %s/%d shards", st.Topology, st.Shards)
 	}
 
-	h, err = Open(build(), app, WithShards(1))
+	h, err = Open(context.Background(), build(), app, WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestOpenTopologySelection(t *testing.T) {
 		t.Errorf("WithShards(1) topology = %T, want *LiveEngine", h)
 	}
 
-	h, err = Open(build(), app, WithShards(4), WithWorkers(2), WithPostingCompaction(1, 8))
+	h, err = Open(context.Background(), build(), app, WithShards(4), WithWorkers(2), WithPostingCompaction(1, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestOpenTopologySelection(t *testing.T) {
 		t.Errorf("sharded stats = %s/%d shards/%d per-shard", st.Topology, st.Shards, len(st.PerShard))
 	}
 
-	h, err = Open(build(), app, WithReadOnly())
+	h, err = Open(context.Background(), build(), app, WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestOpenOptionValidation(t *testing.T) {
 		"compaction 5/4":      {WithPostingCompaction(5, 4)},
 		"readonly+sharded":    {WithReadOnly(), WithShards(3)},
 	} {
-		if _, err := Open(build(), app, opts...); err == nil {
+		if _, err := Open(context.Background(), build(), app, opts...); err == nil {
 			t.Errorf("%s: Open accepted invalid options", name)
 		}
 	}
@@ -143,12 +143,12 @@ func TestOpenEquivalence(t *testing.T) {
 		"NewLiveEngine": NewLiveEngine(build(), app),
 	}
 	for name, opts := range map[string][]Option{
-		"Open(default)":       nil,
-		"Open(WithShards(1))": {WithShards(1)},
-		"Open(WithShards(3))": {WithShards(3)},
-		"Open(WithReadOnly)":  {WithReadOnly()},
+		"Open(context.Background(), default)":       nil,
+		"Open(context.Background(), WithShards(1))": {WithShards(1)},
+		"Open(context.Background(), WithShards(3))": {WithShards(3)},
+		"Open(context.Background(), WithReadOnly)":  {WithReadOnly()},
 	} {
-		h, err := Open(build(), app, opts...)
+		h, err := Open(context.Background(), build(), app, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +211,7 @@ func TestOpenCandidateLimitDefault(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	ctx := context.Background()
 	explicit := NewEngine(build(), app)
-	limited, err := Open(build(), app, WithCandidateLimit(1))
+	limited, err := Open(context.Background(), build(), app, WithCandidateLimit(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestOpenCandidateLimitDefault(t *testing.T) {
 func TestHandleMaintenanceCancellation(t *testing.T) {
 	db, app, build := fooddbIndex(t)
 	for _, shards := range []int{1, 3} {
-		h, err := Open(build(), app, WithShards(shards))
+		h, err := Open(context.Background(), build(), app, WithShards(shards))
 		if err != nil {
 			t.Fatal(err)
 		}

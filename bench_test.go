@@ -864,16 +864,16 @@ func BenchmarkDurableApplyThroughput(b *testing.B) {
 		b.Run(m.name, func(b *testing.B) {
 			live, ids := syntheticLive(b, n)
 			if m.policy != nil {
-				st, err := durable.Open(b.TempDir(), *m.policy)
+				st, err := durable.Open(context.Background(), b.TempDir(), *m.policy)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := st.Init([]*fragindex.Dump{live.Dump()}); err != nil {
+				if err := st.Init(context.Background(), []*fragindex.Dump{live.Dump()}); err != nil {
 					b.Fatal(err)
 				}
 				defer st.Close()
-				live.SetPublishHook(func(d crawl.Delta, epoch uint64) error {
-					return st.Append(0, d, epoch)
+				live.SetPublishHook(func(ctx context.Context, d crawl.Delta, epoch uint64) error {
+					return st.Append(ctx, 0, d, epoch)
 				})
 			}
 			b.ResetTimer()
@@ -897,7 +897,7 @@ func BenchmarkDurableApplyThroughput(b *testing.B) {
 // bench corpus with the given shard count and serving options.
 func serveBenchHandle(b *testing.B, st *benchState, shards int, opts ...Option) Handle {
 	b.Helper()
-	h, err := Open(st.idx, st.app, append([]Option{WithShards(shards)}, opts...)...)
+	h, err := Open(context.Background(), st.idx, st.app, append([]Option{WithShards(shards)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

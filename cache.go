@@ -200,6 +200,16 @@ type cachedHandle struct {
 	ac    *search.AdmissionController
 }
 
+// orBackground tolerates a nil context at the API boundary so a forgotten
+// ctx degrades to "not cancellable" instead of a panic inside the cache
+// and admission layers.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // Search answers through the cache (see SearchStatus).
 func (ch *cachedHandle) Search(ctx context.Context, req Request) ([]Result, error) {
 	res, _, err := ch.SearchStatus(ctx, req)
@@ -210,9 +220,7 @@ func (ch *cachedHandle) Search(ctx context.Context, req Request) ([]Result, erro
 // result cache, reporting how. The returned slice may be shared with
 // other cache readers: treat it as immutable.
 func (ch *cachedHandle) SearchStatus(ctx context.Context, req Request) ([]Result, CacheStatus, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	if ch.ac != nil {
 		deadline, ok := ctx.Deadline()
 		release, err := ch.ac.Admit(deadline, ok)
@@ -268,9 +276,7 @@ func (ch *cachedHandle) SearchBatch(ctx context.Context, reqs []Request) []Batch
 // one admitted batch holds one in-flight slot, and a shed batch fails
 // every slot with ErrOverloaded.
 func (ch *cachedHandle) SearchBatchStatus(ctx context.Context, reqs []Request) ([]BatchResult, CacheStatus) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	out := make([]BatchResult, len(reqs))
 	status := CacheBypass
 	if ch.cache != nil {

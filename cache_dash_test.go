@@ -57,7 +57,7 @@ func TestCachedResponsesByteIdentical(t *testing.T) {
 		"sharded": {WithShards(3)},
 		"static":  {WithReadOnly()},
 	} {
-		h, err := Open(build(), app, append([]Option{WithResultCache(1 << 20)}, opts...)...)
+		h, err := Open(context.Background(), build(), app, append([]Option{WithResultCache(1 << 20)}, opts...)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestCacheCrossEpochStaleness(t *testing.T) {
 		"live":    nil,
 		"sharded": {WithShards(3)},
 	} {
-		h, err := Open(build(), app, append([]Option{WithResultCache(1 << 20)}, opts...)...)
+		h, err := Open(context.Background(), build(), app, append([]Option{WithResultCache(1 << 20)}, opts...)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func bumpedShard(t *testing.T, before, after []uint64) int {
 func TestCachePerShardPrecision(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	ctx := context.Background()
-	h, err := Open(build(), app, WithShards(3), WithResultCache(1<<20))
+	h, err := Open(context.Background(), build(), app, WithShards(3), WithResultCache(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestCachePerShardPrecision(t *testing.T) {
 func TestCachedHandleCapabilities(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 
-	plain, err := Open(build(), app)
+	plain, err := Open(context.Background(), build(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestCachedHandleCapabilities(t *testing.T) {
 		t.Errorf("default Open = %T, want unwrapped *LiveEngine", plain)
 	}
 
-	static, err := Open(build(), app, WithReadOnly(), WithResultCache(1<<20))
+	static, err := Open(context.Background(), build(), app, WithReadOnly(), WithResultCache(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestCachedHandleCapabilities(t *testing.T) {
 		t.Errorf("cached static Apply err = %v, want ErrReadOnly", err)
 	}
 
-	live, err := Open(build(), app, WithResultCache(1<<20))
+	live, err := Open(context.Background(), build(), app, WithResultCache(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestCachedHandleCapabilities(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	durable, err := Open(build(), app, WithDataDir(dir), WithShards(2), WithResultCache(1<<20))
+	durable, err := Open(context.Background(), build(), app, WithDataDir(dir), WithShards(2), WithResultCache(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +374,7 @@ func TestCachedHandleCapabilities(t *testing.T) {
 // budgets serve normally; counters surface through Stats.
 func TestAdmissionControlHandle(t *testing.T) {
 	_, app, build := fooddbIndex(t)
-	h, err := Open(build(), app, WithAdmissionControl(AdmissionOptions{MinBudget: 50 * time.Millisecond}))
+	h, err := Open(context.Background(), build(), app, WithAdmissionControl(AdmissionOptions{MinBudget: 50 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,7 +42,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
@@ -50,6 +49,14 @@ func main() {
 	if err := enc.Encode(lines); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if w != os.Stdout {
+		// The output file is written data: a Close error (ENOSPC at
+		// flush, NFS write-back) means the JSON on disk is incomplete.
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 }
 

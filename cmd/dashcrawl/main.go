@@ -83,6 +83,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore droppederr error-path backstop only; the success path checks the explicit Close below
 	defer f.Close()
 	if err := idx.Save(f); err != nil {
 		return err

@@ -50,6 +50,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore droppederr file is opened read-only; Close cannot lose data
 	defer f.Close()
 	idx, err := fragindex.Load(f)
 	if err != nil {

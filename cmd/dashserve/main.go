@@ -197,12 +197,18 @@ func run(args []string) error {
 			return err
 		}
 	}
-	engine, err := dash.Open(idx, app, opts...)
+	engine, err := dash.Open(context.Background(), idx, app, opts...)
 	if err != nil {
 		return err
 	}
 	if closer, ok := engine.(io.Closer); ok {
-		defer closer.Close()
+		// Closing a durable engine flushes unsynced journal appends; an
+		// error here means acknowledged applies may not have reached disk.
+		defer func() {
+			if err := closer.Close(); err != nil {
+				log.Printf("engine close: %v", err)
+			}
+		}()
 	}
 	st := engine.Stats()
 	log.Printf("index ready: %d fragments, topology %s over %d shard(s)",

@@ -42,7 +42,7 @@ func testMuxCfg(t *testing.T, cfg serveConfig, extra ...dash.Option) (http.Handl
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := dash.Open(idx, app, append([]dash.Option{dash.WithShards(2)}, extra...)...)
+	engine, err := dash.Open(context.Background(), idx, app, append([]dash.Option{dash.WithShards(2)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,7 +536,7 @@ func durableMux(t *testing.T) (http.Handler, dash.Handle) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := dash.Open(idx, app, dash.WithShards(2), dash.WithDataDir(t.TempDir()))
+	engine, err := dash.Open(context.Background(), idx, app, dash.WithShards(2), dash.WithDataDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
 	}

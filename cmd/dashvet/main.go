@@ -1,0 +1,95 @@
+// Command dashvet runs the project's invariant analyzers (internal/lint)
+// together with the stock go vet suite. It is the mechanical guard for
+// the serving-path contracts: every search pins exactly one snapshot
+// (snapshotescape), the serving path is ctx-first (ctxfirst), lock-free
+// fields are touched only atomically (atomicfield), and no error is
+// silently discarded (droppederr).
+//
+// Usage:
+//
+//	dashvet [-stockvet=false] [packages]
+//
+// Packages default to ./... relative to the enclosing module root. Any
+// finding — from dashvet's own analyzers or from go vet — exits 1, so
+// `make lint` and CI fail fast on an invariant break. Suppress a
+// deliberate violation with //lint:ignore <analyzer> <justification>
+// (see ARCHITECTURE.md, "Static analysis & invariants").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	stockvet := flag.Bool("stockvet", true, "also run the stock `go vet` analyzers over the same packages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dashvet [-stockvet=false] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dashvet:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if *stockvet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Dir = root
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dashvet:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dashvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if failed || len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so dashvet can run from any subdirectory like go vet does.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -92,7 +92,7 @@ func TestCrashWorkloadChild(t *testing.T) {
 		}()
 	}
 	_, app, build := fooddbIndex(t)
-	h, err := Open(build(), app, WithShards(shards), WithDataDir(dir))
+	h, err := Open(context.Background(), build(), app, WithShards(shards), WithDataDir(dir))
 	if err != nil {
 		t.Fatalf("child open: %v", err)
 	}
@@ -158,7 +158,7 @@ func spawnCrashChild(t *testing.T, dir, ackPath string, shards, deltas int, poin
 // search results — the oracle the recovered directory must match.
 func crashReplicaState(t *testing.T, app *Application, build func() *Index, shards, k int) ([]interface{}, [][]Result) {
 	t.Helper()
-	h, err := Open(build(), app, WithShards(shards))
+	h, err := Open(context.Background(), build(), app, WithShards(shards))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestCrashRecovery(t *testing.T) {
 					if acked != 0 {
 						t.Fatalf("%d applies acknowledged against an uncommitted data dir", acked)
 					}
-					h, err := Open(build(), app, WithShards(shards), WithDataDir(dir))
+					h, err := Open(context.Background(), build(), app, WithShards(shards), WithDataDir(dir))
 					if err != nil {
 						t.Fatalf("re-seed after init crash: %v", err)
 					}
@@ -246,7 +246,7 @@ func TestCrashRecovery(t *testing.T) {
 					return
 				}
 
-				rec, err := Open(nil, app, WithDataDir(dir))
+				rec, err := Open(context.Background(), nil, app, WithDataDir(dir))
 				if err != nil {
 					t.Fatalf("recovery after %q at ack %d: %v", f.name, acked, err)
 				}

@@ -17,7 +17,7 @@
 //	app, _ := dash.Analyze(servletSource, "http://example.com/Search")
 //	_ = app.Bind(db)
 //	idx, stats, _ := dash.Build(ctx, db, app, dash.BuildOptions{})
-//	eng, _ := dash.Open(idx, app) // takes ownership of idx
+//	eng, _ := dash.Open(ctx, idx, app) // takes ownership of idx
 //	results, _ := eng.Search(ctx, dash.Request{
 //	    Keywords: []string{"burger"}, K: 2, SizeThreshold: 20,
 //	})
@@ -46,7 +46,7 @@
 // and publishes it atomically. Searches in flight keep their pinned
 // snapshot; new searches see the new version.
 //
-//	live, _ := dash.Open(idx, app) // takes ownership of idx
+//	live, _ := dash.Open(ctx, idx, app) // takes ownership of idx
 //	go serve(live)                 // live.Search from any goroutine
 //
 //	// Rows changed in the database: re-crawl only the affected
@@ -71,7 +71,7 @@
 // When one index can no longer absorb the write rate — or one snapshot
 // walk per query leaves cores idle — partition it:
 //
-//	sharded, _ := dash.Open(idx, app, dash.WithShards(8))
+//	sharded, _ := dash.Open(ctx, idx, app, dash.WithShards(8))
 //
 // Fragments are routed to shards by their equality-group key, so db-page
 // assembly never crosses shards; searches scatter over one pinned snapshot

@@ -72,8 +72,8 @@ type DurabilityReporter interface {
 // shard persists exactly what it serves); an initialized directory is
 // recovered — the persisted state wins, and a non-nil idx is rejected
 // rather than silently discarded.
-func openDurable(idx *Index, app *Application, cfg openConfig) (h Handle, err error) {
-	st, err := durable.Open(cfg.dataDir, cfg.syncPolicy)
+func openDurable(ctx context.Context, idx *Index, app *Application, cfg openConfig) (h Handle, err error) {
+	st, err := durable.Open(ctx, cfg.dataDir, cfg.syncPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +83,7 @@ func openDurable(idx *Index, app *Application, cfg openConfig) (h Handle, err er
 		}
 	}()
 	if st.Fresh() {
-		return seedDurable(st, idx, app, cfg)
+		return seedDurable(ctx, st, idx, app, cfg)
 	}
 	if idx != nil {
 		return nil, fmt.Errorf("dash: WithDataDir(%q): directory is already initialized; pass a nil index to serve its recovered state", cfg.dataDir)
@@ -91,7 +91,7 @@ func openDurable(idx *Index, app *Application, cfg openConfig) (h Handle, err er
 	if cfg.shards != 0 && cfg.shards != st.NumShards() {
 		return nil, fmt.Errorf("dash: WithShards(%d) disagrees with the data dir's committed %d shards", cfg.shards, st.NumShards())
 	}
-	builders, _, err := st.Recover()
+	builders, _, err := st.Recover(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func openDurable(idx *Index, app *Application, cfg openConfig) (h Handle, err er
 // each publish cycle's canonical dump is written as its shard's first
 // snapshot generation, and only then does the MANIFEST commit the
 // directory.
-func seedDurable(st *durable.Store, idx *Index, app *Application, cfg openConfig) (Handle, error) {
+func seedDurable(ctx context.Context, st *durable.Store, idx *Index, app *Application, cfg openConfig) (Handle, error) {
 	if idx == nil {
 		return nil, fmt.Errorf("dash: WithDataDir(%q): a fresh data dir needs a built index to seed", cfg.dataDir)
 	}
@@ -143,7 +143,7 @@ func seedDurable(st *durable.Store, idx *Index, app *Application, cfg openConfig
 		for i := range dumps {
 			dumps[i] = sl.Shard(i).Dump()
 		}
-		if err := st.Init(dumps); err != nil {
+		if err := st.Init(ctx, dumps); err != nil {
 			return nil, err
 		}
 		installHooks(st, nil, sl)
@@ -152,7 +152,7 @@ func seedDurable(st *durable.Store, idx *Index, app *Application, cfg openConfig
 	le := NewLiveEngine(idx, app)
 	le.workers = cfg.workers
 	le.candLimit = cfg.candLimit
-	if err := st.Init([]*fragindex.Dump{le.live.Dump()}); err != nil {
+	if err := st.Init(ctx, []*fragindex.Dump{le.live.Dump()}); err != nil {
 		return nil, err
 	}
 	installHooks(st, le.live, nil)
@@ -164,15 +164,15 @@ func seedDurable(st *durable.Store, idx *Index, app *Application, cfg openConfig
 // before the snapshot swap acknowledges the publish.
 func installHooks(st *durable.Store, live *fragindex.LiveIndex, sl *fragindex.ShardedLiveIndex) {
 	if live != nil {
-		live.SetPublishHook(func(d Delta, epoch uint64) error {
-			return st.Append(0, d, epoch)
+		live.SetPublishHook(func(ctx context.Context, d Delta, epoch uint64) error {
+			return st.Append(ctx, 0, d, epoch)
 		})
 	}
 	if sl != nil {
 		for i := 0; i < sl.NumShards(); i++ {
 			shard := i
-			sl.Shard(shard).SetPublishHook(func(d Delta, epoch uint64) error {
-				return st.Append(shard, d, epoch)
+			sl.Shard(shard).SetPublishHook(func(ctx context.Context, d Delta, epoch uint64) error {
+				return st.Append(ctx, shard, d, epoch)
 			})
 		}
 	}
@@ -207,7 +207,7 @@ func (h *durableHandle) CompactIfNeeded(ctx context.Context, maxDeadRatio float6
 // write-ahead guarantee throughout.
 func (h *durableHandle) Checkpoint(ctx context.Context) error {
 	if h.live != nil {
-		return h.store.Checkpoint(0, h.live.Dump())
+		return h.store.Checkpoint(ctx, 0, h.live.Dump())
 	}
 	for i := 0; i < h.sharded.NumShards(); i++ {
 		if ctx != nil {
@@ -215,7 +215,7 @@ func (h *durableHandle) Checkpoint(ctx context.Context) error {
 				return err
 			}
 		}
-		if err := h.store.Checkpoint(i, h.sharded.Shard(i).Dump()); err != nil {
+		if err := h.store.Checkpoint(ctx, i, h.sharded.Shard(i).Dump()); err != nil {
 			return err
 		}
 	}

@@ -99,7 +99,7 @@ func TestDurableSeedApplyReopen(t *testing.T) {
 	for _, shards := range []int{1, 3} {
 		t.Run(map[int]string{1: "live", 3: "sharded"}[shards], func(t *testing.T) {
 			dir := t.TempDir()
-			h, err := Open(build(), app, WithShards(shards), WithDataDir(dir))
+			h, err := Open(context.Background(), build(), app, WithShards(shards), WithDataDir(dir))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +122,7 @@ func TestDurableSeedApplyReopen(t *testing.T) {
 			if !IsInitialized(dir) {
 				t.Fatal("data dir not initialized after seeding")
 			}
-			h2, err := Open(nil, app, WithDataDir(dir))
+			h2, err := Open(context.Background(), nil, app, WithDataDir(dir))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -160,7 +160,7 @@ func TestDurableSeedApplyReopen(t *testing.T) {
 			}
 			want3 := dumpsOf(t, h2)
 			h2.(io.Closer).Close()
-			h3, err := Open(nil, app, WithDataDir(dir))
+			h3, err := Open(context.Background(), nil, app, WithDataDir(dir))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -178,11 +178,11 @@ func TestDurableSeedApplyReopen(t *testing.T) {
 func TestDurableRecoveryEquivalence(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	dir := t.TempDir()
-	h, err := Open(build(), app, WithDataDir(dir))
+	h, err := Open(context.Background(), build(), app, WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	twin, err := Open(build(), app)
+	twin, err := Open(context.Background(), build(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestDurableRecoveryEquivalence(t *testing.T) {
 		}
 	}
 	h.(io.Closer).Close()
-	h2, err := Open(nil, app, WithDataDir(dir))
+	h2, err := Open(context.Background(), nil, app, WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestDurableRecoveryEquivalence(t *testing.T) {
 func TestDurableQueueFlush(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	dir := t.TempDir()
-	h, err := Open(build(), app, WithDataDir(dir))
+	h, err := Open(context.Background(), build(), app, WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestDurableQueueFlush(t *testing.T) {
 	}
 	want := dumpsOf(t, h)
 	h.(io.Closer).Close()
-	h2, err := Open(nil, app, WithDataDir(dir))
+	h2, err := Open(context.Background(), nil, app, WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestDurableQueueFlush(t *testing.T) {
 func TestDurableCompactCheckpoints(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	dir := t.TempDir()
-	h, err := Open(build(), app, WithDataDir(dir))
+	h, err := Open(context.Background(), build(), app, WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestDurableCompactCheckpoints(t *testing.T) {
 	}
 	want := dumpsOf(t, h)
 	h.(io.Closer).Close()
-	h2, err := Open(nil, app, WithDataDir(dir))
+	h2, err := Open(context.Background(), nil, app, WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,38 +304,38 @@ func TestDurableOpenErrors(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	dir := t.TempDir()
 
-	if _, err := Open(build(), app, WithDataDir("")); err == nil {
+	if _, err := Open(context.Background(), build(), app, WithDataDir("")); err == nil {
 		t.Error("empty data dir accepted")
 	}
-	if _, err := Open(build(), app, WithDataDir(dir), WithReadOnly()); err == nil {
+	if _, err := Open(context.Background(), build(), app, WithDataDir(dir), WithReadOnly()); err == nil {
 		t.Error("read-only durable handle accepted")
 	}
-	if _, err := Open(nil, app, WithDataDir(dir)); err == nil {
+	if _, err := Open(context.Background(), nil, app, WithDataDir(dir)); err == nil {
 		t.Error("nil index accepted for a fresh data dir")
 	}
-	if _, err := Open(nil, app); err == nil {
+	if _, err := Open(context.Background(), nil, app); err == nil {
 		t.Error("nil index accepted without a data dir")
 	}
 
-	h, err := Open(build(), app, WithShards(2), WithDataDir(dir))
+	h, err := Open(context.Background(), build(), app, WithShards(2), WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.(io.Closer).Close()
-	if _, err := Open(build(), app, WithDataDir(dir)); err == nil {
+	if _, err := Open(context.Background(), build(), app, WithDataDir(dir)); err == nil {
 		t.Error("built index accepted for an initialized data dir")
 	}
-	if _, err := Open(nil, app, WithShards(3), WithDataDir(dir)); err == nil {
+	if _, err := Open(context.Background(), nil, app, WithShards(3), WithDataDir(dir)); err == nil {
 		t.Error("shard mismatch accepted")
 	}
 	// Matching explicit shard count is fine.
-	h2, err := Open(nil, app, WithShards(2), WithDataDir(dir))
+	h2, err := Open(context.Background(), nil, app, WithShards(2), WithDataDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h2.(io.Closer).Close()
 
-	if _, err := Open(build(), app, WithDataDir(dir), WithSyncPolicy(SyncPolicy{Mode: "sometimes"})); err == nil {
+	if _, err := Open(context.Background(), build(), app, WithDataDir(dir), WithSyncPolicy(SyncPolicy{Mode: "sometimes"})); err == nil {
 		t.Error("unknown sync mode accepted")
 	}
 }
@@ -344,7 +344,7 @@ func TestDurableOpenErrors(t *testing.T) {
 // contracts; plain in-memory handles do not.
 func TestDurableInterfaceSurface(t *testing.T) {
 	_, app, build := fooddbIndex(t)
-	h, err := Open(build(), app, WithDataDir(t.TempDir()))
+	h, err := Open(context.Background(), build(), app, WithDataDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestDurableInterfaceSurface(t *testing.T) {
 			t.Errorf("durable handle missing %s", name)
 		}
 	}
-	plain, err := Open(build(), app)
+	plain, err := Open(context.Background(), build(), app)
 	if err != nil {
 		t.Fatal(err)
 	}

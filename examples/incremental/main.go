@@ -51,7 +51,7 @@ func run() error {
 	// Open picks the live (epoch-swap) topology by default; the concrete
 	// type is asserted because this example also demonstrates explicit
 	// snapshot pinning, which is outside the portable Handle contract.
-	opened, err := dash.Open(idx, app)
+	opened, err := dash.Open(ctx, idx, app)
 	if err != nil {
 		return err
 	}

@@ -207,6 +207,15 @@ func RecrawlFragment(db *relation.Database, b *psj.Bound, id fragment.ID) (count
 
 // DeriveDelta re-crawls the partitions of the candidate fragment
 // identifiers (typically: every fragment whose underlying rows changed,
+// orBackground tolerates a nil context at the API boundary so a forgotten
+// ctx degrades to "not cancellable" instead of a panic between partitions.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // plus any identifiers newly introduced by inserted rows) and classifies
 // each against the serving index via have, which reports whether a live
 // fragment with that identifier currently exists. Identifiers whose
@@ -214,9 +223,7 @@ func RecrawlFragment(db *relation.Database, b *psj.Bound, id fragment.ID) (count
 // Derivation re-executes one query per identifier, so the ctx is checked
 // between partitions; a cancellation returns ctx.Err() with no delta.
 func DeriveDelta(ctx context.Context, db *relation.Database, b *psj.Bound, ids []fragment.ID, have func(fragment.ID) bool) (Delta, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	d := Delta{SelAttrs: append([]string(nil), b.SelAttrs...)}
 	for _, id := range ids {
 		if err := ctx.Err(); err != nil {

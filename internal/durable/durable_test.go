@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -128,10 +129,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			d := smallIndex(t, n).Dump()
 			d.Epoch = 7
 			path := filepath.Join(t.TempDir(), "x.snap")
-			if err := WriteSnapshot(path, d); err != nil {
+			if err := WriteSnapshot(context.Background(), path, d); err != nil {
 				t.Fatal(err)
 			}
-			got, err := ReadSnapshot(path)
+			got, err := ReadSnapshot(context.Background(), path)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,7 +151,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotCorruptionDetected(t *testing.T) {
 	d := smallIndex(t, 12).Dump()
 	path := filepath.Join(t.TempDir(), "x.snap")
-	if err := WriteSnapshot(path, d); err != nil {
+	if err := WriteSnapshot(context.Background(), path, d); err != nil {
 		t.Fatal(err)
 	}
 	orig, err := os.ReadFile(path)
@@ -163,7 +164,7 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 		if err := os.WriteFile(path, b, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ReadSnapshot(path); err == nil {
+		if _, err := ReadSnapshot(context.Background(), path); err == nil {
 			t.Fatalf("bit flip at byte %d went undetected", i)
 		}
 	}
@@ -172,7 +173,7 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ReadSnapshot(path); !errors.Is(err, ErrCorruptSnapshot) {
+		if _, err := ReadSnapshot(context.Background(), path); !errors.Is(err, ErrCorruptSnapshot) {
 			t.Errorf("truncation at %d: err = %v, want ErrCorruptSnapshot", cut, err)
 		}
 	}
@@ -183,13 +184,13 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 func TestSnapshotUnsupportedVersion(t *testing.T) {
 	d := smallIndex(t, 2).Dump()
 	path := filepath.Join(t.TempDir(), "x.snap")
-	if err := WriteSnapshot(path, d); err != nil {
+	if err := WriteSnapshot(context.Background(), path, d); err != nil {
 		t.Fatal(err)
 	}
 	b, _ := os.ReadFile(path)
 	b[8] = 99 // version field
 	os.WriteFile(path, b, 0o644)
-	_, err := ReadSnapshot(path)
+	_, err := ReadSnapshot(context.Background(), path)
 	if err == nil || errors.Is(err, ErrCorruptSnapshot) || !strings.Contains(err.Error(), "unsupported format version") {
 		t.Errorf("err = %v, want a distinct unsupported-version error", err)
 	}
@@ -311,14 +312,14 @@ func TestJournalMidFileCorruption(t *testing.T) {
 // openStore opens and, when initialized, recovers a store rooted at dir.
 func openStore(t *testing.T, dir string, policy SyncPolicy) (*Store, []*fragindex.Index) {
 	t.Helper()
-	st, err := Open(dir, policy)
+	st, err := Open(context.Background(), dir, policy)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Fresh() {
 		return st, nil
 	}
-	idxs, _, err := st.Recover()
+	idxs, _, err := st.Recover(context.Background())
 	if err != nil {
 		st.Close()
 		t.Fatal(err)
@@ -337,7 +338,7 @@ func TestStoreInitRecover(t *testing.T) {
 	if !st.Fresh() || st.NumShards() != 0 {
 		t.Fatal("new dir not fresh")
 	}
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	if !IsInitialized(dir) {
@@ -351,7 +352,7 @@ func TestStoreInitRecover(t *testing.T) {
 	}
 	for _, d := range deltas {
 		epoch := applyTracked(t, track, d)
-		if err := st.Append(0, d, epoch); err != nil {
+		if err := st.Append(context.Background(), 0, d, epoch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -380,7 +381,7 @@ func TestStoreInitRecover(t *testing.T) {
 	}
 	// The reopened journal accepts further appends.
 	d := insDelta(fid("later", 1), map[string]int64{"later": 1}, 1)
-	if err := st2.Append(0, d, want.Epoch+5); err != nil {
+	if err := st2.Append(context.Background(), 0, d, want.Epoch+5); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -394,24 +395,24 @@ func TestStoreCheckpointRotatesAndPrunes(t *testing.T) {
 	track := cloneIndex(t, idx)
 
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	for round := 0; round < 4; round++ {
 		for k := 0; k < 3; k++ {
 			d := insDelta(fid("r", int64(round*10+k)), map[string]int64{fmt.Sprintf("rk%d%d", round, k): 1}, 1)
 			epoch := applyTracked(t, track, d)
-			if err := st.Append(0, d, epoch); err != nil {
+			if err := st.Append(context.Background(), 0, d, epoch); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := st.Checkpoint(0, track.Dump()); err != nil {
+		if err := st.Checkpoint(context.Background(), 0, track.Dump()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// One more checkpoint at the same epoch must be a no-op.
 	cks := st.Stats().Checkpoints
-	if err := st.Checkpoint(0, track.Dump()); err != nil {
+	if err := st.Checkpoint(context.Background(), 0, track.Dump()); err != nil {
 		t.Fatal(err)
 	}
 	if got := st.Stats().Checkpoints; got != cks {
@@ -436,7 +437,7 @@ func TestStoreCheckpointRotatesAndPrunes(t *testing.T) {
 	// A post-checkpoint append lands in the new journal and survives.
 	d := insDelta(fid("tail", 1), map[string]int64{"tail": 1}, 1)
 	epoch := applyTracked(t, track, d)
-	if err := st.Append(0, d, epoch); err != nil {
+	if err := st.Append(context.Background(), 0, d, epoch); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -459,18 +460,18 @@ func TestStoreSnapshotFallback(t *testing.T) {
 	track := cloneIndex(t, idx)
 
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	appendOne := func(name string, v int64) {
 		d := insDelta(fid(name, v), map[string]int64{name: 1}, 1)
 		epoch := applyTracked(t, track, d)
-		if err := st.Append(0, d, epoch); err != nil {
+		if err := st.Append(context.Background(), 0, d, epoch); err != nil {
 			t.Fatal(err)
 		}
 	}
 	appendOne("pre", 1)
-	if err := st.Checkpoint(0, track.Dump()); err != nil {
+	if err := st.Checkpoint(context.Background(), 0, track.Dump()); err != nil {
 		t.Fatal(err)
 	}
 	appendOne("post", 2)
@@ -509,7 +510,7 @@ func TestStoreUnrecoverable(t *testing.T) {
 	dir := t.TempDir()
 	idx := smallIndex(t, 3)
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -522,12 +523,12 @@ func TestStoreUnrecoverable(t *testing.T) {
 		b[len(b)-1] ^= 0xff
 		os.WriteFile(g.path, b, 0o644)
 	}
-	st2, err := Open(dir, SyncPolicy{})
+	st2, err := Open(context.Background(), dir, SyncPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	if _, _, err := st2.Recover(); err == nil || !strings.Contains(err.Error(), "unrecoverable") {
+	if _, _, err := st2.Recover(context.Background()); err == nil || !strings.Contains(err.Error(), "unrecoverable") {
 		t.Errorf("Recover = %v, want unrecoverable error", err)
 	}
 }
@@ -539,14 +540,14 @@ func TestStoreCorruptJournalRefusesRecovery(t *testing.T) {
 	idx := smallIndex(t, 3)
 	track := cloneIndex(t, idx)
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	var firstEnd int64
 	for k := 0; k < 2; k++ {
 		d := insDelta(fid("j", int64(k)), map[string]int64{"j": 1}, 1)
 		epoch := applyTracked(t, track, d)
-		if err := st.Append(0, d, epoch); err != nil {
+		if err := st.Append(context.Background(), 0, d, epoch); err != nil {
 			t.Fatal(err)
 		}
 		if k == 0 {
@@ -562,12 +563,12 @@ func TestStoreCorruptJournalRefusesRecovery(t *testing.T) {
 	b[firstEnd-1] ^= 0xff
 	os.WriteFile(wals[0].path, b, 0o644)
 
-	st2, err := Open(dir, SyncPolicy{})
+	st2, err := Open(context.Background(), dir, SyncPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	if _, _, err := st2.Recover(); !errors.Is(err, ErrCorruptJournal) {
+	if _, _, err := st2.Recover(context.Background()); !errors.Is(err, ErrCorruptJournal) {
 		t.Errorf("Recover = %v, want ErrCorruptJournal", err)
 	}
 }
@@ -580,18 +581,18 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	idx := smallIndex(t, 3)
 	track := cloneIndex(t, idx)
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	d1 := insDelta(fid("keep", 1), map[string]int64{"keep": 1}, 1)
 	e1 := applyTracked(t, track, d1)
-	if err := st.Append(0, d1, e1); err != nil {
+	if err := st.Append(context.Background(), 0, d1, e1); err != nil {
 		t.Fatal(err)
 	}
 	acked := track.Dump()
 	// The second publish crashes mid-write: simulate by tearing its record.
 	d2 := insDelta(fid("torn", 2), map[string]int64{"torn": 1}, 1)
-	if err := st.Append(0, d2, e1+3); err != nil {
+	if err := st.Append(context.Background(), 0, d2, e1+3); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -615,7 +616,7 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	// The sealed journal keeps working: append, close, recover again.
 	d3 := insDelta(fid("again", 3), map[string]int64{"again": 1}, 1)
 	e3 := applyTracked(t, track, d3)
-	if err := st2.Append(0, d3, e3); err != nil {
+	if err := st2.Append(context.Background(), 0, d3, e3); err != nil {
 		t.Fatal(err)
 	}
 	if err := st2.Close(); err != nil {
@@ -635,12 +636,12 @@ func TestStoreShardedRecovery(t *testing.T) {
 	a, b := smallIndex(t, 3), smallIndex(t, 5)
 	ta, tb := cloneIndex(t, a), cloneIndex(t, b)
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if err := st.Init([]*fragindex.Dump{a.Dump(), b.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{a.Dump(), b.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	d := insDelta(fid("onlyb", 9), map[string]int64{"onlyb": 1}, 1)
 	epoch := applyTracked(t, tb, d)
-	if err := st.Append(1, d, epoch); err != nil {
+	if err := st.Append(context.Background(), 1, d, epoch); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -670,12 +671,12 @@ func TestStoreSyncInterval(t *testing.T) {
 	idx := smallIndex(t, 3)
 	track := cloneIndex(t, idx)
 	st, _ := openStore(t, dir, SyncPolicy{Mode: SyncInterval, Interval: time.Hour})
-	if err := st.Init([]*fragindex.Dump{idx.Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	d := insDelta(fid("iv", 1), map[string]int64{"iv": 1}, 1)
 	epoch := applyTracked(t, track, d)
-	if err := st.Append(0, d, epoch); err != nil {
+	if err := st.Append(context.Background(), 0, d, epoch); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Sync(); err != nil {
@@ -697,7 +698,7 @@ func TestStoreSyncInterval(t *testing.T) {
 
 // TestStoreBadPolicy: unknown sync modes are rejected at Open.
 func TestStoreBadPolicy(t *testing.T) {
-	if _, err := Open(t.TempDir(), SyncPolicy{Mode: "sometimes"}); err == nil {
+	if _, err := Open(context.Background(), t.TempDir(), SyncPolicy{Mode: "sometimes"}); err == nil {
 		t.Error("unknown sync mode accepted")
 	}
 }
@@ -707,16 +708,63 @@ func TestStoreBadPolicy(t *testing.T) {
 func TestStoreRecoverGuards(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openStore(t, dir, SyncPolicy{})
-	if _, _, err := st.Recover(); !errors.Is(err, ErrNotInitialized) {
+	if _, _, err := st.Recover(context.Background()); !errors.Is(err, ErrNotInitialized) {
 		t.Errorf("fresh Recover = %v, want ErrNotInitialized", err)
 	}
-	if err := st.Init([]*fragindex.Dump{smallIndex(t, 2).Dump()}); err != nil {
+	if err := st.Init(context.Background(), []*fragindex.Dump{smallIndex(t, 2).Dump()}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
 	st2, _ := openStore(t, dir, SyncPolicy{})
 	defer st2.Close()
-	if _, _, err := st2.Recover(); err == nil {
+	if _, _, err := st2.Recover(context.Background()); err == nil {
 		t.Error("second Recover succeeded")
 	}
+}
+
+// TestSweepSurfacesSyncFailure pins the background-fsync observability
+// contract: an interval-policy sweep that fails must not vanish — it
+// increments Stats.SyncFailures and records Stats.LastSyncError, because
+// a silently failing sweep means applies acknowledged inside the window
+// are not actually durable.
+func TestSweepSurfacesSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long interval keeps the background loop out of the test's
+	// way; sweeps are driven by hand.
+	st, err := Open(context.Background(), dir, SyncPolicy{Mode: SyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Init(context.Background(), []*fragindex.Dump{smallIndex(t, 2).Dump()}); err != nil {
+		t.Fatal(err)
+	}
+	d := insDelta(fid("s", 1), map[string]int64{"kw": 1}, 1)
+	if err := st.Append(context.Background(), 0, d, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy sweep flushes the dirty journal and records nothing.
+	st.sweep()
+	if got := st.Stats(); got.SyncFailures != 0 || got.LastSyncError != "" {
+		t.Fatalf("healthy sweep recorded a failure: %+v", got)
+	}
+
+	// Sabotage: dirty the journal again, then close its fd out from
+	// under the store so the next fsync fails.
+	if err := st.Append(context.Background(), 0, d, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.shards[0].j.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st.sweep()
+	st.sweep()
+	got := st.Stats()
+	if got.SyncFailures != 2 {
+		t.Fatalf("SyncFailures = %d, want 2", got.SyncFailures)
+	}
+	if got.LastSyncError == "" {
+		t.Fatal("LastSyncError empty after failed sweep")
+	}
+	_ = st.Close() // the sabotaged fd makes the final flush fail; nothing left to assert
 }

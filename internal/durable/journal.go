@@ -65,10 +65,12 @@ func createJournal(path string, baseEpoch uint64) (*journal, error) {
 	hdr = binary.LittleEndian.AppendUint64(hdr, baseEpoch)
 	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
 	if _, err := f.Write(hdr); err != nil {
+		//lint:ignore droppederr already failing: the header-write error is returned; close is best-effort fd cleanup
 		f.Close()
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
+		//lint:ignore droppederr already failing: the sync error is returned; close is best-effort fd cleanup
 		f.Close()
 		return nil, err
 	}
@@ -84,6 +86,7 @@ func openJournal(path string, baseEpoch uint64, size int64, records uint64) (*jo
 		return nil, err
 	}
 	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		//lint:ignore droppederr already failing: the seek error is returned; close is best-effort fd cleanup
 		f.Close()
 		return nil, err
 	}
@@ -131,6 +134,7 @@ func (j *journal) sync() error {
 
 func (j *journal) close() error {
 	if err := j.sync(); err != nil {
+		//lint:ignore droppederr already failing: the final-sync error (unsynced appends!) is returned; close is best-effort fd cleanup
 		j.f.Close()
 		return err
 	}

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,6 +64,7 @@ func syncDir(dir string) error {
 		return err
 	}
 	if err := d.Sync(); err != nil {
+		//lint:ignore droppederr already failing: the directory-sync error is returned; close is best-effort fd cleanup
 		d.Close()
 		return err
 	}
@@ -71,8 +73,13 @@ func syncDir(dir string) error {
 
 // WriteSnapshot atomically writes a dump to path in the versioned section
 // format. On any error the target is untouched (at worst a temp file
-// remains, which recovery sweeps).
-func WriteSnapshot(path string, d *fragindex.Dump) (err error) {
+// remains, which recovery sweeps). The ctx is honored before the write
+// starts; once the temp file is being filled the write runs to completion
+// so the atomic rename stays all-or-nothing.
+func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) (err error) {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fragChunks := (len(d.FragKeys) + fragsPerChunk - 1) / fragsPerChunk
 	postChunks := (len(d.Keywords) + kwsPerChunk - 1) / kwsPerChunk
 	count := 1 + fragChunks + postChunks
@@ -85,7 +92,9 @@ func WriteSnapshot(path string, d *fragindex.Dump) (err error) {
 	}
 	defer func() {
 		if err != nil {
+			//lint:ignore droppederr already failing: the write error is returned; close+remove are best-effort temp cleanup (recovery resweeps)
 			f.Close()
+			//lint:ignore droppederr same: a surviving temp file is swept by the next recovery
 			os.Remove(tmp)
 		}
 	}()
@@ -179,7 +188,10 @@ func WriteSnapshot(path string, d *fragindex.Dump) (err error) {
 // decoded dump. Every failure — bad magic, version, header CRC, section
 // CRC, or malformed section payload — wraps ErrCorruptSnapshot so callers
 // can fall back to an older generation.
-func ReadSnapshot(path string) (*fragindex.Dump, error) {
+func ReadSnapshot(ctx context.Context, path string) (*fragindex.Dump, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

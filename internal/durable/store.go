@@ -19,6 +19,7 @@ package durable
 // back to its predecessor and replays the full journal chain across both.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -151,6 +152,11 @@ type Stats struct {
 	LastCheckpointEpoch uint64         `json:"last_checkpoint_epoch"`
 	Recovered           bool           `json:"recovered"`
 	Recovery            []RecoveryInfo `json:"recovery,omitempty"`
+	// SyncFailures counts background fsync sweeps that failed under
+	// SyncInterval; LastSyncError is the most recent failure. Non-zero
+	// means recently acknowledged applies may not be durable yet.
+	SyncFailures  uint64 `json:"sync_failures,omitempty"`
+	LastSyncError string `json:"last_sync_error,omitempty"`
 }
 
 // Store owns one data directory: per-shard snapshot generations and open
@@ -169,6 +175,13 @@ type Store struct {
 	checkpoints atomic.Uint64
 	lastCkpt    atomic.Uint64
 
+	// syncFailures counts background fsync sweeps that failed;
+	// lastSyncErr holds the most recent failure's message. A failing
+	// interval sweep narrows the durability window silently, so the
+	// condition is surfaced through Stats rather than dropped.
+	syncFailures atomic.Uint64
+	lastSyncErr  atomic.Value // string
+
 	syncOnce  sync.Once
 	closeOnce sync.Once
 	stop      chan struct{}
@@ -184,6 +197,8 @@ type shardStore struct {
 // IsInitialized reports whether dir holds a committed data directory (a
 // MANIFEST exists). Callers use it to decide between seeding a fresh
 // directory with a built index and recovering the persisted one.
+//
+//lint:ignore ctxfirst single metadata stat probe; there is no blocking work a context could usefully cancel
 func IsInitialized(dir string) bool {
 	_, err := os.Stat(filepath.Join(dir, manifestName))
 	return err == nil
@@ -192,9 +207,12 @@ func IsInitialized(dir string) bool {
 // Open opens (or creates) a data directory. A directory without a
 // committed MANIFEST comes back fresh: NumShards reports 0 and Init must
 // seed it before appends. An initialized directory is ready for Recover.
-func Open(dir string, policy SyncPolicy) (*Store, error) {
+func Open(ctx context.Context, dir string, policy SyncPolicy) (*Store, error) {
 	policy, err := policy.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -267,7 +285,7 @@ func walName(epoch uint64) string {
 // (dump order is shard order), then the MANIFEST as commit point. Any
 // half-written state from a previously interrupted Init is wiped first —
 // without a MANIFEST nothing was ever acknowledged from this directory.
-func (s *Store) Init(dumps []*fragindex.Dump) error {
+func (s *Store) Init(ctx context.Context, dumps []*fragindex.Dump) error {
 	if s.man != nil {
 		return fmt.Errorf("durable: %s is already initialized", s.dir)
 	}
@@ -276,6 +294,11 @@ func (s *Store) Init(dumps []*fragindex.Dump) error {
 	}
 	shards := make([]*shardStore, len(dumps))
 	for i, d := range dumps {
+		// A cancellation between shards leaves no MANIFEST, so the
+		// directory stays fresh and a later Init rewipes it.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sd := s.shardDir(i)
 		if err := os.RemoveAll(sd); err != nil {
 			return err
@@ -283,7 +306,7 @@ func (s *Store) Init(dumps []*fragindex.Dump) error {
 		if err := os.MkdirAll(sd, 0o755); err != nil {
 			return err
 		}
-		if err := WriteSnapshot(filepath.Join(sd, snapName(d.Epoch)), d); err != nil {
+		if err := WriteSnapshot(ctx, filepath.Join(sd, snapName(d.Epoch)), d); err != nil {
 			return err
 		}
 		j, err := createJournal(filepath.Join(sd, walName(d.Epoch)), d.Epoch)
@@ -337,6 +360,7 @@ func (s *Store) writeManifest(man *manifest) error {
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		//lint:ignore droppederr already failing: the sync error is returned; close is best-effort cleanup of the temp fd
 		f.Close()
 		return err
 	}
@@ -357,7 +381,7 @@ func (s *Store) writeManifest(man *manifest) error {
 // Unrecoverable corruption — every snapshot generation bad, a journal
 // record damaged mid-chain, a replay that cannot apply — returns an error
 // and the store must not serve.
-func (s *Store) Recover() ([]*fragindex.Index, []RecoveryInfo, error) {
+func (s *Store) Recover(ctx context.Context) ([]*fragindex.Index, []RecoveryInfo, error) {
 	if s.man == nil {
 		return nil, nil, fmt.Errorf("%w: %s", ErrNotInitialized, s.dir)
 	}
@@ -367,7 +391,13 @@ func (s *Store) Recover() ([]*fragindex.Index, []RecoveryInfo, error) {
 	idxs := make([]*fragindex.Index, len(s.shards))
 	infos := make([]RecoveryInfo, len(s.shards))
 	for i := range s.shards {
-		idx, info, err := s.recoverShard(i)
+		// Replay can be long (the whole retained journal chain); a
+		// cancellation between shards aborts recovery with nothing
+		// served and the on-disk state untouched.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		idx, info, err := s.recoverShard(ctx, i)
 		if err != nil {
 			return nil, nil, fmt.Errorf("durable: shard %d: %w", i, err)
 		}
@@ -422,12 +452,13 @@ func sweepTemps(dir string) {
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
+			//lint:ignore droppederr best-effort cleanup of crash leftovers; a stale temp file is harmless and reswept next recovery
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
 
-func (s *Store) recoverShard(i int) (*fragindex.Index, RecoveryInfo, error) {
+func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, RecoveryInfo, error) {
 	ss := s.shards[i]
 	info := RecoveryInfo{Shard: i}
 	sweepTemps(ss.dir)
@@ -445,7 +476,7 @@ func (s *Store) recoverShard(i int) (*fragindex.Index, RecoveryInfo, error) {
 	var snapEpoch uint64
 	var snapErrs []error
 	for k := len(snaps) - 1; k >= 0; k-- {
-		d, rerr := ReadSnapshot(snaps[k].path)
+		d, rerr := ReadSnapshot(ctx, snaps[k].path)
 		if rerr == nil {
 			var built *fragindex.Index
 			if built, rerr = fragindex.Restore(d); rerr == nil {
@@ -456,6 +487,7 @@ func (s *Store) recoverShard(i int) (*fragindex.Index, RecoveryInfo, error) {
 		}
 		snapErrs = append(snapErrs, rerr)
 		info.CorruptSnapshots++
+		//lint:ignore droppederr best-effort post-mortem set-aside; if the rename fails the corrupt file is simply retried (and re-rejected) next recovery
 		os.Rename(snaps[k].path, snaps[k].path+corruptSuffix)
 	}
 	if idx == nil {
@@ -516,6 +548,7 @@ func (s *Store) recoverShard(i int) (*fragindex.Index, RecoveryInfo, error) {
 			}
 			if scan.torn {
 				if serr := j.f.Sync(); serr != nil {
+					//lint:ignore droppederr already failing: the sync error aborts recovery; close is best-effort fd cleanup
 					j.f.Close()
 					return nil, info, serr
 				}
@@ -565,8 +598,13 @@ func applyToBuilder(idx *fragindex.Index, del crawl.Delta) error {
 
 // Append journals one publish's folded delta for a shard — the write-ahead
 // half of the publish hook. Under SyncAlways the record is on stable
-// storage when Append returns.
-func (s *Store) Append(shard int, del crawl.Delta, epoch uint64) error {
+// storage when Append returns. The ctx is checked before any bytes are
+// written: past that point the append runs to completion, because a
+// half-written record would read as a torn tail on recovery.
+func (s *Store) Append(ctx context.Context, shard int, del crawl.Delta, epoch uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ss := s.shards[shard]
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -585,7 +623,7 @@ func (s *Store) Append(shard int, del crawl.Delta, epoch uint64) error {
 // is never relaxed mid-checkpoint. Crash-safe at every step: the snapshot
 // appears atomically, the old journal stays replayable until pruning, and
 // pruning never touches the retained generations.
-func (s *Store) Checkpoint(shard int, d *fragindex.Dump) error {
+func (s *Store) Checkpoint(ctx context.Context, shard int, d *fragindex.Dump) error {
 	ss := s.shards[shard]
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -595,7 +633,7 @@ func (s *Store) Checkpoint(shard int, d *fragindex.Dump) error {
 	if d.Epoch <= ss.j.baseEpoch && ss.j.records == 0 {
 		return nil
 	}
-	if err := WriteSnapshot(filepath.Join(ss.dir, snapName(d.Epoch)), d); err != nil {
+	if err := WriteSnapshot(ctx, filepath.Join(ss.dir, snapName(d.Epoch)), d); err != nil {
 		return err
 	}
 	crashPoint("checkpoint.after-snapshot")
@@ -604,6 +642,7 @@ func (s *Store) Checkpoint(shard int, d *fragindex.Dump) error {
 		return err
 	}
 	if err := syncDir(ss.dir); err != nil {
+		//lint:ignore droppederr already failing: the directory-sync error is returned; close is best-effort cleanup of the unadopted journal
 		nj.f.Close()
 		return err
 	}
@@ -675,6 +714,17 @@ func (s *Store) Sync() error {
 	return nil
 }
 
+// sweep runs one background fsync pass, recording rather than dropping a
+// failure: a failed sweep means applies acknowledged under SyncInterval
+// within the window are not yet durable, which operators must be able to
+// see (Stats.SyncFailures / Stats.LastSyncError).
+func (s *Store) sweep() {
+	if err := s.Sync(); err != nil {
+		s.syncFailures.Add(1)
+		s.lastSyncErr.Store(err.Error())
+	}
+}
+
 func (s *Store) startSyncLoop() {
 	if s.policy.Mode != SyncInterval {
 		return
@@ -690,7 +740,7 @@ func (s *Store) startSyncLoop() {
 				case <-s.stop:
 					return
 				case <-t.C:
-					s.Sync()
+					s.sweep()
 				}
 			}
 		}()
@@ -711,6 +761,10 @@ func (s *Store) Stats() Stats {
 		LastCheckpointEpoch: s.lastCkpt.Load(),
 		Recovered:           s.recovered,
 		Recovery:            s.recovery,
+		SyncFailures:        s.syncFailures.Load(),
+	}
+	if msg, ok := s.lastSyncErr.Load().(string); ok {
+		st.LastSyncError = msg
 	}
 	if s.policy.Mode == SyncInterval {
 		st.SyncIntervalMS = s.policy.Interval.Milliseconds()

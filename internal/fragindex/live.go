@@ -93,8 +93,10 @@ func (l *LiveIndex) Snapshot() *Snapshot { return l.cur.Load() }
 // and the serving snapshot is unchanged, exactly as if the fold itself had
 // failed. This is the write-ahead discipline the durable layer hangs off:
 // journal the delta (and fsync it) in the hook, and no acknowledged publish
-// can exist that the journal does not record.
-type PublishHook func(d crawl.Delta, epoch uint64) error
+// can exist that the journal does not record. The ctx is the publishing
+// Apply's context, so the write-ahead I/O inherits the caller's deadline
+// (ctx-first serving-path contract, enforced by dashvet's ctxfirst).
+type PublishHook func(ctx context.Context, d crawl.Delta, epoch uint64) error
 
 // SetPublishHook installs (or, with nil, removes) the pre-publish hook. It
 // serializes with the writer, so it may be called while the index is
@@ -244,7 +246,7 @@ func (l *LiveIndex) applyLocked(ctx context.Context, selAttrs []string, changes 
 		// makes the publish visible (and acknowledgeable). A hook failure
 		// aborts the publish — the frozen-but-unpublished snapshot is
 		// abandoned and the builder resumes from the serving version.
-		if err := l.hook(crawl.Delta{SelAttrs: selAttrs, Changes: changes}, snap.epoch); err != nil {
+		if err := l.hook(ctx, crawl.Delta{SelAttrs: selAttrs, Changes: changes}, snap.epoch); err != nil {
 			l.builder.discardTo(published)
 			return ApplyStats{}, fmt.Errorf("fragindex: publish hook: %w", err)
 		}

@@ -282,7 +282,7 @@ func TestPublishHookWriteAhead(t *testing.T) {
 	l := liveFooddb(t)
 	var hooked []uint64
 	fail := false
-	l.SetPublishHook(func(d crawl.Delta, epoch uint64) error {
+	l.SetPublishHook(func(_ context.Context, d crawl.Delta, epoch uint64) error {
 		if fail {
 			return errors.New("journal down")
 		}

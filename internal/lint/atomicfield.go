@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField guards the lock-free spots the serving path depends on —
+// the LiveIndex epoch-swap pointer (PR 2) and the admission controller's
+// optimistic in-flight counter (PR 7): a field that is accessed
+// atomically anywhere must be accessed atomically everywhere.
+//
+// Two concrete rules, checked per package (the fields in question are
+// unexported, so every access site is package-local by construction):
+//
+//  1. Mixed access: a struct field whose address is passed to a
+//     sync/atomic function (atomic.AddInt64(&s.n, 1), ...) must not
+//     also be read or written directly — a plain load can observe a
+//     torn or stale value and a plain store can lose a concurrent
+//     atomic update.
+//
+//  2. Typed-atomic value copy: a field of type atomic.Int64,
+//     atomic.Uint64, atomic.Pointer[T], atomic.Value, ... may only be
+//     used as a method-call receiver (s.n.Load()) or have its address
+//     taken for delegation (&s.n); any value use copies the atomic out
+//     of the shared location, detaching it from concurrent writers.
+//
+// Suppress with //lint:ignore atomicfield <reason> (e.g. a
+// pre-publication initialization store proven single-goroutine).
+var AtomicField = NewAtomicField()
+
+// NewAtomicField returns the atomicfield analyzer. It takes no scope:
+// the invariant is global.
+func NewAtomicField() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc: "a struct field accessed through sync/atomic anywhere must be accessed " +
+			"atomically everywhere; typed atomic fields must not be copied by value",
+	}
+	a.Run = runAtomicField
+	return a
+}
+
+func runAtomicField(pass *Pass) error {
+	// Phase 1: find fields used with sync/atomic package functions, and
+	// remember the exact selector nodes sanctioned by those calls.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := unary.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldObject(pass, sel); f != nil {
+					atomicFields[f] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: flag unsanctioned accesses of those fields, and value
+	// copies of typed atomic fields.
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldObject(pass, sel)
+			if field == nil {
+				return true
+			}
+			if atomicFields[field] && !sanctioned[sel] {
+				pass.Report(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; this non-atomic access races with those (read/write it atomically, or //lint:ignore atomicfield <reason> if provably pre-publication)", field.Name())
+				return true
+			}
+			if atomicTypeName(field.Type()) != "" && !isAtomicReceiverUse(parents, sel) {
+				pass.Report(sel.Pos(), "atomic field %s (%s) used as a value; copying an atomic detaches it from concurrent writers — call its methods or take its address", field.Name(), atomicTypeName(field.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a package-level function
+// of sync/atomic.
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// fieldObject resolves sel to the struct field it selects, or nil.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		if v, ok := selection.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// atomicTypeName returns the sync/atomic type name if t is one of the
+// typed atomics (atomic.Int64, atomic.Pointer[T], ...), else "".
+func atomicTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return "atomic." + named.Obj().Name()
+}
+
+// isAtomicReceiverUse reports whether sel (a typed-atomic field access)
+// is used as a method receiver (x.f.Load()) or has its address taken
+// (&x.f) — the two non-copying uses.
+func isAtomicReceiverUse(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		// x.f.Method — sel is the X of a method selector.
+		return p.X == sel
+	case *ast.UnaryExpr:
+		return p.X == sel // &x.f
+	default:
+		return false
+	}
+}
+
+// parentMap records each node's immediate parent within file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst enforces the PR 5 serving-path contract at production scope:
+// package dash (module root) plus internal/search, internal/crawl, and
+// internal/durable.
+//
+// Two rules:
+//
+//  1. An exported function or method (on an exported receiver type)
+//     whose body blocks — performs file/network I/O, waits on a
+//     WaitGroup/Cond, or calls any callee that itself takes a
+//     context.Context first — must accept context.Context as its first
+//     parameter. Bounded mutex critical sections (Stats accessors,
+//     config setters) deliberately do not trigger the rule: a ctx
+//     nobody can act on inside a microsecond lock hold is API noise,
+//     and the real cancellation points are the blocking calls this rule
+//     does catch.
+//
+//  2. The scoped packages must not manufacture context.Background() or
+//     context.TODO(): a manufactured context detaches the callee from
+//     the caller's deadline and cancellation, silently voiding the
+//     cooperative-cancellation contract. The only sanctioned site is
+//     the nil-tolerant boundary helper (allowFuncs, by default
+//     orBackground) that degrades a forgotten ctx to "not cancellable"
+//     instead of panicking.
+//
+// Suppress either rule with //lint:ignore ctxfirst <reason> (for rule 1,
+// anywhere in the declaration's doc comment).
+var CtxFirst = NewCtxFirst(
+	[]string{"repro", "repro/internal/search", "repro/internal/crawl", "repro/internal/durable"},
+	[]string{"orBackground"},
+)
+
+// NewCtxFirst returns a ctxfirst analyzer scoped to the exact package
+// paths in scope, permitting context.Background()/TODO() only inside
+// functions named in allowFuncs.
+func NewCtxFirst(scope, allowFuncs []string) *Analyzer {
+	inScope := make(map[string]bool, len(scope))
+	for _, p := range scope {
+		inScope[p] = true
+	}
+	allowed := make(map[string]bool, len(allowFuncs))
+	for _, f := range allowFuncs {
+		allowed[f] = true
+	}
+	a := &Analyzer{
+		Name: "ctxfirst",
+		Doc: "serving-path functions that block must take context.Context first and must " +
+			"not manufacture context.Background()/context.TODO() outside the nil-fallback helper",
+	}
+	a.Run = func(pass *Pass) error {
+		if !inScope[pass.Path] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkManufacturedCtx(pass, fn, allowed)
+				checkCtxFirstSignature(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// checkManufacturedCtx flags context.Background()/context.TODO() inside
+// fn unless fn is an allowlisted nil-fallback helper.
+func checkManufacturedCtx(pass *Pass, fn *ast.FuncDecl, allowed map[string]bool) {
+	if allowed[fn.Name.Name] {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+			return true
+		}
+		if obj.Name() == "Background" || obj.Name() == "TODO" {
+			pass.Report(call.Pos(), "context.%s() manufactured on the serving path detaches this call from the caller's deadline; thread the caller's ctx (or route through the nil-fallback helper)", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkCtxFirstSignature flags exported blocking functions whose first
+// parameter is not context.Context.
+func checkCtxFirstSignature(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Name.Name == "main" || fn.Name.Name == "init" {
+		return
+	}
+	if fn.Recv != nil && !receiverExported(fn.Recv) {
+		return
+	}
+	if firstParamIsContext(pass, fn) {
+		return
+	}
+	if why := blockingReason(pass, fn.Body); why != "" {
+		pass.ReportDecl(fn, "exported %s %s but does not take context.Context as its first parameter; the serving path is ctx-first (PR 5 contract)", fn.Name.Name, why)
+	}
+}
+
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func firstParamIsContext(pass *Pass, fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	return isContextType(pass.Info.TypeOf(params.List[0].Type))
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// blockingReason scans a function body for the operations that make it
+// blocking in the rule-1 sense, returning a human-readable reason or ""
+// if none is found.
+func blockingReason(pass *Pass, body *ast.BlockStmt) string {
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			// Closures run on their own schedule (goroutines,
+			// callbacks); their blocking behavior is the call
+			// site's concern.
+			return false
+		case *ast.CallExpr:
+			reason = callBlockingReason(pass, nn)
+		}
+		return true
+	})
+	return reason
+}
+
+func callBlockingReason(pass *Pass, call *ast.CallExpr) string {
+	// Any callee that itself takes ctx first: this function is on the
+	// cancellation path and must thread one through.
+	if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok {
+		if sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+			return "calls a context-taking function (" + calleeLabel(pass, call) + ")"
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return packageFuncBlockingReason(pass, call)
+	}
+	// Blocking waits and I/O methods.
+	if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		recv := selection.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			method := sel.Sel.Name
+			switch {
+			case (qual == "sync.WaitGroup" || qual == "sync.Cond") && method == "Wait":
+				return "blocks on " + qual + ".Wait"
+			case qual == "os.File":
+				return "performs file I/O (os.File." + method + ")"
+			case qual == "net/http.Client":
+				return "performs network I/O (http.Client." + method + ")"
+			case strings.HasPrefix(qual, "bufio."):
+				return "performs buffered I/O (" + qual + "." + method + ")"
+			}
+		}
+	}
+	return packageFuncBlockingReason(pass, call)
+}
+
+// ioPackageFuncs is the curated set of package-level stdlib calls that
+// perform blocking I/O.
+var ioPackageFuncs = map[string]map[string]bool{
+	"os": {
+		"Open": true, "Create": true, "CreateTemp": true, "OpenFile": true,
+		"ReadFile": true, "WriteFile": true, "ReadDir": true,
+		"Remove": true, "RemoveAll": true, "Rename": true,
+		"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+		"Stat": true, "Lstat": true, "Truncate": true, "Chmod": true,
+	},
+	"io": {
+		"Copy": true, "CopyN": true, "CopyBuffer": true,
+		"ReadAll": true, "ReadFull": true, "WriteString": true,
+	},
+	"net/http": {
+		"Get": true, "Post": true, "PostForm": true, "Head": true,
+		"Serve": true, "ListenAndServe": true, "ListenAndServeTLS": true,
+	},
+}
+
+func packageFuncBlockingReason(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	path := pkgName.Imported().Path()
+	name := sel.Sel.Name
+	if path == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")) {
+		return "performs network I/O (net." + name + ")"
+	}
+	if fns, ok := ioPackageFuncs[path]; ok && fns[name] {
+		return "performs I/O (" + path + "." + name + ")"
+	}
+	return ""
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr enforces the no-swallowed-errors contract at production
+// scope: packages under internal/ and cmd/.
+//
+// PR 1 fixed a real bug of this shape — `meta, _ := idx.Meta(ref)` on the
+// scoring hot path silently served stale weights — so the invariant is
+// mechanical now: an error-returning call may not be discarded with a
+// bare call statement (including go/defer) or a blank identifier. The
+// deliberate-discard escape hatch is //lint:ignore droppederr <reason>,
+// which keeps the justification in the source next to the discard.
+var DroppedErr = NewDroppedErr([]string{"repro/internal/", "repro/cmd/"})
+
+// NewDroppedErr returns a droppederr analyzer scoped to packages whose
+// import path starts with one of the given prefixes.
+func NewDroppedErr(scopePrefixes []string) *Analyzer {
+	a := &Analyzer{
+		Name: "droppederr",
+		Doc: "flags discarded errors: bare call statements (incl. go/defer) whose callee " +
+			"returns an error, and error values assigned to the blank identifier",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pathHasPrefix(pass.Path, scopePrefixes) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					checkBareCall(pass, stmt.X)
+				case *ast.GoStmt:
+					checkBareCall(pass, stmt.Call)
+				case *ast.DeferStmt:
+					checkBareCall(pass, stmt.Call)
+				case *ast.AssignStmt:
+					checkBlankAssign(pass, stmt)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func pathHasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBareCall flags an expression-statement call that returns an error
+// among its results.
+func checkBareCall(pass *Pass, expr ast.Expr) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if !callReturnsError(pass, call) || discardAllowed(pass, call) {
+		return
+	}
+	pass.Report(call.Pos(), "result of %s contains an error that is discarded; handle it or annotate with //lint:ignore droppederr <reason>", calleeLabel(pass, call))
+}
+
+// checkBlankAssign flags `_ = errExpr` and `v, _ := f()` where the blank
+// position carries an error.
+func checkBlankAssign(pass *Pass, stmt *ast.AssignStmt) {
+	// Case 1: one call, many results: v, _ := f().
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(stmt.Lhs) {
+			return
+		}
+		if discardAllowed(pass, call) {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Report(lhs.Pos(), "error result of %s assigned to blank identifier; handle it or annotate with //lint:ignore droppederr <reason>", calleeLabel(pass, call))
+			}
+		}
+		return
+	}
+	// Case 2: element-wise assignment: _ = err, or a, _ = x, f().
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		rhs := stmt.Rhs[i]
+		if !isErrorType(pass.Info.TypeOf(rhs)) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && discardAllowed(pass, call) {
+			continue
+		}
+		pass.Report(lhs.Pos(), "error value assigned to blank identifier; handle it or annotate with //lint:ignore droppederr <reason>")
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callReturnsError reports whether any result of the call implements
+// error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	switch t := pass.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// discardAllowed is the analyzer's built-in allowlist: callees whose
+// error is either unobtainable by contract or surfaces elsewhere.
+//
+//   - fmt.Print*/Fprint*: propagate the destination writer's error,
+//     which for the repo's uses (stdout tables, stderr diagnostics,
+//     tabwriters, response writers) is best-effort output or resurfaces
+//     at Flush/the HTTP layer. Wanting the error means wanting the
+//     writer's error — check it there. (Same default as errcheck.)
+//   - (*strings.Builder) and (*bytes.Buffer) methods: documented to
+//     never return a non-nil error.
+func discardAllowed(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level function: fmt.Print*/Fprint*.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			return obj.Imported().Path() == "fmt" &&
+				(strings.HasPrefix(sel.Sel.Name, "Fprint") || strings.HasPrefix(sel.Sel.Name, "Print"))
+		}
+	}
+	// Method on an always-nil-error receiver type.
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// calleeLabel renders the called function for a diagnostic.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

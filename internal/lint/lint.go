@@ -1,0 +1,253 @@
+// Package lint is dashvet's analysis framework: project-specific static
+// analyzers that mechanically enforce the serving-path contracts the
+// engine's correctness rests on (see ARCHITECTURE.md, "Static analysis &
+// invariants").
+//
+// The shape deliberately mirrors golang.org/x/tools/go/analysis — an
+// Analyzer owns a Run func over a Pass carrying one type-checked package —
+// but is self-contained on the standard library (go/ast + go/types, with
+// packages loaded through `go list -export`, see load.go) so the module
+// keeps its zero-dependency property. If the repo ever vendors x/tools,
+// each analyzer ports mechanically: Run's body is written against the
+// same Pass surface (Fset/Files/Pkg/Info/Report).
+//
+// Suppression: a finding is silenced by an explicit escape hatch
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed on the flagged line, the line directly above it, or inside the
+// doc comment of a flagged declaration. The justification is mandatory:
+// a directive without one suppresses nothing and is itself reported, so
+// every suppressed invariant violation carries its reason in the source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+
+	// Doc states the enforced invariant in one paragraph.
+	Doc string
+
+	// Run executes the check over one package, reporting findings
+	// through pass.Report*.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path. Scope-limited analyzers
+	// (ctxfirst, droppederr) consult it; testdata packages are loaded
+	// under pseudo-paths so tests can place themselves in or out of
+	// scope.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	ignores ignoreIndex
+	diags   []Diagnostic
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportDecl records a finding against a declaration: an ignore
+// directive anywhere in the declaration's doc comment also suppresses
+// it, so decl-level findings (e.g. a ctxfirst signature violation) can
+// be justified next to the API documentation they concern.
+func (p *Pass) ReportDecl(decl *ast.FuncDecl, format string, args ...any) {
+	var extra []int
+	if decl.Doc != nil {
+		start := p.Fset.Position(decl.Doc.Pos()).Line
+		end := p.Fset.Position(decl.Doc.End()).Line
+		for l := start; l <= end; l++ {
+			extra = append(extra, l)
+		}
+	}
+	p.report(decl.Pos(), extra, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, extraLines []int, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	lines := append([]int{position.Line, position.Line - 1}, extraLines...)
+	for _, l := range lines {
+		if p.ignores.covers(position.Filename, l, p.Analyzer.Name) {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportMalformedIgnores flags //lint:ignore directives that name this
+// analyzer but omit the mandatory justification. They suppress nothing,
+// and surfacing them here keeps "silently broken escape hatch" from
+// masquerading as a clean run.
+func (p *Pass) reportMalformedIgnores() {
+	for _, d := range p.ignores.malformed {
+		if !d.names(p.Analyzer.Name) {
+			continue
+		}
+		p.diags = append(p.diags, Diagnostic{
+			Analyzer: p.Analyzer.Name,
+			Pos:      d.pos,
+			Message:  "//lint:ignore requires a justification: //lint:ignore " + p.Analyzer.Name + " <reason>",
+		})
+	}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string // comma-separated analyzer list as written
+	reason   string
+}
+
+func (d ignoreDirective) names(analyzer string) bool {
+	for _, name := range strings.Split(d.analyzer, ",") {
+		if strings.TrimSpace(name) == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreIndex maps file → line → directives so Report can resolve
+// suppression in O(1) per candidate line.
+type ignoreIndex struct {
+	byLine    map[string]map[int][]ignoreDirective
+	malformed []ignoreDirective
+}
+
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{byLine: make(map[string]map[int][]ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := ignoreDirective{
+					pos:      fset.Position(c.Pos()),
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+				}
+				if d.reason == "" {
+					idx.malformed = append(idx.malformed, d)
+					continue
+				}
+				file := d.pos.Filename
+				if idx.byLine[file] == nil {
+					idx.byLine[file] = make(map[int][]ignoreDirective)
+				}
+				idx.byLine[file][d.pos.Line] = append(idx.byLine[file][d.pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) covers(file string, line int, analyzer string) bool {
+	for _, d := range idx.byLine[file][line] {
+		if d.names(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes each analyzer over each package and returns every finding
+// ordered by file position. Analyzer errors (not findings) abort the run:
+// they mean the suite itself is broken, not the code under analysis.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ignores:  ignores,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			pass.reportMalformedIgnores()
+			diags = append(diags, pass.diags...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the dashvet suite: every serving-path invariant analyzer
+// at its production scope.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SnapshotEscape,
+		CtxFirst,
+		AtomicField,
+		DroppedErr,
+	}
+}
+
+// errorType is the universe error interface, shared by analyzers that
+// classify result types.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType)
+}

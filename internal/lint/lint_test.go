@@ -1,0 +1,225 @@
+package lint
+
+// The analyzer suites follow the analysistest convention: each testdata
+// package under testdata/src/<analyzer>/ carries its expectations inline
+// as `want` comments —
+//
+//	someCall() // want `regex matching the diagnostic`
+//
+// and the harness diffs the analyzer's output against them, both ways: a
+// diagnostic with no matching want fails, and a want with no matching
+// diagnostic fails. Backtick quoting keeps regex escapes readable. A want
+// may appear in any comment on the flagged line, including a block
+// comment before a //lint:ignore directive under test.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile("want `([^`]+)`")
+
+// wantsIn scans every .go file in dir for want comments, returning
+// file base name -> line -> expected-message regexes.
+func wantsIn(t *testing.T, dir string) map[string]map[int][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string]map[int][]*regexp.Regexp)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", e.Name(), i+1, m[1], err)
+				}
+				if out[e.Name()] == nil {
+					out[e.Name()] = make(map[int][]*regexp.Regexp)
+				}
+				out[e.Name()][i+1] = append(out[e.Name()][i+1], re)
+			}
+		}
+	}
+	return out
+}
+
+// runCase loads testdata/src/<rel> under the pseudo import path asPath,
+// runs the analyzers over it, and checks the diagnostics against the
+// package's want comments.
+func runCase(t *testing.T, analyzers []*Analyzer, rel, asPath string) {
+	t.Helper()
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(moduleRoot, "internal", "lint", "testdata", "src", rel)
+	pkg, err := LoadDir(moduleRoot, dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", rel, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", rel, err)
+	}
+
+	wants := wantsIn(t, dir)
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		file := filepath.Base(d.Pos.Filename)
+		ok := false
+		for _, re := range wants[file][d.Pos.Line] {
+			if !matched[re] && re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", file, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, res := range lines {
+			for _, re := range res {
+				if !matched[re] {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", file, line, re)
+				}
+			}
+		}
+	}
+}
+
+func TestDroppedErr(t *testing.T) {
+	// The default analyzer's production scope covers repro/internal/...;
+	// the flag package is loaded inside it, so every discard fires.
+	runCase(t, []*Analyzer{DroppedErr}, "droppederr/flag", "repro/internal/td/droppederrflag")
+	runCase(t, []*Analyzer{DroppedErr}, "droppederr/clean", "repro/internal/td/droppederrclean")
+	// Escape-hatch semantics: a justified ignore suppresses, a
+	// justification-free one suppresses nothing and is itself flagged.
+	runCase(t, []*Analyzer{DroppedErr}, "droppederr/ignore", "repro/internal/td/droppederrignore")
+}
+
+func TestDroppedErrScope(t *testing.T) {
+	// The same flagging package loaded outside repro/internal|cmd is out
+	// of the default analyzer's scope: zero diagnostics expected, so the
+	// harness must see every want comment go unmatched.
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(moduleRoot, "internal", "lint", "testdata", "src", "droppederr", "flag")
+	pkg, err := LoadDir(moduleRoot, dir, "example.com/outside")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{DroppedErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}
+
+func TestCtxFirst(t *testing.T) {
+	a := NewCtxFirst(
+		[]string{"td/ctxfirstflag", "td/ctxfirstclean"},
+		[]string{"orBackground"},
+	)
+	runCase(t, []*Analyzer{a}, "ctxfirst/flag", "td/ctxfirstflag")
+	runCase(t, []*Analyzer{a}, "ctxfirst/clean", "td/ctxfirstclean")
+}
+
+func TestCtxFirstScope(t *testing.T) {
+	// Default production scope is an exact-path set; the flag package
+	// under an unrelated path must stay silent.
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(moduleRoot, "internal", "lint", "testdata", "src", "ctxfirst", "flag")
+	pkg, err := LoadDir(moduleRoot, dir, "example.com/outside")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{CtxFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}
+
+func TestAtomicField(t *testing.T) {
+	// atomicfield has no scope gate: the invariant is global.
+	runCase(t, []*Analyzer{AtomicField}, "atomicfield/flag", "td/atomicfieldflag")
+	runCase(t, []*Analyzer{AtomicField}, "atomicfield/clean", "td/atomicfieldclean")
+}
+
+func TestSnapshotEscape(t *testing.T) {
+	// The testdata imports the real repro/internal/fragindex so the
+	// analyzer matches the production Snapshot type, not a stand-in.
+	runCase(t, []*Analyzer{SnapshotEscape}, "snapshotescape/flag", "td/snapescflag")
+	runCase(t, []*Analyzer{SnapshotEscape}, "snapshotescape/clean", "td/snapescclean")
+}
+
+func TestSnapshotEscapeExclusion(t *testing.T) {
+	// The exclusion list (production: fragindex, which owns the snapshot
+	// lifecycle) silences the whole package: the flag testdata loaded
+	// under an excluded path reports nothing.
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(moduleRoot, "internal", "lint", "testdata", "src", "snapshotescape", "flag")
+	pkg, err := LoadDir(moduleRoot, dir, "td/snapescexempt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSnapshotEscape([]string{"td/snapescexempt"})
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("excluded package produced diagnostics: %v", diags)
+	}
+}
+
+// TestRunOverRepo is the self-check the CI lint step relies on: the suite
+// at production scope reports nothing across the real tree. A regression
+// here means either a new invariant violation or an analyzer gone noisy —
+// both block.
+func TestRunOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(moduleRoot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

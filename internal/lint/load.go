@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+	Error      *struct{ Err string }
+}
+
+// exportResolver resolves import paths to compiled export data via
+// `go list -export`, caching across calls. Dependencies are imported
+// from export data rather than re-type-checked from source, so loading
+// N target packages costs N source type-checks regardless of how deep
+// the dependency graph is — and works fully offline (no network, no
+// module downloads: this module has no external requirements).
+type exportResolver struct {
+	dir string
+
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func newExportResolver(dir string) *exportResolver {
+	return &exportResolver{dir: dir, exports: make(map[string]string)}
+}
+
+// add records export data paths from already-parsed `go list` output.
+func (r *exportResolver) add(p *listedPackage) {
+	if p.Export == "" {
+		return
+	}
+	r.mu.Lock()
+	r.exports[p.ImportPath] = p.Export
+	r.mu.Unlock()
+}
+
+// lookup returns an open reader over the export data for path, running
+// `go list -export` on demand for paths not yet seen (testdata packages
+// import repro/* and stdlib packages that were never part of the target
+// pattern set).
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	r.mu.Lock()
+	file, ok := r.exports[path]
+	r.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(r.dir, "-export", "-deps", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %w", path, err)
+		}
+		for i := range pkgs {
+			r.add(&pkgs[i])
+		}
+		r.mu.Lock()
+		file, ok = r.exports[path]
+		r.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists, parses, and type-checks every package matching patterns,
+// rooted at dir (the module root). Only matched packages are loaded from
+// source; their dependencies come from export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	resolver := newExportResolver(dir)
+	var targets []*listedPackage
+	for i := range listed {
+		p := &listed[i]
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		resolver.add(p)
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, gf := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, gf)
+		}
+		pkg, err := check(fset, resolver, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files directly inside dir as
+// one package under the given pseudo import path. It exists for the
+// analysistest-style suites: testdata packages live outside the module's
+// package graph but may import both stdlib and repro/* packages, which
+// resolve through moduleRoot's build context.
+func LoadDir(moduleRoot, dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return check(token.NewFileSet(), newExportResolver(moduleRoot), asPath, dir, files)
+}
+
+func check(fset *token.FileSet, resolver *exportResolver, path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", resolver.lookup),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

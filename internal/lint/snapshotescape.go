@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotEscape enforces the bounded-pin contract from PR 2: a pinned
+// *fragindex.Snapshot — obtained from Pin(), PinAll(), or a Snapshot()
+// accessor — is a per-request read view. Storing one into a struct
+// field, package-level variable, or map extends the pin past the
+// request: the epoch-swap GC can never reclaim the snapshot's chunks,
+// and every read through the stored pointer serves unboundedly stale
+// data (the bounded-staleness contract holds only because pins are
+// request-scoped).
+//
+// The analysis is a per-function taint pass: values flowing from pin
+// calls (through locals, slice indexing, and append) are flagged when
+// assigned to a field, a package-level var, or a map entry. Returning a
+// pinned snapshot to the caller is allowed — that is how the pinning
+// API itself is built — so a function that stores its *parameter* is
+// outside this pass's reach; the rule catches the store at whatever
+// level the pin and the store meet.
+//
+// fragindex itself is exempt: it owns the snapshot lifecycle (the
+// LiveIndex current-snapshot pointer is exactly a stored snapshot, held
+// through an atomic.Pointer that the epoch GC manages).
+//
+// Suppress with //lint:ignore snapshotescape <reason> for a store whose
+// lifetime is provably request-bounded.
+var SnapshotEscape = NewSnapshotEscape([]string{"repro/internal/fragindex"})
+
+// NewSnapshotEscape returns the snapshotescape analyzer, skipping the
+// exact package paths in exclude.
+func NewSnapshotEscape(exclude []string) *Analyzer {
+	excluded := make(map[string]bool, len(exclude))
+	for _, p := range exclude {
+		excluded[p] = true
+	}
+	a := &Analyzer{
+		Name: "snapshotescape",
+		Doc: "a pinned *fragindex.Snapshot must stay request-scoped: storing one into a " +
+			"struct field, package-level var, or map defeats epoch GC and bounded staleness",
+	}
+	a.Run = func(pass *Pass) error {
+		if excluded[pass.Path] {
+			return nil
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil {
+						checkFuncSnapshots(pass, d.Body)
+					}
+				case *ast.GenDecl:
+					checkPackageLevelSnapshot(pass, d)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isSnapshotType reports whether t is *fragindex.Snapshot or a slice of
+// it.
+func isSnapshotType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if slice, ok := t.(*types.Slice); ok {
+		t = slice.Elem()
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Snapshot" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/fragindex")
+}
+
+// isPinCall reports whether call obtains a pinned snapshot: a callee
+// named Pin/PinAll/Snapshot returning a snapshot(-slice) value.
+func isPinCall(pass *Pass, call *ast.CallExpr) bool {
+	if !isSnapshotType(pass.Info.TypeOf(call)) {
+		return false
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	switch name {
+	case "Pin", "PinAll", "Snapshot":
+		return true
+	}
+	return false
+}
+
+// checkPackageLevelSnapshot flags package-level vars initialized from a
+// pin call: the most direct escape of all.
+func checkPackageLevelSnapshot(pass *Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, val := range vs.Values {
+			if call, ok := val.(*ast.CallExpr); ok && isPinCall(pass, call) {
+				pass.Report(val.Pos(), "pinned snapshot stored in a package-level variable; the pin outlives every request and the epoch GC can never reclaim it")
+			}
+		}
+	}
+}
+
+// checkFuncSnapshots runs the per-function taint pass.
+func checkFuncSnapshots(pass *Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	// isTainted resolves whether an expression carries a pinned
+	// snapshot, through locals, indexing, slicing, and append.
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		switch ee := e.(type) {
+		case *ast.CallExpr:
+			if isPinCall(pass, ee) {
+				return true
+			}
+			// append(dst, pinned...) stays tainted.
+			if id, ok := ee.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range ee.Args {
+					if isTainted(arg) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.Ident:
+			return tainted[pass.Info.ObjectOf(ee)]
+		case *ast.IndexExpr:
+			return isTainted(ee.X)
+		case *ast.SliceExpr:
+			return isTainted(ee.X)
+		case *ast.ParenExpr:
+			return isTainted(ee.X)
+		}
+		return false
+	}
+
+	// Fixpoint taint propagation across the function's assignments
+	// (loops can carry taint backward through a local).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.AssignStmt:
+				if len(nn.Lhs) != len(nn.Rhs) {
+					return true
+				}
+				for i, lhs := range nn.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" || !isTainted(nn.Rhs[i]) {
+						continue
+					}
+					obj := pass.Info.ObjectOf(id)
+					if obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, val := range nn.Values {
+					if i >= len(nn.Names) || !isTainted(val) {
+						continue
+					}
+					obj := pass.Info.ObjectOf(nn.Names[i])
+					if obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Flag escaping stores.
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if !isTainted(assign.Rhs[i]) {
+				continue
+			}
+			switch target := lhs.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[target]; ok && sel.Kind() == types.FieldVal {
+					pass.Report(assign.Pos(), "pinned snapshot stored into struct field %s; pins are request-scoped — holding one in a field defeats epoch GC and serves unboundedly stale reads", target.Sel.Name)
+				}
+			case *ast.Ident:
+				obj := pass.Info.ObjectOf(target)
+				if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+					pass.Report(assign.Pos(), "pinned snapshot stored in package-level variable %s; the pin outlives every request and the epoch GC can never reclaim it", target.Name)
+				}
+			case *ast.IndexExpr:
+				if _, isMap := pass.Info.TypeOf(target.X).Underlying().(*types.Map); isMap {
+					pass.Report(assign.Pos(), "pinned snapshot stored into a map; map entries outlive the request pin — key the map by epoch-stable data instead")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,33 @@
+// Package clean holds code atomicfield must stay silent on: uniformly
+// atomic access, typed atomics used as method receivers or by address,
+// plain fields never touched atomically, and a justified pre-publication
+// store.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	epoch atomic.Uint64
+	plain int
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.n) }
+
+func (c *counter) bump() { c.epoch.Add(1) }
+
+func (c *counter) ref() *atomic.Uint64 { return &c.epoch }
+
+func (c *counter) touchPlain() int {
+	c.plain++
+	return c.plain
+}
+
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	//lint:ignore atomicfield pre-publication initialization; no goroutine can hold c yet
+	c.n = seed
+	return c
+}

@@ -1,0 +1,26 @@
+// Package flag exercises both atomicfield rules: plain access to a
+// field that is touched through sync/atomic elsewhere in the package,
+// and value copies of typed atomic fields.
+package flag
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	epoch atomic.Uint64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) racyRead() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *counter) copyTypedAtomic() uint64 {
+	e := c.epoch // want `atomic field epoch \(atomic.Uint64\) used as a value`
+	return e.Load()
+}

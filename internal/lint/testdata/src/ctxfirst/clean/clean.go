@@ -1,0 +1,61 @@
+// Package clean holds code ctxfirst must stay silent on: ctx-first
+// signatures, the sanctioned orBackground helper, unexported blocking
+// functions, bounded mutex critical sections, goroutine bodies, and a
+// doc-comment-justified suppression.
+package clean
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// orBackground is the sanctioned nil-fallback boundary helper: the one
+// place the package may manufacture a Background context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+func ReadAll(ctx context.Context, path string) ([]byte, error) {
+	if err := orBackground(ctx).Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// slurp blocks but is unexported: rule 1 covers the exported surface.
+func slurp(path string) ([]byte, error) { return os.ReadFile(path) }
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value holds a mutex for a bounded critical section; that is not
+// blocking in the rule-1 sense and needs no ctx.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Spawn's closure does I/O, but closures run on their own schedule; the
+// call site that waits on them is where ctx belongs.
+func Spawn(done func()) {
+	go func() {
+		if _, err := slurp("x"); err != nil {
+			done()
+		}
+	}()
+}
+
+// Probe stats one path and returns.
+//
+//lint:ignore ctxfirst single metadata stat probe; there is no blocking work a context could usefully cancel
+func Probe(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,36 @@
+// Package flag exercises both ctxfirst rules: exported blocking
+// functions without a leading context.Context, and manufactured
+// context.Background()/TODO() outside the nil-fallback helper.
+package flag
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+type Server struct{ wg sync.WaitGroup }
+
+func ReadAll(path string) ([]byte, error) { // want `exported ReadAll performs I/O \(os.ReadFile\) but does not take context.Context`
+	return os.ReadFile(path)
+}
+
+func (s *Server) Drain() { // want `exported Drain blocks on sync.WaitGroup.Wait but does not take context.Context`
+	s.wg.Wait()
+}
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+func Chain() error { // want `exported Chain calls a context-taking function \(helper\) but does not take context.Context`
+	return helper(context.Background()) // want `context.Background\(\) manufactured on the serving path`
+}
+
+func CtxNotFirst(path string, ctx context.Context) error { // want `exported CtxNotFirst performs I/O \(os.Stat\) but does not take context.Context as its first parameter`
+	_ = ctx
+	_, err := os.Stat(path)
+	return err
+}
+
+func manufactured() context.Context {
+	return context.TODO() // want `context.TODO\(\) manufactured on the serving path`
+}

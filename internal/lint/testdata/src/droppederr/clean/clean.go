@@ -1,0 +1,38 @@
+// Package clean holds code droppederr must stay silent on: handled
+// errors, the fmt.Print*/Fprint* and Builder/Buffer allowlist, and
+// non-error discards.
+package clean
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func cause() error { return os.Remove("nope") }
+
+func handled() error {
+	if err := cause(); err != nil {
+		return err
+	}
+	return cause()
+}
+
+func allowlisted() string {
+	fmt.Println("status")
+	fmt.Printf("%d\n", 1)
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 2)
+	var buf bytes.Buffer
+	buf.WriteByte('y')
+	return b.String() + buf.String()
+}
+
+func nonError() (int, bool) { return 1, true }
+
+func nonErrorBlank() int {
+	n, _ := nonError()
+	return n
+}

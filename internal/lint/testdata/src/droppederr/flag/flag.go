@@ -1,0 +1,38 @@
+// Package flag exercises every droppederr flagging shape: bare call
+// statements (plain, go, defer) and blank-identifier assignments, both
+// tuple and element-wise.
+package flag
+
+import (
+	"errors"
+	"os"
+)
+
+func cause() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func bareCall() {
+	cause() // want `result of cause contains an error that is discarded`
+}
+
+func goAndDefer() {
+	go cause()    // want `result of cause contains an error that is discarded`
+	defer cause() // want `result of cause contains an error that is discarded`
+}
+
+func blankAssigns() int {
+	_ = cause()    // want `error value assigned to blank identifier`
+	n, _ := pair() // want `error result of pair assigned to blank identifier`
+	return n
+}
+
+func elementWise() error {
+	var keep error
+	keep, _ = cause(), cause() // want `error value assigned to blank identifier`
+	return keep
+}
+
+func stdlibDiscard() {
+	_ = os.Remove("scratch") // want `error value assigned to blank identifier`
+}

@@ -1,0 +1,33 @@
+// Package ignore exercises the //lint:ignore escape hatch: a justified
+// directive suppresses the finding on its own line or the line below; a
+// directive without a justification suppresses nothing and is itself
+// reported.
+package ignore
+
+import "errors"
+
+func cause() error { return errors.New("boom") }
+
+func justifiedSameLine() {
+	_ = cause() //lint:ignore droppederr best-effort teardown, failure changes nothing
+}
+
+func justifiedLineAbove() {
+	//lint:ignore droppederr best-effort teardown, failure changes nothing
+	cause()
+}
+
+func justifiedMultiAnalyzer() {
+	//lint:ignore droppederr,ctxfirst shared justification covering both analyzers
+	cause()
+}
+
+func wrongAnalyzerName() {
+	//lint:ignore ctxfirst justification aimed at a different analyzer
+	cause() // want `result of cause contains an error that is discarded`
+}
+
+func missingJustification() {
+	/* want `//lint:ignore requires a justification` */ //lint:ignore droppederr
+	cause() // want `result of cause contains an error that is discarded`
+}

@@ -1,0 +1,29 @@
+// Package clean holds code snapshotescape must stay silent on:
+// request-scoped pins, returning a pin to the caller (how the pinning
+// API itself is built), local slices, and a justified suppression.
+package clean
+
+import "repro/internal/fragindex"
+
+func requestScoped(l *fragindex.LiveIndex) bool {
+	s := l.Snapshot()
+	return s != nil
+}
+
+func pinAndReturn(l *fragindex.LiveIndex) *fragindex.Snapshot {
+	return l.Snapshot()
+}
+
+func gatherLocal(sl *fragindex.ShardedLiveIndex) int {
+	snaps := sl.PinAll()
+	return len(snaps)
+}
+
+type cache struct {
+	snap *fragindex.Snapshot
+}
+
+func justified(c *cache, l *fragindex.LiveIndex) {
+	//lint:ignore snapshotescape test fixture: the cache dies with the enclosing request
+	c.snap = l.Snapshot()
+}

@@ -1,0 +1,44 @@
+// Package flag exercises snapshotescape against the real fragindex
+// Snapshot type: field stores, package-level variable stores, and map
+// stores of pinned snapshots, including taint through locals, indexing,
+// and append.
+package flag
+
+import "repro/internal/fragindex"
+
+type holder struct {
+	snap *fragindex.Snapshot
+}
+
+var nilLive *fragindex.LiveIndex
+
+var global = nilLive.Snapshot() // want `pinned snapshot stored in a package-level variable`
+
+var registry = map[string]*fragindex.Snapshot{}
+
+var current *fragindex.Snapshot
+
+func storeField(h *holder, l *fragindex.LiveIndex) {
+	s := l.Snapshot()
+	h.snap = s // want `pinned snapshot stored into struct field snap`
+}
+
+func storeMap(l *fragindex.LiveIndex) {
+	registry["cur"] = l.Snapshot() // want `pinned snapshot stored into a map`
+}
+
+func storePackageVar(l *fragindex.LiveIndex) {
+	s := l.Snapshot()
+	current = s // want `pinned snapshot stored in package-level variable current`
+}
+
+func storeIndexed(h *holder, sl *fragindex.ShardedLiveIndex) {
+	snaps := sl.PinAll()
+	h.snap = snaps[0] // want `pinned snapshot stored into struct field snap`
+}
+
+func storeAppended(h *holder, l *fragindex.LiveIndex) {
+	var snaps []*fragindex.Snapshot
+	snaps = append(snaps, l.Snapshot())
+	h.snap = snaps[0] // want `pinned snapshot stored into struct field snap`
+}

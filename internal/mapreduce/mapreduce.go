@@ -279,6 +279,7 @@ func splitInput(input []KV, n int) [][]KV {
 // partition hashes a key onto a reduce task.
 func partition(key string, reduceTasks int) int {
 	h := fnv.New32a()
+	//lint:ignore droppederr hash.Hash.Write is documented to never return an error
 	_, _ = h.Write([]byte(key))
 	return int(h.Sum32() % uint32(reduceTasks))
 }

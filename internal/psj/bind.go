@@ -127,6 +127,7 @@ func Bind(q *Query, db *relation.Database) (*Bound, error) {
 					break
 				}
 				owner = li.Relation
+				//lint:ignore droppederr HasColumn above guarantees the column exists; ColumnKind cannot fail here
 				kind, _ = t.Schema.ColumnKind(ref.Col)
 			}
 		}
