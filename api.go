@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/faultfs"
 	"repro/internal/search"
 )
 
@@ -80,6 +81,8 @@ type openConfig struct {
 	readOnly   bool
 	dataDir    string // non-empty: durable serving rooted here
 	syncPolicy SyncPolicy
+	retry      DurabilityRetryPolicy    // zero value: durable defaults
+	fsys       faultfs.FS               // nil: the real os package
 	cacheBytes int64                    // > 0: epoch-keyed result cache budget
 	admission  *search.AdmissionOptions // non-nil: deadline-aware shedding
 }
@@ -173,6 +176,30 @@ func WithDataDir(dir string) Option {
 func WithSyncPolicy(p SyncPolicy) Option {
 	return func(c *openConfig) error {
 		c.syncPolicy = p
+		return nil
+	}
+}
+
+// WithDurabilityRetry tunes how a WithDataDir handle survives disk
+// faults: transient append/checkpoint failures retry with capped
+// exponential backoff; after FailureThreshold consecutive failures the
+// handle degrades — searches keep serving, durable mutations fail fast
+// with ErrDurabilityDegraded — until the background prober restores the
+// data directory to service. The zero value means the durable defaults.
+func WithDurabilityRetry(p DurabilityRetryPolicy) Option {
+	return func(c *openConfig) error {
+		c.retry = p
+		return nil
+	}
+}
+
+// WithDurableFS substitutes the filesystem the durable store writes
+// through — the chaos-testing seam (faultfs.NewInjector wraps faultfs.OS
+// with a programmable fault schedule). Only meaningful with WithDataDir;
+// nil means the real os package.
+func WithDurableFS(fsys faultfs.FS) Option {
+	return func(c *openConfig) error {
+		c.fsys = fsys
 		return nil
 	}
 }

@@ -444,4 +444,8 @@ func (cd *cachedDurable) Checkpoint(ctx context.Context) error { return cd.d.Che
 
 func (cd *cachedDurable) DurabilityStats() DurabilityStats { return cd.d.DurabilityStats() }
 
+func (cd *cachedDurable) DurabilityState() DurabilityState { return cd.d.DurabilityState() }
+
+func (cd *cachedDurable) DurabilityProbeIn() time.Duration { return cd.d.DurabilityProbeIn() }
+
 func (cd *cachedDurable) Close() error { return cd.d.Close() }

@@ -137,7 +137,7 @@ func TestPerClientCap(t *testing.T) {
 		}
 		w.WriteHeader(http.StatusOK)
 	})
-	h := withRequestMiddleware(inner, newClientLimiter(1))
+	h := withRequestMiddleware(inner, newClientLimiter(1), nil, nil)
 
 	do := func(url, client string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()

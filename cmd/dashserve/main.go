@@ -84,12 +84,34 @@
 // /v1/admin/stats grows a "durability" block (journal, checkpoint, and
 // recovery counters) when -data-dir is set.
 //
+// # Degraded serving & health
+//
+// With -data-dir the server rides out disk faults instead of crashing:
+// transient journal/checkpoint failures retry with capped exponential
+// backoff (-durability-retries), and after -durability-failure-threshold
+// consecutive failures the server degrades — searches keep serving from
+// published snapshots, while /v1/admin/apply answers 503 with code
+// "durability_degraded" and a Retry-After derived from the background
+// prober's next disk re-test (-durability-probe-interval, backing off).
+// A successful probe triggers automatic recovery: the poisoned journal is
+// sealed at the last acknowledged record, a fresh checkpoint re-baselines
+// every shard, and writes resume without a restart.
+//
+// Two probe endpoints expose this: /v1/healthz is pure liveness (200
+// whenever the process answers HTTP — degradation does not fail it), and
+// /v1/readyz is readiness (200 "ready" normally; 200 "degraded" while
+// durability is lost, since reads still serve; 503 "shutting_down" once
+// the drain starts). The access log carries durability=healthy|degraded
+// per request and /v1/admin/stats' "durability" block reports the state
+// machine's counters (retries, degradations, probes, recoveries).
+//
 // -pprof opts into net/http/pprof under /debug/pprof/ for profiling the
 // serving path; it is off by default so the profiling surface is never
 // exposed unintentionally.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight searches
-// drain before the process exits.
+// The server shuts down gracefully on SIGINT/SIGTERM: readiness flips to
+// shutting-down first, then in-flight searches drain before the process
+// exits.
 package main
 
 import (
@@ -142,6 +164,12 @@ func run(args []string) error {
 		"process-wide concurrent search cap with deadline-aware shedding: excess or doomed searches answer 503 + Retry-After (0 disables)")
 	perClient := fs.Int("per-client-inflight", 0,
 		"concurrent search cap per client (X-Client-ID header, else remote host): excess answers 429 + Retry-After (0 disables)")
+	durRetries := fs.Int("durability-retries", 2,
+		"retries per failed durable append/checkpoint with -data-dir (capped exponential backoff; negative disables)")
+	durThreshold := fs.Int("durability-failure-threshold", 2,
+		"consecutive post-retry durable failures before the server degrades (reads keep serving, writes answer 503 durability_degraded)")
+	durProbe := fs.Duration("durability-probe-interval", 500*time.Millisecond,
+		"first degraded-mode disk re-probe delay; failed probes back off exponentially")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,7 +202,12 @@ func run(args []string) error {
 	if *dataDir != "" {
 		opts = append(opts,
 			dash.WithDataDir(*dataDir),
-			dash.WithSyncPolicy(dash.SyncPolicy{Mode: dash.SyncMode(*syncMode), Interval: *syncEvery}))
+			dash.WithSyncPolicy(dash.SyncPolicy{Mode: dash.SyncMode(*syncMode), Interval: *syncEvery}),
+			dash.WithDurabilityRetry(dash.DurabilityRetryPolicy{
+				MaxRetries:       *durRetries,
+				FailureThreshold: *durThreshold,
+				ProbeInterval:    *durProbe,
+			}))
 	}
 	if *cacheBytes > 0 {
 		opts = append(opts, dash.WithResultCache(*cacheBytes))
@@ -226,7 +259,7 @@ func run(args []string) error {
 		}
 	}
 
-	handler := newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{
+	handler, srv := newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{
 		withPprof:         *pprofFlag,
 		searchTimeout:     *searchTimeout,
 		perClientInFlight: *perClient,
@@ -276,6 +309,9 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down, draining in-flight requests…")
+	// Flip readiness first so balancers stop routing new traffic while the
+	// in-flight requests drain (liveness stays green throughout).
+	srv.markDraining()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {

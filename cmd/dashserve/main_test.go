@@ -46,7 +46,8 @@ func testMuxCfg(t *testing.T, cfg serveConfig, extra ...dash.Option) (http.Handl
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newMux(engine, app, db, bound.SelAttrKinds(), cfg), engine
+	mux, _ := newMux(engine, app, db, bound.SelAttrKinds(), cfg)
+	return mux, engine
 }
 
 func get(t *testing.T, mux http.Handler, url string) *httptest.ResponseRecorder {
@@ -419,7 +420,7 @@ func TestHomePage(t *testing.T) {
 func TestMiddlewareRecovery(t *testing.T) {
 	h := withRequestMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("handler exploded")
-	}), nil)
+	}), nil, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
 	if rec.Code != http.StatusInternalServerError {
@@ -541,7 +542,8 @@ func durableMux(t *testing.T) (http.Handler, dash.Handle) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { engine.(io.Closer).Close() })
-	return newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{searchTimeout: 5 * time.Second}), engine
+	mux, _ := newMux(engine, app, db, bound.SelAttrKinds(), serveConfig{searchTimeout: 5 * time.Second})
+	return mux, engine
 }
 
 // TestV1StatsDurability: /v1/admin/stats grows a "durability" block only

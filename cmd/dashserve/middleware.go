@@ -119,8 +119,12 @@ func newRequestID() string {
 // line must record the status the handler (or the recovery) settled on,
 // and the per-client cap rejects before the handler allocates anything —
 // a capped-out client's requests cost map lookups, nothing more. limiter
-// may be nil (no per-client cap).
-func withRequestMiddleware(next http.Handler, limiter *clientLimiter) http.Handler {
+// may be nil (no per-client cap). durState feeds the access log's
+// durability field (an atomic read per line); retryAfter429 prices the
+// Retry-After hint for capped-out clients from the engine's observed
+// search latency — roughly when one of the client's own slots frees up —
+// instead of a made-up constant.
+func withRequestMiddleware(next http.Handler, limiter *clientLimiter, durState func() string, retryAfter429 func() string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := newRequestID()
 		w.Header().Set("X-Request-ID", id)
@@ -147,14 +151,22 @@ func withRequestMiddleware(next http.Handler, limiter *clientLimiter) http.Handl
 			if cache == "" {
 				cache = "-"
 			}
-			log.Printf("%s %s -> %d (%s) id=%s cache=%s",
+			dur := "-"
+			if durState != nil {
+				dur = durState()
+			}
+			log.Printf("%s %s -> %d (%s) id=%s cache=%s durability=%s",
 				r.Method, r.URL.RequestURI(), code,
-				time.Since(start).Round(time.Microsecond), id, cache)
+				time.Since(start).Round(time.Microsecond), id, cache, dur)
 		}()
 		if limiter != nil && isSearchRoute(r.URL.Path) {
 			key := clientKey(r)
 			if !limiter.acquire(key) {
-				sr.Header().Set("Retry-After", "1")
+				hint := "1"
+				if retryAfter429 != nil {
+					hint = retryAfter429()
+				}
+				sr.Header().Set("Retry-After", hint)
 				writeError(sr, http.StatusTooManyRequests, "too_many_requests",
 					"per-client in-flight search limit reached; retry later")
 				return

@@ -15,6 +15,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	dash "repro"
@@ -40,21 +41,29 @@ type serveConfig struct {
 
 // server binds the handlers to the serving contract. Handlers only ever
 // use dash.Handle — Searcher for reads, Maintainer for admin writes — so
-// the surface is identical whatever topology Open picked.
+// the surface is identical whatever topology Open picked. health is the
+// handle's cheap durability-state surface (nil for non-durable handles);
+// draining flips readiness off for the graceful-shutdown window.
 type server struct {
-	eng   dash.Handle
-	app   *webapp.Application
-	db    *dash.Database
-	kinds []relation.Kind
-	cfg   serveConfig
+	eng      dash.Handle
+	app      *webapp.Application
+	db       *dash.Database
+	kinds    []relation.Kind
+	cfg      serveConfig
+	health   dash.DurabilityHealth
+	draining atomic.Bool
 }
 
 // newMux assembles the full HTTP surface over a serving handle and wraps
 // it in the request middleware (X-Request-ID, access log, panic-to-500).
 // Split out of run so handler tests can drive it with httptest against a
-// small dataset.
-func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds []relation.Kind, cfg serveConfig) http.Handler {
+// small dataset. The returned server carries the readiness state main
+// flips when shutdown begins.
+func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds []relation.Kind, cfg serveConfig) (http.Handler, *server) {
 	s := &server{eng: eng, app: app, db: db, kinds: kinds, cfg: cfg}
+	if dh, ok := eng.(dash.DurabilityHealth); ok {
+		s.health = dh
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/app", app.Handler())
 	if cfg.withPprof {
@@ -70,6 +79,8 @@ func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds [
 	mux.HandleFunc("/v1/search:batch", s.v1SearchBatch)
 	mux.HandleFunc("/v1/admin/stats", s.v1AdminStats)
 	mux.HandleFunc("/v1/admin/apply", s.v1AdminApply)
+	mux.HandleFunc("/v1/healthz", s.v1Healthz)
+	mux.HandleFunc("/v1/readyz", s.v1Readyz)
 
 	// Pre-/v1 routes delegate to the same handlers under a deprecation
 	// header: existing JSON clients keep working byte-for-byte and see
@@ -86,7 +97,8 @@ func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds [
 	// The human demo page.
 	mux.HandleFunc("/", s.home)
 
-	return withRequestMiddleware(mux, newClientLimiter(cfg.perClientInFlight))
+	return withRequestMiddleware(mux, newClientLimiter(cfg.perClientInFlight),
+		s.durabilityState, s.overloadRetryAfter), s
 }
 
 // deprecated marks a legacy route: same handler, plus the standard
@@ -119,14 +131,21 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 
 // writeEngineError maps an engine or context error onto the envelope:
 // context errors are the caller's own signals (504 when the per-request
-// budget fired, 499 when the client went away), an admission-control shed
-// is a 503 with a Retry-After hint (the engine is overloaded — nothing is
-// wrong with the request), and everything else from a well-formed request
-// is a validation failure.
-func writeEngineError(w http.ResponseWriter, err error) {
+// budget fired, 499 when the client went away); an admission-control shed
+// or a degraded durable write is a 503 with a Retry-After hint computed
+// from actual server state (nothing is wrong with the request — see
+// health.go for the arithmetic); a write after Close means the server is
+// going away; and everything else from a well-formed request is a
+// validation failure.
+func (s *server) writeEngineError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, dash.ErrDurabilityDegraded):
+		w.Header().Set("Retry-After", s.degradedRetryAfter())
+		writeError(w, http.StatusServiceUnavailable, "durability_degraded", err.Error())
+	case errors.Is(err, dash.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
 	case errors.Is(err, dash.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.overloadRetryAfter())
 		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
@@ -139,6 +158,16 @@ func writeEngineError(w http.ResponseWriter, err error) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// writeJSONStatus is writeJSON with an explicit non-200 status (the
+// readiness probe's shutting-down answer).
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("encode: %v", err)
 	}
@@ -237,7 +266,7 @@ func (s *server) v1Search(w http.ResponseWriter, r *http.Request) {
 	results, status, err := s.search(ctx, base)
 	w.Header().Set("X-Cache", string(status))
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	w.Header().Set("X-Elapsed", time.Since(start).Round(time.Microsecond).String())
@@ -306,7 +335,7 @@ func (s *server) v1SearchBatch(w http.ResponseWriter, r *http.Request) {
 	// ErrOverloaded, which must answer 503, not a 200 of error entries).
 	for _, br := range batch {
 		if br.Err != nil && (errors.Is(br.Err, context.DeadlineExceeded) || errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, dash.ErrOverloaded)) {
-			writeEngineError(w, br.Err)
+			s.writeEngineError(w, br.Err)
 			return
 		}
 	}
@@ -329,25 +358,14 @@ func (s *server) v1SearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"queries": entries})
 }
 
-// statsResponse is the /v1/admin/stats body: the unified EngineStats
-// shape, plus the durability report when the serving handle is durable.
-// Without -data-dir the extra field is omitted entirely, so legacy
-// payloads are byte-identical.
-type statsResponse struct {
-	dash.EngineStats
-	Durability *dash.DurabilityStats `json:"durability,omitempty"`
-}
-
 // v1AdminStats answers GET /v1/admin/stats with the unified EngineStats
-// shape (topology, aggregate counters, per-shard detail when sharded) and,
-// for durable handles, journal/checkpoint/recovery counters.
+// shape (topology, aggregate counters, per-shard detail when sharded).
+// Durable handles fill the "durability" block themselves — journal,
+// checkpoint, and recovery counters plus the health state machine — so
+// without -data-dir the field is omitted and legacy payloads stay
+// byte-identical.
 func (s *server) v1AdminStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{EngineStats: s.eng.Stats()}
-	if dr, ok := s.eng.(dash.DurabilityReporter); ok {
-		ds := dr.DurabilityStats()
-		resp.Durability = &ds
-	}
-	writeJSON(w, resp)
+	writeJSON(w, s.eng.Stats())
 }
 
 // v1AdminApply answers POST /v1/admin/apply: explicit fragment changes
@@ -374,7 +392,7 @@ func (s *server) v1AdminApply(w http.ResponseWriter, r *http.Request) {
 	}
 	stats, err := s.handleApply(ctx, req)
 	if err != nil {
-		writeEngineError(w, err)
+		s.writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, stats)

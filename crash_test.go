@@ -19,6 +19,7 @@ package dash
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/relation"
 )
 
@@ -92,7 +94,30 @@ func TestCrashWorkloadChild(t *testing.T) {
 		}()
 	}
 	_, app, build := fooddbIndex(t)
-	h, err := Open(context.Background(), build(), app, WithShards(shards), WithDataDir(dir))
+	opts := []Option{WithShards(shards), WithDataDir(dir)}
+	// DASH_CRASH_FAULTS routes the child's durable writes through a fault
+	// injector with the given schedule (faultfs.ParseSchedule syntax) and a
+	// fast retry/probe policy, so the parent can crash the child while it
+	// is degraded or mid prober-driven recovery.
+	var inj *faultfs.Injector
+	if spec := os.Getenv("DASH_CRASH_FAULTS"); spec != "" {
+		rules, err := faultfs.ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("child fault schedule: %v", err)
+		}
+		inj = faultfs.NewInjector(faultfs.OS)
+		inj.SetRules(rules...)
+		opts = append(opts, WithDurableFS(inj), WithDurabilityRetry(DurabilityRetryPolicy{
+			MaxRetries:       1,
+			Backoff:          time.Millisecond,
+			MaxBackoff:       2 * time.Millisecond,
+			FailureThreshold: 2,
+			ProbeInterval:    25 * time.Millisecond,
+			MaxProbeInterval: 50 * time.Millisecond,
+		}))
+	}
+	exitOnDegraded := os.Getenv("DASH_CRASH_EXIT_ON_DEGRADED") == "1"
+	h, err := Open(context.Background(), build(), app, opts...)
 	if err != nil {
 		t.Fatalf("child open: %v", err)
 	}
@@ -101,8 +126,21 @@ func TestCrashWorkloadChild(t *testing.T) {
 		t.Fatalf("child ack file: %v", err)
 	}
 	for i := 0; i < n; i++ {
-		if _, err := h.Apply(context.Background(), crashDeltaAt(i)); err != nil {
-			t.Fatalf("child apply %d: %v", i, err)
+		// Under a fault schedule the same delta retries until acknowledged,
+		// so the acknowledged applies are always exactly deltas 0..acked-1;
+		// failed attempts publish nothing (the builder rolls them back).
+		for {
+			_, err := h.Apply(context.Background(), crashDeltaAt(i))
+			if err == nil {
+				break
+			}
+			if inj == nil {
+				t.Fatalf("child apply %d: %v", i, err)
+			}
+			if exitOnDegraded && errors.Is(err, ErrDurabilityDegraded) {
+				os.Exit(137) // crash while degraded, no Go-level cleanup
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
 		// The ack is the parent's ground truth for "this apply was
 		// acknowledged": one fsynced byte per successful Apply.
@@ -113,7 +151,7 @@ func TestCrashWorkloadChild(t *testing.T) {
 			t.Fatalf("child ack sync %d: %v", i, err)
 		}
 		if i%crashCheckpointEvery == crashCheckpointEvery-1 {
-			if err := h.(Checkpointer).Checkpoint(context.Background()); err != nil {
+			if err := h.(Checkpointer).Checkpoint(context.Background()); err != nil && inj == nil {
 				t.Fatalf("child checkpoint after %d: %v", i, err)
 			}
 		}
@@ -123,19 +161,44 @@ func TestCrashWorkloadChild(t *testing.T) {
 	}
 }
 
+// crashFault is one matrix entry: a crashpoint and/or timer kill, plus an
+// optional disk-fault schedule driving the durability state machine.
+type crashFault struct {
+	name    string
+	point   string // DASH_CRASHPOINT spec, "" for none
+	afterMS int    // timer kill, 0 for none
+	// faults is a faultfs schedule for the child's disk, "" for none.
+	faults string
+	// exitOnDegraded makes the child crash (exit 137) the moment an apply
+	// fails fast with ErrDurabilityDegraded.
+	exitOnDegraded bool
+	// mustCrash asserts the child died at the injected fault rather than
+	// finishing the workload.
+	mustCrash bool
+	// wantAcked, when positive, pins the exact acknowledged count the
+	// schedule arithmetic predicts.
+	wantAcked int
+}
+
 // spawnCrashChild re-executes the test binary running only the child
 // workload, returning the acknowledged-apply count and whether the child
 // died at the injected fault (any other failure is fatal).
-func spawnCrashChild(t *testing.T, dir, ackPath string, shards, deltas int, point string, afterMS int) (acked int, crashed bool) {
+func spawnCrashChild(t *testing.T, dir, ackPath string, shards, deltas int, f crashFault) (acked int, crashed bool) {
 	t.Helper()
+	exitEnv := "0"
+	if f.exitOnDegraded {
+		exitEnv = "1"
+	}
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashWorkloadChild$")
 	cmd.Env = append(os.Environ(),
 		"DASH_CRASH_DIR="+dir,
 		"DASH_CRASH_ACK="+ackPath,
 		"DASH_CRASH_SHARDS="+strconv.Itoa(shards),
 		"DASH_CRASH_DELTAS="+strconv.Itoa(deltas),
-		"DASH_CRASHPOINT="+point,
-		"DASH_CRASH_AFTER_MS="+strconv.Itoa(afterMS),
+		"DASH_CRASHPOINT="+f.point,
+		"DASH_CRASH_AFTER_MS="+strconv.Itoa(f.afterMS),
+		"DASH_CRASH_FAULTS="+f.faults,
+		"DASH_CRASH_EXIT_ON_DEGRADED="+exitEnv,
 	)
 	out, err := cmd.CombinedOutput()
 	switch ee, ok := err.(*exec.ExitError); {
@@ -184,13 +247,8 @@ func TestCrashRecovery(t *testing.T) {
 	_, app, build := fooddbIndex(t)
 	const deltas = 12
 
-	type fault struct {
-		name    string
-		point   string // DASH_CRASHPOINT spec, "" for none
-		afterMS int    // timer kill, 0 for none
-	}
 	for _, shards := range []int{1, 3} {
-		faults := []fault{
+		faults := []crashFault{
 			{name: "none"},
 			{name: "journal-before-sync-first", point: "journal.append.before-sync:1"},
 			{name: "journal-after-sync-first", point: "journal.append.after-sync:1"},
@@ -208,6 +266,24 @@ func TestCrashRecovery(t *testing.T) {
 			{name: "checkpoint-before-prune", point: "checkpoint.before-prune:1"},
 			{name: "timer-kill-early", afterMS: 3},
 			{name: "timer-kill-late", afterMS: 20},
+			// Degraded-mode cases. Init fsyncs one journal header per shard
+			// and each apply fsyncs one journal record, so a wal-sync rule
+			// starting after shards+4 matches lets exactly 4 applies ack.
+			// MaxRetries=1 means a failed apply burns 2 faults and
+			// FailureThreshold=2 degrades after 2 failed applies; the x6
+			// window additionally feeds the first two recovery attempts'
+			// journal-header fsyncs before letting the third succeed.
+			{name: "fault-degraded-crash",
+				faults:         fmt.Sprintf("sync~%s@%d", ".wal", shards+4),
+				exitOnDegraded: true, mustCrash: true, wantAcked: 4},
+			{name: "fault-recover-before-checkpoint",
+				faults:    fmt.Sprintf("sync~%s@%dx6", ".wal", shards+4),
+				point:     "degraded.recover.before-checkpoint:1",
+				mustCrash: true, wantAcked: 4},
+			{name: "fault-recover-after-checkpoint",
+				faults:    fmt.Sprintf("sync~%s@%dx6", ".wal", shards+4),
+				point:     "degraded.recover.after-checkpoint:1",
+				mustCrash: true, wantAcked: 4},
 		}
 		if testing.Short() {
 			faults = faults[:8]
@@ -218,14 +294,20 @@ func TestCrashRecovery(t *testing.T) {
 				root := crashArtifactRoot(t)
 				dir := filepath.Join(root, "data")
 				ackPath := filepath.Join(root, "ack")
-				acked, crashed := spawnCrashChild(t, dir, ackPath, shards, deltas, f.point, f.afterMS)
-				if f.point == "" && f.afterMS == 0 {
+				acked, crashed := spawnCrashChild(t, dir, ackPath, shards, deltas, f)
+				if f.point == "" && f.afterMS == 0 && f.faults == "" {
 					if crashed {
 						t.Fatal("control child crashed without an injected fault")
 					}
 					if acked != deltas {
 						t.Fatalf("control child acknowledged %d/%d applies", acked, deltas)
 					}
+				}
+				if f.mustCrash && !crashed {
+					t.Fatalf("child finished the workload past %q without crashing", f.name)
+				}
+				if f.wantAcked > 0 && acked != f.wantAcked {
+					t.Fatalf("child acknowledged %d applies, schedule predicts %d", acked, f.wantAcked)
 				}
 
 				if !IsInitialized(dir) {

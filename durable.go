@@ -9,6 +9,7 @@ package dash
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/fragindex"
@@ -27,6 +28,35 @@ type (
 	DurabilityStats = durable.Stats
 	// RecoveryInfo reports what recovering one shard took.
 	RecoveryInfo = durable.RecoveryInfo
+	// DurabilityRetryPolicy tunes durable retry/backoff and degraded-mode
+	// probing (WithDurabilityRetry).
+	DurabilityRetryPolicy = durable.RetryPolicy
+	// DurabilityState names the durability state machine's state
+	// (DurabilityStats.State carries it as a string).
+	DurabilityState = durable.State
+)
+
+// Durability state machine states.
+const (
+	// DurabilityHealthy: durable mutations reach stable storage.
+	DurabilityHealthy = durable.StateHealthy
+	// DurabilityDegraded: the data dir failed repeatedly; searches keep
+	// serving but durable mutations fail fast with ErrDurabilityDegraded
+	// until the background prober restores service.
+	DurabilityDegraded = durable.StateDegraded
+)
+
+// Typed durability errors. Both surface through errors.Is whatever
+// wrapping the publish path adds.
+var (
+	// ErrDurabilityDegraded is returned (possibly wrapped) by every
+	// durable mutation — Apply, ApplyBatch, Recrawl*, Flush, Checkpoint,
+	// CompactIfNeeded — while the handle is degraded. Searches are
+	// unaffected. The handle recovers automatically when the prober
+	// re-establishes the data directory.
+	ErrDurabilityDegraded = durable.ErrDegraded
+	// ErrClosed is returned by durable mutations after Close.
+	ErrClosed = durable.ErrClosed
 )
 
 // Journal sync modes for WithSyncPolicy.
@@ -67,13 +97,27 @@ type DurabilityReporter interface {
 	DurabilityStats() DurabilityStats
 }
 
+// DurabilityHealth is the cheap health surface of durable handles: both
+// methods are atomic reads, safe on every request path (readiness
+// probes, Retry-After hints, access logging) — unlike DurabilityStats,
+// which takes every shard lock. Non-durable handles do not satisfy it.
+type DurabilityHealth interface {
+	// DurabilityState reports the durability state machine's state.
+	DurabilityState() DurabilityState
+	// DurabilityProbeIn reports how long until the degraded-mode prober
+	// next re-tests the data dir (zero while healthy) — what serving
+	// layers derive Retry-After from for degraded writes.
+	DurabilityProbeIn() time.Duration
+}
+
 // openDurable is Open's WithDataDir branch. A fresh directory is seeded
 // from the caller's built index (after topology partitioning, so each
 // shard persists exactly what it serves); an initialized directory is
 // recovered — the persisted state wins, and a non-nil idx is rejected
 // rather than silently discarded.
 func openDurable(ctx context.Context, idx *Index, app *Application, cfg openConfig) (h Handle, err error) {
-	st, err := durable.Open(ctx, cfg.dataDir, cfg.syncPolicy)
+	st, err := durable.OpenWith(ctx, cfg.dataDir, cfg.syncPolicy,
+		durable.Options{FS: cfg.fsys, Retry: cfg.retry})
 	if err != nil {
 		return nil, err
 	}
@@ -161,11 +205,17 @@ func seedDurable(ctx context.Context, st *durable.Store, idx *Index, app *Applic
 
 // installHooks wires every publish cycle's write-ahead hook to its shard's
 // journal: the folded delta is appended (and, policy permitting, fsynced)
-// before the snapshot swap acknowledges the publish.
+// before the snapshot swap acknowledges the publish. It also installs the
+// degraded-recovery baseline: the builder rolls failed publishes back, so
+// a shard's Dump is always exactly its last acknowledged state — what the
+// prober's fresh checkpoint must re-establish past a poisoned journal.
 func installHooks(st *durable.Store, live *fragindex.LiveIndex, sl *fragindex.ShardedLiveIndex) {
 	if live != nil {
 		live.SetPublishHook(func(ctx context.Context, d Delta, epoch uint64) error {
 			return st.Append(ctx, 0, d, epoch)
+		})
+		st.SetBaseline(func(context.Context, int) (*fragindex.Dump, error) {
+			return live.Dump(), nil
 		})
 	}
 	if sl != nil {
@@ -175,6 +225,9 @@ func installHooks(st *durable.Store, live *fragindex.LiveIndex, sl *fragindex.Sh
 				return st.Append(ctx, shard, d, epoch)
 			})
 		}
+		st.SetBaseline(func(_ context.Context, shard int) (*fragindex.Dump, error) {
+			return sl.Shard(shard).Dump(), nil
+		})
 	}
 }
 
@@ -190,11 +243,55 @@ type durableHandle struct {
 	sharded *fragindex.ShardedLiveIndex
 }
 
+// Durable mutations fail fast while degraded: the store just proved the
+// disk unreliable, so no publish cycle is started that could not be made
+// durable. The same typed error would surface from the publish hook, but
+// failing before the fold/publish machinery runs keeps degraded writes
+// cheap and their errors unwrapped. Searches are never gated.
+
+func (h *durableHandle) Apply(ctx context.Context, d Delta) (ApplyReport, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return ApplyReport{}, err
+	}
+	return h.Handle.Apply(ctx, d)
+}
+
+func (h *durableHandle) ApplyBatch(ctx context.Context, ds []Delta) (ApplyReport, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return ApplyReport{}, err
+	}
+	return h.Handle.ApplyBatch(ctx, ds)
+}
+
+func (h *durableHandle) Recrawl(ctx context.Context, db *Database, ids []FragmentID) (ApplyReport, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return ApplyReport{}, err
+	}
+	return h.Handle.Recrawl(ctx, db, ids)
+}
+
+func (h *durableHandle) RecrawlWith(ctx context.Context, db *Database, ids []FragmentID, extra Delta) (ApplyReport, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return ApplyReport{}, err
+	}
+	return h.Handle.RecrawlWith(ctx, db, ids, extra)
+}
+
+func (h *durableHandle) RecrawlBatch(ctx context.Context, db *Database, ids []FragmentID, ds []Delta) (ApplyReport, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return ApplyReport{}, err
+	}
+	return h.Handle.RecrawlBatch(ctx, db, ids, ds)
+}
+
 // CompactIfNeeded runs the snapshot garbage collector and then checkpoints
 // every publish cycle — compacted or not — so the journal is truncated and
 // the on-disk generation reflects the served state (the durable layer's
 // "compaction doubles as checkpoint" contract).
 func (h *durableHandle) CompactIfNeeded(ctx context.Context, maxDeadRatio float64) (int, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return 0, err
+	}
 	n, err := h.Handle.CompactIfNeeded(ctx, maxDeadRatio)
 	if err != nil {
 		return n, err
@@ -226,14 +323,34 @@ func (h *durableHandle) Checkpoint(ctx context.Context) error {
 func (h *durableHandle) Queue(d Delta) int { return h.queuer.Queue(d) }
 
 // Flush publishes the queued deltas as one coalesced batch through the
-// journaled publish path.
+// journaled publish path. Queued deltas survive a degraded rejection: the
+// queue is untouched until the publish machinery runs.
 func (h *durableHandle) Flush(ctx context.Context) (ApplyReport, error) {
+	if err := h.store.DegradedErr(); err != nil {
+		return ApplyReport{}, err
+	}
 	return h.queuer.Flush(ctx)
 }
 
 // DurabilityStats reports the store's journal, checkpoint, and recovery
-// counters.
+// counters plus the durability state machine's health block.
 func (h *durableHandle) DurabilityStats() DurabilityStats { return h.store.Stats() }
+
+// DurabilityState reports the state machine's state (atomic read).
+func (h *durableHandle) DurabilityState() DurabilityState { return h.store.State() }
+
+// DurabilityProbeIn reports the time until the prober's next data-dir
+// test (atomic read; zero while healthy).
+func (h *durableHandle) DurabilityProbeIn() time.Duration { return h.store.NextProbeIn() }
+
+// Stats attaches the durability block to the wrapped topology's unified
+// serving stats.
+func (h *durableHandle) Stats() EngineStats {
+	st := h.Handle.Stats()
+	ds := h.store.Stats()
+	st.Durability = &ds
+	return st
+}
 
 // Close flushes unsynced journal appends and releases the data directory.
 // The handle keeps serving searches afterwards, but further applies fail:

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/crawl"
+	"repro/internal/faultfs"
 	"repro/internal/fragindex"
 	"repro/internal/fragment"
 	"repro/internal/relation"
@@ -200,7 +201,7 @@ func TestSnapshotUnsupportedVersion(t *testing.T) {
 // epochs and deltas intact.
 func TestJournalAppendReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.wal")
-	j, err := createJournal(path, 10)
+	j, err := createJournal(faultfs.OS, path, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestJournalAppendReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, allowTorn := range []bool{true, false} {
-		scan, err := readJournal(path, allowTorn)
+		scan, err := readJournal(faultfs.OS, path, allowTorn)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +239,7 @@ func TestJournalAppendReplay(t *testing.T) {
 // mid-chain.
 func TestJournalTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.wal")
-	j, err := createJournal(path, 0)
+	j, err := createJournal(faultfs.OS, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,14 +257,14 @@ func TestJournalTornTail(t *testing.T) {
 		if err := os.Truncate(path, full-cut); err != nil {
 			t.Fatal(err)
 		}
-		scan, err := readJournal(path, true)
+		scan, err := readJournal(faultfs.OS, path, true)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !scan.torn || len(scan.records) != 1 || scan.records[0].epoch != 1 {
 			t.Errorf("cut %d: torn %v records %d", cut, scan.torn, len(scan.records))
 		}
-		if _, err := readJournal(path, false); !errors.Is(err, ErrCorruptJournal) {
+		if _, err := readJournal(faultfs.OS, path, false); !errors.Is(err, ErrCorruptJournal) {
 			t.Errorf("cut %d mid-chain: err = %v, want ErrCorruptJournal", cut, err)
 		}
 	}
@@ -272,11 +273,11 @@ func TestJournalTornTail(t *testing.T) {
 	if err := os.WriteFile(path, []byte("DASH"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	scan, err := readJournal(path, true)
+	scan, err := readJournal(faultfs.OS, path, true)
 	if err != nil || !scan.torn || scan.validSize != 0 {
 		t.Errorf("torn header: scan %+v err %v", scan, err)
 	}
-	if _, err := readJournal(path, false); !errors.Is(err, ErrCorruptJournal) {
+	if _, err := readJournal(faultfs.OS, path, false); !errors.Is(err, ErrCorruptJournal) {
 		t.Errorf("torn header mid-chain: err = %v", err)
 	}
 }
@@ -285,7 +286,7 @@ func TestJournalTornTail(t *testing.T) {
 // corruption regardless of allowTorn — a torn write cannot produce it.
 func TestJournalMidFileCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.wal")
-	j, err := createJournal(path, 0)
+	j, err := createJournal(faultfs.OS, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestJournalMidFileCorruption(t *testing.T) {
 	b[firstEnd-1] ^= 0xff // inside the first record's payload
 	os.WriteFile(path, b, 0o644)
 	for _, allowTorn := range []bool{true, false} {
-		if _, err := readJournal(path, allowTorn); !errors.Is(err, ErrCorruptJournal) {
+		if _, err := readJournal(faultfs.OS, path, allowTorn); !errors.Is(err, ErrCorruptJournal) {
 			t.Errorf("allowTorn=%v: err = %v, want ErrCorruptJournal", allowTorn, err)
 		}
 	}
@@ -420,8 +421,8 @@ func TestStoreCheckpointRotatesAndPrunes(t *testing.T) {
 	}
 
 	sd := filepath.Join(dir, "shard-0000")
-	snaps, _ := listGens(sd, snapPrefix, snapSuffix)
-	wals, _ := listGens(sd, walPrefix, walSuffix)
+	snaps, _ := listGens(faultfs.OS, sd, snapPrefix, snapSuffix)
+	wals, _ := listGens(faultfs.OS, sd, walPrefix, walSuffix)
 	if len(snaps) != keepSnapshots {
 		t.Errorf("retained %d snapshots, want %d", len(snaps), keepSnapshots)
 	}
@@ -480,7 +481,7 @@ func TestStoreSnapshotFallback(t *testing.T) {
 	}
 
 	sd := filepath.Join(dir, "shard-0000")
-	snaps, _ := listGens(sd, snapPrefix, snapSuffix)
+	snaps, _ := listGens(faultfs.OS, sd, snapPrefix, snapSuffix)
 	if len(snaps) != 2 {
 		t.Fatalf("have %d snapshots, want 2", len(snaps))
 	}
@@ -517,7 +518,7 @@ func TestStoreUnrecoverable(t *testing.T) {
 		t.Fatal(err)
 	}
 	sd := filepath.Join(dir, "shard-0000")
-	snaps, _ := listGens(sd, snapPrefix, snapSuffix)
+	snaps, _ := listGens(faultfs.OS, sd, snapPrefix, snapSuffix)
 	for _, g := range snaps {
 		b, _ := os.ReadFile(g.path)
 		b[len(b)-1] ^= 0xff
@@ -558,7 +559,7 @@ func TestStoreCorruptJournalRefusesRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	sd := filepath.Join(dir, "shard-0000")
-	wals, _ := listGens(sd, walPrefix, walSuffix)
+	wals, _ := listGens(faultfs.OS, sd, walPrefix, walSuffix)
 	b, _ := os.ReadFile(wals[0].path)
 	b[firstEnd-1] ^= 0xff
 	os.WriteFile(wals[0].path, b, 0o644)
@@ -599,7 +600,7 @@ func TestStoreTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	sd := filepath.Join(dir, "shard-0000")
-	wals, _ := listGens(sd, walPrefix, walSuffix)
+	wals, _ := listGens(faultfs.OS, sd, walPrefix, walSuffix)
 	info, _ := os.Stat(wals[0].path)
 	if err := os.Truncate(wals[0].path, info.Size()-2); err != nil {
 		t.Fatal(err)

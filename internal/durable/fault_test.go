@@ -1,0 +1,331 @@
+package durable
+
+// Fault-injection suite for the durability state machine: the store
+// writes through a faultfs.Injector with programmed fault schedules, so
+// every disk-failure behavior — transient retry, degradation, fail-fast,
+// journal poisoning, prober-driven recovery — is reproduced exactly and
+// deterministically. When DASH_FAULT_ARTIFACT_DIR is set (the CI chaos
+// step), each test saves its injector transcript there for post-mortem.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/fragindex"
+)
+
+// fastRetry keeps the fault tests quick: one retry, millisecond backoff,
+// two strikes to degrade, and a prober that re-tests every 10ms.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries:       1,
+		Backoff:          time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		FailureThreshold: 2,
+		ProbeInterval:    10 * time.Millisecond,
+		MaxProbeInterval: 20 * time.Millisecond,
+	}
+}
+
+// openFaultStore seeds a fresh store writing through a new injector and
+// returns the store, the injector, and the tracked twin of the seeded
+// index.
+func openFaultStore(t *testing.T, dir string) (*Store, *faultfs.Injector, *fragindex.Index) {
+	t.Helper()
+	inj := faultfs.NewInjector(faultfs.OS)
+	st, err := OpenWith(context.Background(), dir, SyncPolicy{}, Options{FS: inj, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := smallIndex(t, 4)
+	track := cloneIndex(t, idx)
+	if err := st.Init(context.Background(), []*fragindex.Dump{idx.Dump()}); err != nil {
+		t.Fatal(err)
+	}
+	saveTranscript(t, inj)
+	return st, inj, track
+}
+
+// saveTranscript writes the injector's fault transcript into
+// DASH_FAULT_ARTIFACT_DIR (when set) at test cleanup — the CI chaos
+// step's uploaded artifact.
+func saveTranscript(t *testing.T, inj *faultfs.Injector) {
+	t.Helper()
+	base := os.Getenv("DASH_FAULT_ARTIFACT_DIR")
+	if base == "" {
+		return
+	}
+	t.Cleanup(func() {
+		name := strings.NewReplacer("/", "_", "=", "-").Replace(t.Name()) + ".jsonl"
+		f, err := os.OpenFile(filepath.Join(base, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Errorf("fault transcript: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := inj.WriteTranscript(f); err != nil {
+			t.Errorf("fault transcript: %v", err)
+		}
+	})
+}
+
+// waitForState polls until the store reaches the wanted state (the prober
+// runs on wall-clock time) or the deadline passes.
+func waitForState(t *testing.T, st *Store, want State, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for st.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("store did not reach %s within %v (stats %+v)", want, within, st.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAppendRetriesTransientFault: a single injected fsync failure is
+// absorbed by the retry schedule — the append succeeds, the record is
+// durable, and the store stays healthy with the retry counted.
+func TestAppendRetriesTransientFault(t *testing.T) {
+	dir := t.TempDir()
+	st, inj, track := openFaultStore(t, dir)
+	defer st.Close()
+
+	inj.SetRules(faultfs.Rule{Op: faultfs.OpSync, Path: walSuffix, Count: 1})
+	d := insDelta(fid("new", 100), map[string]int64{"fresh": 2}, 2)
+	epoch := applyTracked(t, track, d)
+	if err := st.Append(context.Background(), 0, d, epoch); err != nil {
+		t.Fatalf("append with one transient sync fault: %v", err)
+	}
+	stats := st.Stats()
+	if stats.State != string(StateHealthy) {
+		t.Errorf("state %q after absorbed fault", stats.State)
+	}
+	if stats.Retries != 1 {
+		t.Errorf("retries = %d, want 1", stats.Retries)
+	}
+	if stats.ConsecutiveFailures != 0 {
+		t.Errorf("consecutive failures = %d after success", stats.ConsecutiveFailures)
+	}
+
+	// The retried record really is on disk: a cold reopen replays it.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, idxs := openStore(t, dir, SyncPolicy{})
+	defer st2.Close()
+	if !reflect.DeepEqual(idxs[0].Dump(), track.Dump()) {
+		t.Error("recovered state lost the retried append")
+	}
+}
+
+// TestStoreDegradesAndFailsFast: persistent faults exhaust the retries of
+// FailureThreshold consecutive appends, the store trips to degraded, and
+// every further mutation fails fast with ErrDegraded — without touching
+// the broken disk again.
+func TestStoreDegradesAndFailsFast(t *testing.T) {
+	st, inj, track := openFaultStore(t, t.TempDir())
+	defer st.Close()
+
+	inj.Break(nil)
+	d := insDelta(fid("new", 100), map[string]int64{"fresh": 2}, 2)
+	epoch := applyTracked(t, track, d)
+	for i := 0; st.State() != StateDegraded; i++ {
+		if err := st.Append(context.Background(), 0, d, epoch); err == nil {
+			t.Fatal("append succeeded on a broken disk")
+		}
+		if i > 10 {
+			t.Fatalf("no degradation after %d failed appends (stats %+v)", i, st.Stats())
+		}
+	}
+	// Fail-fast mutations must never reach the journal. The background
+	// prober legitimately touches probe.tmp while degraded, so count only
+	// journal-path operations in the transcript.
+	walOps := func() int {
+		n := 0
+		for _, e := range inj.Transcript() {
+			if strings.Contains(e.Path, walSuffix) {
+				n++
+			}
+		}
+		return n
+	}
+	before := walOps()
+	if err := st.Append(context.Background(), 0, d, epoch); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded append err = %v, want ErrDegraded", err)
+	}
+	if err := st.Checkpoint(context.Background(), 0, track.Dump()); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded checkpoint err = %v, want ErrDegraded", err)
+	}
+	if got := walOps(); got != before {
+		t.Errorf("fail-fast mutations touched the journal: %d ops grew to %d", before, got)
+	}
+	stats := st.Stats()
+	if stats.State != string(StateDegraded) || stats.Degradations != 1 {
+		t.Errorf("stats after degradation: state=%q degradations=%d", stats.State, stats.Degradations)
+	}
+	if stats.LastFault == "" || stats.NextProbeInMS < 0 {
+		t.Errorf("degraded stats missing fault context: %+v", stats)
+	}
+}
+
+// TestProberRecoversStore is the full cycle at the store level: healthy →
+// degraded under a broken disk → disk heals → the prober re-tests, seals,
+// re-checkpoints from the installed baseline, and the store returns to
+// healthy — then a cold reopen proves the acknowledged state survived and
+// the never-acknowledged writes did not sneak in.
+func TestProberRecoversStore(t *testing.T) {
+	dir := t.TempDir()
+	st, inj, track := openFaultStore(t, dir)
+	defer st.Close()
+	st.SetBaseline(func(context.Context, int) (*fragindex.Dump, error) {
+		return track.Dump(), nil
+	})
+
+	// One acknowledged append before the disk breaks.
+	d1 := insDelta(fid("acked", 1), map[string]int64{"acked": 1}, 1)
+	e1 := applyTracked(t, track, d1)
+	if err := st.Append(context.Background(), 0, d1, e1); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Break(nil)
+	// The failed delta is never folded into track: the builder rolls a
+	// failed publish back, so the baseline is exactly the acked state.
+	bad := insDelta(fid("lost", 2), map[string]int64{"lost": 1}, 1)
+	for st.State() != StateDegraded {
+		if err := st.Append(context.Background(), 0, bad, e1+1); err == nil {
+			t.Fatal("append succeeded on a broken disk")
+		}
+	}
+
+	inj.Heal()
+	waitForState(t, st, StateHealthy, 5*time.Second)
+	stats := st.Stats()
+	if stats.Recoveries != 1 || stats.Probes == 0 {
+		t.Errorf("recovery stats: %+v", stats)
+	}
+	if stats.Checkpoints == 0 {
+		t.Error("recovery did not write the fresh baseline checkpoint")
+	}
+
+	// Post-recovery appends work.
+	d2 := insDelta(fid("after", 3), map[string]int64{"after": 1}, 1)
+	e2 := applyTracked(t, track, d2)
+	if err := st.Append(context.Background(), 0, d2, e2); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, idxs := openStore(t, dir, SyncPolicy{})
+	defer st2.Close()
+	if !reflect.DeepEqual(idxs[0].Dump(), track.Dump()) {
+		t.Error("recovered state diverged from the acknowledged applies")
+	}
+}
+
+// TestPoisonedJournalSealedOnRecovery: when the append's repair truncate
+// also fails, the journal is poisoned — appends stop retrying — and
+// recovery seals it at the acknowledged extent before rotating to a
+// fresh journal behind the baseline checkpoint.
+func TestPoisonedJournalSealedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, inj, track := openFaultStore(t, dir)
+	defer st.Close()
+	st.SetBaseline(func(context.Context, int) (*fragindex.Dump, error) {
+		return track.Dump(), nil
+	})
+
+	d1 := insDelta(fid("acked", 1), map[string]int64{"acked": 1}, 1)
+	e1 := applyTracked(t, track, d1)
+	if err := st.Append(context.Background(), 0, d1, e1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the next journal write mid-record AND fail the repair truncate:
+	// garbage sits past the acknowledged extent, so the journal poisons.
+	inj.SetRules(
+		faultfs.Rule{Op: faultfs.OpWrite, Path: walSuffix, Torn: true, Count: 1},
+		faultfs.Rule{Op: faultfs.OpTruncate, Path: walSuffix, Count: 1},
+	)
+	bad := insDelta(fid("lost", 2), map[string]int64{"lost": 1}, 1)
+	if err := st.Append(context.Background(), 0, bad, e1+1); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The poisoned journal refuses the retry outright (no second repair
+	// attempt) and the failure count walks the store to degraded.
+	if err := st.Append(context.Background(), 0, bad, e1+1); err == nil {
+		t.Fatal("poisoned journal accepted an append")
+	}
+	if st.State() != StateDegraded {
+		t.Fatalf("state %s after poisoning, want degraded", st.State())
+	}
+
+	// The disk is fine again (rules exhausted): recovery must seal the
+	// poisoned tail and re-baseline.
+	waitForState(t, st, StateHealthy, 5*time.Second)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, idxs := openStore(t, dir, SyncPolicy{})
+	defer st2.Close()
+	if !reflect.DeepEqual(idxs[0].Dump(), track.Dump()) {
+		t.Error("sealed recovery diverged from the acknowledged applies")
+	}
+	ri := st2.Recovery()
+	if len(ri) != 1 || ri[0].TruncatedTail {
+		t.Errorf("reopen saw a torn tail past the seal: %+v", ri)
+	}
+}
+
+// TestProbeFailuresKeepDegraded: while the disk stays broken the prober
+// keeps failing and the store stays degraded, with the probe counters and
+// the next-probe schedule visible in Stats.
+func TestProbeFailuresKeepDegraded(t *testing.T) {
+	st, inj, track := openFaultStore(t, t.TempDir())
+	defer st.Close()
+
+	inj.Break(nil)
+	d := insDelta(fid("x", 1), map[string]int64{"x": 1}, 1)
+	e := applyTracked(t, track, d)
+	for st.State() != StateDegraded {
+		if err := st.Append(context.Background(), 0, d, e); err == nil {
+			t.Fatal("append succeeded on a broken disk")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().ProbeFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no probe failures recorded: %+v", st.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.State() != StateDegraded {
+		t.Fatal("store recovered while the disk was still broken")
+	}
+}
+
+// TestClosedStoreTypedErr is the regression test for the typed ErrClosed
+// contract: durable mutations on a closed store answer ErrClosed — not a
+// raw "file already closed" fd error.
+func TestClosedStoreTypedErr(t *testing.T) {
+	st, _, track := openFaultStore(t, t.TempDir())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := insDelta(fid("x", 1), map[string]int64{"x": 1}, 1)
+	if err := st.Append(context.Background(), 0, d, 99); !errors.Is(err, ErrClosed) {
+		t.Errorf("append on closed store: err = %v, want ErrClosed", err)
+	}
+	if err := st.Checkpoint(context.Background(), 0, track.Dump()); !errors.Is(err, ErrClosed) {
+		t.Errorf("checkpoint on closed store: err = %v, want ErrClosed", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/crawl"
+	"repro/internal/faultfs"
 )
 
 // Journal file format:
@@ -43,19 +44,25 @@ const (
 // journal is one shard's open write-ahead log. Not self-locking: the
 // owning shardStore serializes access.
 type journal struct {
-	f         *os.File
+	f         faultfs.File
 	path      string
 	baseEpoch uint64
-	size      int64  // bytes in file (header + records)
+	size      int64  // bytes of acknowledged records (header + records)
 	records   uint64 // records in file
 	dirty     bool   // unsynced appends (interval policy)
+	// poisoned marks a journal whose failed append could not be truncated
+	// back to the acknowledged extent: bytes of unknown validity sit past
+	// size, so further appends would interleave with garbage. A poisoned
+	// journal only leaves service through degraded-mode recovery, which
+	// seals (re-truncates) it and rotates to a fresh journal.
+	poisoned bool
 }
 
 // createJournal writes a fresh journal file (truncating any uncommitted
 // predecessor at the same path) with a fsynced header, open for appends.
 // The caller fsyncs the directory.
-func createJournal(path string, baseEpoch uint64) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func createJournal(fsys faultfs.FS, path string, baseEpoch uint64) (*journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -80,8 +87,8 @@ func createJournal(path string, baseEpoch uint64) (*journal, error) {
 // openJournal opens an existing, already-verified journal for appends at
 // the given size (replay reports the valid extent; anything past it has
 // been truncated away).
-func openJournal(path string, baseEpoch uint64, size int64, records uint64) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func openJournal(fsys faultfs.FS, path string, baseEpoch uint64, size int64, records uint64) (*journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -93,10 +100,24 @@ func openJournal(path string, baseEpoch uint64, size int64, records uint64) (*jo
 	return &journal{f: f, path: path, baseEpoch: baseEpoch, size: size, records: records}, nil
 }
 
+// errPoisoned marks append failures on a journal whose tail could not be
+// repaired; retrying is pointless until recovery rotates the journal.
+var errPoisoned = fmt.Errorf("journal poisoned: unrepaired bytes past the acknowledged extent")
+
 // append writes one record; with syncNow it is fsynced before returning —
 // the write-ahead guarantee for the `always` policy. Under `interval` the
 // record is only marked dirty and a background sweep fsyncs it.
+//
+// On failure the record is not acknowledged, so append repairs the file
+// back to the acknowledged extent (truncate + re-seek) before returning;
+// a clean repair leaves the journal ready for a retry. If the repair
+// itself fails the journal is poisoned: the failed record's bytes linger
+// past size, and only degraded-mode recovery (seal + rotate behind a
+// fresh checkpoint) returns the shard to service.
 func (j *journal) append(del crawl.Delta, epoch uint64, syncNow bool) error {
+	if j.poisoned {
+		return fmt.Errorf("durable: %s: %w", filepath.Base(j.path), errPoisoned)
+	}
 	payload := binary.LittleEndian.AppendUint64(nil, epoch)
 	payload = appendDelta(payload, del)
 	rec := make([]byte, 0, recHeaderSize+len(payload))
@@ -104,19 +125,55 @@ func (j *journal) append(del crawl.Delta, epoch uint64, syncNow bool) error {
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
 	rec = append(rec, payload...)
 	if _, err := j.f.Write(rec); err != nil {
+		j.repair()
 		return err
 	}
-	j.size += int64(len(rec))
-	j.records++
 	crashPoint("journal.append.before-sync")
 	if syncNow {
 		if err := j.f.Sync(); err != nil {
+			// The record reached the file but its durability is unknown;
+			// it was never acknowledged, so cut it back out — a retry
+			// rewrites it whole (leaving it would double-append the epoch).
+			j.repair()
 			return err
 		}
 		crashPoint("journal.append.after-sync")
 	} else {
 		j.dirty = true
 	}
+	j.size += int64(len(rec))
+	j.records++
+	return nil
+}
+
+// repair restores the file to the acknowledged extent after a failed
+// append: truncate away whatever the failed write left behind and re-seek
+// so the next append lands at size. Either step failing poisons the
+// journal.
+func (j *journal) repair() {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.poisoned = true
+		return
+	}
+	if _, err := j.f.Seek(j.size, io.SeekStart); err != nil {
+		j.poisoned = true
+	}
+}
+
+// seal makes a poisoned journal's on-disk bytes end exactly at the
+// acknowledged extent, trying the (possibly damaged) fd first and the
+// path as fallback. Called by degraded-mode recovery with the disk
+// reprobed healthy, right before the journal is rotated out.
+func (j *journal) seal(fsys faultfs.FS) error {
+	if !j.poisoned {
+		return nil
+	}
+	if err := j.f.Truncate(j.size); err != nil {
+		if perr := fsys.Truncate(j.path, j.size); perr != nil {
+			return fmt.Errorf("durable: sealing %s: %w", filepath.Base(j.path), perr)
+		}
+	}
+	j.poisoned = false
 	return nil
 }
 
@@ -164,8 +221,8 @@ type walScan struct {
 // write, and a torn condition in an older journal means acknowledged
 // records vanished from the middle of the chain: both return
 // ErrCorruptJournal.
-func readJournal(path string, allowTorn bool) (*walScan, error) {
-	b, err := os.ReadFile(path)
+func readJournal(fsys faultfs.FS, path string, allowTorn bool) (*walScan, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

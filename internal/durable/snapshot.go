@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultfs"
 	"repro/internal/fragindex"
 )
 
@@ -58,8 +59,8 @@ type sectionEntry struct {
 
 // syncDir fsyncs a directory so a just-created or just-renamed entry is
 // durable — the rename itself lives in the directory, not the file.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -76,7 +77,13 @@ func syncDir(dir string) error {
 // remains, which recovery sweeps). The ctx is honored before the write
 // starts; once the temp file is being filled the write runs to completion
 // so the atomic rename stays all-or-nothing.
-func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) (err error) {
+func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) error {
+	return writeSnapshot(ctx, faultfs.OS, path, d)
+}
+
+// writeSnapshot is WriteSnapshot through an explicit filesystem seam —
+// the store threads its own (possibly fault-injected) FS here.
+func writeSnapshot(ctx context.Context, fsys faultfs.FS, path string, d *fragindex.Dump) (err error) {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -86,7 +93,7 @@ func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) (err err
 	headerSize := snapFixedHeader + count*snapTableEntry + snapHeaderTrailer
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -95,7 +102,7 @@ func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) (err err
 			//lint:ignore droppederr already failing: the write error is returned; close+remove are best-effort temp cleanup (recovery resweeps)
 			f.Close()
 			//lint:ignore droppederr same: a surviving temp file is swept by the next recovery
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 
@@ -177,11 +184,11 @@ func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) (err err
 		return err
 	}
 	crashPoint("snapshot.before-rename")
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return err
 	}
 	crashPoint("snapshot.after-rename")
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
 // ReadSnapshot reads and fully verifies a snapshot file, returning the
@@ -189,10 +196,15 @@ func WriteSnapshot(ctx context.Context, path string, d *fragindex.Dump) (err err
 // CRC, or malformed section payload — wraps ErrCorruptSnapshot so callers
 // can fall back to an older generation.
 func ReadSnapshot(ctx context.Context, path string) (*fragindex.Dump, error) {
+	return readSnapshot(ctx, faultfs.OS, path)
+}
+
+// readSnapshot is ReadSnapshot through an explicit filesystem seam.
+func readSnapshot(ctx context.Context, fsys faultfs.FS, path string) (*fragindex.Dump, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	b, err := os.ReadFile(path)
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

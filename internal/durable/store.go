@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/crawl"
+	"repro/internal/faultfs"
 	"repro/internal/fragindex"
 )
 
@@ -157,6 +158,20 @@ type Stats struct {
 	// means recently acknowledged applies may not be durable yet.
 	SyncFailures  uint64 `json:"sync_failures,omitempty"`
 	LastSyncError string `json:"last_sync_error,omitempty"`
+	// State is the durability state machine's current state ("healthy"
+	// or "degraded"), with its transition and retry counters.
+	State               string `json:"state"`
+	ConsecutiveFailures uint64 `json:"consecutive_failures,omitempty"`
+	Degradations        uint64 `json:"degradations,omitempty"`
+	Recoveries          uint64 `json:"recoveries,omitempty"`
+	Retries             uint64 `json:"retries,omitempty"`
+	Probes              uint64 `json:"probes,omitempty"`
+	ProbeFailures       uint64 `json:"probe_failures,omitempty"`
+	LastFault           string `json:"last_fault,omitempty"`
+	// NextProbeInMS is how long until the prober re-tests the data dir
+	// (0 while healthy) — what degraded-mode Retry-After derives from.
+	NextProbeInMS int64 `json:"next_probe_in_ms,omitempty"`
+	DegradedForMS int64 `json:"degraded_for_ms,omitempty"`
 }
 
 // Store owns one data directory: per-shard snapshot generations and open
@@ -165,6 +180,8 @@ type Stats struct {
 type Store struct {
 	dir    string
 	policy SyncPolicy
+	fs     faultfs.FS
+	retry  RetryPolicy
 
 	man    *manifest
 	shards []*shardStore
@@ -182,10 +199,30 @@ type Store struct {
 	syncFailures atomic.Uint64
 	lastSyncErr  atomic.Value // string
 
-	syncOnce  sync.Once
-	closeOnce sync.Once
-	stop      chan struct{}
-	wg        sync.WaitGroup
+	// Durability state machine (see health.go). consecFails counts
+	// consecutive failed appends/checkpoints after their retries;
+	// sweepConsec the interval-sync sweeps; either crossing
+	// RetryPolicy.FailureThreshold trips degraded mode.
+	closed       atomic.Bool
+	degraded     atomic.Bool
+	consecFails  atomic.Uint64
+	sweepConsec  atomic.Uint64
+	degradations atomic.Uint64
+	recoveries   atomic.Uint64
+	retries      atomic.Uint64
+	probes       atomic.Uint64
+	probeFails   atomic.Uint64
+	lastFault    atomic.Value // string
+	nextProbeAt  atomic.Int64 // unixnano; 0 while healthy
+	degradedAt   atomic.Int64 // unixnano; 0 while healthy
+	probeWake    chan struct{}
+	baseline     atomic.Value // BaselineFunc
+
+	syncOnce   sync.Once
+	proberOnce sync.Once
+	closeOnce  sync.Once
+	stop       chan struct{}
+	wg         sync.WaitGroup
 }
 
 type shardStore struct {
@@ -204,10 +241,25 @@ func IsInitialized(dir string) bool {
 	return err == nil
 }
 
+// Options carries the optional knobs OpenWith accepts beyond the sync
+// policy. The zero value is the production default.
+type Options struct {
+	// FS is the filesystem seam every data-dir operation goes through
+	// (faultfs.OS when nil); chaos tests substitute a fault injector.
+	FS faultfs.FS
+	// Retry tunes durability retry/backoff and degraded-mode probing.
+	Retry RetryPolicy
+}
+
 // Open opens (or creates) a data directory. A directory without a
 // committed MANIFEST comes back fresh: NumShards reports 0 and Init must
 // seed it before appends. An initialized directory is ready for Recover.
 func Open(ctx context.Context, dir string, policy SyncPolicy) (*Store, error) {
+	return OpenWith(ctx, dir, policy, Options{})
+}
+
+// OpenWith is Open with explicit Options (filesystem seam, retry policy).
+func OpenWith(ctx context.Context, dir string, policy SyncPolicy, opts Options) (*Store, error) {
 	policy, err := policy.withDefaults()
 	if err != nil {
 		return nil, err
@@ -215,11 +267,22 @@ func Open(ctx context.Context, dir string, policy SyncPolicy) (*Store, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, policy: policy, stop: make(chan struct{})}
-	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	s := &Store{
+		dir:       dir,
+		policy:    policy,
+		fs:        fsys,
+		retry:     opts.Retry.withDefaults(),
+		probeWake: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+	}
+	b, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, fs.ErrNotExist) {
 		return s, nil
 	}
@@ -300,20 +363,20 @@ func (s *Store) Init(ctx context.Context, dumps []*fragindex.Dump) error {
 			return err
 		}
 		sd := s.shardDir(i)
-		if err := os.RemoveAll(sd); err != nil {
+		if err := s.fs.RemoveAll(sd); err != nil {
 			return err
 		}
-		if err := os.MkdirAll(sd, 0o755); err != nil {
+		if err := s.fs.MkdirAll(sd, 0o755); err != nil {
 			return err
 		}
-		if err := WriteSnapshot(ctx, filepath.Join(sd, snapName(d.Epoch)), d); err != nil {
+		if err := writeSnapshot(ctx, s.fs, filepath.Join(sd, snapName(d.Epoch)), d); err != nil {
 			return err
 		}
-		j, err := createJournal(filepath.Join(sd, walName(d.Epoch)), d.Epoch)
+		j, err := createJournal(s.fs, filepath.Join(sd, walName(d.Epoch)), d.Epoch)
 		if err != nil {
 			return err
 		}
-		if err := syncDir(sd); err != nil {
+		if err := syncDir(s.fs, sd); err != nil {
 			return err
 		}
 		shards[i] = &shardStore{dir: sd, j: j}
@@ -332,6 +395,7 @@ func (s *Store) Init(ctx context.Context, dumps []*fragindex.Dump) error {
 	s.shards = shards
 	s.lastCkpt.Store(maxDumpEpoch(dumps))
 	s.startSyncLoop()
+	s.startProber()
 	return nil
 }
 
@@ -352,10 +416,10 @@ func (s *Store) writeManifest(man *manifest) error {
 	}
 	path := filepath.Join(s.dir, manifestName)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
 		return err
 	}
-	f, err := os.Open(tmp)
+	f, err := s.fs.Open(tmp)
 	if err != nil {
 		return err
 	}
@@ -367,10 +431,10 @@ func (s *Store) writeManifest(man *manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fs.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(s.dir)
+	return syncDir(s.fs, s.dir)
 }
 
 // Recover rebuilds every shard's index: newest verifiable snapshot (with
@@ -414,6 +478,7 @@ func (s *Store) Recover(ctx context.Context) ([]*fragindex.Index, []RecoveryInfo
 	}
 	s.lastCkpt.Store(maxSnap)
 	s.startSyncLoop()
+	s.startProber()
 	return idxs, infos, nil
 }
 
@@ -423,8 +488,8 @@ type gen struct {
 	path  string
 }
 
-func listGens(dir, prefix, suffix string) ([]gen, error) {
-	entries, err := os.ReadDir(dir)
+func listGens(fsys faultfs.FS, dir, prefix, suffix string) ([]gen, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -445,15 +510,15 @@ func listGens(dir, prefix, suffix string) ([]gen, error) {
 }
 
 // sweepTemps removes stale temp files a crash mid-write left behind.
-func sweepTemps(dir string) {
-	entries, err := os.ReadDir(dir)
+func sweepTemps(fsys faultfs.FS, dir string) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
 			//lint:ignore droppederr best-effort cleanup of crash leftovers; a stale temp file is harmless and reswept next recovery
-			os.Remove(filepath.Join(dir, e.Name()))
+			fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
@@ -461,9 +526,9 @@ func sweepTemps(dir string) {
 func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, RecoveryInfo, error) {
 	ss := s.shards[i]
 	info := RecoveryInfo{Shard: i}
-	sweepTemps(ss.dir)
+	sweepTemps(s.fs, ss.dir)
 
-	snaps, err := listGens(ss.dir, snapPrefix, snapSuffix)
+	snaps, err := listGens(s.fs, ss.dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return nil, info, err
 	}
@@ -476,7 +541,7 @@ func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, Reco
 	var snapEpoch uint64
 	var snapErrs []error
 	for k := len(snaps) - 1; k >= 0; k-- {
-		d, rerr := ReadSnapshot(ctx, snaps[k].path)
+		d, rerr := readSnapshot(ctx, s.fs, snaps[k].path)
 		if rerr == nil {
 			var built *fragindex.Index
 			if built, rerr = fragindex.Restore(d); rerr == nil {
@@ -488,7 +553,7 @@ func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, Reco
 		snapErrs = append(snapErrs, rerr)
 		info.CorruptSnapshots++
 		//lint:ignore droppederr best-effort post-mortem set-aside; if the rename fails the corrupt file is simply retried (and re-rejected) next recovery
-		os.Rename(snaps[k].path, snaps[k].path+corruptSuffix)
+		s.fs.Rename(snaps[k].path, snaps[k].path+corruptSuffix)
 	}
 	if idx == nil {
 		return nil, info, fmt.Errorf("unrecoverable: every snapshot generation failed verification: %v", errors.Join(snapErrs...))
@@ -500,14 +565,14 @@ func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, Reco
 	// skipping records the snapshot already contains. Only the newest
 	// journal may carry a torn tail; older journals were sealed by the
 	// checkpoint that rotated them.
-	wals, err := listGens(ss.dir, walPrefix, walSuffix)
+	wals, err := listGens(s.fs, ss.dir, walPrefix, walSuffix)
 	if err != nil {
 		return nil, info, err
 	}
 	cur := snapEpoch
 	for k, w := range wals {
 		newest := k == len(wals)-1
-		scan, serr := readJournal(w.path, newest)
+		scan, serr := readJournal(s.fs, w.path, newest)
 		if serr != nil {
 			return nil, info, serr
 		}
@@ -531,18 +596,18 @@ func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, Reco
 		}
 		if scan.validSize < walHeaderSize {
 			// Torn during creation — recreate with the epoch from its name.
-			j, jerr := createJournal(w.path, w.epoch)
+			j, jerr := createJournal(s.fs, w.path, w.epoch)
 			if jerr != nil {
 				return nil, info, jerr
 			}
 			ss.j = j
 		} else {
 			if scan.torn {
-				if terr := os.Truncate(w.path, scan.validSize); terr != nil {
+				if terr := s.fs.Truncate(w.path, scan.validSize); terr != nil {
 					return nil, info, terr
 				}
 			}
-			j, jerr := openJournal(w.path, scan.baseEpoch, scan.validSize, uint64(len(scan.records)))
+			j, jerr := openJournal(s.fs, w.path, scan.baseEpoch, scan.validSize, uint64(len(scan.records)))
 			if jerr != nil {
 				return nil, info, jerr
 			}
@@ -559,13 +624,13 @@ func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, Reco
 	if ss.j == nil {
 		// No journal survived (possible only through external deletion);
 		// open a fresh one at the recovered epoch so appends can proceed.
-		j, jerr := createJournal(filepath.Join(ss.dir, walName(cur)), cur)
+		j, jerr := createJournal(s.fs, filepath.Join(ss.dir, walName(cur)), cur)
 		if jerr != nil {
 			return nil, info, jerr
 		}
 		ss.j = j
 	}
-	if err := syncDir(ss.dir); err != nil {
+	if err := syncDir(s.fs, ss.dir); err != nil {
 		return nil, info, err
 	}
 	idx.SetEpoch(cur)
@@ -601,17 +666,29 @@ func applyToBuilder(idx *fragindex.Index, del crawl.Delta) error {
 // storage when Append returns. The ctx is checked before any bytes are
 // written: past that point the append runs to completion, because a
 // half-written record would read as a torn tail on recovery.
+//
+// Transient failures retry in place per the store's RetryPolicy; a
+// degraded store fails fast with ErrDegraded and a closed one with
+// ErrClosed (see health.go for the state machine).
 func (s *Store) Append(ctx context.Context, shard int, del crawl.Delta, epoch uint64) error {
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.closed.Load() {
+		return fmt.Errorf("%w: append to shard %d", ErrClosed, shard)
+	}
+	if err := s.DegradedErr(); err != nil {
 		return err
 	}
 	ss := s.shards[shard]
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.j == nil {
-		return fmt.Errorf("durable: shard %d has no open journal", shard)
+		return fmt.Errorf("%w: shard %d has no open journal", ErrClosed, shard)
 	}
-	return ss.j.append(del, epoch, s.policy.Mode == SyncAlways)
+	return s.withRetry(ctx, func() error {
+		return ss.j.append(del, epoch, s.policy.Mode == SyncAlways)
+	})
 }
 
 // Checkpoint writes a shard's current state as a new snapshot generation,
@@ -623,36 +700,71 @@ func (s *Store) Append(ctx context.Context, shard int, del crawl.Delta, epoch ui
 // is never relaxed mid-checkpoint. Crash-safe at every step: the snapshot
 // appears atomically, the old journal stays replayable until pruning, and
 // pruning never touches the retained generations.
+//
+// Transient failures retry per the store's RetryPolicy; a degraded store
+// fails fast with ErrDegraded and a closed one with ErrClosed.
 func (s *Store) Checkpoint(ctx context.Context, shard int, d *fragindex.Dump) error {
+	if s.closed.Load() {
+		return fmt.Errorf("%w: checkpoint of shard %d", ErrClosed, shard)
+	}
+	if err := s.DegradedErr(); err != nil {
+		return err
+	}
 	ss := s.shards[shard]
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.j == nil {
-		return fmt.Errorf("durable: shard %d has no open journal", shard)
+		return fmt.Errorf("%w: shard %d has no open journal", ErrClosed, shard)
 	}
-	if d.Epoch <= ss.j.baseEpoch && ss.j.records == 0 {
+	return s.withRetry(ctx, func() error {
+		return s.checkpointLocked(ctx, ss, d, false)
+	})
+}
+
+// checkpointLocked is the checkpoint body, shard lock held. Forced mode
+// (degraded-mode recovery) skips the no-op guard, recreates the journal
+// even at an unchanged epoch, and tolerates close failures on the
+// outgoing journal — the snapshot just written supersedes its records.
+func (s *Store) checkpointLocked(ctx context.Context, ss *shardStore, d *fragindex.Dump, force bool) error {
+	if !force && d.Epoch <= ss.j.baseEpoch && ss.j.records == 0 {
 		return nil
 	}
-	if err := WriteSnapshot(ctx, filepath.Join(ss.dir, snapName(d.Epoch)), d); err != nil {
+	if err := writeSnapshot(ctx, s.fs, filepath.Join(ss.dir, snapName(d.Epoch)), d); err != nil {
 		return err
 	}
 	crashPoint("checkpoint.after-snapshot")
-	nj, err := createJournal(filepath.Join(ss.dir, walName(d.Epoch)), d.Epoch)
+	walPath := filepath.Join(ss.dir, walName(d.Epoch))
+	old := ss.j
+	if force && walPath == old.path {
+		// Nothing was acknowledged past the last checkpoint, so the fresh
+		// journal reuses the old one's name: close the old fd before
+		// recreating the file under it. ss.j keeps pointing at the stale
+		// journal until the new one is adopted; mutations are fail-fast
+		// degraded for the duration.
+		//lint:ignore droppederr forced rotation recreates this very file and the snapshot above supersedes its records; a close failure must not block recovery
+		old.close()
+		old = nil
+	}
+	nj, err := createJournal(s.fs, walPath, d.Epoch)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(ss.dir); err != nil {
+	if err := syncDir(s.fs, ss.dir); err != nil {
 		//lint:ignore droppederr already failing: the directory-sync error is returned; close is best-effort cleanup of the unadopted journal
 		nj.f.Close()
 		return err
 	}
-	old := ss.j
 	ss.j = nj
-	if err := old.close(); err != nil {
-		return err
+	if old != nil {
+		if cerr := old.close(); cerr != nil {
+			if !force {
+				return cerr
+			}
+			s.lastFault.Store(cerr.Error())
+		}
 	}
 	crashPoint("checkpoint.before-prune")
-	if err := pruneGenerations(ss.dir); err != nil {
+	if err := pruneGenerations(s.fs, ss.dir); err != nil {
 		return err
 	}
 	s.checkpoints.Add(1)
@@ -669,8 +781,8 @@ func (s *Store) Checkpoint(ctx context.Context, shard int, d *fragindex.Dump) er
 // keepSnapshots and every journal older than the oldest retained
 // snapshot (the journal chain must reach back to any snapshot recovery
 // may fall back to).
-func pruneGenerations(dir string) error {
-	snaps, err := listGens(dir, snapPrefix, snapSuffix)
+func pruneGenerations(fsys faultfs.FS, dir string) error {
+	snaps, err := listGens(fsys, dir, snapPrefix, snapSuffix)
 	if err != nil {
 		return err
 	}
@@ -679,22 +791,22 @@ func pruneGenerations(dir string) error {
 	}
 	oldestKept := snaps[len(snaps)-keepSnapshots].epoch
 	for _, g := range snaps[:len(snaps)-keepSnapshots] {
-		if err := os.Remove(g.path); err != nil {
+		if err := fsys.Remove(g.path); err != nil {
 			return err
 		}
 	}
-	wals, err := listGens(dir, walPrefix, walSuffix)
+	wals, err := listGens(fsys, dir, walPrefix, walSuffix)
 	if err != nil {
 		return err
 	}
 	for _, g := range wals {
 		if g.epoch < oldestKept {
-			if err := os.Remove(g.path); err != nil {
+			if err := fsys.Remove(g.path); err != nil {
 				return err
 			}
 		}
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // Sync flushes every shard's unsynced journal appends — the interval
@@ -722,6 +834,9 @@ func (s *Store) sweep() {
 	if err := s.Sync(); err != nil {
 		s.syncFailures.Add(1)
 		s.lastSyncErr.Store(err.Error())
+		s.sweepFailed(err)
+	} else {
+		s.sweepConsec.Store(0)
 	}
 }
 
@@ -769,6 +884,20 @@ func (s *Store) Stats() Stats {
 	if s.policy.Mode == SyncInterval {
 		st.SyncIntervalMS = s.policy.Interval.Milliseconds()
 	}
+	st.State = string(s.State())
+	st.ConsecutiveFailures = s.consecFails.Load()
+	st.Degradations = s.degradations.Load()
+	st.Recoveries = s.recoveries.Load()
+	st.Retries = s.retries.Load()
+	st.Probes = s.probes.Load()
+	st.ProbeFailures = s.probeFails.Load()
+	if msg, ok := s.lastFault.Load().(string); ok {
+		st.LastFault = msg
+	}
+	st.NextProbeInMS = s.NextProbeIn().Milliseconds()
+	if at := s.degradedAt.Load(); at != 0 {
+		st.DegradedForMS = time.Since(time.Unix(0, at)).Milliseconds()
+	}
 	for _, ss := range s.shards {
 		ss.mu.Lock()
 		if ss.j != nil {
@@ -785,6 +914,7 @@ func (s *Store) Stats() Stats {
 func (s *Store) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.closed.Store(true)
 		close(s.stop)
 		s.wg.Wait()
 		for _, ss := range s.shards {

@@ -1,0 +1,96 @@
+// Package faultfs is the filesystem seam the durable layer writes
+// through. Production code uses OS, a zero-cost passthrough to the os
+// package; chaos tests substitute an Injector, which wraps any FS with a
+// programmable, deterministic fault schedule — fail the Nth write,
+// ENOSPC after a byte budget, EIO on fsync, torn short-writes, per-op
+// latency — so disk-failure behavior is reproduced exactly, never
+// approximated with sleeps or real broken disks.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the durable layer needs from an open
+// file: sequential reads/writes, positioned header patching, fsync, and
+// tail truncation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// WriteAt patches bytes at an absolute offset (snapshot headers are
+	// written last over a placeholder).
+	WriteAt(p []byte, off int64) (int, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to size (torn journal tails).
+	Truncate(size int64) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the durable layer touches. Every data-dir
+// operation — journal appends, snapshot writes, manifest commits,
+// directory fsyncs, generation pruning — goes through one of these
+// methods, so a single injected implementation controls the whole
+// durability path.
+type FS interface {
+	// OpenFile generalizes open: journals and snapshot temp files use
+	// create/truncate flags, recovery reopens existing journals RDWR.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens for reading — also used on directories for syncDir.
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Truncate(name string, size int64) error
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

@@ -1,0 +1,538 @@
+package faultfs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected marks every fault an Injector raises. Injected errors wrap
+// both ErrInjected and the scheduled errno, so callers can test either
+// `errors.Is(err, faultfs.ErrInjected)` or `errors.Is(err, syscall.ENOSPC)`.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op names one class of filesystem operation for rule matching.
+type Op string
+
+const (
+	// OpAny matches every operation.
+	OpAny Op = ""
+	// OpOpen covers Open and OpenFile.
+	OpOpen Op = "open"
+	// OpRead covers File.Read and FS.ReadFile.
+	OpRead Op = "read"
+	// OpReadDir covers FS.ReadDir.
+	OpReadDir Op = "readdir"
+	// OpStat covers FS.Stat.
+	OpStat Op = "stat"
+	// OpWrite covers File.Write, File.WriteAt and FS.WriteFile.
+	OpWrite Op = "write"
+	// OpSync covers File.Sync (files and directories alike).
+	OpSync Op = "sync"
+	// OpClose covers File.Close.
+	OpClose Op = "close"
+	// OpRename covers FS.Rename.
+	OpRename Op = "rename"
+	// OpRemove covers FS.Remove and FS.RemoveAll.
+	OpRemove Op = "remove"
+	// OpMkdir covers FS.MkdirAll.
+	OpMkdir Op = "mkdir"
+	// OpTruncate covers FS.Truncate and File.Truncate.
+	OpTruncate Op = "truncate"
+)
+
+// Rule is one entry in a fault schedule. A rule matches operations by
+// class and path substring; After/Count window which matches fire; the
+// fault fields say what happens when it does. Matching is counted per
+// rule in operation order under one lock, so a schedule replays
+// identically run after run.
+type Rule struct {
+	// Op selects the operation class (OpAny matches all).
+	Op Op
+	// Path, when non-empty, must be a substring of the operation's path.
+	Path string
+	// After skips the first After matching operations.
+	After int
+	// Count fires for at most Count matches past After; 0 means forever.
+	Count int
+	// AfterBytes arms the rule only once that many bytes have passed
+	// through matching write operations — the "disk fills up" schedule.
+	AfterBytes int64
+	// Err is the error to inject (wrapped in ErrInjected). Nil defaults
+	// to syscall.EIO, unless the rule is latency-only (Delay set, no
+	// Torn), in which case the operation proceeds after the sleep.
+	Err error
+	// Torn makes a failing write a short write: the first half of the
+	// payload reaches the inner file, then the error returns — the torn
+	// tail recovery must cut.
+	Torn bool
+	// Delay sleeps before the operation runs (or fails).
+	Delay time.Duration
+}
+
+// latencyOnly reports whether the rule delays without failing.
+func (r Rule) latencyOnly() bool { return r.Err == nil && !r.Torn && r.Delay > 0 }
+
+// Event is one transcript entry: an operation the injector saw and what
+// it did to it.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Op    Op     `json:"op"`
+	Path  string `json:"path"`
+	Bytes int    `json:"bytes,omitempty"`
+	// Fault is the injected error ("" when the op passed through).
+	Fault string `json:"fault,omitempty"`
+	// Rule is the index of the schedule rule that fired (-1: none, or
+	// the Break toggle).
+	Rule int `json:"rule"`
+}
+
+// maxTranscript bounds the transcript so a runaway loop cannot hold the
+// whole run's history; the newest events win.
+const maxTranscript = 1 << 16
+
+type ruleState struct {
+	rule    Rule
+	matched int   // matching ops seen (once armed)
+	bytes   int64 // bytes through matching writes (AfterBytes arming)
+}
+
+// Injector wraps an FS with a programmable fault schedule. All decisions
+// are made under one lock in operation order, so a fixed schedule over a
+// deterministic workload injects exactly the same faults every run.
+type Injector struct {
+	inner FS
+
+	mu         sync.Mutex
+	rules      []*ruleState
+	broken     error // non-nil: every mutating op fails (Break/Heal)
+	seq        int
+	injected   uint64
+	transcript []Event
+	dropped    int
+}
+
+// NewInjector wraps inner (OS when nil) with an empty schedule.
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS
+	}
+	return &Injector{inner: inner}
+}
+
+// SetRules replaces the schedule and resets per-rule counters.
+func (i *Injector) SetRules(rules ...Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = make([]*ruleState, len(rules))
+	for k, r := range rules {
+		i.rules[k] = &ruleState{rule: r}
+	}
+}
+
+// Break fails every mutating operation (writes, syncs, renames, removes,
+// mkdirs, truncates, and opens with write intent) with err (EIO when
+// nil) until Heal. Reads keep working — a broken disk is still a
+// readable disk, which is exactly the degraded-serving contract.
+func (i *Injector) Break(err error) {
+	if err == nil {
+		err = syscall.EIO
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.broken = err
+}
+
+// Heal clears a Break; scheduled rules keep applying.
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.broken = nil
+}
+
+// Broken reports whether the injector is currently in the Break state.
+func (i *Injector) Broken() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.broken != nil
+}
+
+// Injected returns how many faults have been raised so far.
+func (i *Injector) Injected() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected
+}
+
+// Transcript returns a copy of the recorded operation log.
+func (i *Injector) Transcript() []Event {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Event, len(i.transcript))
+	copy(out, i.transcript)
+	return out
+}
+
+// WriteTranscript dumps the transcript as JSON lines — the artifact the
+// chaos CI step uploads so a failing schedule can be replayed by hand.
+func (i *Injector) WriteTranscript(w io.Writer) error {
+	events := i.Transcript()
+	i.mu.Lock()
+	dropped := i.dropped
+	i.mu.Unlock()
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, `{"dropped_oldest":%d}`+"\n", dropped); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verdict is what decide resolved for one operation.
+type verdict struct {
+	delay time.Duration
+	err   error
+	torn  bool
+}
+
+// decide consults the Break state and the schedule for one operation,
+// records the transcript event, and returns what to do. nbytes is the
+// write payload size (0 otherwise); mutating marks operations a Break
+// should fail.
+func (i *Injector) decide(op Op, path string, nbytes int, mutating bool) verdict {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.seq++
+	ev := Event{Seq: i.seq, Op: op, Path: path, Bytes: nbytes, Rule: -1}
+	v := verdict{}
+	switch {
+	case i.broken != nil && mutating:
+		v.err = fmt.Errorf("%s %s: %w: %w", op, path, ErrInjected, i.broken)
+	default:
+		for k, st := range i.rules {
+			r := st.rule
+			if r.Op != OpAny && r.Op != op {
+				continue
+			}
+			if r.Path != "" && !strings.Contains(path, r.Path) {
+				continue
+			}
+			if r.AfterBytes > 0 {
+				if op != OpWrite {
+					continue
+				}
+				if st.bytes < r.AfterBytes {
+					st.bytes += int64(nbytes)
+					continue
+				}
+			}
+			n := st.matched
+			st.matched++
+			if n < r.After {
+				continue
+			}
+			if r.Count > 0 && n >= r.After+r.Count {
+				continue
+			}
+			v.delay = r.Delay
+			if r.latencyOnly() {
+				ev.Rule = k
+				break
+			}
+			cause := r.Err
+			if cause == nil {
+				cause = syscall.EIO
+			}
+			v.err = fmt.Errorf("%s %s: %w: %w", op, path, ErrInjected, cause)
+			v.torn = r.Torn
+			ev.Rule = k
+			break
+		}
+	}
+	if v.err != nil {
+		i.injected++
+		ev.Fault = v.err.Error()
+	}
+	if len(i.transcript) >= maxTranscript {
+		i.transcript = i.transcript[1:]
+		i.dropped++
+	}
+	i.transcript = append(i.transcript, ev)
+	return v
+}
+
+// run applies a verdict around a passthrough operation.
+func (v verdict) run(op func() error) error {
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return v.err
+	}
+	return op()
+}
+
+func writeIntent(flag int) bool {
+	return flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	v := i.decide(OpOpen, name, 0, writeIntent(flag))
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	f, err := i.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{i: i, path: name, inner: f}, nil
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	v := i.decide(OpOpen, name, 0, false)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	f, err := i.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{i: i, path: name, inner: f}, nil
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	v := i.decide(OpRead, name, 0, false)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	return i.inner.ReadFile(name)
+}
+
+func (i *Injector) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	v := i.decide(OpWrite, name, len(data), true)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		if v.torn && len(data) > 0 {
+			// The torn fault's contract is exactly "some bytes reached
+			// the file, then the error"; the injected error supersedes.
+			//lint:ignore droppederr the injected error is what the caller must see; the partial write is the fault being modeled
+			_ = i.inner.WriteFile(name, data[:(len(data)+1)/2], perm)
+		}
+		return v.err
+	}
+	return i.inner.WriteFile(name, data, perm)
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	return i.decide(OpRename, oldpath, 0, true).run(func() error {
+		return i.inner.Rename(oldpath, newpath)
+	})
+}
+
+func (i *Injector) Remove(name string) error {
+	return i.decide(OpRemove, name, 0, true).run(func() error { return i.inner.Remove(name) })
+}
+
+func (i *Injector) RemoveAll(path string) error {
+	return i.decide(OpRemove, path, 0, true).run(func() error { return i.inner.RemoveAll(path) })
+}
+
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return i.decide(OpMkdir, path, 0, true).run(func() error { return i.inner.MkdirAll(path, perm) })
+}
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	v := i.decide(OpReadDir, name, 0, false)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	return i.inner.ReadDir(name)
+}
+
+func (i *Injector) Stat(name string) (fs.FileInfo, error) {
+	v := i.decide(OpStat, name, 0, false)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	return i.inner.Stat(name)
+}
+
+func (i *Injector) Truncate(name string, size int64) error {
+	return i.decide(OpTruncate, name, 0, true).run(func() error {
+		return i.inner.Truncate(name, size)
+	})
+}
+
+// injFile routes file-level operations back through the injector.
+type injFile struct {
+	i     *Injector
+	path  string
+	inner File
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	v := f.i.decide(OpRead, f.path, 0, false)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		return 0, v.err
+	}
+	return f.inner.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	v := f.i.decide(OpWrite, f.path, len(p), true)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		if v.torn && len(p) > 0 {
+			// Half the payload lands before the error — a real torn write.
+			//lint:ignore droppederr the injected error is what the caller must see; the partial write is the fault being modeled
+			n, _ := f.inner.Write(p[:(len(p)+1)/2])
+			return n, v.err
+		}
+		return 0, v.err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injFile) WriteAt(p []byte, off int64) (int, error) {
+	v := f.i.decide(OpWrite, f.path, len(p), true)
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.err != nil {
+		if v.torn && len(p) > 0 {
+			//lint:ignore droppederr the injected error is what the caller must see; the partial write is the fault being modeled
+			n, _ := f.inner.WriteAt(p[:(len(p)+1)/2], off)
+			return n, v.err
+		}
+		return 0, v.err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *injFile) Sync() error {
+	return f.i.decide(OpSync, f.path, 0, true).run(f.inner.Sync)
+}
+
+func (f *injFile) Truncate(size int64) error {
+	return f.i.decide(OpTruncate, f.path, 0, true).run(func() error { return f.inner.Truncate(size) })
+}
+
+func (f *injFile) Close() error {
+	return f.i.decide(OpClose, f.path, 0, false).run(f.inner.Close)
+}
+
+func (f *injFile) Name() string { return f.path }
+
+// ParseSchedule parses the compact schedule syntax used by child-process
+// chaos tests (and documented in CONTRIBUTING.md): semicolon-separated
+// rules of the form
+//
+//	op[.mode][~pathsub]@after[xcount]
+//
+// where op is a rule Op name ("any" for OpAny), mode is eio (default),
+// enospc or torn, pathsub filters by path substring, after skips that
+// many matches, and count bounds how many fire (absent: forever).
+//
+//	sync@5            every fsync after the first 5 fails with EIO
+//	sync@5x4          fsyncs 6-9 fail, later ones succeed
+//	write.torn@3x1    the 4th write is torn: half the bytes land, then EIO
+//	write.enospc@0    every write fails with ENOSPC
+//	sync~shard-0000@2 fsyncs under shard-0000 fail from the 3rd on
+func ParseSchedule(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		head, window, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultfs: rule %q: missing @after", part)
+		}
+		var r Rule
+		head, pathsub, hasPath := strings.Cut(head, "~")
+		if hasPath {
+			r.Path = pathsub
+		}
+		opName, mode, hasMode := strings.Cut(head, ".")
+		switch Op(opName) {
+		case OpOpen, OpRead, OpReadDir, OpStat, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpMkdir, OpTruncate:
+			r.Op = Op(opName)
+		default:
+			if opName != "any" {
+				return nil, fmt.Errorf("faultfs: rule %q: unknown op %q", part, opName)
+			}
+			r.Op = OpAny
+		}
+		if hasMode {
+			switch mode {
+			case "eio":
+				r.Err = syscall.EIO
+			case "enospc":
+				r.Err = syscall.ENOSPC
+			case "torn":
+				r.Torn = true
+			default:
+				return nil, fmt.Errorf("faultfs: rule %q: unknown mode %q", part, mode)
+			}
+		}
+		afterStr, countStr, hasCount := strings.Cut(window, "x")
+		after, err := strconv.Atoi(afterStr)
+		if err != nil || after < 0 {
+			return nil, fmt.Errorf("faultfs: rule %q: bad after %q", part, afterStr)
+		}
+		r.After = after
+		if hasCount {
+			count, err := strconv.Atoi(countStr)
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("faultfs: rule %q: bad count %q", part, countStr)
+			}
+			r.Count = count
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultfs: empty schedule %q", spec)
+	}
+	return rules, nil
+}

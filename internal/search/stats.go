@@ -1,6 +1,9 @@
 package search
 
-import "repro/internal/fragindex"
+import (
+	"repro/internal/durable"
+	"repro/internal/fragindex"
+)
 
 // Topology names reported by Stats — which serving shape answered.
 const (
@@ -42,6 +45,10 @@ type Stats struct {
 	// (dash.WithResultCache / WithAdmissionControl); nil otherwise.
 	Cache     *CacheStats     `json:"cache,omitempty"`
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Durability reports the durable store's journal/checkpoint counters
+	// and health state for handles opened with dash.WithDataDir; nil for
+	// purely in-memory topologies.
+	Durability *durable.Stats `json:"durability,omitempty"`
 }
 
 // statsFromLive maps a LiveIndex report onto the unified shape.
