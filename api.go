@@ -85,6 +85,8 @@ type openConfig struct {
 	fsys       faultfs.FS               // nil: the real os package
 	cacheBytes int64                    // > 0: epoch-keyed result cache budget
 	admission  *search.AdmissionOptions // non-nil: deadline-aware shedding
+	replicaURLs    []string             // non-empty: bounded-staleness read routing
+	stalenessBound int64                // routing default bound; < 0: unbounded
 }
 
 // Option configures Open.
@@ -204,6 +206,41 @@ func WithDurableFS(fsys faultfs.FS) Option {
 	}
 }
 
+// WithReplicas layers bounded-staleness read routing over a durable
+// leader handle: the handle polls each replica's readiness report and its
+// RouteSearch (see SearchRouter) places reads with no explicit MinEpoch on
+// any replica within DefaultStalenessBound epochs of the leader's current
+// epoch, falling back to serving locally when none qualifies. Requires
+// WithDataDir (replicas bootstrap from the leader's snapshots and tail its
+// journal). urls are replica base URLs (dashserve processes started with
+// -replica-of pointing back at this leader).
+func WithReplicas(urls ...string) Option {
+	return func(c *openConfig) error {
+		if len(urls) == 0 {
+			return fmt.Errorf("dash: WithReplicas: no replica URLs")
+		}
+		c.replicaURLs = urls
+		if c.stalenessBound == 0 {
+			c.stalenessBound = DefaultStalenessBound
+		}
+		return nil
+	}
+}
+
+// WithStalenessBound overrides the default routing bound WithReplicas
+// applies to requests that carry no explicit MinEpoch: a replica must be
+// within `epochs` epochs of the leader's current epoch to serve them.
+// Negative means unbounded — any healthy replica qualifies.
+func WithStalenessBound(epochs int) Option {
+	return func(c *openConfig) error {
+		if epochs == 0 {
+			return fmt.Errorf("dash: WithStalenessBound(0): a zero bound would route nothing; use a positive bound or negative for unbounded")
+		}
+		c.stalenessBound = int64(epochs)
+		return nil
+	}
+}
+
 // Open wraps a built index for serving behind the one public contract,
 // picking the topology from the options:
 //
@@ -248,7 +285,16 @@ func Open(ctx context.Context, idx *Index, app *Application, opts ...Option) (Ha
 		if err != nil {
 			return nil, err
 		}
-		return wrapServing(h, cfg)
+		if h, err = wrapServing(h, cfg); err != nil {
+			return nil, err
+		}
+		if len(cfg.replicaURLs) > 0 {
+			return wrapReplicas(h, cfg)
+		}
+		return h, nil
+	}
+	if len(cfg.replicaURLs) > 0 {
+		return nil, fmt.Errorf("dash: WithReplicas requires WithDataDir (replicas tail the durable journal)")
 	}
 	if idx == nil {
 		return nil, fmt.Errorf("dash: Open with a nil index (only a durable reopen serves without one)")

@@ -43,6 +43,20 @@ func (s *server) v1Readyz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	// Replicas advertise their tail state here — the block the leader-side
+	// read router polls for per-shard applied epochs. A severed stream is
+	// "degraded" but still 200: the replica keeps serving its last applied
+	// (stale but consistent) view, which is exactly the bounded-staleness
+	// contract's degraded mode.
+	if rr, ok := s.eng.(dash.ReplicationReporter); ok {
+		rs := rr.ReplicationStats()
+		status := "ready"
+		if rs.State != "tailing" {
+			status = "degraded"
+		}
+		writeJSON(w, map[string]any{"status": status, "replication": rs})
+		return
+	}
 	writeJSON(w, map[string]any{"status": "ready"})
 }
 

@@ -123,6 +123,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -170,6 +171,12 @@ func run(args []string) error {
 		"consecutive post-retry durable failures before the server degrades (reads keep serving, writes answer 503 durability_degraded)")
 	durProbe := fs.Duration("durability-probe-interval", 500*time.Millisecond,
 		"first degraded-mode disk re-probe delay; failed probes back off exponentially")
+	replicaOf := fs.String("replica-of", "",
+		"leader base URL: serve as a journal-tailing read replica — bootstrap from the leader's newest snapshots, tail its journal, refuse writes (incompatible with -data-dir)")
+	replicas := fs.String("replicas", "",
+		"comma-separated replica base URLs for leader-side bounded-staleness read routing (requires -data-dir)")
+	stalenessEpochs := fs.Int("staleness-epochs", dash.DefaultStalenessBound,
+		"bounded-staleness contract: max epochs a replica may lag and still serve reads with no explicit min_epoch (negative: unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,50 +196,76 @@ func run(args []string) error {
 		return err
 	}
 
-	// The handlers only ever see the Searcher/Maintainer contract; the
-	// shard count is a construction-time concern. With -data-dir an
-	// initialized directory recovers the persisted index — no crawl at all,
-	// and its committed shard count pins the topology unless -shards
-	// explicitly disagrees (which is an error, not a silent repartition).
-	var opts []dash.Option
-	recovering := *dataDir != "" && dash.IsInitialized(*dataDir)
-	if !recovering || shardsSet {
-		opts = append(opts, dash.WithShards(*shards))
-	}
-	if *dataDir != "" {
-		opts = append(opts,
-			dash.WithDataDir(*dataDir),
-			dash.WithSyncPolicy(dash.SyncPolicy{Mode: dash.SyncMode(*syncMode), Interval: *syncEvery}),
-			dash.WithDurabilityRetry(dash.DurabilityRetryPolicy{
-				MaxRetries:       *durRetries,
-				FailureThreshold: *durThreshold,
-				ProbeInterval:    *durProbe,
-			}))
-	}
-	if *cacheBytes > 0 {
-		opts = append(opts, dash.WithResultCache(*cacheBytes))
-	}
-	if *maxInflight > 0 {
-		opts = append(opts, dash.WithAdmissionControl(dash.AdmissionOptions{MaxInFlight: *maxInflight}))
-	}
-	var idx *dash.Index
-	if recovering {
-		log.Printf("recovering index from %s…", *dataDir)
+	var engine dash.Handle
+	if *replicaOf != "" {
+		// Replica mode: no crawl, no local durability — the serving state
+		// is a mirror of the leader's, bootstrapped from its newest
+		// snapshots and kept current by tailing its journal. The same
+		// -dataset/-query/-seed must be given as the leader's so URL
+		// formulation agrees.
+		if *dataDir != "" {
+			return fmt.Errorf("-replica-of is incompatible with -data-dir: a replica mirrors the leader's durable state instead of keeping its own")
+		}
+		if *replicas != "" {
+			return fmt.Errorf("-replicas is a leader-side flag; a -replica-of process routes unsatisfiable reads back to its leader already")
+		}
+		log.Printf("bootstrapping replica of %s…", *replicaOf)
+		engine, err = dash.OpenReplica(context.Background(), *replicaOf, app,
+			dash.WithReplicaStaleness(*stalenessEpochs),
+			dash.WithReplicaLog(log.Printf))
+		if err != nil {
+			return err
+		}
 	} else {
-		log.Printf("crawling %s…", db.Name)
-		out, _, err := harness.RunCrawl(context.Background(), db, app,
-			crawl.AlgIntegrated, crawl.Options{}, *dataset)
+		// The handlers only ever see the Searcher/Maintainer contract; the
+		// shard count is a construction-time concern. With -data-dir an
+		// initialized directory recovers the persisted index — no crawl at all,
+		// and its committed shard count pins the topology unless -shards
+		// explicitly disagrees (which is an error, not a silent repartition).
+		var opts []dash.Option
+		recovering := *dataDir != "" && dash.IsInitialized(*dataDir)
+		if !recovering || shardsSet {
+			opts = append(opts, dash.WithShards(*shards))
+		}
+		if *dataDir != "" {
+			opts = append(opts,
+				dash.WithDataDir(*dataDir),
+				dash.WithSyncPolicy(dash.SyncPolicy{Mode: dash.SyncMode(*syncMode), Interval: *syncEvery}),
+				dash.WithDurabilityRetry(dash.DurabilityRetryPolicy{
+					MaxRetries:       *durRetries,
+					FailureThreshold: *durThreshold,
+					ProbeInterval:    *durProbe,
+				}))
+		}
+		if *cacheBytes > 0 {
+			opts = append(opts, dash.WithResultCache(*cacheBytes))
+		}
+		if *maxInflight > 0 {
+			opts = append(opts, dash.WithAdmissionControl(dash.AdmissionOptions{MaxInFlight: *maxInflight}))
+		}
+		if *replicas != "" {
+			urls := strings.Split(*replicas, ",")
+			opts = append(opts, dash.WithReplicas(urls...), dash.WithStalenessBound(*stalenessEpochs))
+		}
+		var idx *dash.Index
+		if recovering {
+			log.Printf("recovering index from %s…", *dataDir)
+		} else {
+			log.Printf("crawling %s…", db.Name)
+			out, _, err := harness.RunCrawl(context.Background(), db, app,
+				crawl.AlgIntegrated, crawl.Options{}, *dataset)
+			if err != nil {
+				return err
+			}
+			idx, _, err = harness.BuildGraph(out, bound, app.Name)
+			if err != nil {
+				return err
+			}
+		}
+		engine, err = dash.Open(context.Background(), idx, app, opts...)
 		if err != nil {
 			return err
 		}
-		idx, _, err = harness.BuildGraph(out, bound, app.Name)
-		if err != nil {
-			return err
-		}
-	}
-	engine, err := dash.Open(context.Background(), idx, app, opts...)
-	if err != nil {
-		return err
 	}
 	if closer, ok := engine.(io.Closer); ok {
 		// Closing a durable engine flushes unsynced journal appends; an
@@ -276,7 +309,10 @@ func run(args []string) error {
 
 	// Snapshot GC: removals leave tombstoned refs in every later version;
 	// once their share crosses the threshold, publish a compacted snapshot.
-	if *gcInterval > 0 {
+	// Replicas never compact locally: a local GC would advance epochs
+	// outside the leader's sequence — they inherit compaction through
+	// re-bootstrap instead.
+	if *gcInterval > 0 && *replicaOf == "" {
 		go func() {
 			ticker := time.NewTicker(*gcInterval)
 			defer ticker.Stop()

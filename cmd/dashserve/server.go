@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -82,6 +83,13 @@ func newMux(eng dash.Handle, app *webapp.Application, db *dash.Database, kinds [
 	mux.HandleFunc("/v1/healthz", s.v1Healthz)
 	mux.HandleFunc("/v1/readyz", s.v1Readyz)
 
+	// Durable handles expose the replication transport replicas bootstrap
+	// from and tail (snapshot manifest + ranged fetch + journal long-poll).
+	if rep, ok := eng.(dash.Replicable); ok {
+		mux.Handle(dash.ReplicationPrefix+"/",
+			http.StripPrefix(dash.ReplicationPrefix, rep.ReplicationHandler()))
+	}
+
 	// Pre-/v1 routes delegate to the same handlers under a deprecation
 	// header: existing JSON clients keep working byte-for-byte and see
 	// where to migrate. One deliberate break, per the API redesign:
@@ -139,6 +147,16 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 // validation failure.
 func (s *server) writeEngineError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, dash.ErrReplicaReadOnly):
+		// 421 Misdirected Request: this process is a replica; the write
+		// belongs on the leader.
+		writeError(w, http.StatusMisdirectedRequest, "not_leader", err.Error())
+	case errors.Is(err, dash.ErrReplicaBehind):
+		// Forwarding to the leader already failed (or was disabled): the
+		// replica cannot satisfy the requested epoch yet. Retry shortly —
+		// the tail loop is pulling the gap.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "replica_behind", err.Error())
 	case errors.Is(err, dash.ErrDurabilityDegraded):
 		w.Header().Set("Retry-After", s.degradedRetryAfter())
 		writeError(w, http.StatusServiceUnavailable, "durability_degraded", err.Error())
@@ -222,9 +240,12 @@ func pagesJSON(results []dash.Result) []pageJSON {
 	return out
 }
 
-// searchParams parses the shared q/k/s/limit search parameters. k and s
-// must be positive; limit accepts 0, the engine's documented "read full
-// posting lists" sentinel.
+// searchParams parses the shared q/k/s/limit/min_epoch search parameters.
+// k and s must be positive; limit accepts 0, the engine's documented
+// "read full posting lists" sentinel. min_epoch is the bounded-staleness
+// directive: the minimum published epoch the serving view must have
+// reached (routing layers forward a request the local view cannot
+// satisfy; 0, the default, accepts the configured staleness bound).
 func searchParams(r *http.Request) (queries []string, req dash.Request, err error) {
 	k, err := intParam(r, "k", 5, 1)
 	if err != nil {
@@ -238,7 +259,73 @@ func searchParams(r *http.Request) (queries []string, req dash.Request, err erro
 	if err != nil {
 		return nil, dash.Request{}, err
 	}
-	return r.URL.Query()["q"], dash.Request{K: k, SizeThreshold: sz, CandidateLimit: limit}, nil
+	var minEpoch uint64
+	if raw := r.URL.Query().Get("min_epoch"); raw != "" {
+		if minEpoch, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return nil, dash.Request{}, fmt.Errorf("invalid min_epoch parameter %q: want a non-negative integer", raw)
+		}
+	}
+	return r.URL.Query()["q"], dash.Request{K: k, SizeThreshold: sz, CandidateLimit: limit, MinEpoch: minEpoch}, nil
+}
+
+// Forwarding headers for routed reads. A routed request is re-issued
+// byte-for-byte against the chosen peer and its response streamed back
+// unmodified, so a forwarded response is byte-identical to a local one;
+// hdrForwarded is the single-hop loop guard (a forwarded request is never
+// forwarded again), and hdrServedBy tells clients where the read ran.
+const (
+	hdrForwarded = "X-Dash-Forwarded"
+	hdrServedBy  = "X-Dash-Served-By"
+)
+
+// proxyClient carries forwarded reads. No global timeout: the handler
+// context (search budget + client disconnect) bounds each forward.
+var proxyClient = &http.Client{}
+
+// routeSearch consults the engine's placement decision for one read:
+// replica handles forward requests they cannot satisfy back to the
+// leader, routing leaders place eligible reads on a qualifying replica.
+// Requests already forwarded once are always served locally.
+func (s *server) routeSearch(r *http.Request, req dash.Request) (string, bool) {
+	rt, ok := s.eng.(dash.SearchRouter)
+	if !ok || r.Header.Get(hdrForwarded) != "" {
+		return "", false
+	}
+	return rt.RouteSearch(req)
+}
+
+// forwardSearch re-issues the request against target and streams the
+// response back byte-for-byte. An unreachable target answers 502 — except
+// on a replica, where the local (stale but consistent) view is the
+// documented degraded answer, so the caller retries locally instead.
+func (s *server) forwardSearch(w http.ResponseWriter, r *http.Request, target string) bool {
+	url := strings.TrimRight(target, "/") + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "bad_route_target", err.Error())
+		return true
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(hdrForwarded, "1")
+	resp, err := proxyClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			log.Printf("forward body close: %v", cerr)
+		}
+	}()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	h.Set(hdrServedBy, strings.TrimRight(target, "/"))
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		log.Printf("forward copy: %v", err)
+	}
+	return true
 }
 
 // v1Search answers GET /v1/search?q=…&k=…&s=…&limit=…&timeout_ms=….
@@ -262,6 +349,9 @@ func (s *server) v1Search(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	base.Keywords = strings.Fields(queries[0])
+	if target, route := s.routeSearch(r, base); route && s.forwardSearch(w, r, target) {
+		return
+	}
 	start := time.Now()
 	results, status, err := s.search(ctx, base)
 	w.Header().Set("X-Cache", string(status))
@@ -318,6 +408,9 @@ func (s *server) v1SearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	if target, route := s.routeSearch(r, base); route && s.forwardSearch(w, r, target) {
+		return
+	}
 	reqs := make([]dash.Request, len(queries))
 	for i, q := range queries {
 		reqs[i] = base

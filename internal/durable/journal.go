@@ -226,7 +226,14 @@ func readJournal(fsys faultfs.FS, path string, allowTorn bool) (*walScan, error)
 	if err != nil {
 		return nil, err
 	}
-	name := filepath.Base(path)
+	return parseJournal(b, filepath.Base(path), allowTorn)
+}
+
+// parseJournal verifies and decodes journal bytes already in memory. The
+// tail server uses it directly on a size-capped read of the open journal
+// (capped at the acknowledged extent, so unacknowledged bytes past a
+// failed append are never parsed, let alone replicated).
+func parseJournal(b []byte, name string, allowTorn bool) (*walScan, error) {
 	corrupt := func(format string, args ...any) error {
 		return fmt.Errorf("%w: %s: %s", ErrCorruptJournal, name, fmt.Sprintf(format, args...))
 	}

@@ -208,8 +208,17 @@ func readSnapshot(ctx context.Context, fsys faultfs.FS, path string) (*fragindex
 	if err != nil {
 		return nil, err
 	}
+	return DecodeSnapshot(b, filepath.Base(path))
+}
+
+// DecodeSnapshot verifies and decodes snapshot bytes already in memory —
+// the same full verification ReadSnapshot performs (magic, version, header
+// CRC, per-section CRCs, payload shape). Replicas use it on snapshot bytes
+// fetched over the replication transport, so a bit flipped in transit is
+// caught exactly like one flipped on disk. name labels errors.
+func DecodeSnapshot(b []byte, name string) (*fragindex.Dump, error) {
 	corrupt := func(format string, args ...any) error {
-		return fmt.Errorf("%w: %s: %s", ErrCorruptSnapshot, filepath.Base(path), fmt.Sprintf(format, args...))
+		return fmt.Errorf("%w: %s: %s", ErrCorruptSnapshot, name, fmt.Sprintf(format, args...))
 	}
 	if len(b) < snapFixedHeader {
 		return nil, corrupt("file shorter than header")
@@ -218,7 +227,7 @@ func readSnapshot(ctx context.Context, fsys faultfs.FS, path string) (*fragindex
 		return nil, corrupt("bad magic")
 	}
 	if v := binary.LittleEndian.Uint32(b[8:12]); v != snapVersion {
-		return nil, fmt.Errorf("durable: snapshot %s: unsupported format version %d", filepath.Base(path), v)
+		return nil, fmt.Errorf("durable: snapshot %s: unsupported format version %d", name, v)
 	}
 	count := int(binary.LittleEndian.Uint32(b[12:16]))
 	if count < 1 || count > maxSections {

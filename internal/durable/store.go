@@ -172,6 +172,10 @@ type Stats struct {
 	// (0 while healthy) — what degraded-mode Retry-After derives from.
 	NextProbeInMS int64 `json:"next_probe_in_ms,omitempty"`
 	DegradedForMS int64 `json:"degraded_for_ms,omitempty"`
+	// PerShard enumerates each shard's durable epoch and on-disk segment
+	// generations — what the replication surface and bounded-staleness
+	// router consume.
+	PerShard []ShardDurability `json:"per_shard,omitempty"`
 }
 
 // Store owns one data directory: per-shard snapshot generations and open
@@ -229,6 +233,27 @@ type shardStore struct {
 	mu  sync.Mutex
 	dir string
 	j   *journal
+
+	// lastEpoch is the shard's durable epoch: the epoch of the last
+	// acknowledged journal record (or the journal base after a checkpoint
+	// ran ahead of it). tailWatch, when non-nil, is closed on every
+	// advance so long-poll tail readers wake without polling. Both are
+	// guarded by mu.
+	lastEpoch uint64
+	tailWatch chan struct{}
+}
+
+// advanceEpochLocked moves the shard's durable epoch forward (never back)
+// and wakes any tail waiters. Caller holds ss.mu.
+func (ss *shardStore) advanceEpochLocked(e uint64) {
+	if e <= ss.lastEpoch {
+		return
+	}
+	ss.lastEpoch = e
+	if ss.tailWatch != nil {
+		close(ss.tailWatch)
+		ss.tailWatch = nil
+	}
 }
 
 // IsInitialized reports whether dir holds a committed data directory (a
@@ -379,7 +404,7 @@ func (s *Store) Init(ctx context.Context, dumps []*fragindex.Dump) error {
 		if err := syncDir(s.fs, sd); err != nil {
 			return err
 		}
-		shards[i] = &shardStore{dir: sd, j: j}
+		shards[i] = &shardStore{dir: sd, j: j, lastEpoch: d.Epoch}
 	}
 	man := &manifest{
 		Format:    manifestFormat,
@@ -635,6 +660,7 @@ func (s *Store) recoverShard(ctx context.Context, i int) (*fragindex.Index, Reco
 	}
 	idx.SetEpoch(cur)
 	info.FinalEpoch = cur
+	ss.advanceEpochLocked(cur)
 	return idx, info, nil
 }
 
@@ -686,9 +712,13 @@ func (s *Store) Append(ctx context.Context, shard int, del crawl.Delta, epoch ui
 	if ss.j == nil {
 		return fmt.Errorf("%w: shard %d has no open journal", ErrClosed, shard)
 	}
-	return s.withRetry(ctx, func() error {
+	err := s.withRetry(ctx, func() error {
 		return ss.j.append(del, epoch, s.policy.Mode == SyncAlways)
 	})
+	if err == nil {
+		ss.advanceEpochLocked(epoch)
+	}
+	return err
 }
 
 // Checkpoint writes a shard's current state as a new snapshot generation,
@@ -767,6 +797,7 @@ func (s *Store) checkpointLocked(ctx context.Context, ss *shardStore, d *fragind
 	if err := pruneGenerations(s.fs, ss.dir); err != nil {
 		return err
 	}
+	ss.advanceEpochLocked(d.Epoch)
 	s.checkpoints.Add(1)
 	for {
 		cur := s.lastCkpt.Load()
@@ -898,13 +929,14 @@ func (s *Store) Stats() Stats {
 	if at := s.degradedAt.Load(); at != 0 {
 		st.DegradedForMS = time.Since(time.Unix(0, at)).Milliseconds()
 	}
-	for _, ss := range s.shards {
+	for i, ss := range s.shards {
 		ss.mu.Lock()
 		if ss.j != nil {
 			st.JournalBytes += ss.j.size
 			st.JournalRecords += ss.j.records
 		}
 		ss.mu.Unlock()
+		st.PerShard = append(st.PerShard, s.ShardDurability(i))
 	}
 	return st
 }

@@ -1,0 +1,206 @@
+package replic
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/fragindex"
+)
+
+// snapshotFetchAttempts bounds how many times one bootstrap fetch resumes
+// after a mid-body transport failure before giving up.
+const snapshotFetchAttempts = 4
+
+// Client speaks the /v1/replication surface. Safe for concurrent use.
+type Client struct {
+	base string // leader base URL + Prefix, no trailing slash
+	hc   *http.Client
+}
+
+// NewClient builds a client for a leader's replication surface. base is
+// the leader's root URL (e.g. "http://leader:8080"); nil hc uses a
+// dedicated client with no overall timeout (tail requests long-poll, so a
+// global timeout would sever healthy streams).
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/") + Prefix, hc: hc}
+}
+
+// apiError is a structured error from the leader's envelope.
+type apiError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("replic: leader returned %d %s: %s", e.Status, e.Code, e.Msg)
+}
+
+// decodeError turns a non-2xx response into an error, mapping the
+// tail-truncated envelope onto durable.ErrTailTruncated so callers branch
+// with errors.Is.
+func decodeError(resp *http.Response) error {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	//lint:ignore droppederr a short or malformed error body still yields a useful error from the status line below
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	//lint:ignore droppederr a malformed error body still yields a useful error from the status line below
+	json.Unmarshal(b, &env)
+	if resp.StatusCode == http.StatusGone || env.Error.Code == "tail_truncated" {
+		return fmt.Errorf("%w (leader: %s)", durable.ErrTailTruncated, env.Error.Message)
+	}
+	return &apiError{Status: resp.StatusCode, Code: env.Error.Code, Msg: env.Error.Message}
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, header http.Header) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	return c.hc.Do(req)
+}
+
+// Manifest fetches the leader's replication manifest.
+func (c *Client) Manifest(ctx context.Context) (*Manifest, error) {
+	resp, err := c.get(ctx, "/manifest", url.Values{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//lint:ignore droppederr response body teardown; the decode result is what matters
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var m Manifest
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("replic: decoding manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("replic: unsupported manifest format %d", m.Format)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("replic: manifest reports %d shards", m.Shards)
+	}
+	return &m, nil
+}
+
+// FetchSnapshot downloads one snapshot generation and decodes it with full
+// verification (durable.DecodeSnapshot re-checks every CRC, so transport
+// corruption is caught exactly like disk corruption). A transport failure
+// mid-body resumes with a Range request from the bytes already held.
+func (c *Client) FetchSnapshot(ctx context.Context, shard int, epoch uint64) (*fragindex.Dump, error) {
+	q := url.Values{
+		"shard": {strconv.Itoa(shard)},
+		"epoch": {strconv.FormatUint(epoch, 10)},
+	}
+	var buf []byte
+	var lastErr error
+	for attempt := 0; attempt < snapshotFetchAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var header http.Header
+		wantPartial := len(buf) > 0
+		if wantPartial {
+			header = http.Header{"Range": {fmt.Sprintf("bytes=%d-", len(buf))}}
+		}
+		resp, err := c.get(ctx, "/snapshot", q, header)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			// Full body (or the server ignored the range): restart the buffer.
+			buf = buf[:0]
+		case wantPartial && resp.StatusCode == http.StatusPartialContent:
+		default:
+			err := decodeError(resp)
+			//lint:ignore droppederr already failing: the envelope error is returned; close is body teardown
+			resp.Body.Close()
+			return nil, err
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		//lint:ignore droppederr body teardown; a read error is handled via rerr below
+		resp.Body.Close()
+		buf = append(buf, b...)
+		if rerr == nil {
+			return durable.DecodeSnapshot(buf, fmt.Sprintf("shard %d epoch %d (fetched)", shard, epoch))
+		}
+		// Partial read: keep what arrived and resume from the cut.
+		lastErr = rerr
+	}
+	return nil, fmt.Errorf("replic: fetching snapshot shard %d epoch %d: %w", shard, epoch, lastErr)
+}
+
+// TailResult is one decoded tail poll.
+type TailResult struct {
+	Records []durable.TailRecord
+	// Next is the cursor for the next poll.
+	Next uint64
+	// DurableEpoch is the leader shard's durable epoch at the cut.
+	DurableEpoch uint64
+}
+
+// Tail polls the leader for records after from, long-polling up to wait.
+// A 410 from the leader surfaces as durable.ErrTailTruncated — the cursor
+// fell off the retained journal chain and the shard must re-bootstrap.
+func (c *Client) Tail(ctx context.Context, shard int, from uint64, wait time.Duration, maxBytes int) (*TailResult, error) {
+	q := url.Values{
+		"shard": {strconv.Itoa(shard)},
+		"from":  {strconv.FormatUint(from, 10)},
+	}
+	if wait > 0 {
+		q.Set("wait_ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	if maxBytes > 0 {
+		q.Set("max_bytes", strconv.Itoa(maxBytes))
+	}
+	resp, err := c.get(ctx, "/tail", q, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		//lint:ignore droppederr response body teardown; the frame parse result is what matters
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxTailBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("replic: reading tail body: %w", err)
+	}
+	recs, err := durable.ParseTailFrames(body)
+	if err != nil {
+		return nil, err
+	}
+	res := &TailResult{Records: recs, Next: from}
+	if v, perr := strconv.ParseUint(resp.Header.Get(hdrNextEpoch), 10, 64); perr == nil {
+		res.Next = v
+	}
+	if v, perr := strconv.ParseUint(resp.Header.Get(hdrDurableEpoch), 10, 64); perr == nil {
+		res.DurableEpoch = v
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package replic
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/durable"
+)
+
+const (
+	// maxTailWait caps how long one tail long-poll parks on the leader.
+	maxTailWait = 30 * time.Second
+	// maxTailBytes caps one tail chunk regardless of what the client asks.
+	maxTailBytes = 32 << 20
+
+	// Cursor metadata headers on tail responses. The body is raw codec
+	// frames, so the bookkeeping rides headers instead of an envelope.
+	hdrNextEpoch    = "X-Dash-Next-Epoch"
+	hdrDurableEpoch = "X-Dash-Durable-Epoch"
+	hdrRecords      = "X-Dash-Records"
+)
+
+// Leader serves the /v1/replication surface from a durability Source.
+// Mount it under Prefix (http.StripPrefix(Prefix, leader)).
+type Leader struct {
+	src Source
+	mux *http.ServeMux
+}
+
+// NewLeader builds the replication handler over src.
+func NewLeader(src Source) *Leader {
+	l := &Leader{src: src, mux: http.NewServeMux()}
+	l.mux.HandleFunc("/manifest", l.manifest)
+	l.mux.HandleFunc("/snapshot", l.snapshot)
+	l.mux.HandleFunc("/tail", l.tail)
+	return l
+}
+
+func (l *Leader) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed", "replication surface is read-only")
+		return
+	}
+	l.mux.ServeHTTP(w, r)
+}
+
+// writeErr emits the same structured error envelope the /v1 surface uses.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//lint:ignore droppederr the response writer is one-way; an encode failure here has no recovery path
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"code": code, "message": msg},
+	})
+}
+
+// buildManifest assembles the wire manifest from the source.
+func buildManifest(src Source) *Manifest {
+	spec := src.Spec()
+	m := &Manifest{
+		Format:    manifestFormat,
+		Shards:    src.NumShards(),
+		SelAttrs:  spec.SelAttrs,
+		EqAttrs:   spec.EqAttrs,
+		RangeAttr: spec.RangeAttr,
+	}
+	for i := 0; i < m.Shards; i++ {
+		sm := ShardManifest{Shard: i}
+		if e, err := src.DurableEpoch(i); err == nil {
+			sm.DurableEpoch = e
+		}
+		if gens, err := src.SnapshotGens(i); err == nil {
+			sm.Snapshots = gens
+		}
+		m.PerShard = append(m.PerShard, sm)
+	}
+	return m
+}
+
+func (l *Leader) manifest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore droppederr the response writer is one-way; an encode failure here has no recovery path
+	json.NewEncoder(w).Encode(buildManifest(l.src))
+}
+
+func (l *Leader) shardParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || shard < 0 || shard >= l.src.NumShards() {
+		writeErr(w, http.StatusBadRequest, "bad_shard", fmt.Sprintf("shard must be in [0,%d)", l.src.NumShards()))
+		return 0, false
+	}
+	return shard, true
+}
+
+// snapshot serves one snapshot generation byte-for-byte. ServeContent
+// handles HEAD and Range requests, so a replica resumes an interrupted
+// multi-gigabyte bootstrap fetch from the last byte it holds.
+func (l *Leader) snapshot(w http.ResponseWriter, r *http.Request) {
+	shard, ok := l.shardParam(w, r)
+	if !ok {
+		return
+	}
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_epoch", "epoch must be a decimal uint64")
+		return
+	}
+	f, _, err := l.src.OpenSnapshot(shard, epoch)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "snapshot_unavailable", err.Error())
+		return
+	}
+	defer func() {
+		//lint:ignore droppederr read-only fd teardown after the response is written; nothing to recover
+		f.Close()
+	}()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// The snapshot file is immutable once renamed into place (a new epoch
+	// gets a new name), so a zero modtime — which disables time-based
+	// caching — is the conservative choice.
+	http.ServeContent(w, r, "", time.Time{}, f)
+}
+
+// tail serves journal records with epoch > from, framed with the record
+// codec. With wait_ms and a caught-up cursor it parks until the shard's
+// durable epoch advances (or the wait elapses), making the poll loop
+// push-latency without a push channel.
+func (l *Leader) tail(w http.ResponseWriter, r *http.Request) {
+	shard, ok := l.shardParam(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_cursor", "from must be a decimal uint64")
+		return
+	}
+	maxBytes := 0
+	if v := q.Get("max_bytes"); v != "" {
+		if maxBytes, err = strconv.Atoi(v); err != nil || maxBytes < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_max_bytes", "max_bytes must be a non-negative int")
+			return
+		}
+	}
+	if maxBytes <= 0 || maxBytes > maxTailBytes {
+		maxBytes = maxTailBytes
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		ms, werr := strconv.Atoi(v)
+		if werr != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_wait", "wait_ms must be a non-negative int")
+			return
+		}
+		wait = min(time.Duration(ms)*time.Millisecond, maxTailWait)
+	}
+
+	ctx := r.Context()
+	chunk, err := l.src.TailFrom(ctx, shard, from, maxBytes)
+	if err == nil && chunk.Records == 0 && chunk.DurableEpoch <= from && wait > 0 {
+		// Caught up: park until the durable epoch moves, then cut again.
+		if _, werr := l.src.WaitForEpoch(ctx, shard, from, wait); werr == nil {
+			chunk, err = l.src.TailFrom(ctx, shard, from, maxBytes)
+		} else {
+			err = werr
+		}
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client went away mid-poll; nothing useful to write.
+			writeErr(w, 499, "client_closed", err.Error())
+		case errors.Is(err, durable.ErrTailTruncated):
+			// The cursor predates the retained journal chain — pruning or a
+			// sealed/poisoned segment rotation ate the history. 410 tells
+			// the replica to re-bootstrap from the newest checkpoint.
+			writeErr(w, http.StatusGone, "tail_truncated", err.Error())
+		default:
+			// Disk faults behind the store's faultfs seam land here: the
+			// tail is temporarily unservable, the stream is effectively
+			// severed, and the replica retries with backoff.
+			writeErr(w, http.StatusServiceUnavailable, "tail_unavailable", err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(hdrNextEpoch, strconv.FormatUint(chunk.Next, 10))
+	w.Header().Set(hdrDurableEpoch, strconv.FormatUint(chunk.DurableEpoch, 10))
+	w.Header().Set(hdrRecords, strconv.Itoa(chunk.Records))
+	//lint:ignore droppederr the response writer is one-way; a short write surfaces client-side as a frame parse error
+	w.Write(chunk.Frames)
+}

@@ -1,0 +1,220 @@
+package replic
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions tunes the replica health poller.
+type RouterOptions struct {
+	// HTTPClient carries readiness polls (nil: 2s-timeout client).
+	HTTPClient *http.Client
+	// Poll is the readiness poll period (default 500ms).
+	Poll time.Duration
+	// Path is the readiness endpoint on each replica (default /v1/readyz).
+	Path string
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.Path == "" {
+		o.Path = "/v1/readyz"
+	}
+	return o
+}
+
+// ReplicaStatus is one replica's last-polled routing state.
+type ReplicaStatus struct {
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	MinApplied uint64 `json:"min_applied_epoch"`
+	MaxLag     uint64 `json:"max_lag_epochs,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// RouterStats is the router's report, surfaced under admin stats.
+type RouterStats struct {
+	Replicas []ReplicaStatus `json:"replicas"`
+	Routed   uint64          `json:"routed_to_replicas"`
+	Fallback uint64          `json:"fallback_to_leader"`
+}
+
+// Router does bounded-staleness read routing on the leader: it polls each
+// replica's readiness report for applied epochs and picks, per request, a
+// replica at-or-past the request's minimum epoch — falling back to the
+// leader itself when none qualifies. Replicas that stop answering drop out
+// of rotation until a poll succeeds again.
+type Router struct {
+	opts RouterOptions
+
+	mu       sync.RWMutex
+	replicas []*routedReplica
+
+	rr       atomic.Uint64 // round-robin cursor
+	routed   atomic.Uint64
+	fallback atomic.Uint64
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+type routedReplica struct {
+	url        string
+	healthy    atomic.Bool
+	minApplied atomic.Uint64
+	maxLag     atomic.Uint64
+	lastErr    atomic.Value // string
+}
+
+// NewRouter starts a router over the given replica base URLs.
+func NewRouter(urls []string, opts RouterOptions) *Router {
+	r := &Router{opts: opts.withDefaults()}
+	for _, u := range urls {
+		r.replicas = append(r.replicas, &routedReplica{url: strings.TrimRight(u, "/")})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.pollLoop(ctx)
+	}()
+	return r
+}
+
+// readyReport is the slice of a replica's readiness body the router needs.
+type readyReport struct {
+	Replication *struct {
+		MinApplied uint64 `json:"min_applied_epoch"`
+		MaxLag     uint64 `json:"max_lag_epochs"`
+	} `json:"replication"`
+}
+
+func (r *Router) pollLoop(ctx context.Context) {
+	// First sweep immediately so the router is useful right after start.
+	r.pollAll(ctx)
+	t := time.NewTicker(r.opts.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.pollAll(ctx)
+		}
+	}
+}
+
+func (r *Router) pollAll(ctx context.Context) {
+	r.mu.RLock()
+	replicas := r.replicas
+	r.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, rep := range replicas {
+		rep := rep // pre-1.22 loop-variable capture
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.pollOne(ctx, rep)
+		}()
+	}
+	wg.Wait()
+}
+
+func (r *Router) pollOne(ctx context.Context, rep *routedReplica) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+r.opts.Path, nil)
+	if err != nil {
+		rep.healthy.Store(false)
+		rep.lastErr.Store(err.Error())
+		return
+	}
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		rep.healthy.Store(false)
+		rep.lastErr.Store(err.Error())
+		return
+	}
+	defer func() {
+		//lint:ignore droppederr poll body teardown; the decoded report is what matters
+		resp.Body.Close()
+	}()
+	var rr readyReport
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr); derr != nil {
+		rep.healthy.Store(false)
+		rep.lastErr.Store(derr.Error())
+		return
+	}
+	// A replica answering readyz serves reads even while degraded/severed
+	// (stale-but-serving); what gates routing is its applied epoch vs the
+	// request's bound, not its stream health.
+	if rr.Replication != nil {
+		rep.minApplied.Store(rr.Replication.MinApplied)
+		rep.maxLag.Store(rr.Replication.MaxLag)
+	}
+	rep.healthy.Store(resp.StatusCode == http.StatusOK)
+	rep.lastErr.Store("")
+}
+
+// Pick returns a replica base URL whose applied epoch is at or past
+// minEpoch, round-robin among qualifiers; ok is false when none qualifies
+// and the read must be served by the leader.
+func (r *Router) Pick(minEpoch uint64) (string, bool) {
+	r.mu.RLock()
+	replicas := r.replicas
+	r.mu.RUnlock()
+	n := len(replicas)
+	if n == 0 {
+		r.fallback.Add(1)
+		return "", false
+	}
+	start := int(r.rr.Add(1) - 1)
+	for i := 0; i < n; i++ {
+		rep := replicas[(start+i)%n]
+		if rep.healthy.Load() && rep.minApplied.Load() >= minEpoch {
+			r.routed.Add(1)
+			return rep.url, true
+		}
+	}
+	r.fallback.Add(1)
+	return "", false
+}
+
+// Stats reports per-replica routing state and the routed/fallback split.
+func (r *Router) Stats() RouterStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := RouterStats{
+		Routed:   r.routed.Load(),
+		Fallback: r.fallback.Load(),
+	}
+	for _, rep := range r.replicas {
+		rs := ReplicaStatus{
+			URL:        rep.url,
+			Healthy:    rep.healthy.Load(),
+			MinApplied: rep.minApplied.Load(),
+			MaxLag:     rep.maxLag.Load(),
+		}
+		if msg, ok := rep.lastErr.Load().(string); ok {
+			rs.LastError = msg
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	return st
+}
+
+// Stop ends the poll loop.
+func (r *Router) Stop() {
+	r.cancel()
+	r.wg.Wait()
+}

@@ -56,6 +56,11 @@ func NormalizeRequest(req Request) Request {
 	if req.CandidateLimit < 0 {
 		req.CandidateLimit = 0
 	}
+	// MinEpoch is a routing directive, not query semantics: by the time a
+	// request reaches an engine the placement decision has been made, and
+	// the cache key's epoch pins already guarantee a hit is at least as
+	// fresh as the view that admitted the request.
+	req.MinEpoch = 0
 	return req
 }
 

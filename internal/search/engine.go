@@ -156,6 +156,14 @@ type Request struct {
 	// RequireAll keeps only pages containing every queried keyword
 	// (conjunctive semantics); the default scores any matching keyword.
 	RequireAll bool
+	// MinEpoch is a bounded-staleness routing directive, not a query
+	// parameter: the minimum published epoch the serving view must have
+	// reached for this request. Routing layers (replica handles, the
+	// leader-side read router) consult it to place the read; the engine
+	// itself ignores it, and NormalizeRequest clears it so cached results
+	// are shared across staleness bounds (a cache entry is already pinned
+	// to the epoch set it was computed at).
+	MinEpoch uint64
 }
 
 // Result is one suggested db-page.

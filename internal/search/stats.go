@@ -3,6 +3,7 @@ package search
 import (
 	"repro/internal/durable"
 	"repro/internal/fragindex"
+	"repro/internal/replic"
 )
 
 // Topology names reported by Stats — which serving shape answered.
@@ -49,6 +50,13 @@ type Stats struct {
 	// and health state for handles opened with dash.WithDataDir; nil for
 	// purely in-memory topologies.
 	Durability *durable.Stats `json:"durability,omitempty"`
+	// Replication reports a replica handle's tail state (applied epochs,
+	// lag, sever/reconnect counters); nil on leaders and standalone
+	// handles.
+	Replication *replic.Stats `json:"replication,omitempty"`
+	// Replicas reports a routing leader's per-replica placement state
+	// (dash.WithReplicas); nil elsewhere.
+	Replicas *replic.RouterStats `json:"replicas,omitempty"`
 }
 
 // statsFromLive maps a LiveIndex report onto the unified shape.
